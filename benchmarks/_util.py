@@ -1,0 +1,49 @@
+"""Shared plumbing for the benchmark suite.
+
+Every ``bench_*`` file regenerates one exhibit of the paper's evaluation:
+it computes the modeled series through :mod:`repro.bench`, functionally
+validates a small sample of the workload (real numerics), prints the
+rendered table (visible with ``pytest -s``), archives it under
+``benchmarks/results/``, and asserts the shape criteria from DESIGN.md
+Section 7.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered exhibit and archive it for later inspection."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def within_factor(measured: float, expected: float, factor: float) -> bool:
+    """True when ``measured`` is within ``factor``x of ``expected``."""
+    if not (measured > 0 and expected > 0):
+        return False
+    return 1.0 / factor <= measured / expected <= factor
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result.
+
+    The modeled-time harness is deterministic; repeated rounds would only
+    measure Python overhead, so one round is the honest measurement.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def finite(values):
+    return [v for v in values if v == v and v != float("inf")]
+
+
+def geomean(values) -> float:
+    vals = finite(values)
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

@@ -1,0 +1,29 @@
+"""Section 8: sustained memory bandwidth estimated with very large GEMV.
+
+Paper: "By running very large dense matrix vector products (GEMV), we are
+able to estimate the sustained peak memory bound on both GPUs.  The
+H100-PCIe GPU achieves 47% higher bandwidth, scoring about 1.92 TB/s,
+versus 1.31 TB/s for a single GCD of the MI250x GPU."
+"""
+
+from repro.bench import bandwidth_gemv
+
+from _util import emit, run_once, within_factor
+
+PAPER_H100 = 1.92e12
+PAPER_MI = 1.31e12
+
+
+def test_bandwidth_gemv(benchmark):
+    bw = run_once(benchmark, bandwidth_gemv)
+    text = "\n".join(
+        [f"Section 8: sustained GEMV bandwidth",
+         f"  h100-pcie : {bw['h100-pcie'] / 1e12:.2f} TB/s (paper 1.92)",
+         f"  mi250x-gcd: {bw['mi250x-gcd'] / 1e12:.2f} TB/s (paper 1.31)",
+         f"  ratio     : {bw['h100-pcie'] / bw['mi250x-gcd']:.2f}x "
+         f"(paper 1.47x)"])
+    emit("bandwidth_gemv", text)
+    assert within_factor(bw["h100-pcie"], PAPER_H100, 1.1)
+    assert within_factor(bw["mi250x-gcd"], PAPER_MI, 1.1)
+    ratio = bw["h100-pcie"] / bw["mi250x-gcd"]
+    assert within_factor(ratio, PAPER_H100 / PAPER_MI, 1.1)

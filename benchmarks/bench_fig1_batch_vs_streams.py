@@ -1,0 +1,53 @@
+"""Figure 1: dedicated batch GEMM/GEMV kernels vs 16-stream execution.
+
+Paper: both compute-bound (dgemm) and memory-bound (dgemv) kernels benefit
+from dedicated batch designs; the streamed approach loses badly at small
+sizes and converges as per-kernel work grows.
+"""
+
+import numpy as np
+
+from repro.bench import fig1_gemm, fig1_gemv, format_figure
+from repro.gpusim import H100_PCIE, launch
+from repro.gpusim.blas_kernels import BatchedGemmKernel, BatchedGemvKernel
+
+from _util import emit, run_once
+
+SIZES = [32, 64, 128, 192, 256, 320, 384, 448, 512, 640, 768, 896, 1024]
+
+
+def test_fig1_gemm(benchmark):
+    fig = run_once(benchmark, lambda: fig1_gemm(SIZES))
+    emit("fig1_gemm", format_figure(fig, unit="ratio"))
+    sp = fig.series_by_label("speedup").times
+    # Shape: big win at the smallest size, monotone-ish decay, convergence.
+    assert sp[0] > 5.0
+    assert sp[0] > sp[-1]
+    assert 0.8 <= sp[-1] <= 2.0
+
+
+def test_fig1_gemv(benchmark):
+    fig = run_once(benchmark, lambda: fig1_gemv(SIZES))
+    emit("fig1_gemv", format_figure(fig, unit="ratio"))
+    sp = fig.series_by_label("speedup").times
+    assert sp[0] > 5.0
+    assert sp[0] > sp[-1]
+    # Memory-bound GEMV keeps the batch advantage longer than GEMM does.
+    gemm_sp = fig1_gemm([256]).series_by_label("speedup").times[0]
+    gemv_sp = fig1_gemv([256]).series_by_label("speedup").times[0]
+    assert gemv_sp > gemm_sp
+
+
+def test_fig1_functional_sample():
+    """The batch kernels actually compute GEMM/GEMV (not just timings)."""
+    rng = np.random.default_rng(0)
+    a = rng.standard_normal((4, 24, 24))
+    b = rng.standard_normal((4, 24, 24))
+    c = np.zeros((4, 24, 24))
+    launch(H100_PCIE, BatchedGemmKernel(a, b, c))
+    assert np.allclose(c, a @ b, atol=1e-12)
+
+    x = rng.standard_normal((4, 24))
+    y = np.zeros((4, 24))
+    launch(H100_PCIE, BatchedGemvKernel(a, x, y))
+    assert np.allclose(y, np.einsum("bij,bj->bi", a, x), atol=1e-12)

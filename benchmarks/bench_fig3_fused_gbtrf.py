@@ -1,0 +1,91 @@
+"""Figure 3: the fully fused band LU factorization.
+
+Paper findings reproduced and asserted here:
+* staircase-like time growth as shared-memory pressure cuts occupancy;
+* the MI250x drops from 2 resident blocks to 1 between N=416 and N=448
+  for (kl, ku) = (2, 3), costing ~2x;
+* the fused kernel eventually falls behind the CPU and, on the MI250x,
+  fails to launch outright at large sizes.
+"""
+
+import math
+
+import numpy as np
+
+from repro.band.layout import BandLayout
+from repro.bench import PAPER_SIZES, fig3, format_figure
+from repro.gpusim import MI250X_GCD, occupancy
+
+from _util import emit, finite, run_once
+
+
+def _series(fig, label):
+    return fig.series_by_label(label).times
+
+
+def test_fig3_kl2_ku3(benchmark):
+    fig = run_once(benchmark, lambda: fig3(2, 3))
+    emit("fig3_kl2_ku3", format_figure(fig))
+    h100, mi, cpu = (_series(fig, k) for k in ("H100", "MI250x",
+                                               "mkl+openmp"))
+    sizes = fig.xs
+
+    # MI250x occupancy drop 416 -> 448 costs close to 2x (paper: "the
+    # performance drops by almost a factor of 2x ... from 416 to 448").
+    i416, i448 = sizes.index(416), sizes.index(448)
+    ratio = mi[i448] / mi[i416]
+    assert 1.5 <= ratio <= 2.5, f"MI250x staircase ratio {ratio:.2f}"
+    occ416 = occupancy(MI250X_GCD, 32,
+                       BandLayout(416, 416, 2, 3).fused_elems() * 8)
+    occ448 = occupancy(MI250X_GCD, 32,
+                       BandLayout(448, 448, 2, 3).fused_elems() * 8)
+    assert (occ416.blocks_per_sm, occ448.blocks_per_sm) == (2, 1)
+
+    # The fused kernel ends up slower than the CPU at the largest sizes...
+    assert h100[-1] > cpu[-1] * 0.8
+    # ...and fails to run on the MI250x (NaN) once a matrix exceeds LDS.
+    assert any(math.isnan(t) for t in mi)
+    # H100's larger shared memory sustains more sizes than the MI250x.
+    assert len(finite(h100)) >= len(finite(mi))
+
+
+def test_fig3_kl10_ku7(benchmark):
+    fig = run_once(benchmark, lambda: fig3(10, 7))
+    emit("fig3_kl10_ku7", format_figure(fig))
+    mi = _series(fig, "MI250x")
+    h100 = _series(fig, "H100")
+    # The wide band exhausts the MI250x LDS much earlier.
+    assert sum(math.isnan(t) for t in mi) > sum(math.isnan(t) for t in h100)
+    # GPU still wins at small sizes.
+    cpu = _series(fig, "mkl+openmp")
+    assert h100[0] < cpu[0]
+
+
+def test_fig3_staircase_is_occupancy():
+    """Jumps in the fused-kernel curve coincide with occupancy drops."""
+    times, occs = [], []
+    for n in PAPER_SIZES:
+        layout = BandLayout(n, n, 2, 3)
+        try:
+            occ = occupancy(MI250X_GCD, 32, layout.fused_elems() * 8)
+        except Exception:
+            break
+        occs.append(occ.blocks_per_sm)
+        times.append(n)
+    drops = [i for i in range(1, len(occs)) if occs[i] < occs[i - 1]]
+    assert drops, "expected at least one occupancy drop across the sweep"
+    fig = fig3(2, 3, sizes=times)
+    mi = fig.series_by_label("MI250x").times
+    # Only the occupancy-bound regime shows the full staircase: at tiny
+    # sizes the launch-overhead/minimum-kernel-time floor smooths jumps.
+    checked = 0
+    for i in drops:
+        if times[i] < 256:
+            continue
+        jump = mi[i] / mi[i - 1]
+        scale = times[i] / times[i - 1]
+        assert jump > scale * 1.2, (
+            f"occupancy drop at n={times[i]} should cost more than the "
+            f"linear size growth (jump {jump:.2f}, size ratio {scale:.2f})")
+        checked += 1
+    assert checked >= 1, "no occupancy drop found in the bound regime"

@@ -1,0 +1,63 @@
+"""Figure 7: fused GBSV kernel vs the standard factorize-then-solve.
+
+Paper: the fused [A|B] kernel maximises data reuse for very small systems;
+"depending on the matrix size and the bandwidth, a fused implementation
+might not maintain its advantage", and the production dispatch enables it
+for order <= 64 with a single right-hand side.
+"""
+
+import numpy as np
+
+from repro.bench import fig7, format_figure
+from repro.core import gbsv_batch, select_gbsv_method
+from repro.band.generate import random_band_batch, random_rhs
+from repro.gpusim import H100_PCIE, MI250X_GCD
+
+from _util import emit, finite, run_once
+
+
+def test_fig7_kl2_ku3(benchmark):
+    fig = run_once(benchmark, lambda: fig7(2, 3))
+    emit("fig7_kl2_ku3", format_figure(fig))
+    for dev in ("H100", "MI250x"):
+        fused = fig.series_by_label(f"Fused-{dev}").times
+        std = fig.series_by_label(f"Std-{dev}").times
+        # Fused wins at the small end of the sweep.
+        assert fused[0] < std[0]
+        # The advantage shrinks as size grows (relative gap narrows).
+        first_gap = std[0] / fused[0]
+        last_gap = std[-1] / fused[-1]
+        assert last_gap < first_gap
+
+
+def test_fig7_kl10_ku7(benchmark):
+    fig = run_once(benchmark, lambda: fig7(10, 7))
+    emit("fig7_kl10_ku7", format_figure(fig))
+    # Wider band: the fused advantage dies earlier on the MI250x (its LDS
+    # must hold the augmented [A|B]).
+    fused_mi = fig.series_by_label("Fused-MI250x").times
+    std_mi = fig.series_by_label("Std-MI250x").times
+    assert fused_mi[0] < std_mi[0]
+    crossover = next((n for n, f, s in zip(fig.xs, fused_mi, std_mi)
+                      if not (f < s)), None)
+    assert crossover is not None and crossover <= 96
+
+
+def test_fig7_dispatch_rule():
+    """Section 7: fused for order <= 64 and a single RHS only."""
+    assert select_gbsv_method(H100_PCIE, 48, 2, 3, 1) == "fused"
+    assert select_gbsv_method(H100_PCIE, 65, 2, 3, 1) == "standard"
+    assert select_gbsv_method(H100_PCIE, 48, 2, 3, 2) == "standard"
+    assert select_gbsv_method(MI250X_GCD, 64, 2, 3, 1) == "fused"
+
+
+def test_fig7_fused_and_standard_agree_numerically():
+    n, kl, ku = 48, 2, 3
+    a = random_band_batch(6, n, kl, ku, seed=7)
+    b = random_rhs(n, 1, batch=6, seed=8)
+    a1, b1 = a.copy(), b.copy()
+    a2, b2 = a.copy(), b.copy()
+    gbsv_batch(n, kl, ku, 1, a1, None, b1, method="fused")
+    gbsv_batch(n, kl, ku, 1, a2, None, b2, method="standard")
+    assert np.allclose(a1, a2, atol=0)
+    assert np.allclose(b1, b2, atol=1e-13)

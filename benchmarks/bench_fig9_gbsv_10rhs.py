@@ -1,0 +1,67 @@
+"""Figure 9: final GBSV execution time, ten right-hand sides.
+
+Paper: going from 1 to 10 RHS inflates the MKL baseline by ~2.18x (2,3) /
+~1.93x (10,7) on average, while the GPUs absorb the extra columns far more
+cheaply (H100: +49% / +25%) — the origin of the larger speedups of Table 3.
+"""
+
+import math
+
+import numpy as np
+
+from repro.bench import fig8, fig9, format_figure
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import gbsv_batch
+from repro.band.convert import band_to_dense
+
+from _util import emit, run_once
+
+
+def _ratio(kl, ku, label):
+    one = fig8(kl, ku).series_by_label(label).times
+    ten = fig9(kl, ku).series_by_label(label).times
+    pairs = [(a, b) for a, b in zip(one, ten)
+             if not (math.isnan(a) or math.isnan(b))]
+    return float(np.mean([b / a for a, b in pairs]))
+
+
+def test_fig9_kl2_ku3(benchmark):
+    fig = run_once(benchmark, lambda: fig9(2, 3))
+    emit("fig9_kl2_ku3", format_figure(fig))
+    h100 = fig.series_by_label("H100").times
+    cpu = fig.series_by_label("mkl+openmp").times
+    assert all(c > t for c, t in zip(cpu, h100))
+
+
+def test_fig9_kl10_ku7(benchmark):
+    fig = run_once(benchmark, lambda: fig9(10, 7))
+    emit("fig9_kl10_ku7", format_figure(fig))
+    h100 = fig.series_by_label("H100").times
+    cpu = fig.series_by_label("mkl+openmp").times
+    assert all(c > t for c, t in zip(cpu, h100))
+
+
+def test_fig9_rhs_inflation_ordering():
+    """CPU pays more for the extra RHS columns than the H100 does."""
+    for kl, ku in ((2, 3), (10, 7)):
+        cpu_ratio = _ratio(kl, ku, "mkl+openmp")
+        h100_ratio = _ratio(kl, ku, "H100")
+        assert cpu_ratio > h100_ratio, (
+            f"(kl,ku)=({kl},{ku}): CPU x{cpu_ratio:.2f} should exceed "
+            f"H100 x{h100_ratio:.2f}")
+        # Absolute scales near the paper's: CPU roughly doubles.
+        assert 1.5 <= cpu_ratio <= 3.0
+        # The GPU inflation stays clearly below the 10x column count.
+        assert h100_ratio <= 3.0
+
+
+def test_fig9_functional_sample():
+    """Ten-RHS solve is numerically identical to ten one-RHS solves."""
+    n, kl, ku, nrhs = 96, 2, 3, 10
+    a = random_band_batch(4, n, kl, ku, seed=99)
+    b = random_rhs(n, nrhs, batch=4, seed=100)
+    a1, b1 = a.copy(), b.copy()
+    gbsv_batch(n, kl, ku, nrhs, a1, None, b1)
+    for k in range(4):
+        dense = band_to_dense(a[k], n, kl, ku)
+        assert np.allclose(dense @ b1[k], b[k], atol=1e-10)

@@ -1,0 +1,56 @@
+"""Real wall-clock micro-benchmarks of the functional kernels.
+
+Unlike the figure benches (which report the calibrated device model), these
+measure the actual Python/numpy implementations with pytest-benchmark —
+regression guards for the library's own execution speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import gbsv_batch, gbtrf_batch, gbtrs_batch
+from repro.core.gbtf2 import gbtf2
+from repro.cpu import cpu_gbtrf_batch
+
+
+@pytest.fixture(scope="module")
+def small_batch():
+    n, kl, ku = 64, 2, 3
+    a = random_band_batch(16, n, kl, ku, seed=1)
+    b = random_rhs(n, 1, batch=16, seed=2)
+    return n, kl, ku, a, b
+
+
+def test_gbtf2_single(benchmark):
+    ab = random_band_batch(1, 128, 2, 3, seed=3)[0]
+    benchmark(lambda: gbtf2(128, 128, 2, 3, ab.copy()))
+
+
+def test_gbtrf_batch_window(benchmark, small_batch):
+    n, kl, ku, a, _ = small_batch
+    benchmark(lambda: gbtrf_batch(n, n, kl, ku, a.copy(), method="window"))
+
+
+def test_gbtrf_batch_fused(benchmark, small_batch):
+    n, kl, ku, a, _ = small_batch
+    benchmark(lambda: gbtrf_batch(n, n, kl, ku, a.copy(), method="fused"))
+
+
+def test_gbsv_batch_fused(benchmark, small_batch):
+    n, kl, ku, a, b = small_batch
+    benchmark(lambda: gbsv_batch(n, kl, ku, 1, a.copy(), None, b.copy(),
+                                 method="fused"))
+
+
+def test_gbtrs_batch_blocked(benchmark, small_batch):
+    n, kl, ku, a, b = small_batch
+    a2 = a.copy()
+    piv, info = gbtrf_batch(n, n, kl, ku, a2)
+    assert (info == 0).all()
+    benchmark(lambda: gbtrs_batch("N", n, kl, ku, 1, a2, piv, b.copy()))
+
+
+def test_cpu_baseline_scipy_lapack(benchmark, small_batch):
+    n, kl, ku, a, _ = small_batch
+    benchmark(lambda: cpu_gbtrf_batch(n, n, kl, ku, a.copy()))

@@ -1,0 +1,32 @@
+"""Table 2: GBSV speedups vs the CPU baseline, single right-hand side."""
+
+from repro.bench import format_speedup_table, table2
+
+from _util import emit, run_once, within_factor
+
+TOLERANCE = 1.5
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, table2)
+    emit("table2", format_speedup_table(
+        "Table 2: GBSV speedup vs mkl+openmp, 1 RHS (batch 1000, fp64)",
+        rows))
+    by_label = {r.label: r for r in rows}
+
+    for r in rows:
+        assert within_factor(r.avg, r.paper_avg, TOLERANCE), (
+            f"{r.label}: avg {r.avg:.2f} vs paper {r.paper_avg:.2f}")
+
+    h23 = by_label["H100 (kl,ku)=(2,3)"]
+    h107 = by_label["H100 (kl,ku)=(10,7)"]
+    m23 = by_label["MI250x (kl,ku)=(2,3)"]
+    m107 = by_label["MI250x (kl,ku)=(10,7)"]
+
+    # H100 above MI250x on both bands ("In most cases, the GPU solution is
+    # better ... the CPU remains a close competitor for AMD GPUs").
+    assert h23.avg > m23.avg and h107.avg > m107.avg
+    # The MI250x nearly ties the CPU somewhere for (10, 7) (paper min 0.92).
+    assert m107.min < 1.1
+    # The H100 never loses.
+    assert min(h23.min, h107.min) > 1.3

@@ -1,0 +1,90 @@
+"""Ablation: non-uniform batch strategies (paper Section 9 extension).
+
+Grouped execution (one launch per distinct configuration, groups
+serialised) versus the single-kernel strategy (one launch, shared-memory
+reserved for the worst problem).  The crossover depends on how many
+distinct shapes the batch mixes — few groups favour grouping, shape soup
+favours the single kernel.
+"""
+
+import numpy as np
+
+from repro.bench.harness import shape_only_batch
+from repro.core import gbtrf_vbatch, gbtrf_vbatch_fused
+from repro.gpusim import H100_PCIE, Stream
+
+from _util import emit, run_once
+
+
+def _configs(num_distinct: int, total: int, seed: int = 0):
+    """A batch of `total` problems drawn from `num_distinct` shapes."""
+    rng = np.random.default_rng(seed)
+    shapes = [(int(n), int(kl), int(ku))
+              for n, kl, ku in zip(
+                  rng.integers(64, 257, num_distinct),
+                  rng.integers(1, 6, num_distinct),
+                  rng.integers(1, 6, num_distinct))]
+    picks = [shapes[i % num_distinct] for i in range(total)]
+    return picks
+
+
+def _time_strategies(picks):
+    ns = [p[0] for p in picks]
+    kls = [p[1] for p in picks]
+    kus = [p[2] for p in picks]
+    # Shape-only matrices (timing run).
+    mats = [shape_only_batch(n, kl, ku, 1)[0]
+            for n, kl, ku in picks]
+    s1, s2 = Stream(H100_PCIE), Stream(H100_PCIE)
+    gbtrf_vbatch(ns, ns, kls, kus, mats, stream=s1, execute=False)
+    gbtrf_vbatch_fused(ns, ns, kls, kus, mats, stream=s2, execute=False)
+    return s1.elapsed, s2.elapsed, s1.launch_count()
+
+
+def test_vbatch_strategy_crossover(benchmark):
+    def sweep():
+        rows = []
+        for distinct in (1, 2, 4, 8, 16, 64, 256):
+            picks = _configs(distinct, 512)
+            grouped, fused, launches = _time_strategies(picks)
+            rows.append((distinct, launches, grouped, fused))
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    lines = ["Ablation: grouped vs single-kernel non-uniform batch "
+             "(512 problems, h100-pcie)",
+             f"{'distinct':>9} {'launches':>9} {'grouped ms':>12} "
+             f"{'fused ms':>10} {'winner':>8}"]
+    for distinct, launches, grouped, fused in rows:
+        winner = "fused" if fused < grouped else "grouped"
+        lines.append(f"{distinct:>9} {launches:>9} {grouped * 1e3:>12.4f} "
+                     f"{fused * 1e3:>10.4f} {winner:>8}")
+    emit("vbatch_strategies", "\n".join(lines))
+
+    # With one distinct shape the strategies coincide (one launch each);
+    # with many shapes the grouped strategy pays per-group launches and
+    # serialisation, so the single kernel must win.
+    one = rows[0]
+    many = rows[-1]
+    assert one[1] == 1
+    assert abs(one[2] - one[3]) / one[2] < 0.25
+    assert many[3] < many[2]
+
+
+def test_vbatch_numerics_spot_check():
+    """Both strategies produce the factors gbtf2 would."""
+    from repro.band.generate import random_band
+    from repro.core.gbtf2 import gbtf2
+    rng = np.random.default_rng(1)
+    picks = _configs(4, 12, seed=2)
+    mats = [random_band(n, kl, ku, seed=rng) for n, kl, ku in picks]
+    refs = []
+    for (n, kl, ku), m in zip(picks, mats):
+        ab = m.copy()
+        piv, info = gbtf2(n, n, kl, ku, ab)
+        refs.append(ab)
+    got = [m.copy() for m in mats]
+    gbtrf_vbatch_fused([p[0] for p in picks], [p[0] for p in picks],
+                       [p[1] for p in picks], [p[2] for p in picks], got)
+    for a, b in zip(got, refs):
+        np.testing.assert_allclose(a, b, atol=0)

@@ -1,0 +1,97 @@
+"""Expert pipeline: equilibrate, solve in low precision, refine, certify.
+
+Run:  python examples/mixed_precision_refinement.py
+
+Composes the LAPACK-style band family around the batched solver on badly
+conditioned chemistry-like matrices:
+
+1. ``gbequ``/``laqgb`` — scale away the wild row norms (PELE's condition
+   spread, paper Section 2.1);
+2. ``gbsv_refined_batch`` — factor in float32 (half the memory traffic,
+   the natural GPU follow-up to the paper), then recover full float64
+   accuracy with iterative refinement against the original matrices;
+3. ``gbcon_batch`` — certify the solves with a condition estimate from the
+   factors already in hand.
+"""
+
+import numpy as np
+
+from repro import band_to_dense, graded_condition_band, random_rhs
+from repro.band.ops import band_norm_1
+from repro.core import (
+    gbcon_batch,
+    gbequ_batch,
+    gbsv_batch,
+    gbsv_refined_batch,
+    gbtrf_batch,
+    laqgb_batch,
+)
+
+
+def main() -> None:
+    batch, n, kl, ku = 16, 96, 2, 3
+    rng = np.random.default_rng(0)
+    a = np.stack([
+        graded_condition_band(n, kl, ku, cond=10.0 ** rng.uniform(4, 9),
+                              seed=rng)
+        for _ in range(batch)])
+    b = random_rhs(n, 1, batch=batch, seed=1)
+
+    conds = [np.linalg.cond(band_to_dense(m, n, kl, ku)) for m in a[:4]]
+    print(f"{batch} systems of order {n}, cond range ~1e4..1e9 "
+          f"(first four: {', '.join(f'{c:.1e}' for c in conds)})\n")
+
+    # --- 1. equilibrate ---------------------------------------------------
+    rs, cs, rowcnds, colcnds, amaxs, info = gbequ_batch(n, n, kl, ku, a)
+    assert (info == 0).all()
+    equeds = laqgb_batch(n, n, kl, ku, a, rs, cs, rowcnds, colcnds)
+    scaled_b = b.copy()
+    for k, equed in enumerate(equeds):
+        if equed in ("R", "B"):          # row scaling also scales the RHS
+            scaled_b[k] = rs[k][:, None] * b[k]
+    print(f"equilibration applied: {dict((e, equeds.count(e)) for e in set(equeds))}")
+    new_conds = [np.linalg.cond(band_to_dense(m, n, kl, ku))
+                 for m in a[:4]]
+    print(f"conditions after scaling (first four): "
+          f"{', '.join(f'{c:.1e}' for c in new_conds)}\n")
+
+    # --- 2. mixed-precision solve + refinement ----------------------------
+    x, info, results = gbsv_refined_batch(n, kl, ku, 1, a, scaled_b,
+                                          factor_dtype=np.float32)
+    assert (info == 0).all()
+    iters = [r.iterations for r in results]
+    print(f"float32 factor + refinement: {min(iters)}-{max(iters)} "
+          f"iterations, all converged: {all(r.converged for r in results)}")
+    # Undo the column scaling to recover the original unknowns.
+    for k, equed in enumerate(equeds):
+        if equed in ("C", "B"):
+            x[k] = cs[k][:, None] * x[k]
+
+    # Residuals against the *original* (pre-scaling) systems; rebuild them
+    # from the same seeds since `a` was equilibrated in place.
+    rng = np.random.default_rng(0)
+    originals = np.stack([
+        graded_condition_band(n, kl, ku, cond=10.0 ** rng.uniform(4, 9),
+                              seed=rng)
+        for _ in range(batch)])
+    worst = 0.0
+    for k in range(batch):
+        dense = band_to_dense(originals[k], n, kl, ku)
+        r = np.abs(dense @ x[k] - b[k]).max()
+        scale = np.abs(dense).max() * np.abs(x[k]).max()
+        worst = max(worst, r / scale)
+    print(f"worst scaled residual vs original systems: {worst:.2e}\n")
+
+    # --- 3. certify with condition estimates ------------------------------
+    anorms = [band_norm_1(m, n, kl, ku) for m in a]
+    fact = a.copy()
+    piv, info = gbtrf_batch(n, n, kl, ku, fact)
+    rconds = gbcon_batch("1", n, kl, ku, fact, piv, anorms)
+    print("reciprocal condition estimates (equilibrated systems): "
+          f"min {rconds.min():.2e}, max {rconds.max():.2e}")
+    print("rule of thumb: trust ~ -log10(rcond) fewer digits; all "
+          f"systems keep >= {int(-np.log10(np.finfo(np.float64).eps / rconds.min()))} digits here")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Quickstart: factor and solve a batch of band systems.
+
+Run:  python examples/quickstart.py
+
+Covers the three paper routines on a uniform batch in double precision:
+``gbtrf_batch`` (LU with partial pivoting), ``gbtrs_batch`` (solve from the
+factors), and the one-call driver ``gbsv_batch`` — plus the LAPACK band
+storage helpers used to get matrices in and out.
+"""
+
+import numpy as np
+
+from repro import (
+    H100_PCIE,
+    Stream,
+    band_to_dense,
+    gbsv_batch,
+    gbtrf_batch,
+    gbtrs_batch,
+    random_band_batch,
+    random_rhs,
+    solve_residual,
+)
+
+
+def main() -> None:
+    batch, n, kl, ku, nrhs = 200, 96, 2, 3, 4
+    print(f"batch={batch} systems of order {n}, band (kl, ku)=({kl}, {ku}), "
+          f"{nrhs} right-hand sides\n")
+
+    # Matrices live in LAPACK band storage with kl fill-in rows on top
+    # (factor layout): shape (2*kl + ku + 1, n) each.
+    a = random_band_batch(batch, n, kl, ku, seed=0)
+    b = random_rhs(n, nrhs, batch=batch, seed=1)
+    a_orig = a.copy()
+
+    # --- Route 1: factor once, solve as many times as needed ------------
+    stream = Stream(H100_PCIE, name="quickstart")
+    x = b.copy()
+    pivots, info = gbtrf_batch(n, n, kl, ku, a, device=H100_PCIE,
+                               stream=stream)
+    assert (info == 0).all(), "no system should be singular"
+    gbtrs_batch("N", n, kl, ku, nrhs, a, pivots, x, device=H100_PCIE,
+                stream=stream)
+
+    worst = max(solve_residual(a_orig[k], x[k], b[k], kl, ku)
+                for k in range(batch))
+    print(f"gbtrf+gbtrs: worst normalised residual = {worst:.2e}")
+    print(f"simulated device time: {stream.synchronize() * 1e3:.3f} ms "
+          f"({stream.launch_count()} kernel launches)\n")
+
+    # --- Route 2: the one-call driver -----------------------------------
+    a2, x2 = a_orig.copy(), b.copy()
+    pivots2, info2 = gbsv_batch(n, kl, ku, nrhs, a2, None, x2)
+    assert (info2 == 0).all()
+    print(f"gbsv agrees with gbtrf+gbtrs: "
+          f"{np.allclose(x2, x, atol=1e-12)}")
+
+    # Factors overwrite A; band_to_dense(filled=True) recovers U's fill-in.
+    u_dense = np.triu(band_to_dense(a2[0], n, kl, ku, filled=True))
+    print(f"U factor of system 0 has bandwidth kl+ku={kl + ku} "
+          f"(fill-in from pivoting): "
+          f"nnz above diagonal {int((np.abs(u_dense) > 0).sum())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""ReactEval-style batched stiff ODE integration (SUNDIALS use case).
+
+Run:  python examples/reacteval_ode.py
+
+Advances a batch of stiff reaction networks from a sinusoidal initial
+profile with an implicit integrator whose Newton systems are solved by
+``gbsv_batch`` — the paper's Section 2.3 scenario.  Compares backward
+Euler and BDF2 and reports the solver-call counters.
+"""
+
+import numpy as np
+
+from repro import H100_PCIE, Stream
+from repro.apps import chain_mechanism, integrate_batch, rate, sinusoidal_states
+
+
+def main() -> None:
+    batch, n_species = 32, 20
+    mech = chain_mechanism(n_species, coupling=2, rate_spread=4.0, seed=0)
+    kl, ku = mech.bandwidth()
+    print(f"mechanism: {n_species} species, {len(mech.reactions)} "
+          f"reactions, Jacobian band (kl, ku)=({kl}, {ku})")
+
+    # "the initial state comes from a sinusoidal temperature profile"
+    y0 = sinusoidal_states(batch, n_species)
+    print(f"batch of {batch} reactors, initial mass range "
+          f"[{y0.min():.3f}, {y0.max():.3f}]\n")
+
+    t_end = 2e-2
+    for method in ("beuler", "bdf2"):
+        stream = Stream(H100_PCIE, name=f"reacteval-{method}")
+        result = integrate_batch(mech, y0, t_end, dt=2e-3, method=method,
+                                 device=H100_PCIE, stream=stream)
+        s = result.stats
+        assert s.converged, "Newton failed to converge"
+        drift = np.abs(rate(mech, result.y[0])).max()
+        print(f"{method:>7}: {s.steps} steps, {s.newton_iterations} Newton "
+              f"iterations, {s.solver_calls} gbsv_batch calls, "
+              f"{s.jacobian_evaluations} Jacobians")
+        print(f"         final |dy/dt| of reactor 0: {drift:.3e}, "
+              f"simulated solver time {stream.synchronize() * 1e3:.3f} ms")
+
+    # Convergence sanity: halving dt should roughly halve backward-Euler's
+    # error and quarter BDF2's (verified rigorously in the test suite).
+    ref = integrate_batch(mech, y0, t_end, dt=2.5e-4, method="bdf2").y
+    for method, order in (("beuler", 1), ("bdf2", 2)):
+        errs = []
+        for dt in (2e-3, 1e-3):
+            y = integrate_batch(mech, y0, t_end, dt=dt, method=method).y
+            errs.append(np.abs(y - ref).max())
+        rate_obs = np.log2(errs[0] / errs[1])
+        print(f"\n{method}: error {errs[0]:.2e} -> {errs[1]:.2e} when dt "
+              f"halves (observed order ~{rate_obs:.1f}, expected {order})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""From structural sparsity to a band solve (the PELE premise, §2.1).
+
+Run:  python examples/sparse_to_banded.py
+
+The paper's motivating workloads are *structurally sparse* systems whose
+patterns compress well into bands ("approximately 90% of entries are
+non-zero" within the band after fill-in).  This example walks the whole
+pipeline: a sparse Jacobian-like pattern, reverse Cuthill-McKee reordering
+to expose the band, packing into LAPACK band storage, a batched solve, and
+the operation-count spread that makes Gflop/s reporting awkward (the
+paper's Section 2 caveat).
+"""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.band import bandwidth_after, rcm_ordering, sparse_to_band
+from repro.core import (
+    gbsv_batch,
+    gbtrf_opcount_batch,
+    gbtrf_opcount_bounds,
+)
+
+
+def hidden_band_system(n: int, width: int, seed: int) -> sp.csr_matrix:
+    """A banded operator hiding behind a random node numbering."""
+    rng = np.random.default_rng(seed)
+    diags = [rng.standard_normal(n - abs(d)) for d in range(-width, 1)]
+    a = sp.diags(diags, list(range(-width, 1)), shape=(n, n)).tocsr()
+    a = a + a.T + sp.eye(n) * (2 * width + 4)
+    shuffle = rng.permutation(n)
+    return sp.csr_matrix(a.toarray()[np.ix_(shuffle, shuffle)])
+
+
+def main() -> None:
+    n, width, batch = 96, 3, 16
+    systems = [hidden_band_system(n, width, seed) for seed in range(batch)]
+
+    # --- 1. expose the band ----------------------------------------------
+    natural = bandwidth_after(systems[0], np.arange(n))
+    perm = rcm_ordering(systems[0])
+    reordered = bandwidth_after(systems[0], perm)
+    print(f"sparsity pattern: natural bandwidth {natural} -> "
+          f"RCM bandwidth {reordered}")
+
+    banded = [sparse_to_band(a) for a in systems]
+    kl = max(s.kl for s in banded)
+    ku = max(s.ku for s in banded)
+    print(f"uniform batch band: (kl, ku) = ({kl}, {ku})\n")
+
+    # --- 2. batched solve ---------------------------------------------------
+    from repro.band.convert import dense_to_band, band_to_dense
+    rng = np.random.default_rng(99)
+    b = rng.standard_normal((batch, n, 1))
+    # Repack every system at the batch-uniform band.
+    a_band = np.stack([
+        dense_to_band(band_to_dense(s.ab, n, s.kl, s.ku), kl, ku)
+        for s in banded])
+    a_orig = a_band.copy()
+    bp = np.stack([banded[k].permute_rhs(b[k]) for k in range(batch)])
+    x = bp.copy()
+    pivots, info = gbsv_batch(n, kl, ku, 1, a_band, None, x)
+    assert (info == 0).all()
+    worst = 0.0
+    for k in range(batch):
+        xk = banded[k].unpermute_solution(x[k])
+        worst = max(worst, float(np.abs(systems[k] @ xk - b[k]).max()))
+    print(f"solved {batch} reordered systems, worst residual {worst:.2e}\n")
+
+    # --- 3. the Gflop/s caveat (paper §2) ----------------------------------
+    # These collision-style operators are diagonally dominant, so they
+    # never pivot and every matrix does the *minimum* work:
+    counts, _, _ = gbtrf_opcount_batch(n, n, kl, ku, a_orig)
+    lo, hi = gbtrf_opcount_bounds(n, n, kl, ku)
+    dd = np.array([c.flops for c in counts])
+    # General matrices of the same dimensions pivot freely:
+    from repro.band.generate import random_band_batch
+    wild = random_band_batch(batch, n, kl, ku, seed=7)
+    counts_w, _, _ = gbtrf_opcount_batch(n, n, kl, ku, wild)
+    flops = np.array([c.flops for c in counts_w])
+    print("operation count per matrix (identical dimensions!):")
+    print(f"  closed-form bounds     : {lo.flops} .. {hi.flops}")
+    print(f"  dominant batch (no piv): all {dd.min()} (the minimum)")
+    print(f"  general batch          : {flops.min()} .. {flops.max()} "
+          f"(mean {flops.mean():.0f}, {len(set(flops.tolist()))} distinct)")
+    print("  -> 'the operation count per matrix depends on the pivoting "
+          "pattern' — hence the paper reports time-to-solution, not "
+          "Gflop/s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""XGC-style plasma collision operator: 512 systems of order 193.
+
+Run:  python examples/xgc_collision.py
+
+Reproduces the paper's Section 2.2 workload: a batch of 512 implicit
+collision-operator systems from a Q3 finite-element discretisation (order
+193 = 3 x 64 elements + 1, semi-bandwidth 3).  Factors once, then reuses
+the factors for several solves — the multi-species call pattern.
+"""
+
+import numpy as np
+
+from repro import H100_PCIE, MI250X_GCD, Stream, band_to_dense, gbtrf_batch, gbtrs_batch
+from repro.apps import xgc_batch
+
+
+def main() -> None:
+    xb = xgc_batch(batch=512, n_elements=64, nrhs=1, seed=0)
+    print(f"{xb.batch} collision systems, order n={xb.n} "
+          f"(paper: 512 systems, M=N=193), (kl, ku)=({xb.kl}, {xb.ku})\n")
+
+    rng = np.random.default_rng(1)
+    for device in (H100_PCIE, MI250X_GCD):
+        a = xb.a_band.copy()
+        stream = Stream(device, name="xgc")
+
+        # Factor once; the collision operator is reused across RK stages.
+        pivots, info = gbtrf_batch(xb.n, xb.n, xb.kl, xb.ku, a,
+                                   device=device, stream=stream)
+        assert (info == 0).all()
+        t_factor = stream.synchronize()
+
+        # Multi-species setups solve against the same factors repeatedly
+        # ("10 species models" in the paper's WDMApp milestone).
+        n_species = 10
+        worst = 0.0
+        for _ in range(n_species):
+            b = rng.standard_normal((xb.batch, xb.n, 1))
+            x = b.copy()
+            gbtrs_batch("N", xb.n, xb.kl, xb.ku, 1, a, pivots, x,
+                        device=device, stream=stream)
+            a0 = band_to_dense(xb.a_band[0], xb.n, xb.kl, xb.ku)
+            worst = max(worst, float(np.abs(a0 @ x[0] - b[0]).max()))
+        t_total = stream.synchronize()
+
+        print(f"{device.name:>12}: factor {t_factor * 1e3:.3f} ms, "
+              f"+{n_species} species solves -> total {t_total * 1e3:.3f} ms,"
+              f" worst residual {worst:.2e}")
+
+    print("\nAmortisation: with the factors cached, each extra species "
+          "costs only a triangular solve — the reuse the LAPACK "
+          "GBTRF/GBTRS split exists for.")
+
+
+if __name__ == "__main__":
+    main()

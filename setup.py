@@ -1,0 +1,9 @@
+"""Setup shim: metadata lives in setup.cfg.
+
+A setup.py (rather than pyproject.toml) is deliberate: it lets
+``pip install -e .`` work in fully offline environments, where PEP 517
+build isolation would try to download setuptools.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Application workloads from the paper's use-case section (Section 2)."""
+
+from .amr import AmrHierarchy, AmrLevel, AmrParams, build_hierarchy, integrate_hierarchy
+from .chemistry import Mechanism, Reaction, chain_mechanism, jacobian, rate
+from .pele import PeleBatch, pele_batch
+from .reacteval import (
+    AdaptiveResult,
+    IntegrationStats,
+    ReactEvalResult,
+    integrate_adaptive,
+    integrate_batch,
+    sinusoidal_states,
+)
+from .xgc import XgcBatch, q3_collision_matrix, xgc_batch
+
+__all__ = [
+    "AmrHierarchy", "AmrLevel", "AmrParams",
+    "build_hierarchy", "integrate_hierarchy",
+    "AdaptiveResult", "IntegrationStats", "Mechanism", "integrate_adaptive", "PeleBatch", "ReactEvalResult",
+    "Reaction", "XgcBatch", "chain_mechanism", "integrate_batch",
+    "jacobian", "pele_batch", "q3_collision_matrix", "rate",
+    "sinusoidal_states", "xgc_batch",
+]

@@ -1,0 +1,132 @@
+"""Synthetic chemical-kinetics mechanisms for the PELE-style workloads.
+
+The PELE combustion suite (paper Section 2.1) solves many small linear
+systems whose matrices are Jacobians of stiff reaction networks: mostly
+dense within a limited coupling structure (~90% of in-band entries
+non-zero), sizes up to ~150 species, and condition numbers spanning many
+orders of magnitude.
+
+We model a mechanism as a chain-of-species reaction network: each reaction
+couples species within a bounded index distance (after a bandwidth-reducing
+ordering, real mechanisms look like this too), which gives mass-action
+Jacobians an (approximately) banded sparsity.  :func:`jacobian` evaluates
+the exact analytic Jacobian of the mass-action rate law at a state, so the
+generated matrices inherit genuine kinetics structure: strong diagonals
+from self-consumption, signed off-diagonals from production/consumption
+coupling, and stiffness controlled by the rate-constant spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import check_arg
+
+__all__ = ["Reaction", "Mechanism", "chain_mechanism", "rate", "jacobian"]
+
+
+@dataclass(frozen=True)
+class Reaction:
+    """One irreversible mass-action reaction.
+
+    ``reactants`` / ``products`` map species index to stoichiometric
+    coefficient; ``rate_constant`` is the (temperature-folded) forward rate.
+    """
+
+    reactants: tuple[tuple[int, int], ...]
+    products: tuple[tuple[int, int], ...]
+    rate_constant: float
+
+    def species(self) -> set[int]:
+        return ({s for s, _ in self.reactants}
+                | {s for s, _ in self.products})
+
+
+@dataclass(frozen=True)
+class Mechanism:
+    """A reaction network over ``n_species`` species."""
+
+    n_species: int
+    reactions: tuple[Reaction, ...] = field(default_factory=tuple)
+
+    def bandwidth(self) -> tuple[int, int]:
+        """Tight (kl, ku) of the Jacobian sparsity this mechanism induces.
+
+        The Jacobian entry (i, j) can be non-zero when species ``j`` is a
+        reactant of a reaction that produces or consumes species ``i``.
+        """
+        kl = ku = 0
+        for r in self.reactions:
+            touched = [s for s, _ in r.reactants] + [s for s, _ in r.products]
+            for i in touched:
+                for j, _ in r.reactants:
+                    kl = max(kl, i - j)
+                    ku = max(ku, j - i)
+        return kl, ku
+
+
+def chain_mechanism(n_species: int, *, coupling: int = 2,
+                    rate_spread: float = 6.0, seed=None) -> Mechanism:
+    """A chain reaction network with bounded coupling distance.
+
+    Species ``i`` reacts with neighbours up to ``coupling`` indices away
+    (consumption both ways, production downstream), so the Jacobian has
+    ``kl = ku = coupling``.  ``rate_spread`` sets the log10 range of rate
+    constants — the source of the wide condition-number range the paper
+    describes.
+    """
+    check_arg(n_species >= 2, 1,
+              f"need at least 2 species, got {n_species}")
+    check_arg(coupling >= 1, 2, f"coupling must be >= 1, got {coupling}")
+    rng = np.random.default_rng(seed)
+    reactions = []
+    for i in range(n_species - 1):
+        for d in range(1, min(coupling, n_species - 1 - i) + 1):
+            k = 10.0 ** rng.uniform(-rate_spread / 2, rate_spread / 2)
+            # A_i + A_{i+d} -> 2 A_{i+d}: consumes i, net-produces i+d.
+            reactions.append(Reaction(
+                reactants=((i, 1), (i + d, 1)),
+                products=((i + d, 2),),
+                rate_constant=k))
+        # First-order decay keeps every diagonal entry active.
+        reactions.append(Reaction(
+            reactants=((i, 1),), products=((i + 1, 1),),
+            rate_constant=10.0 ** rng.uniform(-rate_spread / 2,
+                                              rate_spread / 2)))
+    return Mechanism(n_species=n_species, reactions=tuple(reactions))
+
+
+def rate(mech: Mechanism, y: np.ndarray) -> np.ndarray:
+    """Mass-action net production rates ``dy/dt`` at state ``y``."""
+    dydt = np.zeros_like(y, dtype=np.float64)
+    for r in mech.reactions:
+        rr = r.rate_constant
+        for s, nu in r.reactants:
+            rr = rr * y[s] ** nu
+        for s, nu in r.reactants:
+            dydt[s] -= nu * rr
+        for s, nu in r.products:
+            dydt[s] += nu * rr
+    return dydt
+
+
+def jacobian(mech: Mechanism, y: np.ndarray) -> np.ndarray:
+    """Analytic Jacobian ``d(dy/dt)/dy`` of the mass-action rate law."""
+    n = mech.n_species
+    jac = np.zeros((n, n), dtype=np.float64)
+    for r in mech.reactions:
+        base = r.rate_constant
+        conc = {s: y[s] for s, _ in r.reactants}
+        for j, nu_j in r.reactants:
+            # d(rate)/dy_j = k * nu_j * y_j^(nu_j - 1) * prod_others
+            d = base * nu_j * (conc[j] ** (nu_j - 1) if nu_j > 1 else 1.0)
+            for s, nu in r.reactants:
+                if s != j:
+                    d *= conc[s] ** nu
+            for s, nu in r.reactants:
+                jac[s, j] -= nu * d
+            for s, nu in r.products:
+                jac[s, j] += nu * d
+    return jac

@@ -1,0 +1,96 @@
+"""PELE-style workload generator (paper Section 2.1).
+
+Produces batches of implicit-chemistry linear systems
+``(I - h J(y)) x = b`` — the Newton matrices of a stiff chemistry
+integrator — with the characteristics the paper describes: sizes up to
+~150 (many 50 or less), high in-band density (~90%), and a wide range of
+condition numbers driven by the rate-constant spread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..band.convert import bandwidth_of_dense, dense_to_band
+from ..errors import check_arg
+from .chemistry import Mechanism, chain_mechanism, jacobian
+
+__all__ = ["PeleBatch", "pele_batch"]
+
+
+@dataclass
+class PeleBatch:
+    """A generated batch of chemistry Newton systems.
+
+    Attributes
+    ----------
+    a_band:
+        ``(batch, 2*kl+ku+1, n)`` factor-layout band stack of
+        ``I - h J(y_k)``.
+    b:
+        ``(batch, n, nrhs)`` right-hand sides (the Newton residuals).
+    kl, ku:
+        Band structure shared by the whole batch.
+    mechanism:
+        The reaction network the Jacobians came from.
+    states:
+        ``(batch, n)`` concentration states the Jacobians were evaluated at.
+    """
+
+    a_band: np.ndarray
+    b: np.ndarray
+    kl: int
+    ku: int
+    mechanism: Mechanism
+    states: np.ndarray
+
+    @property
+    def batch(self) -> int:
+        return self.a_band.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.a_band.shape[2]
+
+
+def pele_batch(batch: int, n_species: int = 54, *, coupling: int = 3,
+               h: float = 1e-4, nrhs: int = 1, rate_spread: float = 6.0,
+               seed=None) -> PeleBatch:
+    """Generate a batch of ``(I - h J)`` systems from one shared mechanism.
+
+    Every cell of a combustion simulation shares the mechanism but sits at
+    a different thermochemical state, so the batch shares its band
+    structure (a uniform batch, as the solver requires) while each matrix
+    has distinct values and conditioning.
+
+    Parameters
+    ----------
+    n_species:
+        System order (the paper: "typical matrix sizes ... do not exceed
+        150 but many are sized 50 or less").
+    coupling:
+        Reaction coupling distance; yields ``kl = ku = coupling``.
+    h:
+        Implicit time-step scale: larger ``h`` makes ``I - h J`` harder
+        conditioned.
+    """
+    check_arg(batch >= 1, 1, f"batch must be >= 1, got {batch}")
+    rng = np.random.default_rng(seed)
+    mech = chain_mechanism(n_species, coupling=coupling,
+                           rate_spread=rate_spread, seed=rng)
+    kl = ku = 0
+    mats = []
+    states = np.empty((batch, n_species))
+    for k in range(batch):
+        y = rng.uniform(1e-8, 1.0, size=n_species)
+        states[k] = y
+        a = np.eye(n_species) - h * jacobian(mech, y)
+        bkl, bku = bandwidth_of_dense(a)
+        kl, ku = max(kl, bkl), max(ku, bku)
+        mats.append(a)
+    a_band = np.stack([dense_to_band(a, kl, ku) for a in mats])
+    b = rng.standard_normal((batch, n_species, nrhs))
+    return PeleBatch(a_band=a_band, b=b, kl=kl, ku=ku, mechanism=mech,
+                     states=states)

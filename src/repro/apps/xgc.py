@@ -1,0 +1,136 @@
+"""XGC / WDMApp-style workload generator (paper Section 2.2).
+
+XGC's Landau collision operator solves, per velocity-space mesh batch, many
+sparse linear systems from a Q3 finite-element discretisation of a 2-D
+velocity domain with AMR: "512 sparse linear systems in a single batch,
+each having M = N = 193 equations".
+
+We build the analogous systems from a 1-D finite-element discretisation of
+a Fokker-Planck-type operator
+
+    ``L f = -d/dv ( D(v) df/dv + F(v) f ) + nu(v) f``
+
+with cubic (Q3) elements: each element couples 4 consecutive nodes, so the
+assembled implicit matrix ``M + dt L`` has semi-bandwidth 3 — a genuinely
+banded, symmetric-structure (but unsymmetric-valued, due to the drag term)
+operator of order ``3 * n_elements + 1``.  With ``n_elements = 64`` the
+system order is exactly the paper's 193.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..band.convert import dense_to_band
+from ..errors import check_arg
+
+__all__ = ["XgcBatch", "q3_collision_matrix", "xgc_batch"]
+
+# Gauss-Legendre 4-point rule (exact for the Q3 mass/stiffness products).
+_GAUSS_X = np.array([-0.8611363115940526, -0.3399810435848563,
+                     0.3399810435848563, 0.8611363115940526])
+_GAUSS_W = np.array([0.3478548451374538, 0.6521451548625461,
+                     0.6521451548625461, 0.3478548451374538])
+
+
+def _q3_shape(xi: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cubic Lagrange shape functions and derivatives on [-1, 1].
+
+    Nodes at -1, -1/3, 1/3, 1.  Returns ``(N, dN)`` with shape (4, len(xi)).
+    """
+    nodes = np.array([-1.0, -1.0 / 3.0, 1.0 / 3.0, 1.0])
+    n = np.empty((4, xi.shape[0]))
+    dn = np.empty((4, xi.shape[0]))
+    for a in range(4):
+        others = [b for b in range(4) if b != a]
+        denom = np.prod([nodes[a] - nodes[b] for b in others])
+        n[a] = np.prod([xi - nodes[b] for b in others], axis=0) / denom
+        dsum = np.zeros_like(xi)
+        for skip in others:
+            rest = [b for b in others if b != skip]
+            dsum += np.prod([xi - nodes[b] for b in rest], axis=0)
+        dn[a] = dsum / denom
+    return n, dn
+
+
+def q3_collision_matrix(n_elements: int, *, v_max: float = 5.0,
+                        dt: float = 0.1, diffusion: float = 1.0,
+                        drag: float = 1.0, nu: float = 0.5,
+                        temperature: float = 1.0) -> np.ndarray:
+    """Assemble the implicit collision matrix ``M + dt * L`` (dense).
+
+    Q3 elements on ``[0, v_max]``; order ``3 * n_elements + 1`` and
+    semi-bandwidth 3 (the element blocks couple 4 consecutive nodes).
+    ``D(v) = diffusion * T``, ``F(v) = drag * v`` — a linearised
+    Fokker-Planck / Landau form.
+    """
+    check_arg(n_elements >= 1, 1,
+              f"need at least one element, got {n_elements}")
+    n = 3 * n_elements + 1
+    a = np.zeros((n, n))
+    h = v_max / n_elements
+    jac = h / 2.0
+    shp, dshp = _q3_shape(_GAUSS_X)
+    for e in range(n_elements):
+        dofs = np.arange(3 * e, 3 * e + 4)
+        v0 = e * h
+        vq = v0 + (1.0 + _GAUSS_X) * jac       # quadrature points
+        d_coef = diffusion * temperature
+        f_coef = drag * vq
+        nu_coef = nu * (1.0 + 0.1 * vq ** 2)
+        for q, w in enumerate(_GAUSS_W):
+            nq = shp[:, q]
+            dq = dshp[:, q] / jac
+            wq = w * jac
+            # mass + dt * (diffusion + drag + collisionality)
+            a[np.ix_(dofs, dofs)] += wq * (
+                np.outer(nq, nq)
+                + dt * (d_coef * np.outer(dq, dq)
+                        + f_coef[q] * np.outer(dq, nq)
+                        + nu_coef[q] * np.outer(nq, nq)))
+    return a
+
+
+@dataclass
+class XgcBatch:
+    """A generated batch of collision-operator systems."""
+
+    a_band: np.ndarray       # (batch, 2*kl+ku+1, n) factor layout
+    b: np.ndarray            # (batch, n, nrhs)
+    kl: int
+    ku: int
+
+    @property
+    def batch(self) -> int:
+        return self.a_band.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.a_band.shape[2]
+
+
+def xgc_batch(batch: int = 512, n_elements: int = 64, *, nrhs: int = 1,
+              dt: float = 0.1, seed=None) -> XgcBatch:
+    """The paper's XGC workload: 512 systems of order 193 (64 Q3 elements).
+
+    Each system is the collision matrix at a different flux-surface state
+    (temperature and collisionality vary across the batch); right-hand
+    sides are the distribution-function moments being advanced.
+    """
+    rng = np.random.default_rng(seed)
+    kl = ku = 3
+    mats = []
+    for _ in range(batch):
+        a = q3_collision_matrix(
+            n_elements,
+            dt=dt,
+            diffusion=rng.uniform(0.5, 2.0),
+            drag=rng.uniform(0.5, 2.0),
+            nu=rng.uniform(0.1, 1.0),
+            temperature=rng.uniform(0.5, 3.0))
+        mats.append(dense_to_band(a, kl, ku))
+    n = 3 * n_elements + 1
+    b = rng.standard_normal((batch, n, nrhs))
+    return XgcBatch(a_band=np.stack(mats), b=b, kl=kl, ku=ku)

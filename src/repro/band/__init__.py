@@ -1,0 +1,65 @@
+"""Band-matrix substrate: LAPACK GB layout, conversions, generators, ops."""
+
+from .convert import (
+    band_batch_to_dense,
+    band_to_dense,
+    bandwidth_of_dense,
+    dense_batch_to_band,
+    dense_to_band,
+)
+from .generate import (
+    diagonally_dominant_band,
+    graded_condition_band,
+    random_band,
+    random_band_batch,
+    random_band_dense,
+    random_rhs,
+)
+from .layout import (
+    BandLayout,
+    alloc_band,
+    band_index,
+    col_rows,
+    diag_row,
+    in_band,
+    ldab_for_factor,
+    ldab_for_storage,
+)
+from .ops import band_norm_1, band_norm_inf, gbmm, gbmv, solve_residual
+from .reorder import BandedSystem, bandwidth_after, rcm_ordering, sparse_to_band, unpermute
+from .triangular import tbmv, tbsv, tbtrs_batch
+
+__all__ = [
+    "BandLayout",
+    "BandedSystem",
+    "alloc_band",
+    "band_batch_to_dense",
+    "band_index",
+    "band_norm_1",
+    "band_norm_inf",
+    "band_to_dense",
+    "bandwidth_of_dense",
+    "col_rows",
+    "dense_batch_to_band",
+    "dense_to_band",
+    "diag_row",
+    "diagonally_dominant_band",
+    "gbmm",
+    "gbmv",
+    "graded_condition_band",
+    "in_band",
+    "ldab_for_factor",
+    "ldab_for_storage",
+    "random_band",
+    "random_band_batch",
+    "random_band_dense",
+    "random_rhs",
+    "bandwidth_after",
+    "rcm_ordering",
+    "solve_residual",
+    "sparse_to_band",
+    "tbmv",
+    "tbsv",
+    "tbtrs_batch",
+    "unpermute",
+]

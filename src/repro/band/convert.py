@@ -1,0 +1,130 @@
+"""Conversions between dense matrices and LAPACK band (GB) storage."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import check_arg
+from .layout import BandLayout, ldab_for_factor, ldab_for_storage
+
+__all__ = [
+    "dense_to_band",
+    "band_to_dense",
+    "bandwidth_of_dense",
+    "dense_batch_to_band",
+    "band_batch_to_dense",
+]
+
+
+def dense_to_band(a: np.ndarray, kl: int, ku: int, *,
+                  ldab: int | None = None,
+                  factor_layout: bool = True) -> np.ndarray:
+    """Pack dense ``a`` into band storage.
+
+    Parameters
+    ----------
+    a:
+        Dense ``(m, n)`` array.  Entries outside the band are ignored (the
+        caller asserts they are structurally zero; we do not check, matching
+        LAPACK, which simply never references them).
+    kl, ku:
+        Lower/upper bandwidth.
+    ldab:
+        Leading dimension of the output; defaults to the minimal factor
+        layout ``2*kl+ku+1`` (or ``kl+ku+1`` when ``factor_layout=False``).
+    factor_layout:
+        When True (default) reserve the ``kl`` fill-in rows at the top needed
+        by ``gbtrf``; the diagonal lands on row ``kl+ku``.  When False use
+        storage-only layout with the diagonal on row ``ku`` (this is also
+        scipy's ``solve_banded`` convention).
+
+    Returns
+    -------
+    ``(ldab, n)`` band array with out-of-band entries zeroed.
+    """
+    a = np.asarray(a)
+    check_arg(a.ndim == 2, 1, f"expected a 2-D array, got ndim={a.ndim}")
+    m, n = a.shape
+    offset = kl + ku if factor_layout else ku
+    min_ldab = (ldab_for_factor(kl, ku) if factor_layout
+                else ldab_for_storage(kl, ku))
+    if ldab is None:
+        ldab = min_ldab
+    check_arg(ldab >= min_ldab, 4, f"ldab={ldab} < required {min_ldab}")
+    ab = np.zeros((ldab, n), dtype=a.dtype)
+    for d in range(-kl, ku + 1):
+        # diagonal d (d > 0 above the main diagonal) occupies row offset - d
+        diag = np.diagonal(a, offset=d)
+        cols = np.arange(max(d, 0), max(d, 0) + diag.shape[0])
+        ab[offset - d, cols] = diag
+    return ab
+
+
+def band_to_dense(ab: np.ndarray, m: int, kl: int, ku: int, *,
+                  factor_layout: bool = True,
+                  filled: bool = False) -> np.ndarray:
+    """Unpack band storage back into a dense ``(m, n)`` matrix.
+
+    Parameters
+    ----------
+    filled:
+        When True, also unpack the ``kl`` fill-in super-diagonals written by
+        the factorization (the ``U`` factor has bandwidth ``kl+ku``).  Only
+        meaningful with ``factor_layout=True``.
+    """
+    ab = np.asarray(ab)
+    check_arg(ab.ndim == 2, 1, f"expected a 2-D array, got ndim={ab.ndim}")
+    n = ab.shape[1]
+    offset = kl + ku if factor_layout else ku
+    upper = kl + ku if (filled and factor_layout) else ku
+    a = np.zeros((m, n), dtype=ab.dtype)
+    for d in range(-kl, upper + 1):
+        row = offset - d
+        if row < 0 or row >= ab.shape[0]:
+            continue
+        length = min(m - max(-d, 0), n - max(d, 0))
+        if length <= 0:
+            continue
+        cols = np.arange(max(d, 0), max(d, 0) + length)
+        rows = cols - d
+        a[rows, cols] = ab[row, cols]
+    return a
+
+
+def bandwidth_of_dense(a: np.ndarray, tol: float = 0.0) -> tuple[int, int]:
+    """Return the tight ``(kl, ku)`` of a dense matrix.
+
+    Entries with ``|a[i, j]| <= tol`` count as structural zeros.  An all-zero
+    matrix has bandwidth ``(0, 0)``.
+    """
+    a = np.asarray(a)
+    check_arg(a.ndim == 2, 1, f"expected a 2-D array, got ndim={a.ndim}")
+    i, j = np.nonzero(np.abs(a) > tol)
+    if i.size == 0:
+        return 0, 0
+    d = j - i
+    return int(max(0, -d.min())), int(max(0, d.max()))
+
+
+def dense_batch_to_band(batch: np.ndarray, kl: int, ku: int, *,
+                        ldab: int | None = None,
+                        factor_layout: bool = True) -> np.ndarray:
+    """Vectorised :func:`dense_to_band` over a ``(batch, m, n)`` stack."""
+    batch = np.asarray(batch)
+    check_arg(batch.ndim == 3, 1, f"expected a 3-D array, got ndim={batch.ndim}")
+    return np.stack([
+        dense_to_band(a, kl, ku, ldab=ldab, factor_layout=factor_layout)
+        for a in batch
+    ])
+
+
+def band_batch_to_dense(abs_: np.ndarray, m: int, kl: int, ku: int, *,
+                        factor_layout: bool = True,
+                        filled: bool = False) -> np.ndarray:
+    """Vectorised :func:`band_to_dense` over a ``(batch, ldab, n)`` stack."""
+    abs_ = np.asarray(abs_)
+    check_arg(abs_.ndim == 3, 1, f"expected a 3-D array, got ndim={abs_.ndim}")
+    return np.stack([
+        band_to_dense(ab, m, kl, ku, factor_layout=factor_layout, filled=filled)
+        for ab in abs_
+    ])

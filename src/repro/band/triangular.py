@@ -1,0 +1,147 @@
+"""Triangular band solves (BLAS ``TBSV`` / LAPACK ``TBTRS`` analogues).
+
+Solves ``op(T) x = b`` where ``T`` is a triangular band matrix given
+directly in band storage — no factorization involved.  These are the
+primitives a user reaches for when the band matrix is *already*
+triangular (e.g. applying the ``U`` factor of a ``gbtrf`` result
+manually, or preconditioning with a banded incomplete factor), and they
+complete the band-storage BLAS surface around the batched solver.
+
+Storage (the standard TBSV layout): ``uplo='U'`` expects ``k``
+super-diagonals with the diagonal on row ``k`` of a ``(>=k+1, n)`` array;
+``uplo='L'`` expects the diagonal on row 0 with ``k`` sub-diagonals below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import check_arg
+from ..types import Trans
+
+__all__ = ["tbsv", "tbmv", "tbtrs_batch"]
+
+
+def _validate(uplo: str, diag: str, k: int, ab: np.ndarray, n: int):
+    check_arg(uplo in ("U", "L"), 1, f"uplo must be 'U' or 'L', got {uplo!r}")
+    check_arg(diag in ("N", "U"), 3, f"diag must be 'N' or 'U', got {diag!r}")
+    check_arg(k >= 0, 4, f"k must be non-negative, got {k}")
+    check_arg(ab.shape[0] >= k + 1, 5,
+              f"band array has {ab.shape[0]} rows, needs {k + 1}")
+    check_arg(ab.shape[1] == n, 5,
+              f"band array has {ab.shape[1]} columns, expected {n}")
+
+
+def _entry_rows(uplo: str, k: int, j: int, n: int) -> tuple[int, int]:
+    """Dense-row range ``[lo, hi)`` of column ``j``'s stored entries."""
+    if uplo == "U":
+        return max(0, j - k), j + 1
+    return j, min(n, j + k + 1)
+
+
+def _get_col(uplo: str, k: int, ab: np.ndarray, j: int, lo: int,
+             hi: int) -> np.ndarray:
+    if uplo == "U":
+        return ab[k + lo - j:k + hi - j, j]
+    return ab[lo - j:hi - j, j]
+
+
+def tbsv(uplo: str, trans: Trans | str, diag: str, n: int, k: int,
+         ab: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Solve ``op(T) x = b`` in place on ``x`` (``(n,)`` or ``(n, nrhs)``).
+
+    ``diag='U'`` treats the diagonal as implicit ones (the ``L`` factor
+    convention).  No zero-diagonal guard, matching BLAS — a singular ``T``
+    produces infinities (use :func:`tbtrs_batch` for the checked variant).
+    """
+    uplo, diag = uplo.upper(), diag.upper()
+    trans = Trans.from_any(trans)
+    ab = np.asarray(ab)
+    _validate(uplo, diag, k, ab, n)
+    check_arg(x.shape[0] == n, 7, f"x has {x.shape[0]} rows, expected {n}")
+    x2 = x[:, None] if x.ndim == 1 else x
+    conj = trans is Trans.CONJ_TRANS and np.iscomplexobj(ab)
+
+    def c(v):
+        return np.conj(v) if conj else v
+
+    # Substitution order: a (effectively) lower-triangular solve runs
+    # forward, an upper one backward; transposition flips the orientation.
+    eff_lower = (uplo == "L") == (trans is Trans.NO_TRANS)
+    order = range(n) if eff_lower else range(n - 1, -1, -1)
+    for j in order:
+        lo, hi = _entry_rows(uplo, k, j, n)
+        col = _get_col(uplo, k, ab, j, lo, hi)
+        dj = j - lo                   # index of the diagonal within col
+        if trans is Trans.NO_TRANS:
+            if diag == "N":
+                x2[j] = x2[j] / col[dj]
+            if uplo == "U" and dj > 0:
+                x2[lo:j] -= np.outer(col[:dj], x2[j])
+            elif uplo == "L" and hi > j + 1:
+                x2[j + 1:hi] -= np.outer(col[dj + 1:], x2[j])
+        else:
+            # Row j of op(T) is column j of T: subtract the dot product of
+            # the already-solved entries, then divide.
+            if uplo == "U" and dj > 0:
+                x2[j] = x2[j] - c(col[:dj]) @ x2[lo:j]
+            elif uplo == "L" and hi > j + 1:
+                x2[j] = x2[j] - c(col[dj + 1:]) @ x2[j + 1:hi]
+            if diag == "N":
+                x2[j] = x2[j] / c(col[dj])
+    return x
+
+
+def tbmv(uplo: str, trans: Trans | str, diag: str, n: int, k: int,
+         ab: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Product ``x := op(T) x`` for a triangular band matrix, in place."""
+    uplo, diag = uplo.upper(), diag.upper()
+    trans = Trans.from_any(trans)
+    ab = np.asarray(ab)
+    _validate(uplo, diag, k, ab, n)
+    check_arg(x.shape[0] == n, 7, f"x has {x.shape[0]} rows, expected {n}")
+    x2 = x[:, None] if x.ndim == 1 else x
+    conj = trans is Trans.CONJ_TRANS and np.iscomplexobj(ab)
+
+    def c(v):
+        return np.conj(v) if conj else v
+
+    out = np.zeros_like(x2)
+    for j in range(n):
+        lo, hi = _entry_rows(uplo, k, j, n)
+        col = _get_col(uplo, k, ab, j, lo, hi).copy()
+        dj = j - lo
+        if diag == "U":
+            col[dj] = 1.0
+        if trans is Trans.NO_TRANS:
+            out[lo:hi] += np.outer(col, x2[j])
+        else:
+            out[j] += c(col) @ x2[lo:hi]
+    x2[...] = out
+    return x
+
+
+def tbtrs_batch(uplo: str, trans: Trans | str, diag: str, n: int, k: int,
+                a_array, b_array, *, batch: int | None = None) -> np.ndarray:
+    """Batched triangular band solve (LAPACK ``TBTRS`` analogue).
+
+    Checks each diagonal for exact zeros first (``info = j + 1``, LAPACK
+    convention) and leaves singular problems' RHS untouched; returns the
+    info array.
+    """
+    uplo, diag = uplo.upper(), diag.upper()
+    if batch is None:
+        batch = len(a_array)
+    info = np.zeros(batch, dtype=np.int64)
+    for idx in range(batch):
+        ab = np.asarray(a_array[idx])
+        b = b_array[idx]
+        _validate(uplo, diag, k, ab, n)
+        if diag == "N":
+            diag_row = k if uplo == "U" else 0
+            zeros = np.nonzero(ab[diag_row, :n] == 0)[0]
+            if zeros.size:
+                info[idx] = int(zeros[0]) + 1
+                continue
+        tbsv(uplo, trans, diag, n, k, ab, b)
+    return info

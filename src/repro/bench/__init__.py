@@ -1,0 +1,46 @@
+"""Benchmark harness: regenerates every figure and table of the paper."""
+
+from .figures import (
+    BANDS,
+    FIG7_SIZES,
+    PAPER_SIZES,
+    ablation_gbsv_cutoff,
+    ablation_staging,
+    ablation_threads,
+    ablation_window_launch,
+    bandwidth_gemv,
+    fig1_gemm,
+    fig1_gemv,
+    fig3,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    table1,
+    table2,
+    table3,
+)
+from .harness import (
+    DEFAULT_BATCH,
+    time_cpu_gbsv,
+    time_cpu_gbtrf,
+    time_cpu_gbtrs,
+    time_gbsv,
+    time_gbtrf,
+    time_gbtrs,
+)
+from .report import FigureResult, Series, SpeedupRow, format_figure, format_speedup_table, geomean
+from .streams import StreamedResult, run_streamed
+
+__all__ = [
+    "BANDS", "DEFAULT_BATCH", "FIG7_SIZES", "FigureResult", "PAPER_SIZES",
+    "Series", "SpeedupRow", "StreamedResult",
+    "ablation_gbsv_cutoff", "ablation_staging", "ablation_threads",
+    "ablation_window_launch",
+    "bandwidth_gemv",
+    "fig1_gemm", "fig1_gemv", "fig3", "fig5", "fig7", "fig8", "fig9",
+    "format_figure", "format_speedup_table", "geomean", "run_streamed",
+    "table1", "table2", "table3",
+    "time_cpu_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs",
+    "time_gbsv", "time_gbtrf", "time_gbtrs",
+]

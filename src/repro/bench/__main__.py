@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate the paper's exhibits.
+
+Usage::
+
+    python -m repro.bench                 # everything
+    python -m repro.bench fig3 table1     # selected exhibits
+    python -m repro.bench --list
+
+Prints each exhibit as a plain-text table (the same renderings the
+benchmark suite archives under ``benchmarks/results/``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import (
+    ablation_gbsv_cutoff,
+    ablation_threads,
+    ablation_window_launch,
+    bandwidth_gemv,
+    fig1_gemm,
+    fig1_gemv,
+    fig3,
+    fig5,
+    fig7,
+    fig8,
+    fig9,
+    format_figure,
+    format_speedup_table,
+    table1,
+    table2,
+    table3,
+)
+
+
+def _bandwidth_text() -> str:
+    bw = bandwidth_gemv()
+    return "\n".join([
+        "Section 8: sustained GEMV bandwidth",
+        f"  h100-pcie : {bw['h100-pcie'] / 1e12:.2f} TB/s (paper 1.92)",
+        f"  mi250x-gcd: {bw['mi250x-gcd'] / 1e12:.2f} TB/s (paper 1.31)",
+        f"  ratio     : {bw['h100-pcie'] / bw['mi250x-gcd']:.2f}x "
+        f"(paper 1.47x)"])
+
+
+EXHIBITS = {
+    "fig1": lambda: "\n\n".join([
+        format_figure(fig1_gemm(), unit="ratio"),
+        format_figure(fig1_gemv(), unit="ratio")]),
+    "fig3": lambda: "\n\n".join(
+        format_figure(fig3(kl, ku)) for kl, ku in ((2, 3), (10, 7))),
+    "fig5": lambda: "\n\n".join(
+        format_figure(fig5(kl, ku)) for kl, ku in ((2, 3), (10, 7))),
+    "fig7": lambda: "\n\n".join(
+        format_figure(fig7(kl, ku)) for kl, ku in ((2, 3), (10, 7))),
+    "fig8": lambda: "\n\n".join(
+        format_figure(fig8(kl, ku)) for kl, ku in ((2, 3), (10, 7))),
+    "fig9": lambda: "\n\n".join(
+        format_figure(fig9(kl, ku)) for kl, ku in ((2, 3), (10, 7))),
+    "table1": lambda: format_speedup_table(
+        "Table 1: GBTRF speedup vs mkl+openmp", table1()),
+    "table2": lambda: format_speedup_table(
+        "Table 2: GBSV speedup, 1 RHS", table2()),
+    "table3": lambda: format_speedup_table(
+        "Table 3: GBSV speedup, 10 RHS", table3()),
+    "bandwidth": _bandwidth_text,
+    "ablations": lambda: "\n\n".join([
+        format_figure(ablation_window_launch()),
+        format_figure(ablation_gbsv_cutoff(), unit="ratio"),
+        format_figure(ablation_threads())]),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the figures and tables of the paper's "
+                    "evaluation (calibrated simulation model).")
+    parser.add_argument("exhibits", nargs="*",
+                        help=f"subset of: {', '.join(EXHIBITS)}; "
+                             "default all")
+    parser.add_argument("--list", action="store_true",
+                        help="list available exhibits and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print("\n".join(EXHIBITS))
+        return 0
+    selected = args.exhibits or list(EXHIBITS)
+    unknown = [name for name in selected if name not in EXHIBITS]
+    if unknown:
+        parser.error(f"unknown exhibit(s): {', '.join(unknown)}; "
+                     f"choose from {', '.join(EXHIBITS)}")
+    for i, name in enumerate(selected):
+        if i:
+            print("\n" + "=" * 78 + "\n")
+        print(EXHIBITS[name]())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

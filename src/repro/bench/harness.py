@@ -1,0 +1,111 @@
+"""Benchmark harness: modeled timings of the batched routines.
+
+The harness evaluates the *timing model* of every design at the paper's
+workload scale (batches of 1000 in double precision) without functionally
+executing all 1000 factorizations — the drivers run with ``execute=False``
+(kernel resource declarations and the occupancy/cost model are exercised;
+numerical correctness is covered separately by the test suite and by each
+benchmark's small functional sample).  Times are returned in seconds; the
+report layer converts to the paper's milliseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..band.layout import ldab_for_factor
+from ..core.gbsv import gbsv_batch
+from ..core.gbtrf import gbtrf_batch
+from ..core.gbtrs import gbtrs_batch
+from ..cpu.costmodel import XEON_6140, CpuSpec, cpu_gbsv_time, cpu_gbtrf_time, cpu_gbtrs_time
+from ..errors import SharedMemoryError
+from ..gpusim.device import DeviceSpec
+from ..gpusim.stream import Stream
+from ..types import Trans
+
+__all__ = [
+    "DEFAULT_BATCH", "shape_only_batch", "time_gbtrf", "time_gbtrs",
+    "time_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs", "time_cpu_gbsv",
+]
+
+# The paper's evaluation batch size.
+DEFAULT_BATCH = 1000
+
+
+def shape_only_batch(n: int, kl: int, ku: int, batch: int,
+                     dtype=np.float64, nrhs: int | None = None):
+    """Build a timing-only batch: one tiny real allocation shared by all.
+
+    With ``execute=False`` kernels only read shapes/dtypes and the batch
+    length, so a single matrix aliased ``batch`` times is enough to drive
+    the full timing model without allocating 1000 real matrices.
+    """
+    ab = np.zeros((ldab_for_factor(kl, ku), n), dtype=dtype)
+    mats = [ab] * batch
+    if nrhs is None:
+        return mats
+    b = np.zeros((n, max(nrhs, 1)), dtype=dtype)
+    return mats, [b] * batch
+
+
+def time_gbtrf(device: DeviceSpec, n: int, kl: int, ku: int, *,
+               batch: int = DEFAULT_BATCH, method: str = "auto",
+               nb: int | None = None, threads: int | None = None,
+               dtype=np.float64) -> float:
+    """Modeled seconds of one batched factorization; raises
+    :class:`~repro.errors.SharedMemoryError` when the design cannot launch
+    (the paper's fused kernel "failing to run" at large sizes)."""
+    mats = shape_only_batch(n, kl, ku, batch, dtype)
+    stream = Stream(device)
+    gbtrf_batch(n, n, kl, ku, mats, None, None, batch=batch, device=device,
+                stream=stream, method=method, nb=nb, threads=threads,
+                execute=False)
+    return stream.synchronize()
+
+
+def time_gbtrs(device: DeviceSpec, n: int, kl: int, ku: int, nrhs: int, *,
+               batch: int = DEFAULT_BATCH, method: str = "auto",
+               nb: int | None = None, threads: int | None = None,
+               dtype=np.float64) -> float:
+    """Modeled seconds of one batched triangular solve."""
+    mats, rhs = shape_only_batch(n, kl, ku, batch, dtype, nrhs=nrhs)
+    pivots = [np.zeros(n, dtype=np.int64)] * batch
+    stream = Stream(device)
+    gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivots, rhs,
+                batch=batch, device=device, stream=stream, method=method,
+                nb=nb, threads=threads, execute=False)
+    return stream.synchronize()
+
+
+def time_gbsv(device: DeviceSpec, n: int, kl: int, ku: int, nrhs: int, *,
+              batch: int = DEFAULT_BATCH, method: str = "auto",
+              dtype=np.float64) -> float:
+    """Modeled seconds of one batched factorize-and-solve."""
+    mats, rhs = shape_only_batch(n, kl, ku, batch, dtype, nrhs=nrhs)
+    stream = Stream(device)
+    gbsv_batch(n, kl, ku, nrhs, mats, None, rhs, batch=batch, device=device,
+               stream=stream, method=method, execute=False)
+    return stream.synchronize()
+
+
+def time_cpu_gbtrf(n: int, kl: int, ku: int, *,
+                   batch: int = DEFAULT_BATCH,
+                   spec: CpuSpec = XEON_6140) -> float:
+    """Modeled seconds of the CPU baseline's batched factorization."""
+    return cpu_gbtrf_time(spec, n, n, kl, ku, batch)
+
+
+def time_cpu_gbtrs(n: int, kl: int, ku: int, nrhs: int, *,
+                   batch: int = DEFAULT_BATCH,
+                   spec: CpuSpec = XEON_6140) -> float:
+    """Modeled seconds of the CPU baseline's batched solve."""
+    return cpu_gbtrs_time(spec, n, kl, ku, nrhs, batch)
+
+
+def time_cpu_gbsv(n: int, kl: int, ku: int, nrhs: int, *,
+                  batch: int = DEFAULT_BATCH,
+                  spec: CpuSpec = XEON_6140) -> float:
+    """Modeled seconds of the CPU baseline's batched factorize-and-solve."""
+    return cpu_gbsv_time(spec, n, kl, ku, nrhs, batch)

@@ -1,0 +1,121 @@
+"""Plain-text rendering of benchmark results (the paper's figures as tables).
+
+Every figure of the paper is a set of time-vs-size series; the report layer
+prints them as aligned columns in milliseconds plus, for the speedup tables,
+a paper-vs-measured comparison block.  Keeping this as text (no plotting
+dependency) makes the benchmark output diffable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import math
+
+__all__ = ["Series", "FigureResult", "SpeedupRow", "format_figure",
+           "format_speedup_table", "geomean"]
+
+
+def geomean(values) -> float:
+    """Geometric mean of the positive entries (NaN when none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Series:
+    """One curve of a figure: a label and a time per x-value (seconds)."""
+
+    label: str
+    times: list[float]
+
+    def ms(self, i: int) -> float:
+        return self.times[i] * 1e3
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: x-axis sizes and one or more series."""
+
+    title: str
+    xlabel: str
+    xs: list[int]
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, label: str, times) -> "FigureResult":
+        times = list(times)
+        if len(times) != len(self.xs):
+            raise ValueError(
+                f"series {label!r} has {len(times)} points, "
+                f"figure has {len(self.xs)} x-values")
+        self.series.append(Series(label, times))
+        return self
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+
+@dataclass
+class SpeedupRow:
+    """One row of a speedup summary table (paper Tables 1-3)."""
+
+    label: str
+    speedups: list[float]
+    paper_min: float | None = None
+    paper_max: float | None = None
+    paper_avg: float | None = None
+
+    @property
+    def min(self) -> float:
+        return min(self.speedups)
+
+    @property
+    def max(self) -> float:
+        return max(self.speedups)
+
+    @property
+    def avg(self) -> float:
+        return sum(self.speedups) / len(self.speedups)
+
+
+def format_figure(fig: FigureResult, *, unit: str = "ms") -> str:
+    """Render a figure as an aligned table.
+
+    ``unit`` of ``"ratio"`` prints the values unscaled (for speedup
+    figures like Figure 1)."""
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6, "ratio": 1.0}[unit]
+    width = max(12, max((len(s.label) for s in fig.series), default=12) + 2)
+    lines = [fig.title,
+             f"{fig.xlabel:>8} " + "".join(f"{s.label:>{width}}"
+                                           for s in fig.series)]
+    for i, x in enumerate(fig.xs):
+        row = f"{x:>8d} "
+        for s in fig.series:
+            t = s.times[i]
+            cell = "     failed" if (t != t or t == float("inf")) \
+                else f"{t * scale:.4f}"
+            row += f"{cell:>{width}}"
+        lines.append(row)
+    for note in fig.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def format_speedup_table(title: str, rows: list[SpeedupRow]) -> str:
+    """Render a Tables-1/2/3-style min/max/avg summary with paper values."""
+    header = (f"{'config':<24} {'min':>6} {'max':>6} {'avg':>6}"
+              f" | {'paper min':>9} {'paper max':>9} {'paper avg':>9}")
+    lines = [title, header, "-" * len(header)]
+    for r in rows:
+        paper = (f" | {r.paper_min:>9.2f} {r.paper_max:>9.2f} "
+                 f"{r.paper_avg:>9.2f}"
+                 if r.paper_min is not None else " |" + " " * 30)
+        lines.append(f"{r.label:<24} {r.min:>6.2f} {r.max:>6.2f} "
+                     f"{r.avg:>6.2f}{paper}")
+    return "\n".join(lines)

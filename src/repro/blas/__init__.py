@@ -1,0 +1,11 @@
+"""Mini-BLAS: the level-1/2/3 building blocks used by the band kernels."""
+
+from .level1 import asum, axpy, dot, iamax, nrm2, scal, swap
+from .level2 import gemv, ger, trsv
+from .level3 import gemm, gemm_batch, gemv_batch
+
+__all__ = [
+    "asum", "axpy", "dot", "iamax", "nrm2", "scal", "swap",
+    "gemv", "ger", "trsv",
+    "gemm", "gemm_batch", "gemv_batch",
+]

@@ -1,0 +1,66 @@
+"""Level-1 BLAS building blocks (IAMAX, SWAP, SCAL, AXPY, DOT).
+
+These are the memory-bound primitives the paper's reference GBTF2 design
+(Section 5.1) is built from.  They operate on numpy views, so the strided
+accesses of band storage (a matrix *row* strides across band columns) come
+for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["iamax", "swap", "scal", "axpy", "dot", "nrm2", "asum"]
+
+
+def iamax(x: np.ndarray) -> int:
+    """Index of the entry with the largest ``|real| + |imag|`` magnitude.
+
+    LAPACK's pivot search (``IDAMAX``/``IZAMAX``) uses the 1-norm of the
+    components for complex data, not the modulus; we match that so pivot
+    sequences agree with LAPACK exactly.  Ties resolve to the first
+    occurrence, also matching LAPACK.  Returns a 0-based index.
+    """
+    if x.size == 0:
+        return 0
+    if np.iscomplexobj(x):
+        mag = np.abs(x.real) + np.abs(x.imag)
+    else:
+        mag = np.abs(x)
+    return int(np.argmax(mag))
+
+
+def swap(x: np.ndarray, y: np.ndarray) -> None:
+    """Exchange the contents of two equal-length views, in place."""
+    tmp = x.copy()
+    x[...] = y
+    y[...] = tmp
+
+
+def scal(alpha, x: np.ndarray) -> None:
+    """``x *= alpha`` in place."""
+    x *= alpha
+
+
+def axpy(alpha, x: np.ndarray, y: np.ndarray) -> None:
+    """``y += alpha * x`` in place."""
+    y += alpha * x
+
+
+def dot(x: np.ndarray, y: np.ndarray, *, conj: bool = False):
+    """Inner product; ``conj=True`` conjugates ``x`` (``DOTC``)."""
+    if conj:
+        x = np.conj(x)
+    return np.sum(x * y)
+
+
+def nrm2(x: np.ndarray) -> float:
+    """Euclidean norm."""
+    return float(np.linalg.norm(x))
+
+
+def asum(x: np.ndarray) -> float:
+    """Sum of ``|real| + |imag|`` (BLAS ``ASUM`` semantics)."""
+    if np.iscomplexobj(x):
+        return float(np.sum(np.abs(x.real) + np.abs(x.imag)))
+    return float(np.sum(np.abs(x)))

@@ -1,0 +1,60 @@
+"""Level-3 BLAS building blocks (GEMM, batched GEMM/GEMV).
+
+The batched variants are the workloads of the paper's Figure 1 (dedicated
+batch kernels versus concurrent-stream execution) and are reused by the GPU
+simulator's GEMM/GEMV kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import check_arg
+from ..types import Trans
+
+__all__ = ["gemm", "gemm_batch", "gemv_batch"]
+
+
+def _op(trans: Trans | str, a: np.ndarray) -> np.ndarray:
+    trans = Trans.from_any(trans)
+    if trans is Trans.NO_TRANS:
+        return a
+    if trans is Trans.TRANS:
+        return np.swapaxes(a, -1, -2)
+    return np.conj(np.swapaxes(a, -1, -2))
+
+
+def gemm(transa: Trans | str, transb: Trans | str, alpha,
+         a: np.ndarray, b: np.ndarray, beta, c: np.ndarray) -> np.ndarray:
+    """``c = alpha * op(a) @ op(b) + beta * c`` in place; returns ``c``."""
+    oa, ob = _op(transa, a), _op(transb, b)
+    check_arg(oa.shape[1] == ob.shape[0], 5,
+              f"inner dimensions disagree: {oa.shape} @ {ob.shape}")
+    check_arg(c.shape == (oa.shape[0], ob.shape[1]), 7,
+              f"c has shape {c.shape}, expected {(oa.shape[0], ob.shape[1])}")
+    c *= beta
+    c += alpha * (oa @ ob)
+    return c
+
+
+def gemm_batch(transa: Trans | str, transb: Trans | str, alpha,
+               a: np.ndarray, b: np.ndarray, beta,
+               c: np.ndarray) -> np.ndarray:
+    """Uniform batched GEMM over leading batch axes; updates ``c`` in place."""
+    oa, ob = _op(transa, a), _op(transb, b)
+    check_arg(oa.shape[0] == ob.shape[0] == c.shape[0], 4,
+              f"batch sizes disagree: {oa.shape[0]}, {ob.shape[0]}, {c.shape[0]}")
+    c *= beta
+    c += alpha * np.matmul(oa, ob)
+    return c
+
+
+def gemv_batch(trans: Trans | str, alpha, a: np.ndarray, x: np.ndarray,
+               beta, y: np.ndarray) -> np.ndarray:
+    """Uniform batched GEMV: ``a`` is ``(batch, m, n)``, ``x``/``y`` stacked."""
+    oa = _op(trans, a)
+    check_arg(oa.shape[0] == x.shape[0] == y.shape[0], 3,
+              f"batch sizes disagree: {oa.shape[0]}, {x.shape[0]}, {y.shape[0]}")
+    y *= beta
+    y += alpha * np.einsum("bij,bj->bi", oa, x)
+    return y

@@ -1,0 +1,137 @@
+"""Canonicalisation and validation of batched call arguments.
+
+The paper's C interface (Section 4) takes arrays of device pointers plus an
+``info`` output array.  On the Python side we accept, for each batched
+operand, either
+
+* a 3-D numpy stack ``(batch, ldab, n)`` — the strided-batch idiom, or
+* a :class:`~repro.gpusim.memory.PointerArray` / sequence of 2-D arrays —
+  the true pointer-array idiom (each matrix anywhere in memory),
+
+and canonicalise to a list of per-problem views.  Validation mirrors
+LAPACK argument checking: the 1-based argument positions in raised
+:class:`~repro.errors.ArgumentError` match the paper's C signatures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..band.layout import ldab_for_factor
+from ..errors import ArgumentError, check_arg
+from ..gpusim.memory import PointerArray
+
+__all__ = [
+    "as_matrix_list",
+    "as_rhs_list",
+    "ensure_pivots",
+    "ensure_info",
+    "check_gb_args",
+]
+
+
+def as_matrix_list(a_array, batch: int, *, arg_pos: int) -> list[np.ndarray]:
+    """Canonicalise a batched band-matrix argument to a list of 2-D views."""
+    if isinstance(a_array, np.ndarray):
+        check_arg(a_array.ndim == 3, arg_pos,
+                  f"expected a (batch, ldab, n) stack, got ndim={a_array.ndim}")
+        check_arg(a_array.shape[0] == batch, arg_pos,
+                  f"stack has batch {a_array.shape[0]}, expected {batch}")
+        return list(a_array)
+    mats = list(a_array)
+    check_arg(len(mats) == batch, arg_pos,
+              f"pointer array has {len(mats)} entries, expected {batch}")
+    out = []
+    for k, m in enumerate(mats):
+        m = np.asarray(m)
+        check_arg(m.ndim == 2, arg_pos,
+                  f"matrix {k} has ndim={m.ndim}, expected 2")
+        out.append(m)
+    return out
+
+
+def as_rhs_list(b_array, batch: int, n: int, nrhs: int, *,
+                arg_pos: int) -> list[np.ndarray]:
+    """Canonicalise a batched RHS argument to a list of ``(n, nrhs)`` views.
+
+    1-D per-problem arrays are accepted for ``nrhs == 1`` and reshaped.
+    """
+    if isinstance(b_array, np.ndarray):
+        if b_array.ndim == 2 and nrhs == 1:
+            b_array = b_array[:, :, None]
+        check_arg(b_array.ndim == 3, arg_pos,
+                  f"expected a (batch, n, nrhs) stack, got ndim={b_array.ndim}")
+        check_arg(b_array.shape[0] == batch, arg_pos,
+                  f"stack has batch {b_array.shape[0]}, expected {batch}")
+        mats = list(b_array)
+    else:
+        mats = [np.asarray(b) for b in b_array]
+        check_arg(len(mats) == batch, arg_pos,
+                  f"pointer array has {len(mats)} entries, expected {batch}")
+    out = []
+    for k, b in enumerate(mats):
+        if b.ndim == 1 and nrhs == 1:
+            b = b[:, None]
+        check_arg(b.ndim == 2, arg_pos,
+                  f"RHS {k} has ndim={b.ndim}, expected 2")
+        check_arg(b.shape == (n, nrhs), arg_pos,
+                  f"RHS {k} has shape {b.shape}, expected {(n, nrhs)}")
+        out.append(b)
+    return out
+
+
+def ensure_pivots(pv_array, batch: int, mn: int, *,
+                  arg_pos: int) -> list[np.ndarray]:
+    """Canonicalise/allocate the per-problem pivot vectors."""
+    if pv_array is None:
+        return [np.zeros(mn, dtype=np.int64) for _ in range(batch)]
+    if isinstance(pv_array, np.ndarray):
+        check_arg(pv_array.ndim == 2 and pv_array.shape == (batch, mn), arg_pos,
+                  f"pivot stack has shape {pv_array.shape}, "
+                  f"expected {(batch, mn)}")
+        check_arg(np.issubdtype(pv_array.dtype, np.integer), arg_pos,
+                  f"pivot array must be integer, got {pv_array.dtype}")
+        return list(pv_array)
+    pivs = list(pv_array)
+    check_arg(len(pivs) == batch, arg_pos,
+              f"pivot pointer array has {len(pivs)} entries, expected {batch}")
+    for k, p in enumerate(pivs):
+        check_arg(p.shape == (mn,), arg_pos,
+                  f"pivot vector {k} has shape {p.shape}, expected {(mn,)}")
+        check_arg(np.issubdtype(p.dtype, np.integer), arg_pos,
+                  f"pivot vector {k} must be integer, got {p.dtype}")
+    return pivs
+
+
+def ensure_info(info, batch: int, *, arg_pos: int) -> np.ndarray:
+    """Canonicalise/allocate the per-problem ``info`` output array."""
+    if info is None:
+        return np.zeros(batch, dtype=np.int64)
+    info = np.asarray(info)
+    check_arg(info.shape == (batch,), arg_pos,
+              f"info has shape {info.shape}, expected {(batch,)}")
+    check_arg(np.issubdtype(info.dtype, np.integer), arg_pos,
+              f"info must be integer, got {info.dtype}")
+    return info
+
+
+def check_gb_args(m: int, n: int, kl: int, ku: int,
+                  mats: list[np.ndarray], *, batch: int,
+                  ldab_pos: int = 6) -> None:
+    """Validate dimensions against every matrix of the batch.
+
+    Positions follow the paper's ``dgbtrf_batch`` signature:
+    ``(m, n, kl, ku, A_array, ldab, ...)``.
+    """
+    check_arg(m >= 0, 1, f"m must be non-negative, got {m}")
+    check_arg(n >= 0, 2, f"n must be non-negative, got {n}")
+    check_arg(kl >= 0, 3, f"kl must be non-negative, got {kl}")
+    check_arg(ku >= 0, 4, f"ku must be non-negative, got {ku}")
+    check_arg(batch >= 0, 12, f"batch must be non-negative, got {batch}")
+    need = ldab_for_factor(kl, ku)
+    for k, a in enumerate(mats):
+        if a.shape[0] < need or a.shape[1] != n:
+            raise ArgumentError(
+                ldab_pos,
+                f"matrix {k} has shape {a.shape}; needs at least "
+                f"({need}, {n}) for kl={kl}, ku={ku}")

@@ -1,0 +1,232 @@
+"""Paper-faithful batched entry points (Section 4) and non-uniform batches.
+
+The three C declarations of the paper map to :func:`dgbtrf_batch`,
+:func:`dgbtrs_batch` and :func:`dgbsv_batch` (with ``s``/``c``/``z``
+precision variants generated from the same dtype-generic core)::
+
+    void dgbtrf_batch(int m, int n, int kl, int ku,
+        double** A_array, int lda, int** pv_array,
+        int* info, int batch, gpu_stream_t stream);
+
+    void dgbtrs_batch(transpose_t transA, int n, int kl, int ku, int nrhs,
+        double** A_array, int lda, int** pv_array,
+        double** B_array, int ldb, int* info, int batch,
+        gpu_stream_t stream);
+
+    void dgbsv_batch(int n, int kl, int ku, int nrhs,
+        double** A_array, int lda, int** pv_array,
+        double** B_array, int ldb, int* info, int batch,
+        gpu_stream_t stream);
+
+These wrappers are strict: the stream is mandatory (it identifies the
+device), ``lda``/``ldb`` are validated, and the dtype must match the
+precision prefix.  The keyword-style drivers in :mod:`repro.core.gbtrf`
+/ ``gbtrs`` / ``gbsv`` are the friendlier API underneath.
+
+``gbtrf_vbatch`` / ``gbsv_vbatch`` implement the paper's future-work
+extension (Section 9): non-uniform batches with per-problem sizes and/or
+bandwidths, executed by grouping identical configurations into uniform
+sub-batches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import check_arg
+from ..gpusim.stream import Stream
+from ..types import Trans
+from .gbtrf import gbtrf_batch
+from .gbtrs import gbtrs_batch
+from .gbsv import gbsv_batch
+
+__all__ = [
+    "sgbtrf_batch", "dgbtrf_batch", "cgbtrf_batch", "zgbtrf_batch",
+    "sgbtrs_batch", "dgbtrs_batch", "cgbtrs_batch", "zgbtrs_batch",
+    "sgbsv_batch", "dgbsv_batch", "cgbsv_batch", "zgbsv_batch",
+    "gbtrf_vbatch", "gbsv_vbatch",
+]
+
+
+def _require_stream(stream) -> Stream:
+    check_arg(isinstance(stream, Stream), 99,
+              "a Stream is required (the paper's gpu_stream_t argument)")
+    return stream
+
+
+def _check_dtype(arrays, dtype, pos):
+    for k, a in enumerate(arrays):
+        check_arg(np.asarray(a).dtype == np.dtype(dtype), pos,
+                  f"matrix {k} has dtype {np.asarray(a).dtype}, "
+                  f"expected {np.dtype(dtype).name}")
+
+
+def _check_ld(arrays, ld, pos, name):
+    check_arg(ld >= 1, pos, f"{name} must be >= 1, got {ld}")
+    for k, a in enumerate(arrays):
+        check_arg(np.asarray(a).shape[0] >= min(ld, np.asarray(a).shape[0]),
+                  pos, f"matrix {k} rows < {name}={ld}")
+
+
+def _make_gbtrf(prefix: str, dtype):
+    def fn(m, n, kl, ku, A_array, lda, pv_array, info, batch, stream):
+        stream = _require_stream(stream)
+        mats = list(A_array)
+        _check_dtype(mats, dtype, 5)
+        check_arg(lda >= 2 * kl + ku + 1, 6,
+                  f"lda={lda} < 2*kl+ku+1={2 * kl + ku + 1}")
+        return gbtrf_batch(m, n, kl, ku, mats, pv_array, info, batch=batch,
+                           device=stream.device, stream=stream)
+
+    fn.__name__ = f"{prefix}gbtrf_batch"
+    fn.__qualname__ = fn.__name__
+    fn.__doc__ = (
+        f"Batch band LU factorization in {np.dtype(dtype).name} "
+        "(paper Section 4 signature). Returns (pivots, info).")
+    return fn
+
+
+def _make_gbtrs(prefix: str, dtype):
+    def fn(transA, n, kl, ku, nrhs, A_array, lda, pv_array, B_array, ldb,
+           info, batch, stream):
+        stream = _require_stream(stream)
+        mats = list(A_array)
+        _check_dtype(mats, dtype, 6)
+        check_arg(lda >= 2 * kl + ku + 1, 7,
+                  f"lda={lda} < 2*kl+ku+1={2 * kl + ku + 1}")
+        check_arg(ldb >= max(1, n), 10, f"ldb={ldb} < n={n}")
+        return gbtrs_batch(Trans.from_any(transA), n, kl, ku, nrhs, mats,
+                           pv_array, B_array, info, batch=batch,
+                           device=stream.device, stream=stream)
+
+    fn.__name__ = f"{prefix}gbtrs_batch"
+    fn.__qualname__ = fn.__name__
+    fn.__doc__ = (
+        f"Batch band forward/backward solve in {np.dtype(dtype).name} "
+        "(paper Section 4 signature). Returns info.")
+    return fn
+
+
+def _make_gbsv(prefix: str, dtype):
+    def fn(n, kl, ku, nrhs, A_array, lda, pv_array, B_array, ldb, info,
+           batch, stream):
+        stream = _require_stream(stream)
+        mats = list(A_array)
+        _check_dtype(mats, dtype, 5)
+        check_arg(lda >= 2 * kl + ku + 1, 6,
+                  f"lda={lda} < 2*kl+ku+1={2 * kl + ku + 1}")
+        check_arg(ldb >= max(1, n), 9, f"ldb={ldb} < n={n}")
+        return gbsv_batch(n, kl, ku, nrhs, mats, pv_array, B_array, info,
+                          batch=batch, device=stream.device, stream=stream)
+
+    fn.__name__ = f"{prefix}gbsv_batch"
+    fn.__qualname__ = fn.__name__
+    fn.__doc__ = (
+        f"Batch band factorize-and-solve in {np.dtype(dtype).name} "
+        "(paper's top-level API). Returns (pivots, info).")
+    return fn
+
+
+sgbtrf_batch = _make_gbtrf("s", np.float32)
+dgbtrf_batch = _make_gbtrf("d", np.float64)
+cgbtrf_batch = _make_gbtrf("c", np.complex64)
+zgbtrf_batch = _make_gbtrf("z", np.complex128)
+
+sgbtrs_batch = _make_gbtrs("s", np.float32)
+dgbtrs_batch = _make_gbtrs("d", np.float64)
+cgbtrs_batch = _make_gbtrs("c", np.complex64)
+zgbtrs_batch = _make_gbtrs("z", np.complex128)
+
+sgbsv_batch = _make_gbsv("s", np.float32)
+dgbsv_batch = _make_gbsv("d", np.float64)
+cgbsv_batch = _make_gbsv("c", np.complex64)
+zgbsv_batch = _make_gbsv("z", np.complex128)
+
+
+# --- Non-uniform batches (paper Section 9, future work) --------------------
+
+def _group_indices(keys) -> dict:
+    groups: dict = defaultdict(list)
+    for idx, key in enumerate(keys):
+        groups[key].append(idx)
+    return groups
+
+
+def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
+                 device=None, stream=None, execute: bool = True):
+    """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
+
+    Problems with identical configuration are grouped into uniform
+    sub-batches, each dispatched through :func:`gbtrf_batch` (one kernel
+    per configuration — the natural GPU strategy for irregular batches).
+
+    Returns ``(pivots, info)`` ordered like the input problems.
+    """
+    from ..gpusim.device import H100_PCIE
+    device = device or (stream.device if stream is not None else H100_PCIE)
+    batch = len(a_array)
+    for name, seq, pos in (("ms", ms, 1), ("ns", ns, 2), ("kls", kls, 3),
+                           ("kus", kus, 4)):
+        check_arg(len(seq) == batch, pos,
+                  f"{name} has {len(seq)} entries, expected {batch}")
+    mats = [np.asarray(a) for a in a_array]
+    pivots: list = [None] * batch
+    if pv_array is not None:
+        pivots = list(pv_array)
+    else:
+        pivots = [np.zeros(min(ms[k], ns[k]), dtype=np.int64)
+                  for k in range(batch)]
+    if info is None:
+        info = np.zeros(batch, dtype=np.int64)
+    groups = _group_indices(
+        (int(ms[k]), int(ns[k]), int(kls[k]), int(kus[k]))
+        for k in range(batch))
+    for (m, n, kl, ku), idxs in groups.items():
+        sub_info = np.zeros(len(idxs), dtype=np.int64)
+        gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
+                    [pivots[i] for i in idxs], sub_info,
+                    batch=len(idxs), device=device, stream=stream,
+                    execute=execute)
+        for j, i in enumerate(idxs):
+            info[i] = sub_info[j]
+    return pivots, info
+
+
+def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
+                info=None, *, device=None, stream=None,
+                execute: bool = True):
+    """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
+
+    Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
+    solution unless that problem is singular.
+    """
+    from ..gpusim.device import H100_PCIE
+    device = device or (stream.device if stream is not None else H100_PCIE)
+    batch = len(a_array)
+    for name, seq, pos in (("ns", ns, 1), ("kls", kls, 2), ("kus", kus, 3),
+                           ("nrhss", nrhss, 4)):
+        check_arg(len(seq) == batch, pos,
+                  f"{name} has {len(seq)} entries, expected {batch}")
+    mats = [np.asarray(a) for a in a_array]
+    rhs = [np.asarray(b) for b in b_array]
+    rhs = [b[:, None] if b.ndim == 1 else b for b in rhs]
+    if pv_array is not None:
+        pivots = list(pv_array)
+    else:
+        pivots = [np.zeros(int(ns[k]), dtype=np.int64) for k in range(batch)]
+    if info is None:
+        info = np.zeros(batch, dtype=np.int64)
+    groups = _group_indices(
+        (int(ns[k]), int(kls[k]), int(kus[k]), int(nrhss[k]))
+        for k in range(batch))
+    for (n, kl, ku, nrhs), idxs in groups.items():
+        sub_info = np.zeros(len(idxs), dtype=np.int64)
+        gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
+                   [pivots[i] for i in idxs], [rhs[i] for i in idxs],
+                   sub_info, batch=len(idxs), device=device, stream=stream,
+                   execute=execute)
+        for j, i in enumerate(idxs):
+            info[i] = sub_info[j]
+    return pivots, info

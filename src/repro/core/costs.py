@@ -1,0 +1,209 @@
+"""Per-block resource-cost formulas for the band kernels.
+
+Each kernel class reports a :class:`~repro.gpusim.costmodel.BlockCost` built
+here.  The formulas count, per thread block (= one matrix of the batch):
+
+* shared-memory traffic — element accesses of the column loop (pivot
+  search, bounded row swap, scale, rank-1 update) plus, for windowed
+  kernels, the in-shared-memory shift of the window between iterations;
+* block-wide barriers — the dependent sub-steps of each column plus the
+  tree reduction of the pivot search and the per-iteration shift barriers;
+* arithmetic — the 2·kl·(kv+1) multiply-adds per column (worst-case pivot
+  reach), and
+* global traffic — each matrix is read once (the ``kl+ku+1`` data
+  diagonals), written once in full factor layout, plus pivots/info.
+
+They are *worst-case in the pivot reach* (``ju - j = kv``), deterministic,
+and shared between the functional kernels and the tuning sweep, so tuning
+decisions and benchmark timings always agree.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..band.layout import BandLayout
+from ..gpusim.costmodel import BlockCost
+
+__all__ = [
+    "gbtrf_column_cost",
+    "gbtrf_fused_cost",
+    "gbtrf_window_cost",
+    "gbtrs_forward_cost",
+    "gbtrs_backward_cost",
+    "gbsv_fused_cost",
+    "reference_column_cost",
+]
+
+
+def _log2ceil(x: int) -> int:
+    return max(1, math.ceil(math.log2(max(x, 2))))
+
+
+def _rounds(work: int, threads: int) -> int:
+    """Serialisation rounds when ``work`` parallel lanes share ``threads``.
+
+    A column step whose update touches more elements than there are threads
+    executes in multiple dependent rounds; this is what makes the
+    threads-per-matrix tuning parameter matter for wide bands, and why the
+    paper gives it "no upper limit".
+    """
+    return max(1, math.ceil(work / max(threads, 1)))
+
+
+def gbtrf_column_cost(kl: int, ku: int, threads: int,
+                      itemsize: int) -> BlockCost:
+    """Cost of one column iteration of the band LU (paper Section 5.1 loop)."""
+    kv = kl + ku
+    ncols = kv + 1                       # worst-case update width
+    accesses = (
+        (kl + 1)                         # pivot search reads
+        + 4 * ncols                      # bounded row swap (2 reads, 2 writes)
+        + 2 * kl                         # scale read+write
+        + 3 * kl * ncols                 # rank-1: read l, read/accumulate target
+        + ncols                          # read the U row
+    )
+    flops = 2 * kl * ncols + kl
+    # Dependent sub-steps per column: pivot-search reduction, swap, scale,
+    # then the rank-1 update in as many rounds as the thread count forces.
+    upd_rounds = _rounds(kl * ncols, threads)
+    syncs = 3 + _log2ceil(min(threads, kl + 1)) + upd_rounds
+    return BlockCost(
+        flops=flops,
+        smem_traffic=accesses * itemsize,
+        dram_traffic=0.0,
+        syncs=syncs,
+        threads=threads,
+    )
+
+
+def _gbtrf_dram(m: int, n: int, kl: int, ku: int, itemsize: int) -> float:
+    layout = BandLayout(m, n, kl, ku)
+    read = (kl + ku + 1) * n * itemsize          # input band diagonals
+    write = layout.ldab_factor * n * itemsize    # full factor layout out
+    pivots = 4 * min(m, n) + 4                   # ipiv + info
+    return read + write + pivots
+
+
+def gbtrf_fused_cost(m: int, n: int, kl: int, ku: int, threads: int,
+                     itemsize: int) -> BlockCost:
+    """Per-block cost of the fully fused factorization (Section 5.2)."""
+    mn = min(m, n)
+    col = gbtrf_column_cost(kl, ku, threads, itemsize).scaled(mn)
+    return BlockCost(
+        flops=col.flops,
+        smem_traffic=col.smem_traffic,
+        dram_traffic=_gbtrf_dram(m, n, kl, ku, itemsize),
+        syncs=col.syncs,
+        threads=threads,
+    )
+
+
+def gbtrf_window_cost(m: int, n: int, kl: int, ku: int, nb: int,
+                      threads: int, itemsize: int) -> BlockCost:
+    """Per-block cost of the sliding-window factorization (Section 5.3).
+
+    Adds the in-shared-memory shift of the ``(kv + 1)`` trailing window
+    columns after each ``nb``-column factor step — the "extra
+    synchronization steps" the paper cites as the fused kernel's advantage
+    at very small sizes.
+    """
+    mn = min(m, n)
+    layout = BandLayout(m, n, kl, ku)
+    base = gbtrf_fused_cost(m, n, kl, ku, threads, itemsize)
+    iters = math.ceil(mn / nb)
+    shift_elems = layout.window_rows() * (layout.window_cols(nb) - nb)
+    shift_traffic = iters * 2 * shift_elems * itemsize
+    return BlockCost(
+        flops=base.flops,
+        smem_traffic=base.smem_traffic + shift_traffic,
+        dram_traffic=base.dram_traffic,
+        syncs=base.syncs + iters * 3,
+        threads=threads,
+    )
+
+
+def reference_column_cost(kl: int, ku: int, threads: int,
+                          itemsize: int) -> tuple[BlockCost, BlockCost]:
+    """Per-block costs of the two per-column kernels of the reference design.
+
+    Returns ``(pivot+swap+scale kernel, rank-1 update kernel)``.  The
+    reference design (Section 5.1) runs the column loop on the host and
+    launches these at every iteration, which is why its performance is
+    dominated by launch overhead.
+    """
+    kv = kl + ku
+    ncols = kv + 1
+    pivot_cost = BlockCost(
+        flops=kl,
+        smem_traffic=0.0,
+        dram_traffic=((kl + 1) + 4 * ncols + 2 * kl) * itemsize,
+        syncs=1 + _log2ceil(min(threads, kl + 1)),
+        threads=threads,
+    )
+    update_cost = BlockCost(
+        flops=2 * kl * ncols,
+        smem_traffic=0.0,
+        dram_traffic=(3 * kl * ncols + ncols) * itemsize,
+        syncs=1,
+        threads=threads,
+    )
+    return pivot_cost, update_cost
+
+
+def gbtrs_forward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
+                       threads: int, itemsize: int) -> BlockCost:
+    """Per-block cost of the blocked forward solve (Section 6, Figure 6)."""
+    per_col = (4 + 3 * kl) * nrhs        # swap + rank-1 on the RHS window
+    iters = math.ceil(n / max(nb, 1))
+    shift = iters * 2 * kl * nrhs        # shift the kl overlap rows up
+    dram = (kl * n + 2 * n * nrhs) * itemsize + 4 * n
+    rounds = _rounds(kl * nrhs, threads)
+    return BlockCost(
+        flops=2 * kl * nrhs * n,
+        smem_traffic=(per_col * n + shift) * itemsize,
+        dram_traffic=dram,
+        syncs=(1 + rounds) * n + 2 * iters,
+        threads=threads,
+    )
+
+
+def gbtrs_backward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
+                        threads: int, itemsize: int) -> BlockCost:
+    """Per-block cost of the blocked backward solve (Section 6, Figure 6)."""
+    kv = kl + ku
+    per_col = (2 + 3 * kv) * nrhs
+    iters = math.ceil(n / max(nb, 1))
+    shift = iters * 2 * kv * nrhs        # shift the kv overlap rows down
+    dram = ((kv + 1) * n + 2 * n * nrhs) * itemsize
+    rounds = _rounds(kv * nrhs, threads)
+    return BlockCost(
+        flops=(2 * kv + 1) * nrhs * n,
+        smem_traffic=(per_col * n + shift) * itemsize,
+        dram_traffic=dram,
+        syncs=(1 + rounds) * n + 2 * iters,
+        threads=threads,
+    )
+
+
+def gbsv_fused_cost(n: int, kl: int, ku: int, nrhs: int, threads: int,
+                    itemsize: int) -> BlockCost:
+    """Per-block cost of the fused factorize-and-solve kernel (Section 7).
+
+    The factorization of the augmented ``[A|B]`` adds the RHS swap/update to
+    every column, and the in-shared-memory backward solve adds ``kv``-wide
+    updates per column; global traffic covers one read and one write of both
+    the matrix and the RHS.
+    """
+    kv = kl + ku
+    fact = gbtrf_fused_cost(n, n, kl, ku, threads, itemsize)
+    rhs_fwd = n * (4 + 3 * kl) * nrhs * itemsize
+    rhs_bwd = n * (2 + 3 * kv) * nrhs * itemsize
+    dram = fact.dram_traffic + 2 * n * nrhs * itemsize
+    return BlockCost(
+        flops=fact.flops + n * nrhs * (2 * kl + 2 * kv + 1),
+        smem_traffic=fact.smem_traffic + rhs_fwd + rhs_bwd,
+        dram_traffic=dram,
+        syncs=fact.syncs + 2 * n,
+        threads=threads,
+    )

@@ -1,0 +1,119 @@
+"""Batched band factorize-and-solve driver (paper Sections 4, 7).
+
+LAPACK defines ``GBSV`` as a driver calling ``GBTRF`` then ``GBTRS``.  Our
+``gbsv_batch`` follows that, except that small systems (order
+``<= FUSED_GBSV_CUTOFF`` with a single right-hand side — the paper's
+empirical crossover) are handled by the fused single-kernel
+factorize-and-solve of :mod:`repro.core.gbsv_fused`.
+
+LAPACK semantics on singularity: the factorization always completes and is
+written back with the pivots; the solve is skipped for any problem whose
+``info > 0``, leaving that problem's ``B`` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import check_arg
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..gpusim.kernel import launch
+from ..tuning.defaults import FUSED_GBSV_CUTOFF
+from ..types import Trans
+from .batch_args import (
+    as_matrix_list,
+    as_rhs_list,
+    check_gb_args,
+    ensure_info,
+    ensure_pivots,
+)
+from .gbsv_fused import FusedGbsvKernel
+from .gbtf2 import gbtf2
+from .gbtrf import gbtrf_batch
+from .gbtrs import gbtrs_batch
+from .solve_blocks import gbtrs_unblocked
+
+__all__ = ["gbsv", "gbsv_batch", "select_gbsv_method"]
+
+_METHODS = ("auto", "fused", "standard")
+
+
+def gbsv(n: int, kl: int, ku: int, ab: np.ndarray, b: np.ndarray,
+         ipiv: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray, int]:
+    """Single-matrix band solve ``A x = b`` (LAPACK ``DGBSV`` equivalent).
+
+    ``ab`` (factor layout) is overwritten with the factors and ``b`` with
+    the solution (unless singular).  Returns ``(b, ipiv, info)``.
+    """
+    ipiv, info = gbtf2(n, n, kl, ku, ab, ipiv)
+    if info == 0:
+        b2 = b[:, None] if b.ndim == 1 else b
+        gbtrs_unblocked(Trans.NO_TRANS, n, kl, ku, ab, ipiv, b2)
+    return b, ipiv, info
+
+
+def select_gbsv_method(device: DeviceSpec, n: int, kl: int, ku: int,
+                       nrhs: int, itemsize: int = 8) -> str:
+    """Dispatcher choice: fused for small single-RHS systems (Section 7)."""
+    if n <= FUSED_GBSV_CUTOFF and nrhs == 1:
+        from ..band.layout import BandLayout
+        elems = BandLayout(n, n, kl, ku).fused_elems() + n * nrhs
+        if device.round_smem(elems * itemsize) <= device.max_smem_per_block:
+            return "fused"
+    return "standard"
+
+
+def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
+               b_array, info=None, *, batch: int | None = None,
+               device: DeviceSpec = H100_PCIE, stream=None,
+               method: str = "auto", execute: bool = True,
+               max_blocks: int | None = None):
+    """Factor and solve a uniform batch of band systems (paper's top API).
+
+    Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
+    ``b_array`` with solutions (per-problem, skipped when singular).
+    """
+    check_arg(method in _METHODS, 12,
+              f"method must be one of {_METHODS}, got {method!r}")
+    check_arg(nrhs >= 0, 4, f"nrhs must be non-negative, got {nrhs}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(n, n, kl, ku, mats, batch=batch)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=7)
+    info = ensure_info(info, batch, arg_pos=8)
+    info[...] = 0
+    if batch == 0 or n == 0:
+        return pivots, info
+
+    if method == "auto":
+        method = select_gbsv_method(device, n, kl, ku, nrhs,
+                                    mats[0].dtype.itemsize)
+
+    if method == "fused" and nrhs >= 1:
+        kernel = FusedGbsvKernel(n, kl, ku, nrhs, mats, pivots, rhs, info)
+        launch(device, kernel, stream=stream, execute=execute,
+               max_blocks=max_blocks)
+        return pivots, info
+
+    gbtrf_batch(n, n, kl, ku, mats, pivots, info, batch=batch,
+                device=device, stream=stream, execute=execute,
+                max_blocks=max_blocks)
+    if nrhs == 0:
+        return pivots, info
+    ok = [k for k in range(batch) if info[k] == 0]
+    if len(ok) == batch:
+        gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivots, rhs,
+                    batch=batch, device=device, stream=stream,
+                    execute=execute, max_blocks=max_blocks)
+    elif ok:
+        # Solve only the non-singular problems (LAPACK leaves B of a
+        # singular problem unchanged).
+        sub_mats = [mats[k] for k in ok]
+        sub_piv = [pivots[k] for k in ok]
+        sub_rhs = [rhs[k] for k in ok]
+        gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, sub_mats, sub_piv,
+                    sub_rhs, batch=len(ok), device=device, stream=stream,
+                    execute=execute, max_blocks=max_blocks)
+    return pivots, info

@@ -1,0 +1,197 @@
+"""Column-wise band LU building blocks (paper Section 5.1).
+
+These are the memory-bound primitives of the reference design's pseudocode::
+
+    kv = kl + ku;  ju = 0;
+    for(j = 0; j < min(m, n); j++) {
+        km    = 1 + min( kl, m-j-1 );
+        pivot = IAMAX( km, A(kv, j) );
+        ju    = GET_UPDATE_BOUND(kl, ku, j, pivot, ju);
+        SET_FILLIN(m, n, kl, ku, A, j, ju);
+        SWAP(m, n, kl, ku, A(kv, j), j, ju, pivot);   // right only
+        SCAL( km-1, A(kv+1, j), 1/A(kv, j) );
+        RANK_ONE_UPDATE(m, n, kl, ku, A(kv, j), ju );
+    }
+
+Every block takes the band array together with a *column offset*, so the
+same code runs on the full matrix in global memory (reference design), on a
+whole-matrix shared-memory tile (fused design, Section 5.2), or on a sliding
+window holding only columns ``[c0, c0 + nb + kv + 1)`` (Section 5.3).
+
+The band array is factor layout: dense entry ``(r, c)`` lives at
+``ab[kv + r - c, c - col0]``.  All indices 0-based.  The resulting factors
+and pivot sequence match LAPACK's ``DGBTF2`` bit-for-bit (ties in the pivot
+search resolve to the first maximal entry, as in ``IDAMAX``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..blas.level1 import iamax
+
+__all__ = [
+    "pivot_search",
+    "update_bound",
+    "init_fillin",
+    "set_fillin",
+    "swap_right",
+    "scale_column",
+    "rank_one_update",
+    "gbtf2",
+]
+
+
+def init_fillin(ab: np.ndarray, n: int, kl: int, ku: int,
+                *, col0: int = 0, ncols: int | None = None) -> None:
+    """Zero the fill-in rows of the *initial* columns ``ku+1 .. kv-1``.
+
+    Columns ``>= kv`` have their fill-in cleared lazily by
+    :func:`set_fillin` as the factorization reaches them, but the early
+    columns can be read by rank-1 updates before any ``set_fillin`` touches
+    them, so LAPACK's ``DGBTF2`` clears them up front.  When operating on a
+    window (``col0 > 0`` or limited ``ncols``) only the in-window part is
+    cleared.
+    """
+    kv = kl + ku
+    hi = min(kv, n)
+    if ncols is not None:
+        hi = min(hi, col0 + ncols)
+    for c in range(max(ku + 1, col0), hi):
+        ab[kv - c:kl, c - col0] = 0
+
+
+def pivot_search(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
+                 *, col0: int = 0) -> int:
+    """IAMAX over column ``j``'s diagonal + sub-diagonal entries.
+
+    Returns the pivot offset ``jp`` in ``[0, km]`` where ``km = min(kl,
+    m-j-1)``; the pivot row in dense coordinates is ``j + jp``.
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    return iamax(ab[kv:kv + km + 1, j - col0])
+
+
+def update_bound(n: int, kl: int, ku: int, j: int, jp: int, ju: int) -> int:
+    """GET_UPDATE_BOUND: extend the last-affected-column bound ``ju``.
+
+    With the pivot ``jp`` rows below the diagonal, row ``j + jp`` of ``U``
+    reaches out to column ``j + ku + jp``, so
+    ``ju = max(ju, min(j + ku + jp, n - 1))`` (paper Section 5.3).
+    """
+    return max(ju, min(j + ku + jp, n - 1))
+
+
+def set_fillin(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+               *, col0: int = 0) -> None:
+    """SET_FILLIN: zero-initialise the fill-in rows of column ``j + kv``.
+
+    Column ``j + kv`` enters the active part of the factorization at step
+    ``j``; its top ``kl`` storage rows (the ``+`` entries of Figure 2) must
+    be cleared before any update may scatter fill-in into them.
+    """
+    kv = kl + ku
+    c = j + kv
+    if c < n and kl > 0:
+        ab[0:kl, c - col0] = 0
+
+
+def swap_right(ab: np.ndarray, kl: int, ku: int, j: int, jp: int, ju: int,
+               *, col0: int = 0) -> None:
+    """SWAP: exchange dense rows ``j`` and ``j + jp`` over columns ``[j, ju]``.
+
+    Unlike a fully dense factorization, the swap only touches the trailing
+    submatrix ("swap to the right only") because ``L`` is kept in unswapped
+    form within its ``kl`` storage rows.
+    """
+    if jp == 0:
+        return
+    kv = kl + ku
+    cols = np.arange(j, ju + 1)
+    r1 = kv + j - cols          # band rows of dense row j
+    r2 = r1 + jp                # band rows of dense row j + jp
+    c = cols - col0
+    tmp = ab[r1, c].copy()
+    ab[r1, c] = ab[r2, c]
+    ab[r2, c] = tmp
+
+
+def scale_column(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
+                 *, col0: int = 0) -> None:
+    """SCAL: divide the sub-diagonal of column ``j`` by the pivot.
+
+    Must run *after* :func:`swap_right` so the pivot sits on the diagonal.
+    The caller guarantees the pivot is nonzero (a zero pivot skips both the
+    scale and the update, per LAPACK).
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    if km > 0:
+        jj = j - col0
+        ab[kv + 1:kv + km + 1, jj] *= 1.0 / ab[kv, jj]
+
+
+def rank_one_update(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
+                    ju: int, *, col0: int = 0) -> None:
+    """RANK_ONE_UPDATE: ``A[j+1:j+km+1, j+1:ju+1] -= l_j * u_j`` in band form.
+
+    Only the columns up to ``ju`` are touched — the band factorization's
+    update window, which is what makes the sliding-window design possible.
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    if km <= 0 or ju <= j:
+        return
+    cols = np.arange(j + 1, ju + 1)
+    c = cols - col0
+    u = ab[kv + j - cols, c]                      # row j of U, columns j+1..ju
+    l = ab[kv + 1:kv + km + 1, j - col0]          # multipliers of column j
+    rows = np.arange(j + 1, j + km + 1)
+    band_rows = kv + rows[:, None] - cols[None, :]
+    ab[band_rows, c[None, :]] -= np.outer(l, u)
+
+
+def gbtf2(m: int, n: int, kl: int, ku: int, ab: np.ndarray,
+          ipiv: np.ndarray | None = None) -> tuple[np.ndarray, int]:
+    """Unblocked band LU with partial pivoting on one matrix, in place.
+
+    Parameters
+    ----------
+    ab:
+        ``(ldab, n)`` band array in factor layout (``ldab >= 2*kl+ku+1``);
+        overwritten with ``L`` (multipliers, unswapped, in the ``kl``
+        sub-diagonal rows) and ``U`` (bandwidth ``kl+ku``).
+    ipiv:
+        Optional output pivot vector of length ``min(m, n)``; 0-based
+        absolute row indices (``ipiv[j] == j`` means no swap at step ``j``).
+
+    Returns
+    -------
+    (ipiv, info):
+        ``info`` follows LAPACK: 0 on success, ``j+1`` (1-based) if
+        ``U(j, j)`` is exactly zero.  The factorization still completes.
+    """
+    mn = min(m, n)
+    if ipiv is None:
+        ipiv = np.zeros(mn, dtype=np.int64)
+    kv = kl + ku
+    info = 0
+
+    # Columns kv..n-1 have their fill-in rows cleared lazily by set_fillin
+    # as the loop reaches them; the early columns ku+1..kv-1 must be cleared
+    # up front because updates read them before any set_fillin would.
+    init_fillin(ab, n, kl, ku)
+    ju = -1
+    for j in range(mn):
+        set_fillin(ab, n, kl, ku, j)
+        jp = pivot_search(ab, m, kl, ku, j)
+        ipiv[j] = j + jp
+        if ab[kv + jp, j] != 0:
+            ju = update_bound(n, kl, ku, j, jp, ju)
+            swap_right(ab, kl, ku, j, jp, ju)
+            scale_column(ab, m, kl, ku, j)
+            rank_one_update(ab, m, kl, ku, j, ju)
+        elif info == 0:
+            info = j + 1
+    return ipiv, info

@@ -1,0 +1,133 @@
+"""Batched band LU factorization driver (paper Sections 4 and 5.4).
+
+``gbtrf_batch`` puts the three factorization designs behind one interface:
+
+* *fused* — whole matrix in shared memory; chosen for very small matrices
+  (order ``<= FUSED_CUTOFF``) where it avoids the window-shift
+  synchronisation overhead;
+* *window* — sliding window; the workhorse covering "a very wide range of
+  band sizes regardless of the matrix size";
+* *reference* — fork-join per-column kernels; kept as the safeguard when a
+  single window would not even fit in shared memory.
+
+The single-matrix :func:`gbtrf` convenience wrapper applies the same
+algorithm on the host (it is LAPACK ``DGBTRF``-equivalent).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SharedMemoryError, check_arg
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..gpusim.kernel import launch
+from ..tuning.defaults import FUSED_CUTOFF, window_params
+from .batch_args import as_matrix_list, check_gb_args, ensure_info, ensure_pivots
+from .gbtf2 import gbtf2
+from .gbtrf_fused import FusedGbtrfKernel
+from .gbtrf_reference import gbtrf_reference_batch
+from .gbtrf_window import SlidingWindowGbtrfKernel
+
+__all__ = ["gbtrf", "gbtrf_batch", "select_gbtrf_method"]
+
+_METHODS = ("auto", "fused", "window", "reference")
+
+
+def gbtrf(m: int, n: int, kl: int, ku: int, ab: np.ndarray,
+          ipiv: np.ndarray | None = None) -> tuple[np.ndarray, int]:
+    """Single-matrix band LU with partial pivoting, in place on ``ab``.
+
+    Equivalent to LAPACK ``DGBTRF`` (identical factors, pivots and info).
+    Returns ``(ipiv, info)``; pivots are 0-based absolute row indices.
+    """
+    check_gb_args(m, n, kl, ku, [np.asarray(ab)], batch=1, ldab_pos=6)
+    return gbtf2(m, n, kl, ku, ab, ipiv)
+
+
+def select_gbtrf_method(device: DeviceSpec, m: int, n: int, kl: int,
+                        ku: int, itemsize: int = 8) -> str:
+    """The dispatcher's choice for a configuration (paper Section 5.4)."""
+    from ..band.layout import BandLayout
+    layout = BandLayout(m, n, kl, ku)
+    fused_smem = device.round_smem(layout.fused_elems() * itemsize)
+    if max(m, n) <= FUSED_CUTOFF and fused_smem <= device.max_smem_per_block:
+        return "fused"
+    nb, _ = window_params(device, kl, ku)
+    window_smem = device.round_smem(layout.window_elems(nb) * itemsize)
+    if window_smem <= device.max_smem_per_block:
+        return "window"
+    return "reference"
+
+
+def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
+                pv_array=None, info=None, *, batch: int | None = None,
+                device: DeviceSpec = H100_PCIE, stream=None,
+                method: str = "auto", nb: int | None = None,
+                threads: int | None = None, execute: bool = True,
+                max_blocks: int | None = None):
+    """LU-factorize a uniform batch of band matrices on the simulated GPU.
+
+    Parameters
+    ----------
+    a_array:
+        ``(batch, ldab, n)`` stack or pointer array of ``(ldab, n)``
+        matrices in factor layout (``ldab >= 2*kl + ku + 1``); overwritten
+        with the factors.
+    pv_array:
+        Optional ``(batch, min(m, n))`` integer stack (or pointer array) to
+        receive 0-based pivot rows; allocated when ``None``.
+    info:
+        Optional ``(batch,)`` integer array for per-problem status codes;
+        allocated when ``None``.
+    device, stream:
+        Simulated device and execution stream (the paper's mandatory
+        ``gpu_stream_t`` argument).
+    method:
+        ``'auto'`` (dispatcher), ``'fused'``, ``'window'`` or
+        ``'reference'``.
+    nb, threads:
+        Sliding-window tuning overrides; defaults come from the tuning
+        tables / heuristics.
+    execute, max_blocks:
+        Passed to the launcher: ``execute=False`` evaluates only the timing
+        model; ``max_blocks`` functionally executes a sample of the batch.
+
+    Returns
+    -------
+    (pivots, info):
+        List of per-problem pivot vectors and the info array.
+    """
+    check_arg(method in _METHODS, 14,
+              f"method must be one of {_METHODS}, got {method!r}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(m, n, kl, ku, mats, batch=batch)
+    mn = min(m, n)
+    pivots = ensure_pivots(pv_array, batch, mn, arg_pos=7)
+    info = ensure_info(info, batch, arg_pos=8)
+    info[...] = 0
+    if batch == 0 or mn == 0:
+        return pivots, info
+
+    if method == "auto":
+        method = select_gbtrf_method(device, m, n, kl, ku,
+                                     mats[0].dtype.itemsize)
+
+    if method == "fused":
+        kernel = FusedGbtrfKernel(m, n, kl, ku, mats, pivots, info,
+                                  threads=threads)
+        launch(device, kernel, stream=stream, execute=execute,
+               max_blocks=max_blocks)
+    elif method == "window":
+        nb_d, th_d = window_params(device, kl, ku)
+        kernel = SlidingWindowGbtrfKernel(
+            m, n, kl, ku, mats, pivots, info,
+            nb=nb_d if nb is None else nb,
+            threads=th_d if threads is None else threads)
+        launch(device, kernel, stream=stream, execute=execute,
+               max_blocks=max_blocks)
+    else:
+        gbtrf_reference_batch(m, n, kl, ku, mats, pivots, info, device,
+                              stream, execute=execute, max_blocks=max_blocks)
+    return pivots, info

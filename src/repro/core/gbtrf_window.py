@@ -1,0 +1,150 @@
+"""Sliding-window band LU factorization kernel (paper Section 5.3).
+
+The key observation: during the factorization of column ``j`` the last
+column that can be touched is ``ju = max(ju, min(j + ku + jp, n-1))``,
+bounded by ``j + kv`` (worst case ``jp = kl``).  So a window of
+``nb + kv + 1`` columns — ``nb`` "factor window" columns plus the widest
+possible "update window" — is all that ever needs to live in shared
+memory.  The window shifts through the matrix *inside one kernel* (the
+paper found this faster than one kernel per block-column, which it keeps as
+an ablation; see :mod:`repro.bench.figures`), giving a shared-memory
+footprint that is constant in the matrix size:
+
+    ``(kv + nb + 1) x (kv + kl + 1)`` elements.
+
+Tuning parameters: the block size ``nb`` and the threads per matrix
+(minimum ``kl + 1``); see :mod:`repro.tuning`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..band.layout import BandLayout
+from ..gpusim.costmodel import BlockCost
+from ..gpusim.kernel import Kernel, SharedMemory
+from .costs import gbtrf_window_cost
+from .gbtf2 import (
+    init_fillin,
+    pivot_search,
+    rank_one_update,
+    scale_column,
+    set_fillin,
+    swap_right,
+    update_bound,
+)
+
+__all__ = ["SlidingWindowGbtrfKernel", "window_factor_steps",
+           "sliding_window_factor"]
+
+
+def window_factor_steps(mn: int, nb: int) -> int:
+    """Number of window iterations: ``ceil(min(m, n) / nb)``."""
+    return -(-mn // nb) if mn > 0 else 0
+
+
+def sliding_window_factor(ab: np.ndarray, piv: np.ndarray, m: int, n: int,
+                          kl: int, ku: int, nb: int,
+                          smem: SharedMemory) -> int:
+    """One thread block's sliding-window factorization (the kernel body).
+
+    Factorizes ``ab`` (factor layout) in place through a shared-memory
+    window allocated from ``smem``; returns the LAPACK ``info`` code.
+    Shared between the uniform kernel and the non-uniform (vbatch) kernel,
+    which calls it with per-problem dimensions.
+    """
+    kv = kl + ku
+    mn = min(m, n)
+    layout = BandLayout(m, n, kl, ku)
+    ldab = layout.ldab_factor
+    wcols = layout.window_cols(nb)
+
+    win = smem.alloc((ldab, wcols), dtype=ab.dtype)
+    # Initial load: the first wcols columns (zero-padded past n), with
+    # the up-front fill-in clearing of columns ku+1..kv-1 that the full
+    # factorization would do (LAPACK DGBTF2's preamble).
+    loaded = min(wcols, n)
+    win[:, :loaded] = ab[:ldab, :loaded]
+    init_fillin(win, n, kl, ku, ncols=loaded)
+
+    c0 = 0          # global column of the window's first cached column
+    ju = -1
+    info = 0
+    j = 0
+    while j < mn:
+        jend = min(j + nb, mn)
+        for jj in range(j, jend):
+            set_fillin(win, n, kl, ku, jj, col0=c0)
+            jp = pivot_search(win, m, kl, ku, jj, col0=c0)
+            piv[jj] = jj + jp
+            if win[kv + jp, jj - c0] != 0:
+                ju = update_bound(n, kl, ku, jj, jp, ju)
+                swap_right(win, kl, ku, jj, jp, ju, col0=c0)
+                scale_column(win, m, kl, ku, jj, col0=c0)
+                rank_one_update(win, m, kl, ku, jj, ju, col0=c0)
+            elif info == 0:
+                info = jj + 1
+        # Write the freshly factored columns back to global memory.
+        ab[:ldab, j:jend] = win[:, j - c0:jend - c0]
+        if jend >= mn:
+            # Trailing columns beyond min(m, n) (only when m < n) hold
+            # live updates and must be flushed too.
+            tail_hi = min(c0 + wcols, n)
+            if tail_hi > jend:
+                ab[:ldab, jend:tail_hi] = win[:, jend - c0:tail_hi - c0]
+            break
+        # Shift the window left by the columns just retired and stream
+        # in the next ones.
+        shift = jend - c0
+        keep = wcols - shift
+        win[:, :keep] = win[:, shift:].copy()
+        win[:, keep:] = 0
+        lo = c0 + wcols
+        hi = min(lo + shift, n)
+        if hi > lo:
+            win[:, keep:keep + (hi - lo)] = ab[:ldab, lo:hi]
+        c0 = jend
+        j = jend
+    return info
+
+
+class SlidingWindowGbtrfKernel(Kernel):
+    """Batched band LU with a sliding shared-memory window."""
+
+    name = "gbtrf_window"
+
+    def __init__(self, m: int, n: int, kl: int, ku: int,
+                 mats: list[np.ndarray], pivots: list[np.ndarray],
+                 info: np.ndarray, *, nb: int, threads: int):
+        if nb < 1:
+            raise ValueError(f"window block size nb must be >= 1, got {nb}")
+        if threads < kl + 1:
+            raise ValueError(
+                f"sliding-window gbtrf needs at least kl+1={kl + 1} threads, "
+                f"got {threads}")
+        self.m, self.n, self.kl, self.ku = m, n, kl, ku
+        self.layout = BandLayout(m, n, kl, ku)
+        self.mats = mats
+        self.pivots = pivots
+        self.info = info
+        self.nb = nb
+        self.nthreads = threads
+        self.itemsize = mats[0].dtype.itemsize if mats else 8
+
+    def grid(self) -> int:
+        return len(self.mats)
+
+    def threads(self) -> int:
+        return self.nthreads
+
+    def smem_bytes(self) -> int:
+        return self.layout.window_elems(self.nb) * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        return gbtrf_window_cost(self.m, self.n, self.kl, self.ku, self.nb,
+                                 self.nthreads, self.itemsize)
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        self.info[block_id] = sliding_window_factor(
+            self.mats[block_id], self.pivots[block_id],
+            self.m, self.n, self.kl, self.ku, self.nb, smem)

@@ -1,0 +1,111 @@
+"""Batched band triangular solve driver (paper Sections 4 and 6).
+
+``gbtrs_batch`` mirrors the paper's ``dgbtrs_batch`` signature: it consumes
+the factors and pivots produced by :func:`repro.core.gbtrf.gbtrf_batch` and
+solves for ``nrhs`` right-hand sides per problem, dispatching between the
+blocked sliding-window kernels (default) and the reference per-column
+design.  The single-matrix :func:`gbtrs` wrapper is LAPACK
+``DGBTRS``-equivalent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import check_arg
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..gpusim.kernel import launch
+from ..types import Trans
+from .batch_args import (
+    as_matrix_list,
+    as_rhs_list,
+    check_gb_args,
+    ensure_info,
+    ensure_pivots,
+)
+from .gbtrs_blocked import (
+    BlockedBackwardKernel,
+    BlockedForwardKernel,
+    BlockedTransLKernel,
+    BlockedTransUKernel,
+)
+from .gbtrs_reference import gbtrs_reference_batch
+from .solve_blocks import gbtrs_unblocked
+
+__all__ = ["gbtrs", "gbtrs_batch"]
+
+_METHODS = ("auto", "blocked", "reference")
+
+
+def gbtrs(trans: Trans | str, n: int, kl: int, ku: int, ab: np.ndarray,
+          ipiv: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Single-matrix band solve from ``gbtrf`` factors, in place on ``b``.
+
+    Equivalent to LAPACK ``DGBTRS``.  ``b`` may be ``(n,)`` or
+    ``(n, nrhs)``; returns the solution view.
+    """
+    b2 = b[:, None] if b.ndim == 1 else b
+    check_arg(b2.shape[0] == n, 7,
+              f"b has {b2.shape[0]} rows, expected {n}")
+    gbtrs_unblocked(trans, n, kl, ku, ab, ipiv, b2)
+    return b
+
+
+def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
+                a_array, pv_array, b_array, info=None, *,
+                batch: int | None = None, device: DeviceSpec = H100_PCIE,
+                stream=None, method: str = "auto", nb: int | None = None,
+                threads: int | None = None, rhs_tile: int | None = None,
+                execute: bool = True, max_blocks: int | None = None):
+    """Solve a uniform batch of factored band systems on the simulated GPU.
+
+    Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
+    n, nrhs)`` stack or pointer array) is overwritten with the solutions.
+    Returns the ``info`` array (all zeros unless argument validation
+    raises; numerical singularity is reported by the factorization, not the
+    solve — LAPACK semantics).
+    """
+    trans = Trans.from_any(trans)
+    check_arg(method in _METHODS, 14,
+              f"method must be one of {_METHODS}, got {method!r}")
+    check_arg(nrhs >= 0, 5, f"nrhs must be non-negative, got {nrhs}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=6)
+    check_gb_args(n, n, kl, ku, mats, batch=batch, ldab_pos=7)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=8)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=9)
+    info = ensure_info(info, batch, arg_pos=11)
+    info[...] = 0
+    if batch == 0 or n == 0 or nrhs == 0:
+        return info
+
+    if method == "auto":
+        method = "blocked"
+
+    if method == "blocked":
+        if trans is Trans.NO_TRANS:
+            kernels = [
+                BlockedForwardKernel(n, kl, ku, nrhs, mats, pivots, rhs,
+                                     nb=nb, threads=threads,
+                                     rhs_tile=rhs_tile),
+                BlockedBackwardKernel(n, kl, ku, nrhs, mats, pivots, rhs,
+                                      nb=nb, threads=threads,
+                                      rhs_tile=rhs_tile),
+            ]
+        else:
+            conj = trans is Trans.CONJ_TRANS
+            kernels = [
+                BlockedTransUKernel(n, kl, ku, nrhs, mats, pivots, rhs,
+                                    nb=nb, threads=threads, conj=conj),
+                BlockedTransLKernel(n, kl, ku, nrhs, mats, pivots, rhs,
+                                    nb=nb, threads=threads, conj=conj),
+            ]
+        for kernel in kernels:
+            launch(device, kernel, stream=stream, execute=execute,
+                   max_blocks=max_blocks)
+    else:
+        gbtrs_reference_batch(trans, n, kl, ku, nrhs, mats, pivots, rhs,
+                              device, stream, execute=execute,
+                              max_blocks=max_blocks)
+    return info

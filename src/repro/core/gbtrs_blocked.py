@@ -1,0 +1,299 @@
+"""Blocked sliding-window triangular solves (paper Section 6, Figure 6).
+
+Both kernels walk the factors ``nb`` columns at a time, caching a window of
+the RHS in shared memory:
+
+* **Forward**: starts from the first ``nb`` columns of ``L`` and the top of
+  the RHS.  At most ``nb + kl`` RHS rows are cached — enough for all the
+  pivot swaps (bounded by ``j + kl``) and rank-1 updates of those columns.
+  After a block, the top ``nb`` rows are final: they are written to global
+  memory and the remaining rows shift up.
+* **Backward**: starts from the *last* ``nb`` columns of ``U`` and the
+  bottom of the RHS, caching at most ``nb + kv`` rows (updates reach
+  ``kv = kl + ku`` rows above the solved one).  Solved rows are written
+  back and the remainder shifts down.
+
+The ``nb`` columns of the factors are "cached in the register file" in the
+paper's CUDA/HIP kernels; functionally we read them straight from the
+matrix, and the cost formulas charge them as global traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..band.layout import BandLayout
+from ..gpusim.costmodel import BlockCost
+from ..gpusim.kernel import Kernel, SharedMemory
+from .costs import gbtrs_backward_cost, gbtrs_forward_cost
+from .solve_blocks import backward_step, forward_step
+
+__all__ = ["BlockedForwardKernel", "BlockedBackwardKernel",
+           "BlockedTransUKernel", "BlockedTransLKernel",
+           "default_gbtrs_nb", "default_gbtrs_threads"]
+
+
+def default_gbtrs_nb(kl: int, ku: int) -> int:
+    """Default solve block size: amortise the shift over the overlap."""
+    return min(max(2 * (kl + ku + 1), 16), 64)
+
+
+def default_gbtrs_threads(kl: int, ku: int, nrhs: int) -> int:
+    """Default threads: cover the update height (``kv + 1`` rows).
+
+    Deliberately independent of ``nrhs``: the kernels keep one thread team
+    per matrix and sweep it across the RHS block in rounds, so additional
+    right-hand sides lengthen each column step rather than widening the
+    block — the same trade the paper's kernels make (their RHS window is
+    sized per column count, not per RHS count).
+    """
+    del nrhs
+    return max(kl + 1, min(kl + ku + 1, 128), 16)
+
+
+class _BlockedSolveBase(Kernel):
+    def __init__(self, n: int, kl: int, ku: int, nrhs: int,
+                 mats: list[np.ndarray], pivots, rhs: list[np.ndarray], *,
+                 nb: int | None = None, threads: int | None = None,
+                 rhs_tile: int | None = None):
+        if nb is not None and nb < 1:
+            raise ValueError(f"solve block size nb must be >= 1, got {nb}")
+        if rhs_tile is not None and rhs_tile < 1:
+            raise ValueError(f"rhs_tile must be >= 1, got {rhs_tile}")
+        self.n, self.kl, self.ku, self.nrhs = n, kl, ku, nrhs
+        self.mats = mats
+        self.pivots = pivots
+        self.rhs = rhs
+        self.nb = default_gbtrs_nb(kl, ku) if nb is None else nb
+        self.nthreads = (default_gbtrs_threads(kl, ku, nrhs)
+                         if threads is None else threads)
+        # RHS tiling: wide RHS blocks are processed `rhs_tile` columns at a
+        # time, bounding the shared-memory window at the price of extra
+        # passes over the factor columns.  Default: all columns in one pass.
+        self.rhs_tile = nrhs if rhs_tile is None else min(rhs_tile,
+                                                          max(nrhs, 1))
+        self.itemsize = mats[0].dtype.itemsize if mats else 8
+
+    def _rhs_slices(self):
+        for c0 in range(0, self.nrhs, self.rhs_tile):
+            yield slice(c0, min(c0 + self.rhs_tile, self.nrhs))
+
+    def grid(self) -> int:
+        return len(self.mats)
+
+    def threads(self) -> int:
+        return self.nthreads
+
+
+class BlockedForwardKernel(_BlockedSolveBase):
+    """Forward solve: progressive pivoting + rank-1 updates on a RHS window."""
+
+    name = "gbtrs_fwd_blocked"
+
+    def smem_bytes(self) -> int:
+        return (self.nb + self.kl) * self.rhs_tile * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        base = gbtrs_forward_cost(self.n, self.kl, self.ku, self.nrhs,
+                                  self.nb, self.nthreads, self.itemsize)
+        passes = -(-self.nrhs // self.rhs_tile) if self.nrhs else 1
+        if passes <= 1:
+            return base
+        # Each extra pass re-reads the kl factor rows and re-pays the
+        # per-column control flow.
+        extra = BlockCost(
+            dram_traffic=(passes - 1) * self.kl * self.n * self.itemsize,
+            syncs=(passes - 1) * 2 * self.n, threads=self.nthreads)
+        return base + extra
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        ab = self.mats[block_id]
+        piv = self.pivots[block_id]
+        if kl == 0:
+            return  # L is the identity: nothing to do
+        rw_full = smem.alloc((nb + kl, self.rhs_tile),
+                             dtype=self.rhs[block_id].dtype)
+        for cs in self._rhs_slices():
+            b = self.rhs[block_id][:, cs]
+            rw = rw_full[:, :b.shape[1]]
+            cached = min(nb + kl, n)
+            rw[:cached] = b[:cached]
+            jbeg = 0
+            while jbeg < n:
+                jend = min(jbeg + nb, n)
+                for j in range(jbeg, jend):
+                    forward_step(ab, n, kl, ku, j, piv, rw, row0=jbeg)
+                b[jbeg:jend] = rw[:jend - jbeg]        # final rows out
+                if jend >= n:
+                    break
+                done = jend - jbeg
+                rem = cached - done
+                rw[:rem] = rw[done:cached].copy()      # shift up
+                lo = jbeg + cached
+                hi = min(jend + nb + kl, n)
+                if hi > lo:
+                    rw[rem:rem + (hi - lo)] = b[lo:hi]  # next rows in
+                cached = rem + max(0, hi - lo)
+                jbeg = jend
+
+
+class BlockedTransUKernel(_BlockedSolveBase):
+    """Transposed-solve stage 1: ``op(U)^T y = b`` (paper §6 layout, A^T).
+
+    ``U^T`` is *lower* triangular with bandwidth ``kv``, so this sweeps
+    forward, caching ``nb + kv`` solved rows in shared memory — the mirror
+    image of the backward kernel.  ``conj=True`` solves ``U^H``.
+    """
+
+    name = "gbtrs_transU_blocked"
+
+    def __init__(self, *args, conj: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.conj = conj
+
+    def smem_bytes(self) -> int:
+        return (self.nb + self.kl + self.ku) * self.nrhs * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        # Same access structure as the backward solve, mirrored.
+        return gbtrs_backward_cost(self.n, self.kl, self.ku, self.nrhs,
+                                   self.nb, self.nthreads, self.itemsize)
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        kv = kl + ku
+        ab = self.mats[block_id]
+        b = self.rhs[block_id]
+        c = np.conj if (self.conj and np.iscomplexobj(ab)) else (lambda v: v)
+        rw = smem.alloc((nb + kv, self.nrhs), dtype=b.dtype)
+        jbeg = 0
+        base = 0                       # global row of rw[0]
+        cached = min(nb, n)
+        rw[:cached] = b[:cached]
+        while jbeg < n:
+            jend = min(jbeg + nb, n)
+            for j in range(jbeg, jend):
+                jj = j - base
+                lm = min(kv, j)
+                if lm > 0:
+                    rw[jj] -= c(ab[kv - lm:kv, j]) @ rw[jj - lm:jj]
+                rw[jj] = rw[jj] / c(ab[kv, j])
+            b[jbeg:jend] = rw[jbeg - base:jend - base]
+            if jend >= n:
+                break
+            # Keep the last kv solved rows for the next block's updates.
+            base2 = max(jend - kv, 0)
+            keep = jend - base2
+            rw[:keep] = rw[base2 - base:jend - base].copy()
+            hi = min(jend + nb, n)
+            rw[keep:keep + (hi - jend)] = b[jend:hi]
+            base = base2
+            jbeg = jend
+
+
+class BlockedTransLKernel(_BlockedSolveBase):
+    """Transposed-solve stage 2: ``op(L)^T x = y`` with pivots in reverse.
+
+    ``L^T`` is unit *upper* triangular with bandwidth ``kl``; the sweep
+    runs backward, caching ``nb + kl`` rows, and applies each column's row
+    interchange *after* its update — the reverse of the forward
+    elimination's (swap, update) pairs.
+    """
+
+    name = "gbtrs_transL_blocked"
+
+    def __init__(self, *args, conj: bool = False, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.conj = conj
+
+    def smem_bytes(self) -> int:
+        return (self.nb + self.kl) * self.nrhs * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        return gbtrs_forward_cost(self.n, self.kl, self.ku, self.nrhs,
+                                  self.nb, self.nthreads, self.itemsize)
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        kv = kl + ku
+        ab = self.mats[block_id]
+        piv = self.pivots[block_id]
+        b = self.rhs[block_id]
+        if kl == 0:
+            return                      # L is the identity
+        c = np.conj if (self.conj and np.iscomplexobj(ab)) else (lambda v: v)
+        rw = smem.alloc((nb + kl, self.nrhs), dtype=b.dtype)
+        # Each block's swaps can reach kl rows past its top (piv[j] <=
+        # j + kl), touching rows finalised by the previous (later) block —
+        # so the window covers [jbeg, jend + kl) and the overlap is
+        # re-written after the swaps land.
+        jend = n
+        while jend > 0:
+            jbeg = max(jend - nb, 0)
+            hi = min(jend + kl, n)
+            rw[:hi - jbeg] = b[jbeg:hi]
+            for j in range(jend - 1, jbeg - 1, -1):
+                jj = j - jbeg
+                lm = min(kl, n - j - 1)
+                if lm > 0:
+                    rw[jj] -= c(ab[kv + 1:kv + lm + 1, j]) @ \
+                        rw[jj + 1:jj + lm + 1]
+                p = int(piv[j])
+                if p != j:              # p <= j + kl <= jend - 1 + kl < hi
+                    tmp = rw[jj].copy()
+                    rw[jj] = rw[p - jbeg]
+                    rw[p - jbeg] = tmp
+            b[jbeg:hi] = rw[:hi - jbeg]
+            jend = jbeg
+
+
+class BlockedBackwardKernel(_BlockedSolveBase):
+    """Backward solve against ``U`` (bandwidth ``kv``) on a RHS window."""
+
+    name = "gbtrs_bwd_blocked"
+
+    def smem_bytes(self) -> int:
+        return (self.nb + self.kl + self.ku) * self.rhs_tile * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        base = gbtrs_backward_cost(self.n, self.kl, self.ku, self.nrhs,
+                                   self.nb, self.nthreads, self.itemsize)
+        passes = -(-self.nrhs // self.rhs_tile) if self.nrhs else 1
+        if passes <= 1:
+            return base
+        extra = BlockCost(
+            dram_traffic=(passes - 1) * (self.kl + self.ku + 1) * self.n
+            * self.itemsize,
+            syncs=(passes - 1) * 2 * self.n, threads=self.nthreads)
+        return base + extra
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        kv = kl + ku
+        ab = self.mats[block_id]
+        rw_full = smem.alloc((nb + kv, self.rhs_tile),
+                             dtype=self.rhs[block_id].dtype)
+        for cs in self._rhs_slices():
+            b = self.rhs[block_id][:, cs]
+            rw = rw_full[:, :b.shape[1]]
+            jend = n
+            jbeg = max(n - nb, 0)
+            base = max(jbeg - kv, 0)
+            rw[:jend - base] = b[base:jend]
+            while True:
+                for j in range(jend - 1, jbeg - 1, -1):
+                    backward_step(ab, n, kl, ku, j, rw, row0=base)
+                b[jbeg:jend] = rw[jbeg - base:jend - base]  # solved rows
+                if jbeg == 0:
+                    break
+                jend2 = jbeg
+                jbeg2 = max(jend2 - nb, 0)
+                base2 = max(jbeg2 - kv, 0)
+                keep = jend2 - base                 # updated rows to keep
+                off = base - base2
+                if keep > 0:
+                    rw[off:off + keep] = rw[:keep].copy()   # shift down
+                if off > 0:
+                    rw[:off] = b[base2:base]        # stream next rows in
+                jend, jbeg, base = jend2, jbeg2, base2

@@ -1,0 +1,126 @@
+"""Column-wise triangular-solve building blocks (paper Section 6).
+
+After ``gbtrf``, the lower factor ``L`` is *not* stored in its final form:
+its multipliers sit in the ``kl`` sub-diagonal rows, un-permuted.  Rather
+than reconstructing ``L`` (extra workspace and data movement), the solve
+applies the pivots progressively to the right-hand side, pairing each row
+interchange with the rank-1 update of that column — exactly the scheme the
+paper describes: "for each column j in the lower factor, two GPU kernels
+perform a pair of (row swap, rank-1 update) operations on the RHS matrix".
+
+The upper factor has bandwidth ``kv = kl + ku`` after pivoting and is solved
+with a column-wise backward substitution.
+
+All functions operate in place on ``b`` with shape ``(n, nrhs)`` (or a
+cached window of it, via ``row0``), matching LAPACK ``DGBTRS`` results
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..types import Trans
+
+__all__ = [
+    "forward_swap",
+    "forward_update",
+    "forward_step",
+    "backward_step",
+    "gbtrs_unblocked",
+]
+
+
+def forward_swap(b: np.ndarray, j: int, piv: int, *, row0: int = 0) -> None:
+    """Row interchange ``b[j] <-> b[piv]`` (the pivot kernel of a column)."""
+    if piv != j:
+        jj, pp = j - row0, piv - row0
+        tmp = b[jj].copy()
+        b[jj] = b[pp]
+        b[pp] = tmp
+
+
+def forward_update(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+                   b: np.ndarray, *, row0: int = 0) -> None:
+    """Rank-1 update of the RHS with column ``j`` of the lower factor.
+
+    ``b[j+1 : j+lm+1] -= L[j+1:j+lm+1, j] * b[j]`` with
+    ``lm = min(kl, n-j-1)``.
+    """
+    kv = kl + ku
+    lm = min(kl, n - j - 1)
+    if lm > 0:
+        jj = j - row0
+        b[jj + 1:jj + lm + 1] -= np.outer(ab[kv + 1:kv + lm + 1, j], b[jj])
+
+
+def forward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+                 ipiv: np.ndarray, b: np.ndarray, *, row0: int = 0) -> None:
+    """One forward-elimination column: (row swap, rank-1 update) pair."""
+    forward_swap(b, j, int(ipiv[j]), row0=row0)
+    forward_update(ab, n, kl, ku, j, b, row0=row0)
+
+
+def backward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+                  b: np.ndarray, *, row0: int = 0) -> None:
+    """One backward-substitution column against ``U`` (bandwidth ``kv``).
+
+    ``b[j] /= U(j, j)`` then ``b[j-lm : j] -= U[j-lm:j, j] * b[j]`` with
+    ``lm = min(kv, j)``.  Division by an exactly zero ``U(j, j)`` produces
+    infinities, matching LAPACK ``DGBTRS`` (which does not guard either);
+    callers wanting a guard check the factorization's ``info``.
+    """
+    kv = kl + ku
+    jj = j - row0
+    b[jj] = b[jj] / ab[kv, j]
+    lm = min(kv, j)
+    if lm > 0:
+        b[jj - lm:jj] -= np.outer(ab[kv - lm:kv, j], b[jj])
+
+
+def gbtrs_unblocked(trans: Trans | str, n: int, kl: int, ku: int,
+                    ab: np.ndarray, ipiv: np.ndarray,
+                    b: np.ndarray) -> np.ndarray:
+    """Unblocked band triangular solve on one matrix, in place on ``b``.
+
+    Parameters
+    ----------
+    trans:
+        ``'N'`` solves ``A x = b``; ``'T'``/``'C'`` solve ``A^T x = b`` /
+        ``A^H x = b``.
+    ab:
+        Factor-layout output of :func:`repro.core.gbtf2.gbtf2`.
+    ipiv:
+        0-based absolute pivot rows from the factorization.
+    b:
+        ``(n, nrhs)`` right-hand sides, overwritten with the solution.
+    """
+    trans = Trans.from_any(trans)
+    kv = kl + ku
+    if trans is Trans.NO_TRANS:
+        if kl > 0:
+            for j in range(n - 1):
+                forward_step(ab, n, kl, ku, j, ipiv, b)
+        for j in range(n - 1, -1, -1):
+            backward_step(ab, n, kl, ku, j, b)
+        return b
+
+    conj = trans is Trans.CONJ_TRANS and np.iscomplexobj(ab)
+
+    def c(v):
+        return np.conj(v) if conj else v
+
+    # Solve op(U) y = b: op(U) is lower triangular with bandwidth kv.
+    for j in range(n):
+        lm = min(kv, j)
+        if lm > 0:
+            b[j] -= c(ab[kv - lm:kv, j]) @ b[j - lm:j]
+        b[j] = b[j] / c(ab[kv, j])
+    # Solve op(L)^ x = y, applying the pivots in reverse order.
+    if kl > 0:
+        for j in range(n - 2, -1, -1):
+            lm = min(kl, n - j - 1)
+            if lm > 0:
+                b[j] -= c(ab[kv + 1:kv + lm + 1, j]) @ b[j + 1:j + lm + 1]
+            forward_swap(b, j, int(ipiv[j]))
+    return b

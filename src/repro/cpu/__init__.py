@@ -1,0 +1,14 @@
+"""CPU baseline: the paper's "mkl + openmp" competitor."""
+
+from .batched import cpu_gbsv_batch, cpu_gbtrf_batch, cpu_gbtrs_batch
+from .costmodel import XEON_6140, CpuSpec, cpu_gbsv_time, cpu_gbtrf_time, cpu_gbtrs_time
+from .lapack_like import cpu_gbsv_one, cpu_gbtrf_one, cpu_gbtrs_one
+from .threading import CpuPool, chunk_ranges, parallel_for
+
+__all__ = [
+    "XEON_6140", "CpuPool", "CpuSpec", "chunk_ranges",
+    "cpu_gbsv_batch", "cpu_gbsv_one", "cpu_gbsv_time",
+    "cpu_gbtrf_batch", "cpu_gbtrf_one", "cpu_gbtrf_time",
+    "cpu_gbtrs_batch", "cpu_gbtrs_one", "cpu_gbtrs_time",
+    "parallel_for",
+]

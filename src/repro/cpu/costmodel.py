@@ -1,0 +1,109 @@
+"""Timing model of the paper's CPU baseline (Xeon 6140, MKL + OpenMP).
+
+The baseline factors/solves the batch with one LAPACK call per matrix,
+OpenMP-parallel over the batch on 18 Skylake cores.  The per-matrix model
+is the classical ``overhead + columns x per-column work`` shape of the
+unblocked band factorization MKL uses for thin bands; batch time divides by
+the cores at a fixed parallel efficiency (thread scheduling, NUMA and
+memory-bandwidth sharing keep it below 1).
+
+Constants are calibration knobs fitted so the harness lands inside the
+paper's reported speedup bands (Tables 1-3); see EXPERIMENTS.md.  The
+*measured* functional CPU path (scipy's real LAPACK) is independent of this
+model — this module only supplies the simulated clock for the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .threading import XEON_6140_CORES
+
+__all__ = ["CpuSpec", "XEON_6140", "cpu_gbtrf_time", "cpu_gbtrs_time",
+           "cpu_gbsv_time"]
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Calibrated description of a multicore CPU baseline.
+
+    Attributes
+    ----------
+    cores:
+        OpenMP team size.
+    parallel_efficiency:
+        Sustained fraction of linear speedup over the batch loop.
+    call_overhead:
+        Per-LAPACK-call fixed cost, seconds (dispatch + argument checks).
+    column_cost:
+        Per-column fixed cost of the factorization loop, seconds (pivot
+        search, pointer arithmetic, loop control).
+    flop_time:
+        Seconds per flop of band arithmetic (inverse of the effective
+        scalar rate on thin-band kernels; far below peak because the
+        per-column vectors are tiny).
+    rhs_column_cost / rhs_flop_time:
+        Same two constants for the triangular solves.
+    rhs_vector_efficiency:
+        Incremental cost of each additional right-hand side relative to
+        the first (SIMD over the RHS block makes it < 1).
+    batch_overhead:
+        Fixed cost of one batched call (OpenMP fork/join).
+    """
+
+    name: str = "xeon-6140"
+    cores: int = XEON_6140_CORES
+    parallel_efficiency: float = 0.72
+    call_overhead: float = 8.0e-7
+    column_cost: float = 2.4e-8
+    flop_time: float = 1.0e-10
+    rhs_column_cost: float = 4.0e-9
+    rhs_flop_time: float = 3.4e-10
+    rhs_vector_efficiency: float = 0.9
+    batch_overhead: float = 2.0e-5
+
+    def batch_time(self, per_matrix: float, batch: int) -> float:
+        """Divide the serial batch work across the OpenMP team."""
+        return (self.batch_overhead
+                + batch * per_matrix
+                / (self.cores * self.parallel_efficiency))
+
+
+XEON_6140 = CpuSpec()
+
+
+def _trf_matrix_time(spec: CpuSpec, m: int, n: int, kl: int,
+                     ku: int) -> float:
+    mn = min(m, n)
+    kv = kl + ku
+    flops = mn * (2.0 * kl * (kv + 1) + kl)
+    return spec.call_overhead + mn * spec.column_cost + flops * spec.flop_time
+
+
+def _trs_matrix_time(spec: CpuSpec, n: int, kl: int, ku: int,
+                     nrhs: int) -> float:
+    kv = kl + ku
+    flops_one = n * (2.0 * kl + 2.0 * kv + 1.0)
+    rhs_scale = 1.0 + spec.rhs_vector_efficiency * (nrhs - 1)
+    return (spec.call_overhead + n * spec.rhs_column_cost
+            + flops_one * rhs_scale * spec.rhs_flop_time)
+
+
+def cpu_gbtrf_time(spec: CpuSpec, m: int, n: int, kl: int, ku: int,
+                   batch: int) -> float:
+    """Modeled batch band-LU time on the CPU baseline, seconds."""
+    return spec.batch_time(_trf_matrix_time(spec, m, n, kl, ku), batch)
+
+
+def cpu_gbtrs_time(spec: CpuSpec, n: int, kl: int, ku: int, nrhs: int,
+                   batch: int) -> float:
+    """Modeled batch solve time on the CPU baseline, seconds."""
+    return spec.batch_time(_trs_matrix_time(spec, n, kl, ku, nrhs), batch)
+
+
+def cpu_gbsv_time(spec: CpuSpec, n: int, kl: int, ku: int, nrhs: int,
+                  batch: int) -> float:
+    """Modeled batch factorize-and-solve time, seconds."""
+    per = (_trf_matrix_time(spec, n, n, kl, ku)
+           + _trs_matrix_time(spec, n, kl, ku, nrhs))
+    return spec.batch_time(per, batch)

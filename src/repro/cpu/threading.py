@@ -1,0 +1,79 @@
+"""OpenMP-style parallel-for abstraction for the CPU baseline.
+
+The paper's CPU baseline parallelises over the batch with OpenMP on an
+18-core Xeon Gold 6140.  This module gives the batched CPU routines the
+same shape: a :func:`parallel_for` that partitions the batch into per-thread
+chunks.  Execution is functionally serial in-process (numpy releases the
+GIL only inside kernels, and this host has a single core anyway); the
+thread-level speedup is part of the CPU *cost model*
+(:mod:`repro.cpu.costmodel`), matching how GPU time is modeled rather than
+measured.  ``schedule`` mirrors OpenMP's static/dynamic chunking so the
+partitioning logic itself is real and testable.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+__all__ = ["CpuPool", "parallel_for", "chunk_ranges"]
+
+# Core count of the paper's CPU baseline (Intel Xeon Gold 6140, Skylake).
+XEON_6140_CORES = 18
+
+
+def chunk_ranges(n: int, nchunks: int, *,
+                 schedule: str = "static") -> Iterator[tuple[int, int]]:
+    """Yield ``(lo, hi)`` index ranges partitioning ``range(n)``.
+
+    ``static`` deals out contiguous near-equal chunks (OpenMP default);
+    ``dynamic`` yields unit-grain chunks for callers that interleave work.
+    """
+    if n <= 0 or nchunks <= 0:
+        return
+    if schedule == "dynamic":
+        for i in range(n):
+            yield i, i + 1
+        return
+    if schedule != "static":
+        raise ValueError(f"unknown schedule {schedule!r}")
+    base, extra = divmod(n, nchunks)
+    lo = 0
+    for t in range(min(nchunks, n)):
+        hi = lo + base + (1 if t < extra else 0)
+        if hi > lo:
+            yield lo, hi
+        lo = hi
+
+
+@dataclass
+class CpuPool:
+    """A logical OpenMP thread team."""
+
+    num_threads: int = XEON_6140_CORES
+
+    def __post_init__(self):
+        if self.num_threads < 1:
+            raise ValueError(
+                f"num_threads must be >= 1, got {self.num_threads}")
+
+    @classmethod
+    def from_env(cls) -> "CpuPool":
+        """Honour ``OMP_NUM_THREADS`` like an OpenMP runtime would."""
+        n = os.environ.get("OMP_NUM_THREADS")
+        return cls(int(n)) if n else cls()
+
+    def parallel_for(self, n: int, body: Callable[[int], None], *,
+                     schedule: str = "static") -> None:
+        """Run ``body(i)`` for ``i in range(n)``, chunked across the team."""
+        for lo, hi in chunk_ranges(n, self.num_threads, schedule=schedule):
+            for i in range(lo, hi):
+                body(i)
+
+
+def parallel_for(n: int, body: Callable[[int], None], *,
+                 pool: CpuPool | None = None,
+                 schedule: str = "static") -> None:
+    """Module-level convenience wrapper over :meth:`CpuPool.parallel_for`."""
+    (pool or CpuPool()).parallel_for(n, body, schedule=schedule)

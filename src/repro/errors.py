@@ -1,0 +1,93 @@
+"""Exceptions and LAPACK-style ``info`` code semantics.
+
+Every batched routine in :mod:`repro.core.batched` reports per-problem status
+through an ``info`` array, mirroring the paper's interface (Section 4)::
+
+    void dgbtrf_batch(..., int* info, int batch, gpu_stream_t stream);
+
+The conventions follow LAPACK:
+
+* ``info == 0``   — success.
+* ``info == -i``  — the *i*-th argument (1-based) had an illegal value.  For
+  batched calls an argument error raises :class:`ArgumentError` eagerly
+  instead, because the error applies to the whole batch.
+* ``info == +i``  — ``U(i, i)`` is exactly zero (1-based): the factorization
+  completed but ``U`` is singular, and dividing by it during a solve would
+  produce infinities.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ArgumentError",
+    "SingularMatrixError",
+    "SharedMemoryError",
+    "DeviceError",
+    "check_arg",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ArgumentError(ReproError, ValueError):
+    """An argument had an illegal value (LAPACK ``info = -i``).
+
+    Parameters
+    ----------
+    position:
+        1-based position of the offending argument in the routine signature,
+        matching what LAPACK's ``XERBLA`` would report.
+    message:
+        Human-readable description.
+    """
+
+    def __init__(self, position: int, message: str):
+        super().__init__(f"argument {position}: {message}")
+        self.position = int(position)
+        self.info = -int(position)
+
+
+class SingularMatrixError(ReproError, ArithmeticError):
+    """A triangular solve was requested on an exactly singular factor.
+
+    ``index`` is the 0-based batch index of the offending problem and
+    ``info`` the 1-based column where ``U`` has a zero pivot.
+    """
+
+    def __init__(self, index: int, info: int):
+        super().__init__(
+            f"matrix {index} is singular: U({info},{info}) is exactly zero"
+        )
+        self.index = int(index)
+        self.info = int(info)
+
+
+class SharedMemoryError(ReproError, MemoryError):
+    """A kernel's shared-memory request exceeds the device's per-block limit.
+
+    The paper's fully fused factorization hits exactly this failure mode for
+    large matrices (Section 5.2: "even failing to run due to exceeding the
+    shared memory capacity").
+    """
+
+    def __init__(self, requested: int, limit: int, kernel: str = ""):
+        name = f" for kernel {kernel!r}" if kernel else ""
+        super().__init__(
+            f"shared memory request of {requested} bytes exceeds the device "
+            f"limit of {limit} bytes per thread block{name}"
+        )
+        self.requested = int(requested)
+        self.limit = int(limit)
+
+
+class DeviceError(ReproError, RuntimeError):
+    """Invalid use of the simulated device (bad launch config, bad stream)."""
+
+
+def check_arg(condition: bool, position: int, message: str) -> None:
+    """Raise :class:`ArgumentError` at ``position`` unless ``condition``."""
+    if not condition:
+        raise ArgumentError(position, message)

@@ -1,0 +1,34 @@
+"""Simulated GPU execution model: devices, occupancy, kernels, streams.
+
+This package is the substitution for real CUDA/HIP hardware documented in
+DESIGN.md Section 2: kernels execute functionally on shared-memory-sized
+numpy workspaces while an analytic cost model (occupancy x waves x per-block
+latency, with a DRAM-bandwidth floor) supplies the clock.
+"""
+
+from .graph import ExecGraph, GraphCapture, capture_graph
+from .costmodel import BlockCost, KernelTiming, estimate_block_time, estimate_kernel_time
+from .device import H100_PCIE, MI250X_GCD, DeviceSpec, get_device, list_devices, register_device
+from .kernel import Kernel, LaunchRecord, SharedMemory, launch
+from .memory import DeviceBuffer, PointerArray, TrafficCounter
+from .multidevice import DevicePartition, MultiDeviceRun, run_multi_device, split_batch
+from .occupancy import Occupancy, occupancy, suggest_block_size, waves_for_grid
+from .stream import Event, Stream
+from .transfer import TransferRecord, batch_upload_time, memcpy_d2h, memcpy_h2d, transfer_time
+from .trace import KernelSummary, chrome_trace, format_trace, save_chrome_trace, summarize
+
+__all__ = [
+    "BlockCost", "KernelTiming", "estimate_block_time", "estimate_kernel_time",
+    "H100_PCIE", "MI250X_GCD", "DeviceSpec", "get_device", "list_devices",
+    "register_device",
+    "Kernel", "LaunchRecord", "SharedMemory", "launch",
+    "DeviceBuffer", "DevicePartition", "MultiDeviceRun", "PointerArray",
+    "TrafficCounter", "run_multi_device", "split_batch",
+    "Occupancy", "occupancy", "suggest_block_size", "waves_for_grid",
+    "Event", "ExecGraph", "GraphCapture", "Stream",
+    "capture_graph",
+    "TransferRecord", "batch_upload_time", "memcpy_d2h", "memcpy_h2d",
+    "transfer_time",
+    "KernelSummary", "chrome_trace", "format_trace", "save_chrome_trace",
+    "summarize",
+]

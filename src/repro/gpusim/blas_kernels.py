@@ -1,0 +1,168 @@
+"""Batched GEMM/GEMV kernels for the simulated device.
+
+These are the workloads of the paper's Figure 1 (dedicated batch kernels
+versus concurrent-stream execution of single-matrix kernels) and of the
+sustained-bandwidth measurement of Section 8 (very large GEMV).
+
+The dedicated batch kernels assign ``ceil(n / tile)^2`` tiles per matrix in
+one launch over the whole batch; the streamed baseline launches one
+single-matrix kernel per problem (see :mod:`repro.bench.streams` for the
+concurrent-stream executor).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .costmodel import BlockCost
+from .kernel import Kernel, SharedMemory
+
+__all__ = ["BatchedGemmKernel", "BatchedGemvKernel", "GemvKernel",
+           "GemmKernel"]
+
+GEMM_TILE = 32       # square shared-memory tile of the GEMM kernels
+GEMV_ROWS = 128      # rows handled per GEMV thread block
+
+
+class GemmKernel(Kernel):
+    """Single-matrix tiled GEMM: ``C = alpha*A@B + beta*C`` (square ``n``)."""
+
+    name = "gemm"
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 alpha: float = 1.0, beta: float = 0.0):
+        self.a, self.b, self.c = a, b, c
+        self.alpha, self.beta = alpha, beta
+        self.n = a.shape[0]
+        self.tiles = max(1, math.ceil(self.n / GEMM_TILE))
+        self.itemsize = a.dtype.itemsize
+
+    def grid(self) -> int:
+        return self.tiles * self.tiles
+
+    def threads(self) -> int:
+        return 256
+
+    def smem_bytes(self) -> int:
+        return 2 * GEMM_TILE * GEMM_TILE * self.itemsize
+
+    def block_cost(self) -> BlockCost:
+        n, t = self.n, GEMM_TILE
+        rows = min(t, n)
+        return BlockCost(
+            flops=2.0 * rows * rows * n,
+            smem_traffic=2.0 * rows * n * self.itemsize,
+            dram_traffic=(2.0 * rows * n + rows * rows) * self.itemsize,
+            syncs=2 * math.ceil(n / t),
+            threads=256,
+        )
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        t = GEMM_TILE
+        bi, bj = divmod(block_id, self.tiles)
+        r = slice(bi * t, min((bi + 1) * t, self.n))
+        c = slice(bj * t, min((bj + 1) * t, self.n))
+        acc = self.alpha * (self.a[r, :] @ self.b[:, c])
+        self.c[r, c] = acc + self.beta * self.c[r, c]
+
+
+class BatchedGemmKernel(Kernel):
+    """Dedicated batch GEMM: all matrices' tiles in a single launch."""
+
+    name = "gemm_batch"
+
+    def __init__(self, a: np.ndarray, b: np.ndarray, c: np.ndarray,
+                 alpha: float = 1.0, beta: float = 0.0):
+        self.a, self.b, self.c = a, b, c
+        self.alpha, self.beta = alpha, beta
+        self.batch, self.n = a.shape[0], a.shape[1]
+        self.tiles = max(1, math.ceil(self.n / GEMM_TILE))
+        self._one = GemmKernel(a[0], b[0], c[0], alpha, beta)
+
+    def grid(self) -> int:
+        return self.batch * self.tiles * self.tiles
+
+    def threads(self) -> int:
+        return self._one.threads()
+
+    def smem_bytes(self) -> int:
+        return self._one.smem_bytes()
+
+    def block_cost(self) -> BlockCost:
+        return self._one.block_cost()
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        k, tile = divmod(block_id, self.tiles * self.tiles)
+        GemmKernel(self.a[k], self.b[k], self.c[k], self.alpha,
+                   self.beta).run_block(tile, smem)
+
+
+class GemvKernel(Kernel):
+    """Single-matrix GEMV: ``y = alpha*A@x + beta*y`` (``m x n``)."""
+
+    name = "gemv"
+
+    def __init__(self, a: np.ndarray, x: np.ndarray, y: np.ndarray,
+                 alpha: float = 1.0, beta: float = 0.0):
+        self.a, self.x, self.y = a, x, y
+        self.alpha, self.beta = alpha, beta
+        self.m, self.n = a.shape
+        self.itemsize = a.dtype.itemsize
+
+    def grid(self) -> int:
+        return max(1, math.ceil(self.m / GEMV_ROWS))
+
+    def threads(self) -> int:
+        return GEMV_ROWS
+
+    def smem_bytes(self) -> int:
+        return 0
+
+    def block_cost(self) -> BlockCost:
+        rows = min(GEMV_ROWS, self.m)
+        return BlockCost(
+            flops=2.0 * rows * self.n,
+            smem_traffic=0.0,
+            dram_traffic=(rows * self.n + self.n + 2 * rows) * self.itemsize,
+            syncs=1,
+            threads=GEMV_ROWS,
+        )
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        r = slice(block_id * GEMV_ROWS, min((block_id + 1) * GEMV_ROWS,
+                                            self.m))
+        self.y[r] = self.alpha * (self.a[r, :] @ self.x) + \
+            self.beta * self.y[r]
+
+
+class BatchedGemvKernel(Kernel):
+    """Dedicated batch GEMV: all matrices' row blocks in a single launch."""
+
+    name = "gemv_batch"
+
+    def __init__(self, a: np.ndarray, x: np.ndarray, y: np.ndarray,
+                 alpha: float = 1.0, beta: float = 0.0):
+        self.a, self.x, self.y = a, x, y
+        self.alpha, self.beta = alpha, beta
+        self.batch, self.m, self.n = a.shape
+        self.blocks_per = max(1, math.ceil(self.m / GEMV_ROWS))
+        self._one = GemvKernel(a[0], x[0], y[0], alpha, beta)
+
+    def grid(self) -> int:
+        return self.batch * self.blocks_per
+
+    def threads(self) -> int:
+        return self._one.threads()
+
+    def smem_bytes(self) -> int:
+        return 0
+
+    def block_cost(self) -> BlockCost:
+        return self._one.block_cost()
+
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        k, blk = divmod(block_id, self.blocks_per)
+        GemvKernel(self.a[k], self.x[k], self.y[k], self.alpha,
+                   self.beta).run_block(blk, smem)

@@ -1,0 +1,160 @@
+"""Kernel abstraction and launch machinery for the simulated GPU.
+
+A :class:`Kernel` is the unit of work that a real implementation would write
+in CUDA/HIP: it declares a grid size (one block per matrix for the batched
+band kernels), a block size, and a shared-memory footprint, and provides a
+``run_block`` method with the *functional* behaviour of one thread block.
+
+``run_block`` receives a :class:`SharedMemory` allocator that enforces the
+declared footprint: a kernel that touches more shared memory than it asked
+for fails immediately, the same way a real kernel would corrupt itself or
+fail to launch.  This keeps the simulated kernels honest — the occupancy
+maths in the cost model is fed by the same numbers the functional code is
+held to.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceError, SharedMemoryError
+from .costmodel import BlockCost, KernelTiming, estimate_kernel_time
+from .device import DeviceSpec
+
+__all__ = ["SharedMemory", "Kernel", "LaunchRecord", "launch"]
+
+
+class SharedMemory:
+    """Per-block shared-memory allocator with a hard byte budget."""
+
+    def __init__(self, limit_bytes: int):
+        self.limit = int(limit_bytes)
+        self.used = 0
+        self._arrays: list[np.ndarray] = []
+
+    def alloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """Allocate a zeroed scratch array, charged against the budget."""
+        arr = np.zeros(shape, dtype=dtype)
+        self.used += arr.nbytes
+        if self.used > self.limit:
+            raise SharedMemoryError(self.used, self.limit, "SharedMemory.alloc")
+        self._arrays.append(arr)
+        return arr
+
+
+class Kernel(abc.ABC):
+    """Base class for simulated GPU kernels.
+
+    Subclasses implement the resource declarations and the per-block
+    functional body.  The same object serves double duty: ``launch`` runs
+    the functional body, while the benchmark harness asks only for the
+    resource declarations to time large batches without executing them.
+    """
+
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def grid(self) -> int:
+        """Number of thread blocks (usually the batch size)."""
+
+    @abc.abstractmethod
+    def threads(self) -> int:
+        """Threads per block doing useful work (pre warp-rounding)."""
+
+    @abc.abstractmethod
+    def smem_bytes(self) -> int:
+        """Dynamic shared memory requested per block, in bytes."""
+
+    @abc.abstractmethod
+    def block_cost(self) -> BlockCost:
+        """Per-block resource usage for the timing model."""
+
+    @abc.abstractmethod
+    def run_block(self, block_id: int, smem: SharedMemory) -> None:
+        """Functional behaviour of one thread block."""
+
+    # -- convenience -------------------------------------------------------
+
+    def timing(self, device: DeviceSpec) -> KernelTiming:
+        """Cost-model timing of this kernel on ``device``."""
+        return estimate_kernel_time(
+            device,
+            grid=self.grid(),
+            threads_per_block=self.threads(),
+            smem_per_block=self.smem_bytes(),
+            block_cost=self.block_cost(),
+            kernel_name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One completed (or timed-only) kernel launch."""
+
+    kernel_name: str
+    grid: int
+    threads: int
+    smem_bytes: int
+    timing: KernelTiming
+    executed_blocks: int
+
+    @property
+    def time(self) -> float:
+        return self.timing.total
+
+
+def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
+           execute: bool = True, max_blocks: int | None = None) -> LaunchRecord:
+    """Launch ``kernel`` on ``device``.
+
+    Parameters
+    ----------
+    stream:
+        Optional :class:`repro.gpusim.stream.Stream`; the launch is appended
+        to its timeline (the paper's API requires a stream argument for all
+        batched calls).
+    execute:
+        Run the functional block bodies.  When False only the timing model
+        is evaluated — used by the benchmark harness for large batches.
+    max_blocks:
+        Execute at most this many blocks functionally (still timing the full
+        grid).  Lets benchmarks validate numerics on a sample while modeling
+        a batch of 1000.
+
+    Raises
+    ------
+    SharedMemoryError
+        If the kernel cannot launch on this device.
+    """
+    grid = kernel.grid()
+    if grid < 0:
+        raise DeviceError(f"negative grid size {grid}")
+    timing = kernel.timing(device)  # raises SharedMemoryError if unlaunchable
+    # A capturing stream (see repro.gpusim.graph) records the kernel as a
+    # graph node instead of executing it; work happens at replay.
+    capturing = bool(getattr(stream, "_capturing", False))
+    if capturing:
+        execute = False
+    executed = 0
+    if execute:
+        limit = timing.occupancy.smem_per_block
+        n_exec = grid if max_blocks is None else min(grid, max_blocks)
+        for bid in range(n_exec):
+            kernel.run_block(bid, SharedMemory(limit))
+            executed += 1
+    record = LaunchRecord(
+        kernel_name=kernel.name,
+        grid=grid,
+        threads=kernel.threads(),
+        smem_bytes=kernel.smem_bytes(),
+        timing=timing,
+        executed_blocks=executed,
+    )
+    if stream is not None:
+        stream.record(record)
+        if capturing:
+            stream.add_node(kernel)
+    return record

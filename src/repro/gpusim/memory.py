@@ -1,0 +1,124 @@
+"""Simulated device memory: buffers, pointer arrays, traffic accounting.
+
+The paper's batched interface (Section 4) passes arrays of device pointers
+(``double** A_array``).  :class:`PointerArray` reproduces that shape: a
+sequence of numpy views, one per problem, possibly all slicing one backing
+allocation (the common "strided batch" usage) or each pointing at unrelated
+memory (true pointer-array usage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import DeviceError
+
+__all__ = ["TrafficCounter", "DeviceBuffer", "PointerArray"]
+
+
+@dataclass
+class TrafficCounter:
+    """Accumulates global-memory traffic attributed to kernel execution."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def read(self, nbytes: int) -> None:
+        self.bytes_read += int(nbytes)
+
+    def write(self, nbytes: int) -> None:
+        self.bytes_written += int(nbytes)
+
+    @property
+    def total(self) -> int:
+        return self.bytes_read + self.bytes_written
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+
+class DeviceBuffer:
+    """A chunk of simulated device memory backed by a numpy array.
+
+    Host/device transfers are explicit (:meth:`upload`, :meth:`download`) so
+    examples read like real GPU host code; kernels access :attr:`array`
+    directly (device-side access).
+    """
+
+    def __init__(self, shape, dtype=np.float64):
+        self.array = np.zeros(shape, dtype=dtype)
+
+    @classmethod
+    def from_host(cls, host: np.ndarray) -> "DeviceBuffer":
+        buf = cls(host.shape, host.dtype)
+        buf.upload(host)
+        return buf
+
+    def upload(self, host: np.ndarray) -> None:
+        """Host-to-device copy."""
+        host = np.asarray(host)
+        if host.shape != self.array.shape:
+            raise DeviceError(
+                f"upload shape mismatch: buffer {self.array.shape}, "
+                f"host {host.shape}")
+        self.array[...] = host
+
+    def download(self) -> np.ndarray:
+        """Device-to-host copy (returns a fresh host array)."""
+        return self.array.copy()
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+
+class PointerArray(Sequence[np.ndarray]):
+    """Array-of-pointers batch argument (``double**`` in the paper's API).
+
+    Each element is a numpy array (or view) for one problem in the batch.
+    All elements must share a dtype; shapes may differ (that is the point of
+    a pointer array — it also carries non-uniform batches, the paper's
+    future-work extension).
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray]):
+        arrays = [np.asarray(a) for a in arrays]
+        if arrays:
+            dtype = arrays[0].dtype
+            for k, a in enumerate(arrays):
+                if a.dtype != dtype:
+                    raise DeviceError(
+                        f"pointer array mixes dtypes: entry 0 is {dtype}, "
+                        f"entry {k} is {a.dtype}")
+        self._arrays = arrays
+
+    @classmethod
+    def from_stack(cls, stack: np.ndarray) -> "PointerArray":
+        """Build from a contiguous ``(batch, ...)`` stack (strided batch)."""
+        return cls(list(stack))
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def __getitem__(self, i):
+        return self._arrays[i]
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self._arrays)
+
+    @property
+    def dtype(self):
+        if not self._arrays:
+            raise DeviceError("empty pointer array has no dtype")
+        return self._arrays[0].dtype
+
+    def uniform_shape(self) -> tuple | None:
+        """The common shape if the batch is uniform, else ``None``."""
+        if not self._arrays:
+            return None
+        shape = self._arrays[0].shape
+        return shape if all(a.shape == shape for a in self._arrays) else None

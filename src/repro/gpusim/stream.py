@@ -1,0 +1,74 @@
+"""Streams (in-order queues) and events for the simulated device.
+
+The paper's interface requires a user-provided stream/queue for every batched
+call (Section 4).  A :class:`Stream` is an in-order timeline: launches
+enqueued on it run back-to-back, and ``synchronize`` reports the accumulated
+simulated time.  Multiple streams on the same device can overlap up to the
+device's concurrent-kernel limit; the cross-stream concurrency model lives in
+:mod:`repro.bench.streams`, which replays per-stream timelines through an
+event-driven executor to reproduce Figure 1's streamed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceError
+from .device import DeviceSpec
+from .kernel import LaunchRecord
+
+__all__ = ["Stream", "Event"]
+
+
+@dataclass
+class Event:
+    """A marker in a stream's timeline (cudaEvent analogue)."""
+
+    stream: "Stream"
+    time: float
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """Seconds between two events (must be on the same device)."""
+        if earlier.stream.device is not self.stream.device:
+            raise DeviceError("events recorded on different devices")
+        return self.time - earlier.time
+
+
+class Stream:
+    """An in-order execution queue on one simulated device."""
+
+    def __init__(self, device: DeviceSpec, name: str = "stream"):
+        self.device = device
+        self.name = name
+        self.records: list[LaunchRecord] = []
+        self._time = 0.0
+
+    def record(self, record: LaunchRecord) -> None:
+        """Append a completed launch to this stream's timeline."""
+        self.records.append(record)
+        self._time += record.time
+
+    def record_event(self) -> Event:
+        """Record an event at the stream's current tail."""
+        return Event(self, self._time)
+
+    def synchronize(self) -> float:
+        """Block until the stream drains; returns total simulated seconds."""
+        return self._time
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated seconds consumed so far."""
+        return self._time
+
+    def reset(self) -> None:
+        """Clear the timeline (fresh timing region)."""
+        self.records.clear()
+        self._time = 0.0
+
+    def launch_count(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (f"Stream({self.name!r} on {self.device.name}, "
+                f"{len(self.records)} launches, {self._time * 1e3:.3f} ms)")

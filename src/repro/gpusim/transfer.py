@@ -1,0 +1,98 @@
+"""Host <-> device transfer modeling (``cudaMemcpyAsync`` analogues).
+
+The paper reports kernel-only times (its batches live on the device), but a
+production library must account for staging: applications like ReactEval
+upload fresh Jacobian batches every Newton iteration.  Transfers enqueue on
+a stream like kernels do — in order, each costing a fixed DMA-setup latency
+plus bytes over the interconnect's sustained bandwidth — so end-to-end
+pipelines can be timed with and without staging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DeviceError
+from .device import DeviceSpec
+from .memory import DeviceBuffer
+from .stream import Stream
+
+__all__ = ["TransferRecord", "memcpy_h2d", "memcpy_d2h",
+           "transfer_time", "batch_upload_time"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed host<->device copy; duck-typed like a launch record
+    (``kernel_name`` / ``grid`` / ``time``) so traces mix both."""
+
+    kernel_name: str
+    nbytes: int
+    time: float
+    grid: int = 1
+
+    @property
+    def bandwidth(self) -> float:
+        """Achieved bandwidth of this copy, bytes/s."""
+        return self.nbytes / self.time if self.time > 0 else 0.0
+
+
+def transfer_time(device: DeviceSpec, nbytes: int, *,
+                  direction: str = "h2d") -> float:
+    """Modeled seconds for one copy of ``nbytes`` in the given direction."""
+    if direction == "h2d":
+        bw = device.h2d_bandwidth
+    elif direction == "d2h":
+        bw = device.d2h_bandwidth
+    else:
+        raise DeviceError(f"unknown transfer direction {direction!r}")
+    return device.transfer_latency + nbytes / bw
+
+
+def memcpy_h2d(device: DeviceSpec, buf: DeviceBuffer, host: np.ndarray, *,
+               stream: Stream | None = None) -> TransferRecord:
+    """Copy host data into a device buffer, timed on the stream."""
+    buf.upload(host)
+    rec = TransferRecord(
+        kernel_name="memcpy_h2d",
+        nbytes=int(np.asarray(host).nbytes),
+        time=transfer_time(device, np.asarray(host).nbytes,
+                           direction="h2d"))
+    if stream is not None:
+        stream.record(rec)
+    return rec
+
+
+def memcpy_d2h(device: DeviceSpec, buf: DeviceBuffer, *,
+               stream: Stream | None = None,
+               out: np.ndarray | None = None) -> tuple[np.ndarray,
+                                                       TransferRecord]:
+    """Copy a device buffer back to the host, timed on the stream."""
+    data = buf.download()
+    if out is not None:
+        out[...] = data
+        data = out
+    rec = TransferRecord(
+        kernel_name="memcpy_d2h",
+        nbytes=int(data.nbytes),
+        time=transfer_time(device, data.nbytes, direction="d2h"))
+    if stream is not None:
+        stream.record(rec)
+    return data, rec
+
+
+def batch_upload_time(device: DeviceSpec, *, batch: int, n: int, kl: int,
+                      ku: int, nrhs: int = 0,
+                      itemsize: int = 8) -> float:
+    """Modeled time to stage one band batch (+optional RHS) onto the device.
+
+    A single contiguous copy per operand — the strided-batch layout the
+    drivers favour — so the cost is two latencies plus the payload.
+    """
+    ldab = 2 * kl + ku + 1
+    t = transfer_time(device, batch * ldab * n * itemsize)
+    if nrhs > 0:
+        t += transfer_time(device, batch * n * nrhs * itemsize)
+    return t

@@ -1,0 +1,30 @@
+"""Tuning framework: offline sweep, tables, and shipped defaults."""
+
+from .defaults import (
+    FUSED_CUTOFF,
+    FUSED_GBSV_CUTOFF,
+    get_active_table,
+    heuristic_window_params,
+    load_shipped_table,
+    set_active_table,
+    window_params,
+)
+from .sweep import SweepConfig, candidate_nbs, candidate_threads, run_sweep, sweep_band_pattern
+from .table import TuningEntry, TuningTable
+
+__all__ = [
+    "FUSED_CUTOFF",
+    "FUSED_GBSV_CUTOFF",
+    "SweepConfig",
+    "TuningEntry",
+    "TuningTable",
+    "get_active_table",
+    "heuristic_window_params",
+    "load_shipped_table",
+    "candidate_nbs",
+    "candidate_threads",
+    "run_sweep",
+    "set_active_table",
+    "sweep_band_pattern",
+    "window_params",
+]

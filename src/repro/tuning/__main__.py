@@ -1,0 +1,68 @@
+"""Command-line tuning sweep (regenerates the shipped tables).
+
+Usage::
+
+    python -m repro.tuning                          # both devices, full range
+    python -m repro.tuning --device h100-pcie --kl-max 8 --ku-max 8
+    python -m repro.tuning --out mytables/          # custom output directory
+
+Mirrors the paper's offline sweep (Section 5.3): square sizes up to 1024,
+``kl, ku`` in ``[0:kl_max] x [0:ku_max]``, best ``(nb, threads)`` extracted
+per pattern and written as JSON tables consumed by the runtime lookup.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from ..gpusim.device import get_device, list_devices
+from .defaults import _DATA_DIR
+from .sweep import SweepConfig, run_sweep
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tuning",
+        description="Run the sliding-window tuning sweep and write "
+                    "per-device tables.")
+    parser.add_argument("--device", action="append", dest="devices",
+                        choices=list_devices(),
+                        help="device(s) to sweep; default: all registered")
+    parser.add_argument("--kl-max", type=int, default=32,
+                        help="sweep kl in [0, KL_MAX] (default 32)")
+    parser.add_argument("--ku-max", type=int, default=32,
+                        help="sweep ku in [0, KU_MAX] (default 32)")
+    parser.add_argument("--step", type=int, default=1,
+                        help="stride through the kl/ku ranges (default 1)")
+    parser.add_argument("--batch", type=int, default=1000,
+                        help="calibration batch size (default 1000)")
+    parser.add_argument("--out", type=Path, default=_DATA_DIR,
+                        help="output directory (default: the shipped "
+                             "tables, overwriting them)")
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    devices = args.devices or list_devices()
+    args.out.mkdir(parents=True, exist_ok=True)
+    for name in devices:
+        device = get_device(name)
+        cfg = SweepConfig(
+            device=device,
+            kl_range=range(0, args.kl_max + 1, args.step),
+            ku_range=range(0, args.ku_max + 1, args.step),
+            batch=args.batch)
+        t0 = time.perf_counter()
+        table = run_sweep(cfg, progress=not args.quiet)
+        path = args.out / f"{name}.json"
+        table.save(path)
+        if not args.quiet:
+            print(f"{name}: {len(table.entries)} patterns in "
+                  f"{time.perf_counter() - t0:.1f}s -> {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

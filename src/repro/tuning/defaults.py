@@ -1,0 +1,105 @@
+"""Default tuning parameters for the sliding-window kernels.
+
+The sliding-window factorization has two tuning parameters (paper Section
+5.3): the blocking size ``nb`` and the number of threads assigned to one
+matrix (minimum ``kl + 1``, no upper limit).  The paper selects them by an
+offline benchmark sweep over ``kl, ku in [0:32]`` and square sizes up to
+1024, post-processed into per-device tables.
+
+This module provides (a) sensible closed-form heuristics used before any
+sweep has run, and (b) the lookup path into swept tables produced by
+:mod:`repro.tuning.sweep` and stored via :mod:`repro.tuning.table`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..gpusim.device import DeviceSpec
+from .table import TuningTable
+
+__all__ = ["heuristic_window_params", "window_params", "FUSED_CUTOFF",
+           "FUSED_GBSV_CUTOFF", "set_active_table", "get_active_table",
+           "load_shipped_table"]
+
+# Swept tables shipped with the package (regenerate with
+# ``python -m repro.tuning.sweep`` / benchmarks/bench_tuning_sweep.py).
+_DATA_DIR = Path(__file__).parent / "data"
+
+# The dispatcher prefers the fully fused factorization kernel below this
+# matrix order (paper Section 5.4: "for very small matrices (e.g., up to
+# 64 x 64), the fully fused kernel has a slight advantage").
+FUSED_CUTOFF = 64
+
+# The fused factorize-and-solve kernel is enabled "for systems with order 64
+# or less, and for a single right hand side" (paper Section 7).
+FUSED_GBSV_CUTOFF = 64
+
+_ACTIVE_TABLES: dict[str, TuningTable] = {}
+
+
+def set_active_table(device_name: str, table: TuningTable) -> None:
+    """Install a swept tuning table for a device (overrides heuristics)."""
+    _ACTIVE_TABLES[device_name] = table
+
+
+def get_active_table(device_name: str) -> TuningTable | None:
+    """The tuning table currently installed for a device, if any."""
+    return _ACTIVE_TABLES.get(device_name)
+
+
+def heuristic_window_params(device: DeviceSpec, kl: int,
+                            ku: int) -> tuple[int, int]:
+    """Closed-form ``(nb, threads)`` choice for a band pattern.
+
+    * ``threads``: the column height ``kl + 1`` rounded up toward a half
+      warp — enough lanes to keep the shared-memory pipe busy without
+      wasting residency on idle threads.
+    * ``nb``: large enough that the per-iteration window shift (which moves
+      ``kv + 1`` columns) is amortised over the ``nb`` factored columns,
+      bounded so the window still fits comfortably for large bands on the
+      small-LDS device.
+    """
+    kv = kl + ku
+    # Enough lanes that the rank-1 update of one column finishes in at most
+    # two rounds, floored at a half warp, capped by the block limit.
+    work = max(kl * (kv + 1), 1)
+    threads = max(kl + 1, device.warp_size // 2,
+                  min(-(-work // 2), device.max_threads_per_block))
+    nb = min(max(2 * (kv + 1), 16), 64)
+    # Keep the window under a quarter of the per-SM capacity so at least a
+    # few factorizations stay resident even for wide bands.
+    rows = kv + kl + 1
+    while nb > 8:
+        smem = (nb + kv + 1) * rows * 8
+        if smem <= device.smem_per_sm // 4:
+            break
+        nb //= 2
+    return nb, threads
+
+
+def load_shipped_table(device_name: str) -> TuningTable | None:
+    """Load the swept table shipped with the package, if one exists."""
+    path = _DATA_DIR / f"{device_name}.json"
+    if not path.is_file():
+        return None
+    return TuningTable.load(path)
+
+
+def window_params(device: DeviceSpec, kl: int, ku: int) -> tuple[int, int]:
+    """Best-known ``(nb, threads)`` for a band pattern.
+
+    Resolution order: an explicitly installed table
+    (:func:`set_active_table`), then the swept table shipped with the
+    package, then the closed-form heuristic.
+    """
+    table = _ACTIVE_TABLES.get(device.name)
+    if table is None:
+        table = load_shipped_table(device.name)
+        if table is not None:
+            _ACTIVE_TABLES[device.name] = table
+    if table is not None:
+        hit = table.lookup(kl, ku)
+        if hit is not None:
+            return hit
+    return heuristic_window_params(device, kl, ku)

@@ -1,0 +1,127 @@
+"""Offline tuning sweep for the sliding-window factorization (Section 5.3).
+
+"The sliding window design requires a careful choice of two tuning
+parameters ... the blocking size (nb), and ... the number of threads
+assigned to a single matrix.  [We] have conducted a benchmark sweep for
+square matrices up to 1024, for any kl/ku in the range [0:32].  The results
+... are then fed to a post-processing phase that extracts the best tuning
+parameters for a given band pattern.  Separate test sweeps have been
+conducted for the H100 GPU and the AMD MI250x GPU."
+
+The sweep evaluates the calibrated timing model (the same model the
+benchmarks report) for each candidate ``(nb, threads)`` on each band
+pattern, at one or more calibration sizes, and keeps the configuration with
+the lowest total time.  Infeasible configurations (window exceeding the
+per-block shared-memory limit) are skipped, exactly as a real sweep would
+observe launch failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..band.layout import BandLayout
+from ..core.costs import gbtrf_window_cost
+from ..errors import SharedMemoryError
+from ..gpusim.costmodel import estimate_kernel_time
+from ..gpusim.device import DeviceSpec
+from .table import TuningEntry, TuningTable
+
+__all__ = ["SweepConfig", "sweep_band_pattern", "run_sweep",
+           "candidate_nbs", "candidate_threads"]
+
+# Calibration sizes: a mid-size and the sweep's upper bound; the paper
+# sweeps all square sizes up to 1024, we integrate over representatives
+# (the window kernel's per-column cost is size-independent, so two sizes
+# capture the size dependence of the iteration overheads).
+DEFAULT_SIZES = (256, 1024)
+DEFAULT_BATCH = 1000
+
+
+def candidate_nbs(kl: int, ku: int) -> list[int]:
+    """Candidate blocking sizes for the sweep."""
+    cands = {8, 16, 24, 32, 48, 64, 96}
+    kv = kl + ku
+    cands.add(max(1, kv + 1))
+    cands.add(max(1, 2 * (kv + 1)))
+    return sorted(cands)
+
+
+def candidate_threads(device: DeviceSpec, kl: int, ku: int) -> list[int]:
+    """Candidate thread counts: from the design minimum ``kl + 1`` upward."""
+    kv = kl + ku
+    base = {kl + 1, device.warp_size // 2, device.warp_size,
+            2 * device.warp_size}
+    base.add(max(1, kl * (kv + 1) // 2))
+    base.add(max(1, kl * (kv + 1)))
+    return sorted(t for t in base
+                  if kl + 1 <= t <= device.max_threads_per_block)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one sweep run."""
+
+    device: DeviceSpec
+    kl_range: Sequence[int] = tuple(range(0, 33))
+    ku_range: Sequence[int] = tuple(range(0, 33))
+    sizes: Sequence[int] = DEFAULT_SIZES
+    batch: int = DEFAULT_BATCH
+    dtype: np.dtype = np.dtype(np.float64)
+
+
+def _config_time(device: DeviceSpec, n: int, kl: int, ku: int, nb: int,
+                 threads: int, batch: int, itemsize: int) -> float:
+    layout = BandLayout(n, n, kl, ku)
+    cost = gbtrf_window_cost(n, n, kl, ku, nb, threads, itemsize)
+    timing = estimate_kernel_time(
+        device, grid=batch, threads_per_block=threads,
+        smem_per_block=layout.window_elems(nb) * itemsize,
+        block_cost=cost, kernel_name="gbtrf_window(sweep)")
+    return timing.total
+
+
+def sweep_band_pattern(device: DeviceSpec, kl: int, ku: int, *,
+                       sizes: Sequence[int] = DEFAULT_SIZES,
+                       batch: int = DEFAULT_BATCH,
+                       itemsize: int = 8) -> TuningEntry:
+    """Find the best ``(nb, threads)`` for one band pattern."""
+    best: TuningEntry | None = None
+    for nb in candidate_nbs(kl, ku):
+        for threads in candidate_threads(device, kl, ku):
+            try:
+                total = sum(
+                    _config_time(device, n, kl, ku, nb, threads, batch,
+                                 itemsize)
+                    for n in sizes)
+            except SharedMemoryError:
+                continue
+            if best is None or total < best.time:
+                best = TuningEntry(kl=kl, ku=ku, nb=nb, threads=threads,
+                                   time=total)
+    if best is None:
+        raise SharedMemoryError(
+            BandLayout(max(sizes), max(sizes), kl, ku).window_elems(1)
+            * itemsize,
+            device.max_smem_per_block, "gbtrf_window(sweep)")
+    return best
+
+
+def run_sweep(config: SweepConfig, *,
+              progress: bool = False) -> TuningTable:
+    """Sweep every ``(kl, ku)`` pair of the configured ranges."""
+    table = TuningTable(device_name=config.device.name)
+    itemsize = config.dtype.itemsize
+    for kl in config.kl_range:
+        for ku in config.ku_range:
+            entry = sweep_band_pattern(
+                config.device, kl, ku, sizes=config.sizes,
+                batch=config.batch, itemsize=itemsize)
+            table.add(entry)
+        if progress:
+            print(f"swept kl={kl} "
+                  f"({len(table.entries)} patterns)")
+    return table

@@ -1,0 +1,82 @@
+"""Persistent tuning tables: best (nb, threads) per (kl, ku) per device.
+
+The sweep (:mod:`repro.tuning.sweep`) produces one table per device; tables
+serialise to a small JSON document so shipped defaults can be versioned in
+the repository, mirroring the paper's "post-processing phase that extracts
+the best tuning parameters for a given band pattern".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["TuningEntry", "TuningTable"]
+
+
+@dataclass(frozen=True)
+class TuningEntry:
+    """Best parameters found for one band pattern."""
+
+    kl: int
+    ku: int
+    nb: int
+    threads: int
+    time: float        # modeled batch time at the calibration size, seconds
+
+
+@dataclass
+class TuningTable:
+    """Lookup table of swept tuning results for one device."""
+
+    device_name: str
+    entries: dict[tuple[int, int], TuningEntry] = field(default_factory=dict)
+
+    def add(self, entry: TuningEntry) -> None:
+        self.entries[(entry.kl, entry.ku)] = entry
+
+    def lookup(self, kl: int, ku: int) -> tuple[int, int] | None:
+        """Exact hit, else nearest swept band pattern, else ``None``."""
+        hit = self.entries.get((kl, ku))
+        if hit is not None:
+            return hit.nb, hit.threads
+        if not self.entries:
+            return None
+        # Nearest neighbour in (kl, ku) space: band behaviour varies
+        # smoothly with the bandwidths, so the closest swept pattern is a
+        # good proxy for an unswept one.
+        key = min(self.entries,
+                  key=lambda k: (k[0] - kl) ** 2 + (k[1] - ku) ** 2)
+        e = self.entries[key]
+        return e.nb, e.threads
+
+    # -- serialisation -------------------------------------------------
+
+    def to_json(self) -> str:
+        doc = {
+            "device": self.device_name,
+            "entries": [
+                {"kl": e.kl, "ku": e.ku, "nb": e.nb,
+                 "threads": e.threads, "time": e.time}
+                for e in sorted(self.entries.values(),
+                                key=lambda e: (e.kl, e.ku))
+            ],
+        }
+        return json.dumps(doc, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TuningTable":
+        doc = json.loads(text)
+        table = cls(device_name=doc["device"])
+        for e in doc["entries"]:
+            table.add(TuningEntry(kl=e["kl"], ku=e["ku"], nb=e["nb"],
+                                  threads=e["threads"], time=e["time"]))
+        return table
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TuningTable":
+        return cls.from_json(Path(path).read_text())

@@ -1,0 +1,76 @@
+"""Common enums and dtype helpers shared across the library.
+
+The paper's interface (Section 4) is a C API in double precision
+(``dgbtrf_batch`` et al.).  We keep the LAPACK-style single-letter precision
+prefixes but implement a dtype-generic core, so ``s``/``d``/``c``/``z``
+variants are thin wrappers around the same algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+__all__ = ["Trans", "Precision", "np_dtype", "is_complex", "real_dtype_of"]
+
+
+class Trans(enum.Enum):
+    """Transpose operation selector for :func:`repro.core.gbtrs`.
+
+    Mirrors LAPACK's ``TRANS`` character argument.
+    """
+
+    NO_TRANS = "N"
+    TRANS = "T"
+    CONJ_TRANS = "C"
+
+    @classmethod
+    def from_any(cls, value: "Trans | str") -> "Trans":
+        """Coerce a :class:`Trans` or a LAPACK character into a :class:`Trans`."""
+        if isinstance(value, Trans):
+            return value
+        try:
+            return cls(str(value).upper())
+        except ValueError:
+            raise ValueError(
+                f"invalid transpose selector {value!r}; expected one of "
+                "'N', 'T', 'C'"
+            ) from None
+
+
+class Precision(enum.Enum):
+    """LAPACK precision prefixes mapped to numpy dtypes."""
+
+    S = "float32"
+    D = "float64"
+    C = "complex64"
+    Z = "complex128"
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.value)
+
+    @classmethod
+    def from_dtype(cls, dtype) -> "Precision":
+        dt = np.dtype(dtype)
+        for member in cls:
+            if member.dtype == dt:
+                return member
+        raise ValueError(f"unsupported dtype {dt}; expected one of "
+                         f"{[m.dtype.name for m in cls]}")
+
+
+def np_dtype(dtype) -> np.dtype:
+    """Validate and normalise a dtype to one of the four LAPACK precisions."""
+    return Precision.from_dtype(dtype).dtype
+
+
+def is_complex(dtype) -> bool:
+    """True if ``dtype`` is one of the complex LAPACK precisions."""
+    return np.dtype(dtype).kind == "c"
+
+
+def real_dtype_of(dtype):
+    """The real dtype matching ``dtype``'s precision (float64 for complex128)."""
+    return np.zeros(0, dtype=dtype).real.dtype

@@ -1,0 +1,85 @@
+"""Error-controlled adaptive integration (SUNDIALS-style stepping)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    chain_mechanism,
+    integrate_adaptive,
+    integrate_batch,
+    sinusoidal_states,
+)
+from repro.errors import ArgumentError
+from repro.gpusim import H100_PCIE, Stream
+
+
+@pytest.fixture(scope="module")
+def setup():
+    mech = chain_mechanism(8, coupling=2, rate_spread=2.0, seed=0)
+    y0 = sinusoidal_states(3, 8)
+    return mech, y0
+
+
+class TestAdaptive:
+    def test_reaches_t_end_and_converges(self, setup):
+        mech, y0 = setup
+        res = integrate_adaptive(mech, y0, 5e-3, dt0=1e-3, rtol=1e-4)
+        assert res.stats.converged
+        assert res.t == pytest.approx(5e-3)
+        assert res.accepted_steps == len(res.dt_history)
+        assert sum(res.dt_history) == pytest.approx(5e-3)
+
+    def test_accuracy_tracks_tolerance(self, setup):
+        mech, y0 = setup
+        ref = integrate_batch(mech, y0, 5e-3, dt=1e-6).y
+        errs = {}
+        for rtol in (1e-3, 1e-6):
+            res = integrate_adaptive(mech, y0, 5e-3, dt0=5e-4, rtol=rtol)
+            assert res.stats.converged
+            errs[rtol] = np.abs(res.y - ref).max()
+        assert errs[1e-6] < errs[1e-3]
+
+    def test_tighter_tolerance_takes_more_steps(self, setup):
+        mech, y0 = setup
+        loose = integrate_adaptive(mech, y0, 5e-3, dt0=5e-4, rtol=1e-3)
+        tight = integrate_adaptive(mech, y0, 5e-3, dt0=5e-4, rtol=1e-7)
+        assert tight.accepted_steps > loose.accepted_steps
+
+    def test_oversized_initial_step_gets_rejected_or_shrunk(self, setup):
+        mech, y0 = setup
+        res = integrate_adaptive(mech, y0, 5e-3, dt0=5e-3, rtol=1e-7)
+        assert res.stats.converged
+        # Either the huge first step was rejected, or the controller cut
+        # dt sharply after it.
+        assert res.rejected_steps >= 1 or min(res.dt_history) < 5e-3 / 2
+
+    def test_step_sizes_adapt(self, setup):
+        mech, y0 = setup
+        res = integrate_adaptive(mech, y0, 1e-2, dt0=1e-5, rtol=1e-5)
+        assert res.stats.converged
+        # Starting tiny, the controller should grow the step.
+        assert max(res.dt_history) > 2 * res.dt_history[0]
+
+    def test_solver_traffic_recorded(self, setup):
+        mech, y0 = setup
+        stream = Stream(H100_PCIE)
+        res = integrate_adaptive(mech, y0, 2e-3, dt0=5e-4, rtol=1e-4,
+                                 device=H100_PCIE, stream=stream)
+        assert res.stats.solver_calls > 0
+        assert stream.launch_count() >= res.stats.solver_calls
+
+    def test_invalid_args(self, setup):
+        mech, y0 = setup
+        with pytest.raises(ArgumentError):
+            integrate_adaptive(mech, y0, 1e-3, dt0=0.0)
+        with pytest.raises(ArgumentError):
+            integrate_adaptive(mech, y0, 1e-3, rtol=-1.0)
+        with pytest.raises(ArgumentError):
+            integrate_adaptive(mech, np.zeros((2, 5)), 1e-3)
+
+    def test_max_steps_exhaustion_reported(self, setup):
+        mech, y0 = setup
+        res = integrate_adaptive(mech, y0, 1.0, dt0=1e-6, rtol=1e-8,
+                                 max_steps=5)
+        assert not res.stats.converged
+        assert res.t < 1.0

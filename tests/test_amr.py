@@ -1,0 +1,117 @@
+"""AMR batch-control layer (paper Section 2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    AmrParams,
+    build_hierarchy,
+    chain_mechanism,
+    integrate_batch,
+    integrate_hierarchy,
+)
+from repro.errors import ArgumentError
+from repro.gpusim import H100_PCIE, Stream
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            AmrParams(base_cells=0)
+        with pytest.raises(ArgumentError):
+            AmrParams(max_levels=0)
+        with pytest.raises(ArgumentError):
+            AmrParams(refine_ratio=1)
+        with pytest.raises(ArgumentError):
+            AmrParams(blocking_factor=0)
+
+
+class TestHierarchy:
+    def test_single_level_covers_domain(self):
+        hier = build_hierarchy(AmrParams(base_cells=24, max_levels=1), 8)
+        assert hier.batch_sizes() == [24]
+        lv = hier.levels[0]
+        assert lv.centres.shape == (24,)
+        assert (0 < lv.centres).all() and (lv.centres < 1).all()
+        assert lv.states.shape == (24, 8)
+
+    def test_refinement_increases_total_systems(self):
+        coarse = build_hierarchy(AmrParams(base_cells=32, max_levels=1), 8)
+        fine = build_hierarchy(AmrParams(base_cells=32, max_levels=2), 8)
+        assert fine.total_cells > coarse.total_cells
+
+    def test_lower_threshold_refines_more(self):
+        strict = build_hierarchy(
+            AmrParams(base_cells=32, max_levels=2, refine_threshold=2.0), 8)
+        eager = build_hierarchy(
+            AmrParams(base_cells=32, max_levels=2, refine_threshold=0.2), 8)
+        fine_strict = strict.levels[-1].cells if len(strict.levels) > 1 else 0
+        fine_eager = eager.levels[-1].cells if len(eager.levels) > 1 else 0
+        assert fine_eager >= fine_strict
+
+    def test_refine_ratio_scales_fine_cells(self):
+        r2 = build_hierarchy(
+            AmrParams(base_cells=32, max_levels=2, refine_ratio=2), 8)
+        r4 = build_hierarchy(
+            AmrParams(base_cells=32, max_levels=2, refine_ratio=4), 8)
+        assert r4.levels[-1].cells == 2 * r2.levels[-1].cells
+
+    def test_active_cells_do_not_overlap(self):
+        """A coarse cell under refinement must not also be active."""
+        hier = build_hierarchy(AmrParams(base_cells=32, max_levels=2), 8)
+        coarse, fine = hier.levels
+        h = 1.0 / 32
+        for c in coarse.centres:
+            # No fine centre falls inside an active coarse cell.
+            inside = np.abs(fine.centres - c) < h / 2
+            assert not inside.any()
+
+    def test_huge_threshold_stops_refinement(self):
+        hier = build_hierarchy(
+            AmrParams(base_cells=16, max_levels=3, refine_threshold=1e9), 8)
+        assert hier.batch_sizes() == [16]
+
+    def test_states_follow_profile(self):
+        hier = build_hierarchy(AmrParams(base_cells=64, max_levels=1), 4)
+        states = hier.levels[0].states
+        assert (states > 0).all()
+        # The sharpened front creates genuinely different states.
+        assert np.ptp(states[:, 0]) > 0.5
+
+
+class TestIntegration:
+    def test_levels_integrate_and_update_in_place(self):
+        mech = chain_mechanism(8, coupling=2, rate_spread=2.0, seed=0)
+        hier = build_hierarchy(
+            AmrParams(base_cells=16, max_levels=2, refine_threshold=0.8), 8)
+        before = [lv.states.copy() for lv in hier.levels]
+        stream = Stream(H100_PCIE)
+        stats = integrate_hierarchy(hier, mech, 2e-3, dt=1e-3,
+                                    device=H100_PCIE, stream=stream)
+        for lv, prev in zip(hier.levels, before):
+            if lv.cells:
+                assert not np.allclose(lv.states, prev)
+                assert lv.level in stats
+                assert stats[lv.level].converged
+        assert stream.launch_count() > 0
+
+    def test_matches_flat_integration(self):
+        """Per-level batching is just batching: same states as one batch."""
+        mech = chain_mechanism(8, coupling=2, rate_spread=2.0, seed=1)
+        hier = build_hierarchy(
+            AmrParams(base_cells=16, max_levels=2, refine_threshold=0.8), 8)
+        all_states = np.concatenate([lv.states.copy()
+                                     for lv in hier.levels if lv.cells])
+        integrate_hierarchy(hier, mech, 2e-3, dt=1e-3)
+        flat = integrate_batch(mech, all_states, 2e-3, dt=1e-3).y
+        got = np.concatenate([lv.states for lv in hier.levels if lv.cells])
+        np.testing.assert_allclose(got, flat, atol=1e-12)
+
+    def test_empty_levels_skipped(self):
+        mech = chain_mechanism(8, coupling=2, seed=2)
+        hier = build_hierarchy(
+            AmrParams(base_cells=16, max_levels=2, refine_threshold=0.0), 8)
+        # threshold 0 refines everything: level 0 has no active cells.
+        assert hier.levels[0].cells == 0
+        stats = integrate_hierarchy(hier, mech, 1e-3, dt=1e-3)
+        assert 0 not in stats

@@ -1,0 +1,218 @@
+"""Application workloads: chemistry, PELE, XGC, ReactEval."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    Mechanism,
+    Reaction,
+    chain_mechanism,
+    integrate_batch,
+    jacobian,
+    pele_batch,
+    q3_collision_matrix,
+    rate,
+    sinusoidal_states,
+    xgc_batch,
+)
+from repro.band.convert import band_to_dense, bandwidth_of_dense
+from repro.core.gbsv import gbsv_batch
+from repro.errors import ArgumentError
+
+
+class TestChemistry:
+    def test_chain_mechanism_bandwidth(self):
+        for coupling in (1, 2, 3):
+            mech = chain_mechanism(12, coupling=coupling, seed=0)
+            kl, ku = mech.bandwidth()
+            assert kl <= coupling and ku <= coupling
+            assert max(kl, ku) == coupling
+
+    def test_mass_conservation_of_pure_transfers(self):
+        """A -> B reactions conserve total mass in the rate law."""
+        mech = Mechanism(n_species=3, reactions=(
+            Reaction(reactants=((0, 1),), products=((1, 1),),
+                     rate_constant=2.0),
+            Reaction(reactants=((1, 1),), products=((2, 1),),
+                     rate_constant=3.0),
+        ))
+        y = np.array([1.0, 2.0, 3.0])
+        assert rate(mech, y).sum() == pytest.approx(0.0)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_jacobian_matches_finite_differences(self, seed):
+        rng = np.random.default_rng(seed)
+        mech = chain_mechanism(8, coupling=2, rate_spread=2.0, seed=rng)
+        y = rng.uniform(0.1, 1.0, 8)
+        jac = jacobian(mech, y)
+        eps = 1e-7
+        for j in range(8):
+            dy = np.zeros(8)
+            dy[j] = eps
+            fd = (rate(mech, y + dy) - rate(mech, y - dy)) / (2 * eps)
+            np.testing.assert_allclose(jac[:, j], fd, atol=1e-5, rtol=1e-4)
+
+    def test_jacobian_sparsity_within_mechanism_bandwidth(self):
+        mech = chain_mechanism(16, coupling=3, seed=1)
+        kl, ku = mech.bandwidth()
+        y = np.random.default_rng(2).uniform(0.1, 1.0, 16)
+        jkl, jku = bandwidth_of_dense(jacobian(mech, y))
+        assert jkl <= kl and jku <= ku
+
+    def test_minimum_species(self):
+        with pytest.raises(ArgumentError):
+            chain_mechanism(1)
+
+
+class TestPele:
+    def test_batch_characteristics(self):
+        pb = pele_batch(8, n_species=54, coupling=3, seed=0)
+        assert pb.batch == 8
+        assert pb.n == 54
+        assert pb.kl == pb.ku == 3
+        assert pb.a_band.shape == (8, 2 * 3 + 3 + 1, 54)
+
+    def test_members_differ(self):
+        pb = pele_batch(4, n_species=20, seed=1)
+        assert not np.array_equal(pb.a_band[0], pb.a_band[1])
+
+    def test_systems_solvable_with_small_h(self):
+        pb = pele_batch(6, n_species=30, h=1e-5, seed=2)
+        a, b = pb.a_band.copy(), pb.b.copy()
+        piv, info = gbsv_batch(pb.n, pb.kl, pb.ku, 1, a, None, b)
+        assert (info == 0).all()
+        dense = band_to_dense(pb.a_band[0], pb.n, pb.kl, pb.ku)
+        np.testing.assert_allclose(dense @ b[0], pb.b[0], atol=1e-9)
+
+    def test_conditioning_scales_with_time_step(self):
+        """Larger implicit steps make I - h J much harder conditioned —
+        the wide condition range of the paper's Section 2.1."""
+        conds = {}
+        for h in (1e-5, 5e-2):
+            pb = pele_batch(8, n_species=24, h=h, rate_spread=8.0, seed=3)
+            conds[h] = max(
+                np.linalg.cond(band_to_dense(ab, pb.n, pb.kl, pb.ku))
+                for ab in pb.a_band)
+        assert conds[5e-2] > 50 * conds[1e-5]
+        # And the states themselves spread conditioning within one batch.
+        pb = pele_batch(8, n_species=24, h=5e-2, rate_spread=8.0, seed=3)
+        batch_conds = [np.linalg.cond(band_to_dense(ab, pb.n, pb.kl, pb.ku))
+                       for ab in pb.a_band]
+        assert max(batch_conds) / min(batch_conds) > 1.5
+
+
+class TestXgc:
+    def test_paper_dimensions(self):
+        """512 systems of order 193 (Section 2.2)."""
+        xb = xgc_batch(batch=4, n_elements=64, seed=0)
+        assert xb.n == 193
+        assert xb.kl == xb.ku == 3
+
+    def test_q3_matrix_bandwidth(self):
+        a = q3_collision_matrix(8)
+        kl, ku = bandwidth_of_dense(a, tol=1e-14)
+        assert kl == 3 and ku == 3
+
+    def test_mass_matrix_positive_definite_at_dt0(self):
+        a = q3_collision_matrix(6, dt=0.0)
+        np.testing.assert_allclose(a, a.T, atol=1e-14)   # pure mass matrix
+        assert (np.linalg.eigvalsh(a) > 0).all()
+
+    def test_drag_term_breaks_symmetry(self):
+        a = q3_collision_matrix(6, dt=0.5, drag=2.0)
+        assert not np.allclose(a, a.T)
+
+    def test_systems_solvable(self):
+        xb = xgc_batch(batch=3, n_elements=16, seed=1)
+        a, b = xb.a_band.copy(), xb.b.copy()
+        piv, info = gbsv_batch(xb.n, xb.kl, xb.ku, 1, a, None, b)
+        assert (info == 0).all()
+        dense = band_to_dense(xb.a_band[0], xb.n, xb.kl, xb.ku)
+        np.testing.assert_allclose(dense @ b[0], xb.b[0], atol=1e-9)
+
+
+class TestReactEval:
+    def _small(self, seed=0):
+        mech = chain_mechanism(8, coupling=2, rate_spread=2.0, seed=seed)
+        y0 = sinusoidal_states(4, 8)
+        return mech, y0
+
+    def test_sinusoidal_states_positive(self):
+        y0 = sinusoidal_states(8, 16)
+        assert (y0 > 0).all()
+        assert y0.shape == (8, 16)
+        # Distinct phases across the batch.
+        assert not np.allclose(y0[0], y0[1])
+
+    def test_amplitude_validated(self):
+        with pytest.raises(ArgumentError):
+            sinusoidal_states(4, 8, base=0.3, amplitude=0.5)
+
+    def test_backward_euler_converges(self):
+        mech, y0 = self._small()
+        res = integrate_batch(mech, y0, 4e-3, dt=1e-3)
+        assert res.stats.converged
+        assert res.stats.steps == 4
+        assert res.stats.solver_calls >= 4
+        assert np.isfinite(res.y).all()
+        assert res.t == pytest.approx(4e-3)
+
+    def test_bdf2_second_order(self):
+        """Halving dt must cut BDF2's error ~4x and BEuler's ~2x."""
+        mech, y0 = self._small(seed=3)
+        t_end = 8e-3
+        ref = integrate_batch(mech, y0, t_end, dt=1e-4, method="bdf2").y
+        orders = {}
+        for method in ("beuler", "bdf2"):
+            errs = []
+            for dt in (2e-3, 1e-3):
+                y = integrate_batch(mech, y0, t_end, dt=dt,
+                                    method=method).y
+                errs.append(np.abs(y - ref).max())
+            orders[method] = np.log2(errs[0] / errs[1])
+        assert 0.7 < orders["beuler"] < 1.4
+        assert orders["bdf2"] > 1.6
+
+    def test_stats_counters_consistent(self):
+        mech, y0 = self._small(seed=4)
+        res = integrate_batch(mech, y0, 3e-3, dt=1e-3)
+        s = res.stats
+        assert s.solver_calls == s.newton_iterations
+        assert s.jacobian_evaluations == s.newton_iterations * y0.shape[0]
+
+    def test_equilibrium_is_fixed_point(self):
+        """Starting from a steady state, Newton converges immediately."""
+        mech = Mechanism(n_species=2, reactions=(
+            Reaction(reactants=((0, 1),), products=((1, 1),),
+                     rate_constant=1.0),))
+        y0 = np.array([[0.0, 1.0]])      # species 0 exhausted: dy/dt = 0
+        res = integrate_batch(mech, y0, 2e-3, dt=1e-3)
+        np.testing.assert_allclose(res.y, y0, atol=1e-12)
+        assert res.stats.newton_iterations == 0   # residual already zero
+
+    def test_invalid_method(self):
+        mech, y0 = self._small()
+        with pytest.raises(ArgumentError):
+            integrate_batch(mech, y0, 1e-3, method="rk4")
+
+    def test_invalid_dt(self):
+        mech, y0 = self._small()
+        with pytest.raises(ArgumentError):
+            integrate_batch(mech, y0, 1e-3, dt=0.0)
+
+    def test_y0_shape_validated(self):
+        mech, _ = self._small()
+        with pytest.raises(ArgumentError):
+            integrate_batch(mech, np.zeros((4, 5)), 1e-3)
+
+    def test_solver_runs_on_requested_device(self):
+        from repro.gpusim import MI250X_GCD, Stream
+        mech, y0 = self._small(seed=5)
+        stream = Stream(MI250X_GCD)
+        res = integrate_batch(mech, y0, 2e-3, dt=1e-3, device=MI250X_GCD,
+                              stream=stream)
+        assert res.stats.converged
+        assert stream.launch_count() >= res.stats.solver_calls

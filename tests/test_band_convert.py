@@ -1,0 +1,134 @@
+"""Unit tests for dense <-> band conversions."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import (
+    band_batch_to_dense,
+    band_to_dense,
+    bandwidth_of_dense,
+    dense_batch_to_band,
+    dense_to_band,
+)
+from repro.band.generate import random_band_dense
+from repro.errors import ArgumentError
+
+from conftest import BAND_CONFIGS
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_square_roundtrip(self, n, kl, ku):
+        a = random_band_dense(n, n, kl, ku, seed=1)
+        ab = dense_to_band(a, kl, ku)
+        back = band_to_dense(ab, n, kl, ku)
+        np.testing.assert_array_equal(a, back)
+
+    @pytest.mark.parametrize("m,n", [(5, 9), (9, 5), (1, 7), (7, 1)])
+    def test_rectangular_roundtrip(self, m, n):
+        a = random_band_dense(m, n, 2, 3, seed=2)
+        ab = dense_to_band(a, 2, 3)
+        np.testing.assert_array_equal(band_to_dense(ab, m, 2, 3), a)
+
+    def test_storage_layout_roundtrip(self):
+        a = random_band_dense(8, 8, 2, 3, seed=3)
+        ab = dense_to_band(a, 2, 3, factor_layout=False)
+        assert ab.shape == (6, 8)
+        back = band_to_dense(ab, 8, 2, 3, factor_layout=False)
+        np.testing.assert_array_equal(a, back)
+
+    def test_scipy_solve_banded_layout_compat(self):
+        """Our storage layout slices directly into scipy's convention."""
+        from scipy.linalg import solve_banded
+        a = random_band_dense(8, 8, 2, 3, seed=4) + 4 * np.eye(8)
+        ab = dense_to_band(a, 2, 3, factor_layout=True)
+        b = np.arange(8.0)
+        x = solve_banded((2, 3), ab[2:, :], b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-12)
+
+
+class TestDenseToBand:
+    def test_diagonal_lands_on_klku_row(self):
+        a = np.diag(np.arange(1.0, 6.0))
+        ab = dense_to_band(a, 2, 3)
+        np.testing.assert_array_equal(ab[5], np.arange(1.0, 6.0))
+
+    def test_out_of_band_entries_ignored(self):
+        a = np.ones((6, 6))
+        ab = dense_to_band(a, 1, 1)
+        back = band_to_dense(ab, 6, 1, 1)
+        expected = np.triu(np.tril(a, 1), -1)
+        np.testing.assert_array_equal(back, expected)
+
+    def test_custom_ldab(self):
+        a = random_band_dense(6, 6, 1, 1, seed=5)
+        ab = dense_to_band(a, 1, 1, ldab=10)
+        assert ab.shape == (10, 6)
+        np.testing.assert_array_equal(band_to_dense(ab, 6, 1, 1), a)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ArgumentError):
+            dense_to_band(np.ones(4), 1, 1)
+
+    def test_rejects_small_ldab(self):
+        with pytest.raises(ArgumentError):
+            dense_to_band(np.eye(4), 1, 1, ldab=3)
+
+
+class TestFilledUnpack:
+    def test_filled_recovers_fillin_diagonals(self):
+        """After factorization U spills into the kl fill-in rows."""
+        from repro.core.gbtf2 import gbtf2
+        from repro.band.generate import random_band
+        n, kl, ku = 12, 2, 3
+        ab = random_band(n, kl, ku, seed=6)
+        dense = band_to_dense(ab, n, kl, ku)
+        gbtf2(n, n, kl, ku, ab)
+        u = np.triu(band_to_dense(ab, n, kl, ku, filled=True))
+        # U must have bandwidth kl+ku and reproduce PA = LU.
+        for d in range(kl + ku + 1, n):
+            assert not np.diagonal(u, d).any()
+        assert np.abs(np.diagonal(u, kl + ku)).sum() >= 0  # exists
+
+
+class TestBandwidthOfDense:
+    def test_zero_matrix(self):
+        assert bandwidth_of_dense(np.zeros((4, 4))) == (0, 0)
+
+    def test_diagonal(self):
+        assert bandwidth_of_dense(np.eye(4)) == (0, 0)
+
+    def test_tridiagonal(self):
+        a = np.eye(5) + np.eye(5, k=1) + np.eye(5, k=-1)
+        assert bandwidth_of_dense(a) == (1, 1)
+
+    def test_asymmetric(self):
+        a = np.eye(6) + np.eye(6, k=3)
+        assert bandwidth_of_dense(a) == (0, 3)
+
+    def test_tolerance(self):
+        a = np.eye(5) + 1e-12 * np.eye(5, k=2)
+        assert bandwidth_of_dense(a) == (0, 2)
+        assert bandwidth_of_dense(a, tol=1e-10) == (0, 0)
+
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_generated_matrices_are_tight(self, n, kl, ku):
+        a = random_band_dense(n, n, kl, ku, seed=7)
+        bkl, bku = bandwidth_of_dense(a)
+        assert bkl <= min(kl, n - 1) and bku <= min(ku, n - 1)
+
+
+class TestBatchConversions:
+    def test_batch_roundtrip(self):
+        batch = np.stack([random_band_dense(6, 6, 1, 2, seed=s)
+                          for s in range(4)])
+        ab = dense_batch_to_band(batch, 1, 2)
+        assert ab.shape == (4, 5, 6)
+        back = band_batch_to_dense(ab, 6, 1, 2)
+        np.testing.assert_array_equal(back, batch)
+
+    def test_batch_requires_3d(self):
+        with pytest.raises(ArgumentError):
+            dense_batch_to_band(np.eye(4), 1, 1)
+        with pytest.raises(ArgumentError):
+            band_batch_to_dense(np.zeros((4, 4)), 4, 1, 1)

@@ -1,0 +1,113 @@
+"""Unit tests for the band-matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense, bandwidth_of_dense
+from repro.band.generate import (
+    diagonally_dominant_band,
+    graded_condition_band,
+    random_band,
+    random_band_batch,
+    random_band_dense,
+    random_rhs,
+)
+from repro.errors import ArgumentError
+
+
+class TestRandomBand:
+    def test_shape(self):
+        assert random_band(10, 2, 3, seed=0).shape == (8, 10)
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_band(10, 2, 3, seed=5),
+                                      random_band(10, 2, 3, seed=5))
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(random_band(10, 2, 3, seed=1),
+                                  random_band(10, 2, 3, seed=2))
+
+    def test_rectangular(self):
+        ab = random_band(9, 2, 3, m=5, seed=0)
+        dense = band_to_dense(ab, 5, 2, 3)
+        assert dense.shape == (5, 9)
+
+    def test_dtype_variants(self):
+        for dt in (np.float32, np.float64, np.complex64, np.complex128):
+            ab = random_band(6, 1, 1, dtype=dt, seed=0)
+            assert ab.dtype == dt
+            if np.dtype(dt).kind == "c":
+                assert np.abs(ab.imag).sum() > 0
+
+    def test_density(self):
+        ab = random_band(64, 8, 8, seed=0, density=0.5)
+        dense = band_to_dense(ab, 64, 8, 8)
+        in_band = sum(min(64, j + 9) - max(0, j - 8) for j in range(64))
+        nnz = (dense != 0).sum()
+        assert 0.3 * in_band < nnz < 0.75 * in_band
+        # The diagonal is always kept.
+        assert (np.diag(dense) != 0).all()
+
+    def test_density_validated(self):
+        with pytest.raises(ArgumentError):
+            random_band_dense(4, 4, 1, 1, density=1.5)
+
+
+class TestRandomBandBatch:
+    def test_shape(self):
+        a = random_band_batch(5, 12, 2, 3, seed=0)
+        assert a.shape == (5, 8, 12)
+
+    def test_members_differ(self):
+        a = random_band_batch(3, 12, 2, 3, seed=0)
+        assert not np.array_equal(a[0], a[1])
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(random_band_batch(3, 8, 1, 1, seed=9),
+                                      random_band_batch(3, 8, 1, 1, seed=9))
+
+
+class TestDiagonallyDominant:
+    @pytest.mark.parametrize("n,kl,ku", [(8, 2, 3), (20, 4, 4), (5, 0, 2)])
+    def test_dominance_holds(self, n, kl, ku):
+        ab = diagonally_dominant_band(n, kl, ku, seed=0, dominance=2.0)
+        a = band_to_dense(ab, n, kl, ku)
+        diag = np.abs(np.diag(a))
+        off = np.abs(a).sum(axis=1) - diag
+        assert (diag >= 2.0 * off - 1e-12).all()
+
+    def test_no_pivoting_needed(self):
+        """Strict dominance implies the natural pivot order."""
+        from repro.core.gbtf2 import gbtf2
+        ab = diagonally_dominant_band(16, 2, 3, seed=1, dominance=3.0)
+        ipiv, info = gbtf2(16, 16, 2, 3, ab)
+        assert info == 0
+        np.testing.assert_array_equal(ipiv, np.arange(16))
+
+    def test_invalid_dominance(self):
+        with pytest.raises(ArgumentError):
+            diagonally_dominant_band(5, 1, 1, dominance=0.0)
+
+
+class TestGradedCondition:
+    def test_condition_grows_with_parameter(self):
+        conds = []
+        for cond in (1e2, 1e6):
+            ab = graded_condition_band(24, 2, 3, cond=cond, seed=3)
+            a = band_to_dense(ab, 24, 2, 3)
+            conds.append(np.linalg.cond(a))
+        assert conds[1] > 10 * conds[0]
+
+    def test_invalid_cond(self):
+        with pytest.raises(ArgumentError):
+            graded_condition_band(5, 1, 1, cond=0.5)
+
+
+class TestRandomRhs:
+    def test_shapes(self):
+        assert random_rhs(6, 3, seed=0).shape == (6, 3)
+        assert random_rhs(6, 3, batch=4, seed=0).shape == (4, 6, 3)
+
+    def test_complex(self):
+        b = random_rhs(6, 2, dtype=np.complex128, seed=0)
+        assert np.abs(b.imag).sum() > 0

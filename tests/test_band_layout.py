@@ -1,0 +1,124 @@
+"""Unit tests for the LAPACK band layout arithmetic (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.band.layout import (
+    BandLayout,
+    alloc_band,
+    band_index,
+    col_rows,
+    diag_row,
+    in_band,
+    ldab_for_factor,
+    ldab_for_storage,
+)
+from repro.errors import ArgumentError
+
+
+class TestLdab:
+    def test_storage_vs_factor(self):
+        assert ldab_for_storage(2, 3) == 6
+        assert ldab_for_factor(2, 3) == 8       # kl extra fill-in rows
+
+    def test_paper_bands(self):
+        assert ldab_for_factor(10, 7) == 28
+
+    def test_diagonal_matrix(self):
+        assert ldab_for_storage(0, 0) == 1
+        assert ldab_for_factor(0, 0) == 1
+
+
+class TestIndexing:
+    def test_diag_row_is_klku(self):
+        assert diag_row(2, 3) == 5
+
+    @pytest.mark.parametrize("kl,ku", [(2, 3), (0, 0), (10, 7), (1, 0)])
+    def test_diagonal_entries(self, kl, ku):
+        for j in range(5):
+            assert band_index(kl, ku, j, j) == (kl + ku, j)
+
+    def test_figure2_example(self):
+        # The paper's 9x9 example with kl=2, ku=3: A(0,3) is the outermost
+        # super-diagonal, stored on row kl = 2; A(3,1) is the outermost
+        # sub-diagonal, stored on the last row.
+        kl, ku = 2, 3
+        assert band_index(kl, ku, 0, 3) == (kl, 3)
+        assert band_index(kl, ku, 3, 1) == (2 * kl + ku, 1)
+
+    def test_in_band(self):
+        assert in_band(2, 3, 4, 4)
+        assert in_band(2, 3, 6, 4)       # kl below
+        assert not in_band(2, 3, 7, 4)
+        assert in_band(2, 3, 1, 4)       # ku above
+        assert not in_band(2, 3, 0, 4)
+
+    def test_col_rows(self):
+        assert col_rows(9, 2, 3, 0) == (0, 3)
+        assert col_rows(9, 2, 3, 4) == (1, 7)
+        assert col_rows(9, 2, 3, 8) == (5, 9)
+
+
+class TestBandLayout:
+    def test_kv(self):
+        assert BandLayout(9, 9, 2, 3).kv == 5
+
+    def test_window_sizes_match_paper(self):
+        # Section 5.3: window is (kv + nb + 1) columns x (kv + kl + 1) rows.
+        lay = BandLayout(512, 512, 2, 3)
+        nb = 16
+        assert lay.window_cols(nb) == 5 + 16 + 1
+        assert lay.window_rows() == 5 + 2 + 1
+        assert lay.window_elems(nb) == 22 * 8
+
+    def test_window_constant_in_matrix_size(self):
+        small = BandLayout(64, 64, 2, 3).window_elems(16)
+        large = BandLayout(4096, 4096, 2, 3).window_elems(16)
+        assert small == large
+
+    def test_fused_grows_with_matrix_size(self):
+        small = BandLayout(64, 64, 2, 3).fused_elems()
+        large = BandLayout(128, 128, 2, 3).fused_elems()
+        assert large == 2 * small
+
+    def test_nnz_full_band(self):
+        lay = BandLayout(4, 4, 3, 3)
+        assert lay.nnz() == 16          # band covers everything
+
+    def test_nnz_tridiagonal(self):
+        lay = BandLayout(5, 5, 1, 1)
+        assert lay.nnz() == 5 + 4 + 4
+
+    def test_contains(self):
+        lay = BandLayout(9, 9, 2, 3)
+        assert lay.contains(4, 4)
+        assert not lay.contains(9, 4)   # out of range
+        assert not lay.contains(8, 2)   # below the band
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ArgumentError):
+            BandLayout(-1, 4, 1, 1)
+        with pytest.raises(ArgumentError):
+            BandLayout(4, 4, -1, 1)
+
+
+class TestAllocBand:
+    def test_shape_and_zero(self):
+        ab = alloc_band(10, 2, 3)
+        assert ab.shape == (8, 10)
+        assert not ab.any()
+
+    def test_batch_shape(self):
+        ab = alloc_band(10, 2, 3, batch=7)
+        assert ab.shape == (7, 8, 10)
+
+    def test_custom_ldab(self):
+        ab = alloc_band(10, 2, 3, ldab=12)
+        assert ab.shape == (12, 10)
+
+    def test_too_small_ldab_rejected(self):
+        with pytest.raises(ArgumentError):
+            alloc_band(10, 2, 3, ldab=7)
+
+    def test_dtype(self):
+        assert alloc_band(4, 1, 1, dtype=np.complex128).dtype == np.complex128

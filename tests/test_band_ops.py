@@ -1,0 +1,124 @@
+"""Unit tests for band operations (gbmv/gbmm, norms, residuals)."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import dense_to_band
+from repro.band.generate import random_band_dense, random_rhs
+from repro.band.ops import band_norm_1, band_norm_inf, gbmm, gbmv, solve_residual
+from repro.errors import ArgumentError
+
+from conftest import BAND_CONFIGS
+
+
+def _setup(m, n, kl, ku, seed=0, dtype=np.float64):
+    a = random_band_dense(m, n, kl, ku, seed=seed, dtype=dtype)
+    ab = dense_to_band(a, kl, ku)
+    return a, ab
+
+
+class TestGbmv:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_no_trans_matches_dense(self, n, kl, ku):
+        a, ab = _setup(n, n, kl, ku)
+        x = random_rhs(n, 1, seed=3)[:, 0]
+        y = np.zeros(n)
+        gbmv("N", n, kl, ku, 1.0, ab, x, 0.0, y)
+        np.testing.assert_allclose(y, a @ x, atol=1e-13)
+
+    @pytest.mark.parametrize("m,n", [(5, 9), (9, 5)])
+    def test_rectangular(self, m, n):
+        a, ab = _setup(m, n, 2, 3)
+        x = np.arange(1.0, n + 1)
+        y = np.zeros(m)
+        gbmv("N", m, 2, 3, 1.0, ab, x, 0.0, y)
+        np.testing.assert_allclose(y, a @ x, atol=1e-13)
+
+    def test_trans(self):
+        a, ab = _setup(7, 7, 2, 1)
+        x = np.arange(1.0, 8)
+        y = np.zeros(7)
+        gbmv("T", 7, 2, 1, 1.0, ab, x, 0.0, y)
+        np.testing.assert_allclose(y, a.T @ x, atol=1e-13)
+
+    def test_conj_trans_complex(self):
+        a, ab = _setup(7, 7, 2, 1, dtype=np.complex128)
+        x = random_rhs(7, 1, dtype=np.complex128, seed=5)[:, 0]
+        y = np.zeros(7, dtype=np.complex128)
+        gbmv("C", 7, 2, 1, 1.0, ab, x, 0.0, y)
+        np.testing.assert_allclose(y, a.conj().T @ x, atol=1e-13)
+
+    def test_alpha_beta(self):
+        a, ab = _setup(6, 6, 1, 1)
+        x = np.ones(6)
+        y = np.full(6, 2.0)
+        gbmv("N", 6, 1, 1, 3.0, ab, x, 0.5, y)
+        np.testing.assert_allclose(y, 3.0 * (a @ x) + 1.0, atol=1e-13)
+
+    def test_multiple_rhs_columns(self):
+        a, ab = _setup(6, 6, 1, 2)
+        x = random_rhs(6, 4, seed=7)
+        y = np.zeros((6, 4))
+        gbmv("N", 6, 1, 2, 1.0, ab, x, 0.0, y)
+        np.testing.assert_allclose(y, a @ x, atol=1e-13)
+
+    def test_storage_layout(self):
+        a = random_band_dense(6, 6, 1, 2, seed=8)
+        ab = dense_to_band(a, 1, 2, factor_layout=False)
+        y = np.zeros(6)
+        gbmv("N", 6, 1, 2, 1.0, ab, np.ones(6), 0.0, y,
+             factor_layout=False)
+        np.testing.assert_allclose(y, a @ np.ones(6), atol=1e-13)
+
+    def test_wrong_lengths_raise(self):
+        _, ab = _setup(6, 6, 1, 1)
+        with pytest.raises(ArgumentError):
+            gbmv("N", 6, 1, 1, 1.0, ab, np.ones(5), 0.0, np.zeros(6))
+        with pytest.raises(ArgumentError):
+            gbmv("N", 6, 1, 1, 1.0, ab, np.ones(6), 0.0, np.zeros(5))
+
+
+class TestGbmm:
+    def test_matches_dense(self):
+        a, ab = _setup(8, 8, 2, 3)
+        x = random_rhs(8, 3, seed=9)
+        np.testing.assert_allclose(gbmm(8, 2, 3, ab, x), a @ x, atol=1e-13)
+
+
+class TestNorms:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_inf_norm_matches_dense(self, n, kl, ku):
+        a, ab = _setup(n, n, kl, ku)
+        assert band_norm_inf(ab, n, kl, ku) == pytest.approx(
+            np.abs(a).sum(axis=1).max())
+
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_one_norm_matches_dense(self, n, kl, ku):
+        a, ab = _setup(n, n, kl, ku)
+        assert band_norm_1(ab, n, kl, ku) == pytest.approx(
+            np.abs(a).sum(axis=0).max())
+
+    def test_zero_matrix(self):
+        ab = np.zeros((8, 5))
+        assert band_norm_inf(ab, 5, 2, 3) == 0.0
+        assert band_norm_1(ab, 5, 2, 3) == 0.0
+
+
+class TestSolveResidual:
+    def test_exact_solution_is_tiny(self):
+        a, ab = _setup(10, 10, 2, 3, seed=11)
+        a = a + 5 * np.eye(10)
+        ab = dense_to_band(a, 2, 3)
+        b = random_rhs(10, 2, seed=12)
+        x = np.linalg.solve(a, b)
+        assert solve_residual(ab, x, b, 2, 3) < 1e-14
+
+    def test_wrong_solution_is_large(self):
+        a, ab = _setup(10, 10, 2, 3, seed=13)
+        b = random_rhs(10, 1, seed=14)
+        assert solve_residual(ab, b + 1.0, b, 2, 3) > 1e-3
+
+    def test_zero_everything(self):
+        ab = np.zeros((8, 5))
+        assert solve_residual(ab, np.zeros((5, 1)), np.zeros((5, 1)),
+                              2, 3) == 0.0

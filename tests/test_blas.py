@@ -1,0 +1,174 @@
+"""Unit tests for the mini-BLAS building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.blas import (
+    asum,
+    axpy,
+    dot,
+    gemm,
+    gemm_batch,
+    gemv,
+    gemv_batch,
+    ger,
+    iamax,
+    nrm2,
+    scal,
+    swap,
+    trsv,
+)
+from repro.errors import ArgumentError
+
+
+class TestIamax:
+    def test_basic(self):
+        assert iamax(np.array([1.0, -5.0, 3.0])) == 1
+
+    def test_ties_resolve_to_first(self):
+        assert iamax(np.array([2.0, -2.0, 2.0])) == 0
+
+    def test_empty(self):
+        assert iamax(np.array([])) == 0
+
+    def test_complex_uses_component_norm(self):
+        # LAPACK IZAMAX compares |re| + |im|, not the modulus: 3+3j wins
+        # over 4+0j even though |4| < |3+3j| either way; pick values where
+        # the two orderings differ: |3+3j|_1 = 6 > |4|_1 = 4 but moduli are
+        # 4.24 vs 4.0 — and 2.9+2.9j (1-norm 5.8, modulus 4.10) vs 4.1
+        # (1-norm 4.1, modulus 4.1): component norm picks index 0.
+        x = np.array([2.9 + 2.9j, 4.1 + 0.0j])
+        assert iamax(x) == 0
+
+    def test_strided_view(self):
+        a = np.arange(12.0).reshape(3, 4)
+        assert iamax(a[:, 2]) == 2
+
+
+class TestLevel1:
+    def test_swap_views(self):
+        a = np.arange(10.0)
+        swap(a[0:3], a[5:8])
+        np.testing.assert_array_equal(a[:3], [5, 6, 7])
+        np.testing.assert_array_equal(a[5:8], [0, 1, 2])
+
+    def test_scal(self):
+        x = np.arange(4.0)
+        scal(2.0, x)
+        np.testing.assert_array_equal(x, [0, 2, 4, 6])
+
+    def test_axpy(self):
+        x, y = np.ones(4), np.arange(4.0)
+        axpy(3.0, x, y)
+        np.testing.assert_array_equal(y, [3, 4, 5, 6])
+
+    def test_dot_and_dotc(self):
+        x = np.array([1 + 1j, 2.0])
+        y = np.array([1.0, 1 - 1j])
+        assert dot(x, y) == (1 + 1j) + 2 * (1 - 1j)
+        assert dot(x, y, conj=True) == (1 - 1j) + 2 * (1 - 1j)
+
+    def test_nrm2(self):
+        assert nrm2(np.array([3.0, 4.0])) == pytest.approx(5.0)
+
+    def test_asum_complex(self):
+        assert asum(np.array([3 + 4j])) == pytest.approx(7.0)
+
+
+class TestLevel2:
+    def test_ger(self, rng):
+        a = rng.standard_normal((4, 5))
+        x, y = rng.standard_normal(4), rng.standard_normal(5)
+        expected = a + 2.0 * np.outer(x, y)
+        ger(2.0, x, y, a)
+        np.testing.assert_allclose(a, expected, atol=1e-14)
+
+    def test_ger_shape_check(self):
+        with pytest.raises(ArgumentError):
+            ger(1.0, np.ones(3), np.ones(4), np.zeros((4, 4)))
+
+    def test_gemv_variants(self, rng):
+        a = rng.standard_normal((5, 5))
+        x = rng.standard_normal(5)
+        for trans, op in (("N", a), ("T", a.T)):
+            y = np.zeros(5)
+            gemv(trans, 1.0, a, x, 0.0, y)
+            np.testing.assert_allclose(y, op @ x, atol=1e-13)
+
+    def test_gemv_conj(self, rng):
+        a = rng.standard_normal((4, 4)) + 1j * rng.standard_normal((4, 4))
+        x = rng.standard_normal(4) + 0j
+        y = np.zeros(4, dtype=complex)
+        gemv("C", 1.0, a, x, 0.0, y)
+        np.testing.assert_allclose(y, a.conj().T @ x, atol=1e-13)
+
+    @pytest.mark.parametrize("uplo", ["L", "U"])
+    @pytest.mark.parametrize("trans", ["N", "T"])
+    @pytest.mark.parametrize("diag", ["N", "U"])
+    def test_trsv(self, uplo, trans, diag, rng):
+        a = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        t = np.tril(a) if uplo == "L" else np.triu(a)
+        if diag == "U":
+            t_eff = t - np.diag(np.diag(t)) + np.eye(6)
+        else:
+            t_eff = t
+        b = rng.standard_normal(6)
+        x = b.copy()
+        trsv(uplo, trans, diag, t, x)
+        op = t_eff if trans == "N" else t_eff.T
+        np.testing.assert_allclose(op @ x, b, atol=1e-12)
+
+    def test_trsv_conj_trans(self, rng):
+        a = rng.standard_normal((5, 5)) + 1j * rng.standard_normal((5, 5))
+        t = np.tril(a) + 5 * np.eye(5)
+        b = rng.standard_normal(5) + 0j
+        x = b.copy()
+        trsv("L", "C", "N", t, x)
+        np.testing.assert_allclose(t.conj().T @ x, b, atol=1e-12)
+
+    def test_trsv_validates(self):
+        with pytest.raises(ArgumentError):
+            trsv("X", "N", "N", np.eye(3), np.ones(3))
+        with pytest.raises(ArgumentError):
+            trsv("L", "N", "Q", np.eye(3), np.ones(3))
+
+
+class TestLevel3:
+    def test_gemm(self, rng):
+        a = rng.standard_normal((4, 6))
+        b = rng.standard_normal((6, 3))
+        c = np.zeros((4, 3))
+        gemm("N", "N", 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, atol=1e-13)
+
+    def test_gemm_trans_combinations(self, rng):
+        a = rng.standard_normal((6, 4))
+        b = rng.standard_normal((3, 6))
+        c = np.zeros((4, 3))
+        gemm("T", "T", 2.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, 2.0 * (a.T @ b.T), atol=1e-13)
+
+    def test_gemm_inner_mismatch(self):
+        with pytest.raises(ArgumentError):
+            gemm("N", "N", 1.0, np.ones((2, 3)), np.ones((4, 2)), 0.0,
+                 np.zeros((2, 2)))
+
+    def test_gemm_batch(self, rng):
+        a = rng.standard_normal((5, 3, 4))
+        b = rng.standard_normal((5, 4, 2))
+        c = np.zeros((5, 3, 2))
+        gemm_batch("N", "N", 1.0, a, b, 0.0, c)
+        np.testing.assert_allclose(c, a @ b, atol=1e-13)
+
+    def test_gemv_batch(self, rng):
+        a = rng.standard_normal((5, 3, 4))
+        x = rng.standard_normal((5, 4))
+        y = np.zeros((5, 3))
+        gemv_batch("N", 1.0, a, x, 0.0, y)
+        np.testing.assert_allclose(y, np.einsum("bij,bj->bi", a, x),
+                                   atol=1e-13)
+
+    def test_gemv_batch_mismatch(self):
+        with pytest.raises(ArgumentError):
+            gemv_batch("N", 1.0, np.ones((2, 3, 3)), np.ones((3, 3)), 0.0,
+                       np.zeros((2, 3)))

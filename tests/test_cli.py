@@ -1,0 +1,63 @@
+"""Command-line entry points: python -m repro.bench / repro.tuning."""
+
+import json
+
+import pytest
+
+from repro.bench.__main__ import EXHIBITS, main as bench_main
+from repro.tuning.__main__ import main as tuning_main
+
+
+class TestBenchCli:
+    def test_list(self, capsys):
+        assert bench_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig1", "fig3", "table1", "bandwidth", "ablations"):
+            assert name in out
+
+    def test_single_exhibit(self, capsys):
+        assert bench_main(["bandwidth"]) == 0
+        out = capsys.readouterr().out
+        assert "1.92 TB/s" in out
+
+    def test_table_exhibit(self, capsys):
+        assert bench_main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "H100 (kl,ku)=(2,3)" in out
+        assert "paper" in out
+
+    def test_unknown_exhibit_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            bench_main(["figure42"])
+        assert exc.value.code != 0
+
+    def test_every_exhibit_registered_is_callable(self):
+        # Names only; execution of the heavy ones is covered by the
+        # benchmark suite itself.
+        assert set(EXHIBITS) >= {"fig1", "fig3", "fig5", "fig7", "fig8",
+                                 "fig9", "table1", "table2", "table3",
+                                 "bandwidth", "ablations"}
+
+
+class TestTuningCli:
+    def test_small_sweep_writes_table(self, tmp_path, capsys):
+        rc = tuning_main(["--device", "h100-pcie", "--kl-max", "2",
+                          "--ku-max", "2", "--out", str(tmp_path),
+                          "--quiet"])
+        assert rc == 0
+        doc = json.loads((tmp_path / "h100-pcie.json").read_text())
+        assert doc["device"] == "h100-pcie"
+        assert len(doc["entries"]) == 9
+        for e in doc["entries"]:
+            assert e["threads"] >= e["kl"] + 1
+
+    def test_step_reduces_entries(self, tmp_path):
+        tuning_main(["--device", "mi250x-gcd", "--kl-max", "4",
+                     "--ku-max", "4", "--step", "2", "--out",
+                     str(tmp_path), "--quiet"])
+        doc = json.loads((tmp_path / "mi250x-gcd.json").read_text())
+        assert len(doc["entries"]) == 9    # {0,2,4}^2
+
+    def test_bad_device_rejected(self):
+        with pytest.raises(SystemExit):
+            tuning_main(["--device", "tpu-v9"])

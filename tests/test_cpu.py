@@ -1,0 +1,152 @@
+"""CPU baseline: LAPACK equivalence, OpenMP-style chunking, cost model."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core.gbsv import gbsv_batch
+from repro.core.gbtrf import gbtrf_batch
+from repro.cpu import (
+    XEON_6140,
+    CpuPool,
+    CpuSpec,
+    chunk_ranges,
+    cpu_gbsv_batch,
+    cpu_gbsv_time,
+    cpu_gbtrf_batch,
+    cpu_gbtrf_time,
+    cpu_gbtrs_batch,
+    cpu_gbtrs_time,
+)
+from repro.types import Trans
+
+
+class TestThreading:
+    def test_static_chunks_cover_range(self):
+        chunks = list(chunk_ranges(10, 3))
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_threads_than_work(self):
+        chunks = list(chunk_ranges(2, 8))
+        assert chunks == [(0, 1), (1, 2)]
+
+    def test_dynamic_unit_chunks(self):
+        assert list(chunk_ranges(3, 2, schedule="dynamic")) == \
+            [(0, 1), (1, 2), (2, 3)]
+
+    def test_empty(self):
+        assert list(chunk_ranges(0, 4)) == []
+
+    def test_unknown_schedule(self):
+        with pytest.raises(ValueError):
+            list(chunk_ranges(4, 2, schedule="guided"))
+
+    def test_parallel_for_runs_all(self):
+        seen = []
+        CpuPool(4).parallel_for(10, seen.append)
+        assert sorted(seen) == list(range(10))
+
+    def test_pool_from_env(self, monkeypatch):
+        monkeypatch.setenv("OMP_NUM_THREADS", "7")
+        assert CpuPool.from_env().num_threads == 7
+        monkeypatch.delenv("OMP_NUM_THREADS")
+        assert CpuPool.from_env().num_threads == XEON_6140.cores
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            CpuPool(0)
+
+
+class TestCpuMatchesGpu:
+    @pytest.mark.parametrize("n,kl,ku", [(16, 2, 3), (40, 10, 7),
+                                         (12, 0, 2)])
+    def test_gbtrf_identical(self, n, kl, ku):
+        a_cpu = random_band_batch(3, n, kl, ku, seed=n)
+        a_gpu = a_cpu.copy()
+        piv_c, info_c, _ = cpu_gbtrf_batch(n, n, kl, ku, a_cpu)
+        piv_g, info_g = gbtrf_batch(n, n, kl, ku, a_gpu)
+        np.testing.assert_allclose(a_cpu, a_gpu, atol=1e-13)
+        for p, q in zip(piv_c, piv_g):
+            np.testing.assert_array_equal(p, q)
+        np.testing.assert_array_equal(info_c, info_g)
+
+    def test_gbsv_identical(self):
+        n, kl, ku, nrhs = 24, 2, 3, 2
+        a_cpu = random_band_batch(3, n, kl, ku, seed=9)
+        b_cpu = random_rhs(n, nrhs, batch=3, seed=10)
+        a_gpu, b_gpu = a_cpu.copy(), b_cpu.copy()
+        cpu_gbsv_batch(n, kl, ku, nrhs, a_cpu, None, b_cpu)
+        gbsv_batch(n, kl, ku, nrhs, a_gpu, None, b_gpu)
+        np.testing.assert_allclose(b_cpu, b_gpu, atol=1e-12)
+
+    def test_gbtrs_transposed(self):
+        n, kl, ku = 18, 3, 2
+        orig = random_band_batch(2, n, kl, ku, seed=11)
+        a = orig.copy()
+        b = random_rhs(n, 1, batch=2, seed=12)
+        piv, info, _ = cpu_gbtrf_batch(n, n, kl, ku, a)
+        x = b.copy()
+        cpu_gbtrs_batch(Trans.TRANS, n, kl, ku, 1, a, piv, x)
+        dense = band_to_dense(orig[0], n, kl, ku)
+        np.testing.assert_allclose(dense.T @ x[0], b[0], atol=1e-11)
+
+    def test_pure_python_fallback_when_ldab_nonstandard(self):
+        """Oversized ldab bypasses scipy (its wrapper wants exact ldab);
+        the pure path must produce the same factors."""
+        n, kl, ku = 14, 2, 3
+        a_std = random_band_batch(2, n, kl, ku, seed=13)
+        a_big = np.zeros((2, 11, n))
+        a_big[:, :8, :] = a_std
+        a1 = a_std.copy()
+        piv1, info1, _ = cpu_gbtrf_batch(n, n, kl, ku, a1)
+        piv2, info2, _ = cpu_gbtrf_batch(n, n, kl, ku, a_big)
+        np.testing.assert_allclose(a_big[:, :8, :], a1, atol=1e-12)
+        for p1, p2 in zip(piv1, piv2):
+            np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_array_equal(info1, info2)
+
+
+class TestCostModel:
+    def test_linear_in_batch(self):
+        t1 = cpu_gbtrf_time(XEON_6140, 128, 128, 2, 3, 500)
+        t2 = cpu_gbtrf_time(XEON_6140, 128, 128, 2, 3, 1000)
+        overhead = XEON_6140.batch_overhead
+        assert (t2 - overhead) == pytest.approx(2 * (t1 - overhead),
+                                                rel=1e-9)
+
+    def test_linear_in_n(self):
+        t1 = cpu_gbtrf_time(XEON_6140, 256, 256, 2, 3, 1000)
+        t2 = cpu_gbtrf_time(XEON_6140, 512, 512, 2, 3, 1000)
+        assert 1.8 < t2 / t1 < 2.2
+
+    def test_wider_band_costs_more(self):
+        t_thin = cpu_gbtrf_time(XEON_6140, 256, 256, 2, 3, 1000)
+        t_wide = cpu_gbtrf_time(XEON_6140, 256, 256, 10, 7, 1000)
+        assert t_wide > 2 * t_thin
+
+    def test_more_cores_help(self):
+        few = CpuSpec(cores=2)
+        many = CpuSpec(cores=18)
+        assert cpu_gbtrf_time(few, 256, 256, 2, 3, 1000) > \
+            cpu_gbtrf_time(many, 256, 256, 2, 3, 1000)
+
+    def test_rhs_inflation_near_paper(self):
+        """Going 1 -> 10 RHS roughly doubles GBSV (paper: 2.18x / 1.93x)."""
+        for kl, ku in ((2, 3), (10, 7)):
+            r = (cpu_gbsv_time(XEON_6140, 512, kl, ku, 10, 1000)
+                 / cpu_gbsv_time(XEON_6140, 512, kl, ku, 1, 1000))
+            assert 1.5 < r < 3.2
+
+    def test_gbsv_is_trf_plus_trs(self):
+        t = cpu_gbsv_time(XEON_6140, 300, 2, 3, 1, 1000)
+        trf = cpu_gbtrf_time(XEON_6140, 300, 300, 2, 3, 1000)
+        trs = cpu_gbtrs_time(XEON_6140, 300, 2, 3, 1, 1000)
+        overhead = XEON_6140.batch_overhead
+        assert t == pytest.approx(trf + trs - overhead, rel=1e-9)
+
+    def test_batch_functions_return_model_time(self):
+        n = 16
+        a = random_band_batch(2, n, 1, 1, seed=14)
+        _, _, t = cpu_gbtrf_batch(n, n, 1, 1, a)
+        assert t == cpu_gbtrf_time(XEON_6140, n, n, 1, 1, 2)

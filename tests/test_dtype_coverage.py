@@ -1,0 +1,108 @@
+"""Precision sweep: every driver and design across s/d/c/z.
+
+The core is dtype-generic; these tests pin that claim by running the full
+driver matrix in all four LAPACK precisions with precision-appropriate
+tolerances, and by checking that outputs preserve dtype (no silent
+promotion to float64).
+"""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import gbsv_batch, gbtrf_batch, gbtrs_batch
+from repro.core.gbtf2 import gbtf2
+
+DTYPES = [np.float32, np.float64, np.complex64, np.complex128]
+
+
+def _tol(dtype):
+    eps = np.finfo(np.dtype(dtype)).eps
+    return 500 * eps
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=lambda d: np.dtype(d).name)
+class TestDtypeSweep:
+    def test_gbtrf_all_designs_agree(self, dtype):
+        n, kl, ku = 24, 2, 3
+        a = random_band_batch(2, n, kl, ku, dtype=dtype, seed=1)
+        ref = a.copy()
+        for k in range(2):
+            gbtf2(n, n, kl, ku, ref[k])
+        for method in ("fused", "window", "reference"):
+            got = a.copy()
+            piv, info = gbtrf_batch(n, n, kl, ku, got, method=method)
+            assert got.dtype == np.dtype(dtype)
+            np.testing.assert_allclose(got, ref, atol=0)
+
+    def test_gbsv_residual(self, dtype):
+        n, kl, ku, nrhs = 20, 2, 3, 2
+        a = random_band_batch(3, n, kl, ku, dtype=dtype, seed=2)
+        b = random_rhs(n, nrhs, batch=3, dtype=dtype, seed=3)
+        orig = a.copy()
+        x = b.copy()
+        piv, info = gbsv_batch(n, kl, ku, nrhs, a, None, x)
+        assert (info == 0).all()
+        assert x.dtype == np.dtype(dtype)
+        for k in range(3):
+            dense = band_to_dense(orig[k], n, kl, ku)
+            scale = max(1.0, float(np.abs(dense).max()
+                                   * np.abs(x[k]).max()))
+            resid = np.abs(dense @ x[k] - b[k]).max() / scale
+            assert resid < _tol(dtype)
+
+    def test_gbtrs_trans_residual(self, dtype):
+        n, kl, ku = 16, 3, 2
+        a = random_band_batch(2, n, kl, ku, dtype=dtype, seed=4)
+        orig = a.copy()
+        b = random_rhs(n, 1, batch=2, dtype=dtype, seed=5)
+        piv, info = gbtrf_batch(n, n, kl, ku, a)
+        x = b.copy()
+        trans = "C" if np.dtype(dtype).kind == "c" else "T"
+        gbtrs_batch(trans, n, kl, ku, 1, a, piv, x)
+        dense = band_to_dense(orig[0], n, kl, ku)
+        op = dense.conj().T if trans == "C" else dense.T
+        scale = max(1.0, float(np.abs(op).max() * np.abs(x[0]).max()))
+        assert np.abs(op @ x[0] - b[0]).max() / scale < _tol(dtype)
+
+    def test_fused_gbsv_matches_standard(self, dtype):
+        n, kl, ku = 32, 1, 2
+        a = random_band_batch(2, n, kl, ku, dtype=dtype, seed=6)
+        b = random_rhs(n, 1, batch=2, dtype=dtype, seed=7)
+        a1, b1 = a.copy(), b.copy()
+        a2, b2 = a.copy(), b.copy()
+        gbsv_batch(n, kl, ku, 1, a1, None, b1, method="fused")
+        gbsv_batch(n, kl, ku, 1, a2, None, b2, method="standard")
+        np.testing.assert_allclose(b1, b2, atol=_tol(dtype))
+
+    def test_pivot_sequences_match_scipy(self, dtype):
+        from scipy.linalg import lapack
+        prefix = {"float32": "s", "float64": "d",
+                  "complex64": "c", "complex128": "z"}[np.dtype(dtype).name]
+        fn = getattr(lapack, prefix + "gbtrf")
+        n, kl, ku = 18, 2, 3
+        a = random_band_batch(1, n, kl, ku, dtype=dtype, seed=8)
+        lu_ref, piv_ref, info_ref = fn(np.asfortranarray(a[0]), kl, ku,
+                                       m=n, n=n)
+        piv, info = gbtrf_batch(n, n, kl, ku, a)
+        np.testing.assert_array_equal(piv[0], np.asarray(piv_ref))
+        assert info[0] == info_ref
+
+
+class TestMixedDtypeRejection:
+    def test_pointer_array_rejects_mixed(self):
+        from repro.gpusim import PointerArray
+        from repro.errors import DeviceError
+        with pytest.raises(DeviceError):
+            PointerArray([np.zeros((4, 4)),
+                          np.zeros((4, 4), dtype=np.float32)])
+
+    def test_wrapper_enforces_precision(self):
+        from repro.core import cgbtrf_batch
+        from repro.errors import ArgumentError
+        from repro.gpusim import H100_PCIE, Stream
+        a = random_band_batch(1, 8, 1, 1, dtype=np.complex128, seed=9)
+        with pytest.raises(ArgumentError, match="dtype"):
+            cgbtrf_batch(8, 8, 1, 1, list(a), 4, None, None, 1,
+                         Stream(H100_PCIE))

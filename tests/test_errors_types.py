@@ -1,0 +1,88 @@
+"""Exceptions, info-code semantics, and type helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ArgumentError,
+    DeviceError,
+    ReproError,
+    SharedMemoryError,
+    SingularMatrixError,
+    check_arg,
+)
+from repro.types import Precision, Trans, is_complex, np_dtype, real_dtype_of
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ArgumentError, ReproError)
+        assert issubclass(ArgumentError, ValueError)
+        assert issubclass(SingularMatrixError, ArithmeticError)
+        assert issubclass(SharedMemoryError, MemoryError)
+        assert issubclass(DeviceError, RuntimeError)
+
+    def test_argument_error_info_code(self):
+        e = ArgumentError(3, "bad kl")
+        assert e.position == 3
+        assert e.info == -3          # LAPACK info = -i convention
+        assert "argument 3" in str(e)
+
+    def test_singular_matrix_error(self):
+        e = SingularMatrixError(7, 12)
+        assert e.index == 7
+        assert e.info == 12
+        assert "U(12,12)" in str(e)
+
+    def test_shared_memory_error_fields(self):
+        e = SharedMemoryError(100_000, 65_536, "gbtrf_fused")
+        assert e.requested == 100_000
+        assert e.limit == 65_536
+        assert "gbtrf_fused" in str(e)
+
+    def test_check_arg(self):
+        check_arg(True, 1, "fine")
+        with pytest.raises(ArgumentError) as exc:
+            check_arg(False, 4, "broken")
+        assert exc.value.position == 4
+
+
+class TestTrans:
+    def test_from_characters(self):
+        assert Trans.from_any("n") is Trans.NO_TRANS
+        assert Trans.from_any("T") is Trans.TRANS
+        assert Trans.from_any("c") is Trans.CONJ_TRANS
+
+    def test_identity_passthrough(self):
+        assert Trans.from_any(Trans.TRANS) is Trans.TRANS
+
+    def test_invalid(self):
+        with pytest.raises(ValueError, match="transpose"):
+            Trans.from_any("Q")
+
+
+class TestPrecision:
+    @pytest.mark.parametrize("prefix,dtype", [
+        (Precision.S, np.float32), (Precision.D, np.float64),
+        (Precision.C, np.complex64), (Precision.Z, np.complex128)])
+    def test_mapping(self, prefix, dtype):
+        assert prefix.dtype == np.dtype(dtype)
+        assert Precision.from_dtype(dtype) is prefix
+
+    def test_unsupported_dtype(self):
+        with pytest.raises(ValueError):
+            Precision.from_dtype(np.int32)
+
+    def test_np_dtype_normalises(self):
+        assert np_dtype("float64") == np.float64
+        with pytest.raises(ValueError):
+            np_dtype(np.float16)
+
+    def test_is_complex(self):
+        assert is_complex(np.complex64)
+        assert not is_complex(np.float32)
+
+    def test_real_dtype_of(self):
+        assert real_dtype_of(np.complex128) == np.float64
+        assert real_dtype_of(np.complex64) == np.float32
+        assert real_dtype_of(np.float64) == np.float64

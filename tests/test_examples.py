@@ -1,0 +1,30 @@
+"""Smoke tests: every shipped example must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, capsys):
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+    # No example should print tracebacks or NaN results ("nan" as a
+    # standalone token; words like "natural" are fine).
+    import re
+    assert "Traceback" not in out
+    assert not re.search(r"\bnan\b", out.lower()), "example printed NaN"
+
+
+def test_all_examples_discovered():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "pele_chemistry", "xgc_collision",
+            "reacteval_ode", "nonuniform_and_jit",
+            "mixed_precision_refinement", "amr_reacteval",
+            "sparse_to_banded"} <= names

@@ -1,0 +1,150 @@
+"""Failure injection: singularity, NaNs, degenerate shapes, bad arguments."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import dense_to_band
+from repro.band.generate import random_band, random_band_batch, random_rhs
+from repro.core.gbsv import gbsv_batch
+from repro.core.gbtf2 import gbtf2
+from repro.core.gbtrf import gbtrf_batch
+from repro.core.gbtrs import gbtrs_batch
+from repro.core.solve_blocks import gbtrs_unblocked
+from repro.errors import ArgumentError, SharedMemoryError
+
+
+class TestSingularity:
+    def test_zero_matrix_factors_with_info(self):
+        n = 8
+        a = np.zeros((2, 4, n))
+        piv, info = gbtrf_batch(n, n, 1, 1, a)
+        assert (info == 1).all()
+
+    def test_info_reports_first_zero_pivot_only(self):
+        """Two singular columns: info is the first, LAPACK-style."""
+        n = 10
+        dense = np.eye(n)
+        dense[3, 3] = dense[7, 7] = 0.0
+        ab = dense_to_band(dense, 0, 0)
+        piv, info = gbtf2(n, n, 0, 0, ab)
+        assert info == 4
+
+    def test_factorization_completes_despite_singularity(self):
+        """LAPACK: the factorization finishes; only the solve is unsafe."""
+        n = 8
+        dense = np.diag(np.arange(float(n)))   # first pivot is zero
+        dense += np.diag(np.ones(n - 1), 1)
+        ab = dense_to_band(dense, 0, 1)
+        piv, info = gbtf2(n, n, 0, 1, ab)
+        assert info == 1
+        assert np.isfinite(ab).all()
+
+    def test_solving_singular_factors_produces_nonfinite(self):
+        """Matching LAPACK GBTRS, no guard: division by the zero pivot."""
+        n = 6
+        ab = dense_to_band(np.zeros((n, n)), 1, 1)
+        piv, info = gbtf2(n, n, 1, 1, ab)
+        assert info > 0
+        x = gbtrs_unblocked("N", n, 1, 1, ab, piv,
+                            np.ones((n, 1)))
+        assert not np.isfinite(x).all()
+
+    def test_per_problem_singularity_in_batch(self):
+        n = 8
+        good = random_band(n, 1, 1, seed=1)
+        bad = np.zeros((4, n))
+        a = [good, bad, good.copy()]
+        b = [random_rhs(n, 1, seed=2) for _ in range(3)]
+        piv, info = gbsv_batch(n, 1, 1, 1, a, None, b, batch=3)
+        assert info[0] == 0 and info[2] == 0
+        assert info[1] == 1
+        assert np.isfinite(b[0]).all() and np.isfinite(b[2]).all()
+
+
+class TestNanPropagation:
+    def test_nan_input_stays_contained_to_its_problem(self):
+        n = 10
+        a = random_band_batch(3, n, 2, 3, seed=3)
+        a[1, 5, 4] = np.nan
+        b = random_rhs(n, 1, batch=3, seed=4)
+        piv, info = gbsv_batch(n, 2, 3, 1, a, None, b)
+        assert np.isfinite(b[0]).all()
+        assert np.isfinite(b[2]).all()
+        assert not np.isfinite(b[1]).all()
+
+    def test_nan_rhs_does_not_corrupt_factors(self):
+        n = 10
+        a = random_band_batch(1, n, 2, 3, seed=5)
+        ref = a.copy()
+        gbtf2(n, n, 2, 3, ref[0])
+        b = np.full((1, n, 1), np.nan)
+        gbsv_batch(n, 2, 3, 1, a, None, b)
+        np.testing.assert_allclose(a[0], ref[0], atol=0)
+
+
+class TestDegenerateShapes:
+    def test_n_zero(self):
+        piv, info = gbtrf_batch(0, 0, 1, 1, np.zeros((2, 4, 0)))
+        assert info.shape == (2,)
+
+    def test_batch_zero(self):
+        piv, info = gbtrf_batch(8, 8, 1, 1, [], batch=0)
+        assert len(piv) == 0
+
+    def test_one_by_one(self):
+        a = np.array([[[0.0], [5.0], [0.0]]])   # ldab=3 for kl=ku=... 1x1
+        piv, info = gbtrf_batch(1, 1, 1, 0, a)
+        assert info[0] == 0 and a[0, 1, 0] == 5.0
+
+    def test_kl_ku_zero_is_diagonal_solve(self):
+        n = 6
+        d = np.arange(2.0, 8.0)
+        ab = d[None, None, :] * np.ones((1, 1, n))
+        b = random_rhs(n, 1, batch=1, seed=6)
+        x = b.copy()
+        gbsv_batch(n, 0, 0, 1, ab.copy(), None, x)
+        np.testing.assert_allclose(x[0][:, 0], b[0][:, 0] / d, atol=1e-14)
+
+    def test_band_wider_than_matrix(self):
+        n, kl, ku = 4, 7, 9
+        a = random_band_batch(2, n, kl, ku, seed=7)
+        orig = a.copy()
+        b = random_rhs(n, 1, batch=2, seed=8)
+        x = b.copy()
+        piv, info = gbsv_batch(n, kl, ku, 1, a, None, x)
+        assert (info == 0).all()
+        from repro.band.convert import band_to_dense
+        dense = band_to_dense(orig[0], n, kl, ku)
+        np.testing.assert_allclose(dense @ x[0], b[0], atol=1e-11)
+
+
+class TestBadArguments:
+    def test_wrong_matrix_ndim(self):
+        with pytest.raises(ArgumentError):
+            gbtrf_batch(4, 4, 1, 1, [np.zeros(4)], batch=1)
+
+    def test_stack_wrong_ndim(self):
+        with pytest.raises(ArgumentError):
+            gbtrf_batch(4, 4, 1, 1, np.zeros((4, 4)))
+
+    def test_error_mentions_shape(self):
+        with pytest.raises(ArgumentError, match="needs at least"):
+            gbtrf_batch(8, 8, 2, 3, [np.zeros((4, 8))], batch=1)
+
+    def test_trans_selector_validated(self):
+        a = random_band_batch(1, 6, 1, 1, seed=9)
+        piv, _ = gbtrf_batch(6, 6, 1, 1, a)
+        with pytest.raises(ValueError, match="transpose"):
+            gbtrs_batch("X", 6, 1, 1, 1, a, piv,
+                        random_rhs(6, 1, batch=1))
+
+    def test_shared_memory_error_carries_numbers(self):
+        try:
+            from repro.gpusim import MI250X_GCD
+            gbtrf_batch(2048, 2048, 2, 3,
+                        [np.zeros((8, 2048))], batch=1,
+                        device=MI250X_GCD, method="fused")
+        except SharedMemoryError as e:
+            assert e.requested > e.limit
+        else:
+            pytest.fail("expected SharedMemoryError")

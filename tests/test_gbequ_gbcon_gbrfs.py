@@ -1,0 +1,294 @@
+"""Equilibration, condition estimation, and iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense, dense_to_band
+from repro.band.generate import (
+    graded_condition_band,
+    random_band,
+    random_band_batch,
+    random_rhs,
+)
+from repro.band.ops import band_norm_1, band_norm_inf
+from repro.core import (
+    gbcon,
+    gbcon_batch,
+    gbequ,
+    gbequ_batch,
+    gbrfs,
+    gbrfs_batch,
+    gbsv_batch,
+    gbsv_refined_batch,
+    gbtrf_batch,
+    laqgb,
+    laqgb_batch,
+    onenorm_inv_estimate,
+)
+from repro.core.gbtf2 import gbtf2
+from repro.errors import ArgumentError
+
+from conftest import BAND_CONFIGS
+
+
+class TestGbequ:
+    def test_scalings_give_unit_row_maxima(self):
+        n, kl, ku = 16, 2, 3
+        ab = graded_condition_band(n, kl, ku, cond=1e8, seed=0)
+        r, c, rowcnd, colcnd, amax, info = gbequ(n, n, kl, ku, ab)
+        assert info == 0
+        a = band_to_dense(ab, n, kl, ku)
+        scaled = np.diag(r) @ a @ np.diag(c)
+        np.testing.assert_allclose(np.abs(scaled).max(axis=1),
+                                   np.ones(n), atol=1e-12)
+        assert np.abs(scaled).max(axis=0).max() <= 1 + 1e-12
+
+    def test_amax_is_largest_entry(self):
+        n, kl, ku = 10, 1, 2
+        ab = random_band(n, kl, ku, seed=1)
+        _, _, _, _, amax, _ = gbequ(n, n, kl, ku, ab)
+        assert amax == pytest.approx(
+            np.abs(band_to_dense(ab, n, kl, ku)).max())
+
+    def test_zero_row_reported(self):
+        n = 6
+        dense = np.eye(n)
+        dense[3, 3] = 0.0
+        ab = dense_to_band(dense, 1, 1)
+        r, c, rowcnd, colcnd, amax, info = gbequ(n, n, 1, 1, ab)
+        assert info == 4            # 1-based row index
+
+    def test_zero_column_reported(self):
+        n = 6
+        dense = np.eye(n) + np.eye(n, k=1)
+        dense[2, 2] = 0.0           # row 2 still has the superdiag entry
+        ab = dense_to_band(dense, 0, 1)
+        r, c, rowcnd, colcnd, amax, info = gbequ(n, n, 0, 1, ab)
+        # column 2's only entries were (1,2) superdiag and (2,2): the
+        # column is not zero, so this matrix equilibrates fine.
+        assert info == 0
+
+    def test_laqgb_improves_conditioning(self):
+        n, kl, ku = 24, 2, 3
+        ab = graded_condition_band(n, kl, ku, cond=1e9, seed=2)
+        before = np.linalg.cond(band_to_dense(ab, n, kl, ku))
+        r, c, rowcnd, colcnd, _, info = gbequ(n, n, kl, ku, ab)
+        equed = laqgb(n, n, kl, ku, ab, r, c, rowcnd, colcnd)
+        after = np.linalg.cond(band_to_dense(ab, n, kl, ku))
+        assert equed in ("R", "C", "B")
+        assert after < before / 100
+
+    def test_laqgb_skips_well_scaled(self):
+        n, kl, ku = 10, 1, 1
+        ab = random_band(n, kl, ku, seed=3) + 0.0
+        # random_band entries are O(1): already well scaled.
+        r, c, rowcnd, colcnd, _, _ = gbequ(n, n, kl, ku, ab)
+        before = ab.copy()
+        assert laqgb(n, n, kl, ku, ab, r, c, rowcnd, colcnd) == "N"
+        np.testing.assert_array_equal(ab, before)
+
+    def test_batched_matches_single(self):
+        n, kl, ku = 12, 2, 1
+        a = random_band_batch(3, n, kl, ku, seed=4)
+        rs, cs, rowcnds, colcnds, amaxs, info = gbequ_batch(n, n, kl, ku, a)
+        for k in range(3):
+            r, c, rowcnd, colcnd, amax, inf = gbequ(n, n, kl, ku, a[k])
+            np.testing.assert_allclose(rs[k], r)
+            np.testing.assert_allclose(cs[k], c)
+            assert (rowcnds[k], colcnds[k], amaxs[k], info[k]) == \
+                (rowcnd, colcnd, amax, inf)
+        equeds = laqgb_batch(n, n, kl, ku, a, rs, cs, rowcnds, colcnds)
+        assert len(equeds) == 3
+
+
+class TestGbcon:
+    @pytest.mark.parametrize("cond", [1e2, 1e5, 1e8])
+    def test_estimate_tracks_true_condition(self, cond):
+        n, kl, ku = 20, 2, 3
+        ab = graded_condition_band(n, kl, ku, cond=cond, seed=5)
+        a = band_to_dense(ab, n, kl, ku)
+        anorm = band_norm_1(ab, n, kl, ku)
+        fact = ab.copy()
+        piv, info = gbtf2(n, n, kl, ku, fact)
+        assert info == 0
+        rcond = gbcon("1", n, kl, ku, fact, piv, anorm)
+        true = 1.0 / (np.linalg.norm(a, 1)
+                      * np.linalg.norm(np.linalg.inv(a), 1))
+        # Higham: the estimate is a lower bound on ||A^{-1}||, so rcond is
+        # an upper bound on the true rcond, rarely off by more than ~3x.
+        assert true <= rcond * 1.000001
+        assert rcond <= 10 * true
+
+    def test_inf_norm_variant(self):
+        n, kl, ku = 16, 3, 2
+        ab = graded_condition_band(n, kl, ku, cond=1e5, seed=6)
+        a = band_to_dense(ab, n, kl, ku)
+        anorm = band_norm_inf(ab, n, kl, ku)
+        fact = ab.copy()
+        piv, _ = gbtf2(n, n, kl, ku, fact)
+        rcond = gbcon("I", n, kl, ku, fact, piv, anorm)
+        true = 1.0 / (np.linalg.norm(a, np.inf)
+                      * np.linalg.norm(np.linalg.inv(a), np.inf))
+        assert true <= rcond * 1.000001
+        assert rcond <= 10 * true
+
+    def test_singular_factor_gives_zero(self):
+        n = 8
+        fact = np.zeros((4, n))
+        piv = np.arange(n)
+        assert gbcon("1", n, 1, 1, fact, piv, 1.0) == 0.0
+
+    def test_zero_anorm_gives_zero(self):
+        n, kl, ku = 8, 1, 1
+        ab = random_band(n, kl, ku, seed=7)
+        fact = ab.copy()
+        piv, _ = gbtf2(n, n, kl, ku, fact)
+        assert gbcon("1", n, kl, ku, fact, piv, 0.0) == 0.0
+
+    def test_invalid_norm(self):
+        with pytest.raises(ArgumentError):
+            gbcon("F", 4, 1, 1, np.zeros((4, 4)), np.arange(4), 1.0)
+
+    def test_identity_is_perfectly_conditioned(self):
+        n = 10
+        ab = dense_to_band(np.eye(n), 1, 1)
+        fact = ab.copy()
+        piv, _ = gbtf2(n, n, 1, 1, fact)
+        assert gbcon("1", n, 1, 1, fact, piv, 1.0) == pytest.approx(1.0)
+
+    def test_batched(self):
+        n, kl, ku = 12, 2, 3
+        a = np.stack([graded_condition_band(n, kl, ku, cond=10.0 ** e,
+                                            seed=e) for e in (1, 4, 7)])
+        anorms = [band_norm_1(a[k], n, kl, ku) for k in range(3)]
+        fact = a.copy()
+        piv, info = gbtrf_batch(n, n, kl, ku, fact)
+        rconds = gbcon_batch("1", n, kl, ku, fact, piv, anorms)
+        # Monotone: bigger generated condition -> smaller rcond.
+        assert rconds[0] > rconds[1] > rconds[2]
+
+    def test_estimator_exact_on_diagonal(self):
+        n = 6
+        d = np.array([1.0, 2.0, 4.0, 8.0, 0.5, 0.25])
+        est = onenorm_inv_estimate(
+            n, lambda v: v / d, lambda v: v / d)
+        assert est == pytest.approx(1.0 / 0.25)
+
+
+class TestGbrfs:
+    def test_refinement_reduces_backward_error(self):
+        n, kl, ku = 32, 2, 3
+        ab = random_band(n, kl, ku, seed=8)
+        b = random_rhs(n, 2, seed=9)
+        # Factor in float32 to create a genuinely sloppy solve.
+        low = ab.astype(np.float32)
+        piv = np.zeros(n, dtype=np.int64)
+        from repro.core.gbtf2 import gbtf2 as _f
+        _f(n, n, kl, ku, low, piv)
+        x = b.astype(np.float32)
+        from repro.core.solve_blocks import gbtrs_unblocked
+        gbtrs_unblocked("N", n, kl, ku, low, piv, x)
+        x = x.astype(np.float64)
+        res = gbrfs(n, kl, ku, ab, low, piv, b, x)
+        assert res.converged
+        assert res.iterations >= 1
+        a = band_to_dense(ab, n, kl, ku)
+        np.testing.assert_allclose(a @ x, b, atol=1e-11)
+
+    def test_exact_solution_needs_no_iterations(self):
+        n, kl, ku = 16, 1, 2
+        ab = random_band(n, kl, ku, seed=10)
+        fact = ab.copy()
+        piv, _ = gbtf2(n, n, kl, ku, fact)
+        b = random_rhs(n, 1, seed=11)
+        from repro.core.solve_blocks import gbtrs_unblocked
+        x = gbtrs_unblocked("N", n, kl, ku, fact, piv, b.copy())
+        res = gbrfs(n, kl, ku, ab, fact, piv, b, x)
+        assert res.converged
+        assert res.iterations <= 1
+
+    def test_shape_mismatch_rejected(self):
+        n = 8
+        ab = random_band(n, 1, 1, seed=12)
+        with pytest.raises(ArgumentError):
+            gbrfs(n, 1, 1, ab, ab, np.arange(n), np.zeros((n, 2)),
+                  np.zeros((n, 3)))
+
+    def test_batched_refinement(self):
+        n, kl, ku, nrhs = 24, 2, 3, 2
+        a = random_band_batch(3, n, kl, ku, seed=13)
+        b = random_rhs(n, nrhs, batch=3, seed=14)
+        low = a.astype(np.float32)
+        piv, info = gbtrf_batch(n, n, kl, ku, low)
+        x = b.astype(np.float32)
+        from repro.core.gbtrs import gbtrs_batch
+        gbtrs_batch("N", n, kl, ku, nrhs, low, piv, x)
+        x = x.astype(np.float64)
+        results = gbrfs_batch(n, kl, ku, nrhs, a, low, piv, b, list(x))
+        assert all(r.converged for r in results)
+        for k in range(3):
+            dense = band_to_dense(a[k], n, kl, ku)
+            np.testing.assert_allclose(dense @ x[k], b[k], atol=1e-11)
+
+
+class TestMixedPrecisionDriver:
+    def test_recovers_double_accuracy_from_float32_factors(self):
+        n, kl, ku, nrhs = 48, 2, 3, 2
+        a = random_band_batch(4, n, kl, ku, seed=15)
+        b = random_rhs(n, nrhs, batch=4, seed=16)
+        x, info, results = gbsv_refined_batch(n, kl, ku, nrhs, a, b)
+        assert (info == 0).all()
+        assert all(r.converged for r in results)
+        # Accuracy comparable to a full fp64 solve.
+        a64, b64 = a.copy(), b.copy()
+        gbsv_batch(n, kl, ku, nrhs, a64, None, b64)
+        np.testing.assert_allclose(x, b64, atol=1e-9)
+
+    def test_inputs_left_untouched(self):
+        n = 16
+        a = random_band_batch(2, n, 1, 1, seed=17)
+        b = random_rhs(n, 1, batch=2, seed=18)
+        a0, b0 = a.copy(), b.copy()
+        gbsv_refined_batch(n, 1, 1, 1, a, b)
+        np.testing.assert_array_equal(a, a0)
+        np.testing.assert_array_equal(b, b0)
+
+    def test_refinement_beats_raw_low_precision(self):
+        n, kl, ku = 64, 2, 3
+        a = random_band_batch(2, n, kl, ku, seed=19)
+        b = random_rhs(n, 1, batch=2, seed=20)
+        x, info, _ = gbsv_refined_batch(n, kl, ku, 1, a, b)
+        a32, b32 = a.astype(np.float32), b.astype(np.float32)
+        gbsv_batch(n, kl, ku, 1, a32, None, b32)
+        dense = band_to_dense(a[0], n, kl, ku)
+        err_refined = np.abs(dense @ x[0] - b[0]).max()
+        err_raw = np.abs(dense @ b32[0].astype(np.float64) - b[0]).max()
+        assert err_refined < err_raw / 100
+
+    def test_singular_low_precision_falls_back(self):
+        n = 8
+        ok = random_band(n, 1, 1, seed=21)
+        # Values below float32's tiny threshold underflow to an exactly
+        # singular fp32 matrix, forcing the fp64 fallback path.
+        tiny = ok * 1e-60
+        a = [ok, tiny]
+        b = [random_rhs(n, 1, seed=22), random_rhs(n, 1, seed=23)]
+        x, info, results = gbsv_refined_batch(n, 1, 1, 1, a, b, batch=2)
+        assert (info == 0).all()
+        assert results[1].iterations == -1      # fallback marker
+        dense = band_to_dense(tiny, n, 1, 1)
+        np.testing.assert_allclose(dense @ x[1], b[1], atol=1e-9,
+                                   rtol=1e-6)
+
+    def test_truly_singular_problem_raises(self):
+        """Unlike LAPACK's info codes, the mixed-precision driver promises
+        a solution — exact singularity must raise, not return garbage."""
+        from repro.errors import SingularMatrixError
+        n = 8
+        ok = random_band(n, 1, 1, seed=30)
+        singular = np.zeros((4, n))
+        b = [random_rhs(n, 1, seed=31), random_rhs(n, 1, seed=32)]
+        with pytest.raises(SingularMatrixError) as exc:
+            gbsv_refined_batch(n, 1, 1, 1, [ok, singular], b, batch=2)
+        assert exc.value.index == 1
+        assert exc.value.info >= 1

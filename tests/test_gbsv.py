@@ -1,0 +1,152 @@
+"""GBSV driver and fused factorize-and-solve kernel."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense, dense_to_band
+from repro.band.generate import random_band, random_band_batch, random_rhs
+from repro.core.gbsv import gbsv, gbsv_batch, select_gbsv_method
+from repro.errors import ArgumentError
+from repro.gpusim import H100_PCIE, MI250X_GCD, Stream
+
+from conftest import BAND_CONFIGS
+
+
+class TestSingleMatrix:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    def test_solves(self, n, kl, ku):
+        ab = random_band(n, kl, ku, seed=n)
+        a = band_to_dense(ab, n, kl, ku)
+        b = random_rhs(n, 2, seed=n + 1)
+        x, piv, info = gbsv(n, kl, ku, ab, b.copy())
+        if info == 0:
+            np.testing.assert_allclose(
+                a @ x, b, atol=1e-9 * max(1, np.abs(a).max() * 10))
+
+    def test_scipy_gbsv_equivalence(self):
+        from scipy.linalg import lapack
+        n, kl, ku = 15, 2, 3
+        ab = random_band(n, kl, ku, seed=42)
+        b = random_rhs(n, 1, seed=43)
+        lub, piv_ref, x_ref, info_ref = lapack.dgbsv(
+            kl, ku, np.asfortranarray(ab), np.asfortranarray(b))
+        x, piv, info = gbsv(n, kl, ku, ab.copy(), b.copy())
+        assert info == info_ref
+        np.testing.assert_allclose(x, x_ref, atol=1e-12)
+
+
+class TestFusedVsStandard:
+    @pytest.mark.parametrize("n,kl,ku", [(8, 1, 1), (32, 2, 3), (48, 10, 7),
+                                         (64, 2, 3), (16, 0, 2), (16, 2, 0)])
+    def test_identical_results(self, n, kl, ku):
+        a = random_band_batch(4, n, kl, ku, seed=n * 11)
+        b = random_rhs(n, 1, batch=4, seed=n * 11 + 1)
+        a1, b1, a2, b2 = a.copy(), b.copy(), a.copy(), b.copy()
+        piv1, info1 = gbsv_batch(n, kl, ku, 1, a1, None, b1, method="fused")
+        piv2, info2 = gbsv_batch(n, kl, ku, 1, a2, None, b2,
+                                 method="standard")
+        np.testing.assert_allclose(a1, a2, atol=0)
+        np.testing.assert_allclose(b1, b2, atol=1e-12)
+        np.testing.assert_array_equal(np.stack(piv1), np.stack(piv2))
+        np.testing.assert_array_equal(info1, info2)
+
+    def test_fused_multiple_rhs(self):
+        """The fused kernel supports nrhs > 1 even if dispatch avoids it."""
+        n, kl, ku, nrhs = 24, 2, 3, 3
+        a = random_band_batch(2, n, kl, ku, seed=3)
+        b = random_rhs(n, nrhs, batch=2, seed=4)
+        a1, b1 = a.copy(), b.copy()
+        gbsv_batch(n, kl, ku, nrhs, a1, None, b1, method="fused")
+        dense = band_to_dense(a[0], n, kl, ku)
+        np.testing.assert_allclose(dense @ b1[0], b[0], atol=1e-11)
+
+
+class TestSingularHandling:
+    def _singular_batch(self, n=12, kl=1, ku=1):
+        a_ok = random_band(n, kl, ku, seed=1)
+        sing = np.zeros((n, n))
+        sing[:] = np.eye(n)
+        sing[5, 5] = 0.0                    # structurally singular column
+        sing[6, 5] = 0.0
+        sing[5, 6] = 0.0
+        sing[4, 5] = 0.0
+        a_bad = dense_to_band(sing, kl, ku)
+        return np.stack([a_ok, a_bad])
+
+    @pytest.mark.parametrize("method", ["fused", "standard"])
+    def test_singular_leaves_rhs_untouched(self, method):
+        """LAPACK GBSV semantics: info > 0 means B is not overwritten."""
+        a = self._singular_batch()
+        b = random_rhs(12, 1, batch=2, seed=2)
+        b_orig = b.copy()
+        piv, info = gbsv_batch(12, 1, 1, 1, a, None, b, method=method)
+        assert info[0] == 0
+        assert info[1] == 6                 # 1-based singular column
+        assert np.isfinite(b[0]).all()
+        np.testing.assert_array_equal(b[1], b_orig[1])
+
+    def test_healthy_problems_still_solved(self):
+        a = self._singular_batch()
+        orig = a.copy()
+        b = random_rhs(12, 1, batch=2, seed=3)
+        b_orig = b.copy()
+        piv, info = gbsv_batch(12, 1, 1, 1, a, None, b)
+        dense = band_to_dense(orig[0], 12, 1, 1)
+        np.testing.assert_allclose(dense @ b[0], b_orig[0], atol=1e-11)
+
+
+class TestDispatch:
+    def test_cutoff_rule(self):
+        assert select_gbsv_method(H100_PCIE, 64, 2, 3, 1) == "fused"
+        assert select_gbsv_method(H100_PCIE, 65, 2, 3, 1) == "standard"
+        assert select_gbsv_method(H100_PCIE, 32, 2, 3, 2) == "standard"
+
+    def test_auto_stream_trace(self):
+        stream = Stream(H100_PCIE)
+        n = 32
+        a = random_band_batch(2, n, 2, 3, seed=5)
+        b = random_rhs(n, 1, batch=2, seed=6)
+        gbsv_batch(n, 2, 3, 1, a, None, b, stream=stream)
+        # Fused path: exactly one kernel.
+        assert stream.launch_count() == 1
+        assert stream.records[0].kernel_name == "gbsv_fused"
+
+        stream2 = Stream(H100_PCIE)
+        n = 128
+        a = random_band_batch(2, n, 2, 3, seed=7)
+        b = random_rhs(n, 1, batch=2, seed=8)
+        gbsv_batch(n, 2, 3, 1, a, None, b, stream=stream2)
+        # Standard path: factorization + forward + backward kernels.
+        names = [r.kernel_name for r in stream2.records]
+        assert names == ["gbtrf_window", "gbtrs_fwd_blocked",
+                         "gbtrs_bwd_blocked"]
+
+    def test_invalid_method_rejected(self):
+        a = random_band_batch(1, 8, 1, 1, seed=9)
+        with pytest.raises(ArgumentError):
+            gbsv_batch(8, 1, 1, 1, a, None, random_rhs(8, 1, batch=1),
+                       method="quantum")
+
+    def test_devices_agree(self):
+        n, kl, ku = 40, 2, 3
+        a = random_band_batch(3, n, kl, ku, seed=10)
+        b = random_rhs(n, 1, batch=3, seed=11)
+        a1, b1, a2, b2 = a.copy(), b.copy(), a.copy(), b.copy()
+        gbsv_batch(n, kl, ku, 1, a1, None, b1, device=H100_PCIE)
+        gbsv_batch(n, kl, ku, 1, a2, None, b2, device=MI250X_GCD)
+        np.testing.assert_allclose(b1, b2, atol=0)
+
+    def test_zero_batch(self):
+        piv, info = gbsv_batch(8, 1, 1, 1, [], None, [], batch=0)
+        assert len(piv) == 0 and info.shape == (0,)
+
+    def test_nrhs_zero_factors_only(self):
+        n = 16
+        a = random_band_batch(2, n, 1, 1, seed=12)
+        ref = a.copy()
+        from repro.core.gbtf2 import gbtf2
+        for k in range(2):
+            gbtf2(n, n, 1, 1, ref[k])
+        piv, info = gbsv_batch(n, 1, 1, 0, a, None,
+                               np.zeros((2, n, 0)))
+        np.testing.assert_allclose(a, ref, atol=0)

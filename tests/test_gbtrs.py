@@ -1,0 +1,192 @@
+"""Band triangular solves vs LAPACK: unblocked, blocked, reference."""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import band_to_dense
+from repro.band.generate import random_band, random_band_batch, random_rhs
+from repro.core.gbtf2 import gbtf2
+from repro.core.gbtrf import gbtrf_batch
+from repro.core.gbtrs import gbtrs, gbtrs_batch
+from repro.core.solve_blocks import gbtrs_unblocked
+from repro.errors import ArgumentError
+from repro.gpusim import H100_PCIE, MI250X_GCD, Stream
+from repro.types import Trans
+
+from conftest import BAND_CONFIGS, scipy_gbtrf, scipy_gbtrs
+
+
+def _factored(n, kl, ku, seed=0, dtype=np.float64):
+    ab = random_band(n, kl, ku, seed=seed, dtype=dtype)
+    orig = ab.copy()
+    piv, info = gbtf2(n, n, kl, ku, ab)
+    assert info == 0
+    return orig, ab, piv
+
+
+class TestUnblockedVsLapack:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    @pytest.mark.parametrize("trans", [0, 1])
+    def test_matches_scipy(self, n, kl, ku, trans):
+        orig, lu, piv = _factored(n, kl, ku, seed=n * 3 + trans)
+        b = random_rhs(n, 2, seed=n + 50)
+        x_ref, info = scipy_gbtrs(lu, kl, ku, b.copy(), piv, trans=trans)
+        assert info == 0
+        x = gbtrs_unblocked("N" if trans == 0 else "T", n, kl, ku, lu,
+                            piv, b.copy())
+        np.testing.assert_allclose(x, x_ref, atol=1e-12, rtol=1e-10)
+
+    @pytest.mark.parametrize("trans,op", [
+        (Trans.NO_TRANS, lambda a: a),
+        (Trans.TRANS, lambda a: a.T),
+        (Trans.CONJ_TRANS, lambda a: a.conj().T),
+    ])
+    def test_complex_all_trans(self, trans, op):
+        n, kl, ku = 14, 3, 2
+        orig, lu, piv = _factored(n, kl, ku, seed=77, dtype=np.complex128)
+        a = band_to_dense(orig, n, kl, ku)
+        b = random_rhs(n, 2, dtype=np.complex128, seed=78)
+        x = gbtrs_unblocked(trans, n, kl, ku, lu, piv, b.copy())
+        np.testing.assert_allclose(op(a) @ x, b, atol=1e-10)
+
+    def test_kl_zero_skips_forward(self):
+        n, kl, ku = 10, 0, 3
+        orig, lu, piv = _factored(n, kl, ku, seed=5)
+        a = band_to_dense(orig, n, kl, ku)
+        b = random_rhs(n, 1, seed=6)
+        x = gbtrs_unblocked("N", n, kl, ku, lu, piv, b.copy())
+        np.testing.assert_allclose(a @ x, b, atol=1e-12)
+
+    def test_single_matrix_wrapper_1d_rhs(self):
+        n, kl, ku = 12, 2, 3
+        orig, lu, piv = _factored(n, kl, ku, seed=9)
+        a = band_to_dense(orig, n, kl, ku)
+        b = random_rhs(n, 1, seed=10)[:, 0]
+        x = gbtrs("N", n, kl, ku, lu, piv, b)
+        assert x.ndim == 1
+        np.testing.assert_allclose(a @ x, random_rhs(n, 1, seed=10)[:, 0],
+                                   atol=1e-12)
+
+    def test_wrong_rhs_length_rejected(self):
+        _, lu, piv = _factored(8, 1, 1, seed=11)
+        with pytest.raises(ArgumentError):
+            gbtrs("N", 8, 1, 1, lu, piv, np.zeros(7))
+
+
+class TestBlockedKernels:
+    @pytest.mark.parametrize("n,kl,ku", BAND_CONFIGS)
+    @pytest.mark.parametrize("nrhs", [1, 3])
+    def test_blocked_equals_unblocked(self, n, kl, ku, nrhs):
+        batch = 2
+        a = random_band_batch(batch, n, kl, ku, seed=n * 5)
+        b = random_rhs(n, nrhs, batch=batch, seed=n * 5 + 1)
+        piv, info = gbtrf_batch(n, n, kl, ku, a)
+        expected = [gbtrs_unblocked("N", n, kl, ku, a[k], piv[k],
+                                    b[k].copy()) for k in range(batch)]
+        x = b.copy()
+        gbtrs_batch("N", n, kl, ku, nrhs, a, piv, x, method="blocked")
+        for k in range(batch):
+            np.testing.assert_allclose(x[k], expected[k], atol=0)
+
+    @pytest.mark.parametrize("nb", [1, 2, 5, 16, 100])
+    def test_any_solve_blocking(self, nb):
+        n, kl, ku, nrhs = 23, 2, 3, 2
+        a = random_band_batch(1, n, kl, ku, seed=nb)
+        b = random_rhs(n, nrhs, batch=1, seed=nb + 1)
+        piv, _ = gbtrf_batch(n, n, kl, ku, a)
+        expected = gbtrs_unblocked("N", n, kl, ku, a[0], piv[0],
+                                   b[0].copy())
+        x = b.copy()
+        gbtrs_batch("N", n, kl, ku, nrhs, a, piv, x, method="blocked",
+                    nb=nb)
+        np.testing.assert_allclose(x[0], expected, atol=0)
+
+    def test_bad_nb_rejected(self):
+        a = random_band_batch(1, 8, 1, 1, seed=0)
+        piv, _ = gbtrf_batch(8, 8, 1, 1, a)
+        with pytest.raises(ValueError, match="nb"):
+            gbtrs_batch("N", 8, 1, 1, 1, a, piv,
+                        random_rhs(8, 1, batch=1), method="blocked", nb=0)
+
+    def test_smem_budgets_match_paper(self):
+        """Fwd caches nb+kl rows, bwd caches nb+kv rows (Section 6)."""
+        from repro.core.gbtrs_blocked import (
+            BlockedBackwardKernel, BlockedForwardKernel)
+        n, kl, ku, nrhs, nb = 64, 2, 3, 1, 16
+        a = random_band_batch(1, n, kl, ku, seed=0)
+        piv = [np.zeros(n, dtype=np.int64)]
+        b = [np.zeros((n, nrhs))]
+        fwd = BlockedForwardKernel(n, kl, ku, nrhs, list(a), piv, b, nb=nb)
+        bwd = BlockedBackwardKernel(n, kl, ku, nrhs, list(a), piv, b, nb=nb)
+        assert fwd.smem_bytes() == (nb + kl) * nrhs * 8
+        assert bwd.smem_bytes() == (nb + kl + ku) * nrhs * 8
+
+
+class TestReferenceSolve:
+    def test_reference_equals_blocked(self):
+        n, kl, ku, nrhs = 20, 3, 2, 2
+        a = random_band_batch(2, n, kl, ku, seed=21)
+        b = random_rhs(n, nrhs, batch=2, seed=22)
+        piv, _ = gbtrf_batch(n, n, kl, ku, a)
+        x1, x2 = b.copy(), b.copy()
+        gbtrs_batch("N", n, kl, ku, nrhs, a, piv, x1, method="blocked")
+        gbtrs_batch("N", n, kl, ku, nrhs, a, piv, x2, method="reference")
+        np.testing.assert_allclose(x1, x2, atol=0)
+
+    def test_reference_launch_pattern(self):
+        """Per column: a (swap, update) kernel pair, then n backward cols."""
+        n, kl, ku = 10, 2, 3
+        a = random_band_batch(1, n, kl, ku, seed=23)
+        b = random_rhs(n, 1, batch=1, seed=24)
+        piv, _ = gbtrf_batch(n, n, kl, ku, a)
+        stream = Stream(H100_PCIE)
+        gbtrs_batch("N", n, kl, ku, 1, a, piv, b, method="reference",
+                    stream=stream)
+        assert stream.launch_count() == 2 * (n - 1) + n
+
+    def test_transposed_solve_via_reference(self):
+        n, kl, ku = 16, 2, 3
+        orig = random_band_batch(2, n, kl, ku, seed=25)
+        a = orig.copy()
+        b = random_rhs(n, 1, batch=2, seed=26)
+        piv, _ = gbtrf_batch(n, n, kl, ku, a)
+        x = b.copy()
+        gbtrs_batch("T", n, kl, ku, 1, a, piv, x)
+        dense = band_to_dense(orig[0], n, kl, ku)
+        np.testing.assert_allclose(dense.T @ x[0], b[0], atol=1e-11)
+
+
+class TestBatchedDriver:
+    def test_invalid_method(self):
+        a = random_band_batch(1, 8, 1, 1, seed=0)
+        with pytest.raises(ArgumentError):
+            gbtrs_batch("N", 8, 1, 1, 1, a, None,
+                        random_rhs(8, 1, batch=1), method="warp-magic")
+
+    def test_zero_nrhs_is_noop(self):
+        a = random_band_batch(2, 8, 1, 1, seed=1)
+        piv, _ = gbtrf_batch(8, 8, 1, 1, a)
+        info = gbtrs_batch("N", 8, 1, 1, 0, a, piv,
+                           np.zeros((2, 8, 0)))
+        assert (info == 0).all()
+
+    def test_negative_nrhs_rejected(self):
+        a = random_band_batch(1, 8, 1, 1, seed=2)
+        with pytest.raises(ArgumentError):
+            gbtrs_batch("N", 8, 1, 1, -1, a, None, np.zeros((1, 8, 1)))
+
+    def test_rhs_shape_validated(self):
+        a = random_band_batch(2, 8, 1, 1, seed=3)
+        piv, _ = gbtrf_batch(8, 8, 1, 1, a)
+        with pytest.raises(ArgumentError):
+            gbtrs_batch("N", 8, 1, 1, 2, a, piv, np.zeros((2, 7, 2)))
+
+    def test_mi250x_gives_same_answers(self):
+        n, kl, ku = 32, 2, 3
+        a = random_band_batch(2, n, kl, ku, seed=27)
+        b = random_rhs(n, 2, batch=2, seed=28)
+        piv, _ = gbtrf_batch(n, n, kl, ku, a)
+        x1, x2 = b.copy(), b.copy()
+        gbtrs_batch("N", n, kl, ku, 2, a, piv, x1, device=H100_PCIE)
+        gbtrs_batch("N", n, kl, ku, 2, a, piv, x2, device=MI250X_GCD)
+        np.testing.assert_allclose(x1, x2, atol=0)

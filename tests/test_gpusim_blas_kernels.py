@@ -1,0 +1,101 @@
+"""Batched GEMM/GEMV device kernels (the Figure-1 workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import H100_PCIE, launch
+from repro.gpusim.blas_kernels import (
+    GEMM_TILE,
+    GEMV_ROWS,
+    BatchedGemmKernel,
+    BatchedGemvKernel,
+    GemmKernel,
+    GemvKernel,
+)
+
+
+class TestGemmKernel:
+    @pytest.mark.parametrize("n", [1, 7, 32, 33, 70])
+    def test_functional(self, n, rng):
+        a = rng.standard_normal((n, n))
+        b = rng.standard_normal((n, n))
+        c = np.zeros((n, n))
+        launch(H100_PCIE, GemmKernel(a, b, c))
+        np.testing.assert_allclose(c, a @ b, atol=1e-11)
+
+    def test_alpha_beta(self, rng):
+        n = 16
+        a = rng.standard_normal((n, n))
+        c = np.ones((n, n))
+        launch(H100_PCIE, GemmKernel(a, a, c, alpha=2.0, beta=0.5))
+        np.testing.assert_allclose(c, 2.0 * (a @ a) + 0.5, atol=1e-11)
+
+    def test_grid_is_tile_count_squared(self):
+        a = np.zeros((65, 65))
+        k = GemmKernel(a, a, a.copy())
+        tiles = -(-65 // GEMM_TILE)
+        assert k.grid() == tiles * tiles
+
+    def test_cost_scales_with_n(self):
+        a1 = np.zeros((64, 64))
+        a2 = np.zeros((128, 128))
+        c1 = GemmKernel(a1, a1, a1.copy()).block_cost()
+        c2 = GemmKernel(a2, a2, a2.copy()).block_cost()
+        assert c2.flops == 2 * c1.flops      # per-tile flops grow with k
+
+
+class TestGemvKernel:
+    @pytest.mark.parametrize("m,n", [(1, 1), (64, 64), (200, 130)])
+    def test_functional(self, m, n, rng):
+        a = rng.standard_normal((m, n))
+        x = rng.standard_normal(n)
+        y = np.zeros(m)
+        launch(H100_PCIE, GemvKernel(a, x, y))
+        np.testing.assert_allclose(y, a @ x, atol=1e-11)
+
+    def test_grid_covers_rows(self):
+        a = np.zeros((GEMV_ROWS * 2 + 1, 8))
+        assert GemvKernel(a, np.zeros(8), np.zeros(a.shape[0])).grid() == 3
+
+    def test_memory_bound_cost(self):
+        a = np.zeros((4096, 4096))
+        k = GemvKernel(a, np.zeros(4096), np.zeros(4096))
+        t = k.timing(H100_PCIE)
+        assert not t.latency_bound    # DRAM sets the time for big GEMV
+
+
+class TestBatchedKernels:
+    def test_batched_gemm_functional(self, rng):
+        a = rng.standard_normal((5, 24, 24))
+        b = rng.standard_normal((5, 24, 24))
+        c = np.zeros_like(a)
+        launch(H100_PCIE, BatchedGemmKernel(a, b, c))
+        np.testing.assert_allclose(c, a @ b, atol=1e-11)
+
+    def test_batched_gemv_functional(self, rng):
+        a = rng.standard_normal((6, 40, 40))
+        x = rng.standard_normal((6, 40))
+        y = np.zeros((6, 40))
+        launch(H100_PCIE, BatchedGemvKernel(a, x, y))
+        np.testing.assert_allclose(y, np.einsum("bij,bj->bi", a, x),
+                                   atol=1e-11)
+
+    def test_batched_grid_is_batch_times_single(self, rng):
+        a = np.zeros((10, 64, 64))
+        x = np.zeros((10, 64))
+        bk = BatchedGemvKernel(a, x, x.copy())
+        single = GemvKernel(a[0], x[0], x[0].copy())
+        assert bk.grid() == 10 * single.grid()
+        # Same per-block cost: the batch advantage is purely the single
+        # launch amortised over all blocks.
+        assert bk.block_cost() == single.block_cost()
+
+    def test_single_launch_beats_many(self):
+        """The core Figure-1 claim at the timing-model level."""
+        a = np.zeros((100, 64, 64))
+        x = np.zeros((100, 64))
+        bk = BatchedGemvKernel(a, x, x.copy())
+        t_batched = bk.timing(H100_PCIE).total
+        single = GemvKernel(a[0], x[0], x[0].copy())
+        t_one = single.timing(H100_PCIE).total
+        assert t_batched < 100 * t_one

@@ -1,0 +1,115 @@
+"""Unit tests for the analytic timing model."""
+
+import pytest
+
+from repro.gpusim import BlockCost, H100_PCIE, MI250X_GCD, estimate_block_time, estimate_kernel_time
+
+
+class TestBlockCost:
+    def test_add(self):
+        a = BlockCost(flops=10, smem_traffic=20, dram_traffic=30, syncs=2,
+                      threads=16)
+        b = BlockCost(flops=1, smem_traffic=2, dram_traffic=3, syncs=1,
+                      threads=32)
+        c = a + b
+        assert c.flops == 11 and c.smem_traffic == 22
+        assert c.dram_traffic == 33 and c.syncs == 3
+        assert c.threads == 32
+
+    def test_scaled(self):
+        c = BlockCost(flops=10, smem_traffic=20, syncs=2, threads=8)
+        s = c.scaled(3)
+        assert s.flops == 30 and s.smem_traffic == 60 and s.syncs == 6
+        assert s.threads == 8
+
+
+class TestBlockTime:
+    def test_sync_term(self):
+        t = estimate_block_time(H100_PCIE, BlockCost(syncs=100, threads=32))
+        assert t == pytest.approx(100 * H100_PCIE.sync_latency)
+
+    def test_components_add(self):
+        sync_only = estimate_block_time(H100_PCIE,
+                                        BlockCost(syncs=10, threads=32))
+        both = estimate_block_time(
+            H100_PCIE, BlockCost(syncs=10, smem_traffic=1e6, threads=32))
+        assert both > sync_only
+
+    def test_more_threads_speed_compute(self):
+        slow = estimate_block_time(H100_PCIE,
+                                   BlockCost(flops=1e6, threads=4))
+        fast = estimate_block_time(H100_PCIE,
+                                   BlockCost(flops=1e6, threads=64))
+        assert fast < slow
+
+    def test_lane_utilisation_caps_smem_rate(self):
+        """Below a warp of threads, the smem pipe slows proportionally."""
+        half = estimate_block_time(
+            H100_PCIE, BlockCost(smem_traffic=1e6, threads=16))
+        full = estimate_block_time(
+            H100_PCIE, BlockCost(smem_traffic=1e6, threads=32))
+        beyond = estimate_block_time(
+            H100_PCIE, BlockCost(smem_traffic=1e6, threads=64))
+        assert half == pytest.approx(2 * full)
+        assert beyond == pytest.approx(full)   # saturates at one warp
+
+
+class TestKernelTime:
+    COST = BlockCost(flops=1e4, smem_traffic=1e4, dram_traffic=1e3,
+                     syncs=100, threads=32)
+
+    def test_waves_scale_latency_bound_time(self):
+        t1 = estimate_kernel_time(H100_PCIE, grid=100,
+                                  threads_per_block=32,
+                                  smem_per_block=1024,
+                                  block_cost=self.COST)
+        t10 = estimate_kernel_time(H100_PCIE, grid=36000,
+                                   threads_per_block=32,
+                                   smem_per_block=1024,
+                                   block_cost=self.COST)
+        assert t1.waves == 1
+        assert t10.waves > 1
+        assert t10.exec_time == pytest.approx(
+            t10.waves * t1.block_time)
+
+    def test_dram_floor(self):
+        heavy = BlockCost(dram_traffic=1e9, threads=256)
+        t = estimate_kernel_time(H100_PCIE, grid=1000,
+                                 threads_per_block=256,
+                                 smem_per_block=0, block_cost=heavy)
+        assert not t.latency_bound
+        assert t.exec_time == pytest.approx(
+            1000 * 1e9 / H100_PCIE.dram_bandwidth)
+
+    def test_small_grid_cannot_saturate_dram(self):
+        heavy = BlockCost(dram_traffic=1e9, threads=256)
+        t_one = estimate_kernel_time(H100_PCIE, grid=1,
+                                     threads_per_block=256,
+                                     smem_per_block=0, block_cost=heavy)
+        # One block gets only a fraction of the bandwidth.
+        assert t_one.exec_time > 1e9 / H100_PCIE.dram_bandwidth
+
+    def test_min_kernel_time_floor(self):
+        tiny = BlockCost(flops=1, threads=32)
+        t = estimate_kernel_time(H100_PCIE, grid=1, threads_per_block=32,
+                                 smem_per_block=0, block_cost=tiny)
+        assert t.exec_time == H100_PCIE.min_kernel_time
+
+    def test_total_includes_launch_overhead(self):
+        t = estimate_kernel_time(H100_PCIE, grid=10, threads_per_block=32,
+                                 smem_per_block=1024, block_cost=self.COST)
+        assert t.total == pytest.approx(t.launch_overhead + t.exec_time)
+
+    def test_occupancy_drop_doubles_time(self):
+        """Halving residency doubles a latency-bound kernel's time."""
+        t2 = estimate_kernel_time(MI250X_GCD, grid=10000,
+                                  threads_per_block=32,
+                                  smem_per_block=24 * 1024,
+                                  block_cost=self.COST)
+        t1 = estimate_kernel_time(MI250X_GCD, grid=10000,
+                                  threads_per_block=32,
+                                  smem_per_block=40 * 1024,
+                                  block_cost=self.COST)
+        assert t2.occupancy.blocks_per_sm == 2
+        assert t1.occupancy.blocks_per_sm == 1
+        assert t1.exec_time / t2.exec_time == pytest.approx(2.0, rel=0.05)

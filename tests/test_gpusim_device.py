@@ -1,0 +1,73 @@
+"""Unit tests for the simulated device registry and specs."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import H100_PCIE, MI250X_GCD, DeviceSpec, get_device, list_devices, register_device
+
+
+class TestRegistry:
+    def test_shipped_devices_present(self):
+        assert "h100-pcie" in list_devices()
+        assert "mi250x-gcd" in list_devices()
+
+    def test_get_device(self):
+        assert get_device("h100-pcie") is H100_PCIE
+        assert get_device("mi250x-gcd") is MI250X_GCD
+
+    def test_unknown_device(self):
+        with pytest.raises(DeviceError):
+            get_device("b200")
+
+    def test_reregister_identical_is_ok(self):
+        register_device(H100_PCIE)
+
+    def test_reregister_conflicting_fails(self):
+        conflicting = dataclasses.replace(H100_PCIE, num_sms=1)
+        with pytest.raises(DeviceError):
+            register_device(conflicting)
+
+    def test_register_new(self):
+        spec = dataclasses.replace(H100_PCIE, name="test-gpu")
+        try:
+            register_device(spec)
+            assert get_device("test-gpu") is spec
+        finally:
+            from repro.gpusim.device import _REGISTRY
+            _REGISTRY.pop("test-gpu", None)
+
+
+class TestPaperParameters:
+    def test_bandwidths_match_paper_measurements(self):
+        assert H100_PCIE.dram_bandwidth == pytest.approx(1.92e12)
+        assert MI250X_GCD.dram_bandwidth == pytest.approx(1.31e12)
+        # "The H100-PCIe GPU achieves 47% higher bandwidth"
+        ratio = H100_PCIE.dram_bandwidth / MI250X_GCD.dram_bandwidth
+        assert ratio == pytest.approx(1.47, abs=0.02)
+
+    def test_shared_memory_ratio(self):
+        # "its shared memory is 3.5x smaller than the H100 GPU"
+        ratio = H100_PCIE.smem_per_sm / MI250X_GCD.smem_per_sm
+        assert 3.0 < ratio < 4.0
+
+    def test_warp_sizes(self):
+        assert H100_PCIE.warp_size == 32
+        assert MI250X_GCD.warp_size == 64
+
+
+class TestRounding:
+    def test_round_threads_to_warps(self):
+        assert H100_PCIE.round_threads(1) == 32
+        assert H100_PCIE.round_threads(33) == 64
+        assert MI250X_GCD.round_threads(33) == 64
+        assert MI250X_GCD.round_threads(65) == 128
+
+    def test_round_smem_includes_overhead(self):
+        rounded = H100_PCIE.round_smem(100)
+        assert rounded >= 100 + H100_PCIE.smem_block_overhead
+        assert rounded % H100_PCIE.smem_granularity == 0
+
+    def test_round_smem_monotone(self):
+        assert H100_PCIE.round_smem(2048) >= H100_PCIE.round_smem(1024)

@@ -1,0 +1,75 @@
+"""Unit tests for device buffers, pointer arrays, and traffic counters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import DeviceBuffer, PointerArray, TrafficCounter
+
+
+class TestTrafficCounter:
+    def test_accumulates(self):
+        t = TrafficCounter()
+        t.read(100)
+        t.write(50)
+        t.read(1)
+        assert t.bytes_read == 101
+        assert t.bytes_written == 50
+        assert t.total == 151
+
+    def test_reset(self):
+        t = TrafficCounter()
+        t.read(10)
+        t.reset()
+        assert t.total == 0
+
+
+class TestDeviceBuffer:
+    def test_roundtrip(self):
+        host = np.arange(12.0).reshape(3, 4)
+        buf = DeviceBuffer.from_host(host)
+        out = buf.download()
+        np.testing.assert_array_equal(out, host)
+        # Download is a copy, not a view.
+        out[0, 0] = 99
+        assert buf.array[0, 0] == 0.0
+
+    def test_upload_shape_mismatch(self):
+        buf = DeviceBuffer((3, 4))
+        with pytest.raises(DeviceError):
+            buf.upload(np.zeros((4, 3)))
+
+    def test_nbytes(self):
+        assert DeviceBuffer((4,), dtype=np.float64).nbytes == 32
+
+
+class TestPointerArray:
+    def test_basic(self):
+        mats = [np.zeros((3, 3)), np.zeros((3, 3))]
+        pa = PointerArray(mats)
+        assert len(pa) == 2
+        assert pa.dtype == np.float64
+        assert pa.uniform_shape() == (3, 3)
+        assert pa[1] is mats[1]
+
+    def test_nonuniform_shapes_allowed(self):
+        pa = PointerArray([np.zeros((3, 3)), np.zeros((5, 5))])
+        assert pa.uniform_shape() is None
+
+    def test_mixed_dtypes_rejected(self):
+        with pytest.raises(DeviceError):
+            PointerArray([np.zeros(3), np.zeros(3, dtype=np.float32)])
+
+    def test_from_stack_views(self):
+        stack = np.arange(24.0).reshape(2, 3, 4)
+        pa = PointerArray.from_stack(stack)
+        pa[0][0, 0] = -1.0
+        assert stack[0, 0, 0] == -1.0      # views, not copies
+
+    def test_empty_dtype_raises(self):
+        with pytest.raises(DeviceError):
+            PointerArray([]).dtype
+
+    def test_iteration(self):
+        mats = [np.ones(2), np.ones(2)]
+        assert sum(m.sum() for m in PointerArray(mats)) == 4.0

@@ -1,0 +1,90 @@
+"""Unit tests for the occupancy calculator — the paper's core mechanism."""
+
+import pytest
+
+from repro.band.layout import BandLayout
+from repro.errors import SharedMemoryError
+from repro.gpusim import H100_PCIE, MI250X_GCD, occupancy, waves_for_grid
+
+
+class TestOccupancy:
+    def test_smem_limited(self):
+        occ = occupancy(MI250X_GCD, 32, 25 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "smem"
+
+    def test_block_limited_when_tiny(self):
+        occ = occupancy(H100_PCIE, 32, 128)
+        assert occ.blocks_per_sm == H100_PCIE.max_blocks_per_sm
+        assert occ.limited_by == "blocks"
+
+    def test_thread_limited(self):
+        occ = occupancy(H100_PCIE, 1024, 128)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "threads"
+
+    def test_over_limit_raises(self):
+        with pytest.raises(SharedMemoryError):
+            occupancy(MI250X_GCD, 32, 70 * 1024)
+
+    def test_threads_over_limit_raises(self):
+        with pytest.raises(SharedMemoryError):
+            occupancy(H100_PCIE, 2048, 128)
+
+    def test_monotone_in_smem(self):
+        prev = None
+        for kb in range(2, 56, 2):
+            occ = occupancy(MI250X_GCD, 32, kb * 1024)
+            if prev is not None:
+                assert occ.blocks_per_sm <= prev
+            prev = occ.blocks_per_sm
+
+    def test_resident_blocks(self):
+        occ = occupancy(H100_PCIE, 32, 100 * 1024)
+        assert occ.resident_blocks(H100_PCIE) == \
+            occ.blocks_per_sm * H100_PCIE.num_sms
+
+
+class TestPaperOccupancyClaims:
+    def test_mi250x_fused_drop_416_to_448(self):
+        """Section 5.2: occupancy 2 -> 1 between N=416 and N=448, (2,3)."""
+        e416 = BandLayout(416, 416, 2, 3).fused_elems() * 8
+        e448 = BandLayout(448, 448, 2, 3).fused_elems() * 8
+        assert occupancy(MI250X_GCD, 32, e416).blocks_per_sm == 2
+        assert occupancy(MI250X_GCD, 32, e448).blocks_per_sm == 1
+
+    def test_h100_sustains_larger_fused_matrices(self):
+        """The H100's ~3.5x larger shared memory keeps more resident."""
+        elems = BandLayout(448, 448, 2, 3).fused_elems() * 8
+        h = occupancy(H100_PCIE, 32, elems).blocks_per_sm
+        m = occupancy(MI250X_GCD, 32, elems).blocks_per_sm
+        assert h >= 3 * m
+
+    def test_window_occupancy_size_independent(self):
+        lay_small = BandLayout(64, 64, 2, 3)
+        lay_large = BandLayout(2048, 2048, 2, 3)
+        o1 = occupancy(H100_PCIE, 32, lay_small.window_elems(32) * 8)
+        o2 = occupancy(H100_PCIE, 32, lay_large.window_elems(32) * 8)
+        assert o1.blocks_per_sm == o2.blocks_per_sm
+
+
+class TestWaves:
+    def test_batch_1000_example(self):
+        occ = occupancy(MI250X_GCD, 32, 25 * 1024)   # 2 blocks/SM, 110 CUs
+        assert waves_for_grid(MI250X_GCD, occ, 1000) == 5   # ceil(1000/220)
+
+    def test_zero_grid(self):
+        occ = occupancy(H100_PCIE, 32, 1024)
+        assert waves_for_grid(H100_PCIE, occ, 0) == 0
+
+    def test_single_block(self):
+        occ = occupancy(H100_PCIE, 32, 1024)
+        assert waves_for_grid(H100_PCIE, occ, 1) == 1
+
+    def test_waves_monotone_in_grid(self):
+        occ = occupancy(H100_PCIE, 128, 64 * 1024)
+        prev = 0
+        for grid in (1, 100, 500, 1000, 5000):
+            w = waves_for_grid(H100_PCIE, occ, grid)
+            assert w >= prev
+            prev = w

@@ -1,0 +1,91 @@
+"""Host <-> device transfer modeling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpusim import (
+    DeviceBuffer,
+    H100_PCIE,
+    MI250X_GCD,
+    Stream,
+    batch_upload_time,
+    format_trace,
+    memcpy_d2h,
+    memcpy_h2d,
+    transfer_time,
+)
+
+
+class TestTransferTime:
+    def test_latency_plus_bandwidth(self):
+        t = transfer_time(H100_PCIE, 10 ** 9)
+        assert t == pytest.approx(H100_PCIE.transfer_latency
+                                  + 1e9 / H100_PCIE.h2d_bandwidth)
+
+    def test_direction_selects_bandwidth(self):
+        assert transfer_time(H100_PCIE, 1 << 30, direction="d2h") == \
+            pytest.approx(H100_PCIE.transfer_latency
+                          + (1 << 30) / H100_PCIE.d2h_bandwidth)
+
+    def test_unknown_direction(self):
+        with pytest.raises(DeviceError):
+            transfer_time(H100_PCIE, 100, direction="p2p")
+
+    def test_h100_link_faster_than_mi250x(self):
+        big = 1 << 30
+        assert transfer_time(H100_PCIE, big) < transfer_time(MI250X_GCD,
+                                                             big)
+
+    def test_tiny_copy_dominated_by_latency(self):
+        t = transfer_time(H100_PCIE, 8)
+        assert t == pytest.approx(H100_PCIE.transfer_latency, rel=1e-3)
+
+
+class TestMemcpy:
+    def test_roundtrip_data_and_timeline(self):
+        stream = Stream(H100_PCIE)
+        host = np.arange(64.0).reshape(8, 8)
+        buf = DeviceBuffer((8, 8))
+        rec_up = memcpy_h2d(H100_PCIE, buf, host, stream=stream)
+        out, rec_down = memcpy_d2h(H100_PCIE, buf, stream=stream)
+        np.testing.assert_array_equal(out, host)
+        assert stream.launch_count() == 2
+        assert stream.elapsed == pytest.approx(rec_up.time + rec_down.time)
+        assert rec_up.nbytes == host.nbytes
+        assert rec_up.bandwidth > 0
+
+    def test_d2h_into_preallocated(self):
+        buf = DeviceBuffer((4,))
+        buf.upload(np.array([1.0, 2.0, 3.0, 4.0]))
+        out = np.zeros(4)
+        got, _ = memcpy_d2h(H100_PCIE, buf, out=out)
+        assert got is out
+        np.testing.assert_array_equal(out, [1, 2, 3, 4])
+
+    def test_transfers_appear_in_traces(self):
+        stream = Stream(H100_PCIE)
+        buf = DeviceBuffer((16,))
+        memcpy_h2d(H100_PCIE, buf, np.zeros(16), stream=stream)
+        text = format_trace([stream])
+        assert "memcpy_h2d" in text
+
+
+class TestBatchUpload:
+    def test_matches_manual_computation(self):
+        t = batch_upload_time(H100_PCIE, batch=1000, n=512, kl=2, ku=3)
+        payload = 1000 * 8 * 512 * 8
+        assert t == pytest.approx(transfer_time(H100_PCIE, payload))
+
+    def test_rhs_adds_second_copy(self):
+        t0 = batch_upload_time(H100_PCIE, batch=100, n=64, kl=2, ku=3)
+        t1 = batch_upload_time(H100_PCIE, batch=100, n=64, kl=2, ku=3,
+                               nrhs=1)
+        assert t1 > t0
+
+    def test_staging_vs_kernel_time_ratio_is_sane(self):
+        """Upload of a batch costs the same order as factorizing it."""
+        from repro.bench import time_gbtrf
+        t_up = batch_upload_time(H100_PCIE, batch=1000, n=512, kl=2, ku=3)
+        t_k = time_gbtrf(H100_PCIE, 512, 2, 3)
+        assert 0.05 < t_up / t_k < 20

@@ -1,0 +1,69 @@
+"""Golden-number regression guards on the calibrated timing model.
+
+The model constants in :mod:`repro.gpusim.device` and
+:mod:`repro.cpu.costmodel` were fitted against the paper's tables
+(EXPERIMENTS.md).  These tests pin representative model outputs with a
+10% tolerance so an accidental edit to a constant, a cost formula, or the
+shipped tuning tables shows up as a failure here rather than as a silent
+drift of every benchmark.
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    time_cpu_gbsv,
+    time_cpu_gbtrf,
+    time_gbsv,
+    time_gbtrf,
+)
+from repro.gpusim import H100_PCIE, MI250X_GCD
+
+TOL = 0.10
+
+# (description, callable, golden seconds) — regenerate with
+# tools/regen_goldens.py after any *intentional* recalibration.
+GOLDENS = [
+    ("h100 gbtrf (2,3) n=512",
+     lambda: time_gbtrf(H100_PCIE, 512, 2, 3), 4.7270e-04),
+    ("h100 gbtrf (10,7) n=512",
+     lambda: time_gbtrf(H100_PCIE, 512, 10, 7), 6.6890e-04),
+    ("mi250x gbtrf (2,3) n=512",
+     lambda: time_gbtrf(MI250X_GCD, 512, 2, 3), 6.2182e-04),
+    ("mi250x gbtrf (10,7) n=512",
+     lambda: time_gbtrf(MI250X_GCD, 512, 10, 7), 1.7355e-03),
+    ("h100 gbsv (2,3) n=512 1rhs",
+     lambda: time_gbsv(H100_PCIE, 512, 2, 3, 1), 8.1122e-04),
+    ("h100 gbsv (2,3) n=512 10rhs",
+     lambda: time_gbsv(H100_PCIE, 512, 2, 3, 10), 1.1556e-03),
+    ("mi250x gbsv (10,7) n=512 1rhs",
+     lambda: time_gbsv(MI250X_GCD, 512, 10, 7, 1), 2.1787e-03),
+    ("h100 fused gbtrf (2,3) n=448",
+     lambda: time_gbtrf(H100_PCIE, 448, 2, 3, method="fused"), 8.2881e-04),
+    ("mi250x fused gbtrf (2,3) n=448",
+     lambda: time_gbtrf(MI250X_GCD, 448, 2, 3, method="fused"),
+     5.3571e-03),
+    ("cpu gbtrf (2,3) n=512",
+     lambda: time_cpu_gbtrf(512, 2, 3), 1.1326e-03),
+    ("cpu gbsv (10,7) n=512 10rhs",
+     lambda: time_cpu_gbsv(512, 10, 7, 10), 9.4341e-03),
+]
+
+
+@pytest.mark.parametrize("desc,fn,golden", GOLDENS,
+                         ids=[g[0] for g in GOLDENS])
+def test_model_golden(desc, fn, golden):
+    measured = fn()
+    assert measured == pytest.approx(golden, rel=TOL), (
+        f"{desc}: {measured:.4e}s drifted from golden {golden:.4e}s — "
+        "if the recalibration was intentional, regenerate the goldens "
+        "(tools/regen_goldens.py) and update EXPERIMENTS.md")
+
+
+def test_device_constants_pinned():
+    """The paper-sourced hardware numbers must not drift at all."""
+    assert H100_PCIE.dram_bandwidth == 1.92e12
+    assert MI250X_GCD.dram_bandwidth == 1.31e12
+    assert H100_PCIE.smem_per_sm == 228 * 1024
+    assert MI250X_GCD.smem_per_sm == 64 * 1024
+    assert H100_PCIE.num_sms == 114
+    assert MI250X_GCD.num_sms == 110

@@ -1,0 +1,114 @@
+"""Multi-device batch splitting and scaling."""
+
+import numpy as np
+import pytest
+
+from repro.band.generate import random_band_batch
+from repro.bench.harness import shape_only_batch, time_gbtrf
+from repro.core.gbtf2 import gbtf2
+from repro.core.gbtrf import gbtrf_batch
+from repro.errors import ArgumentError
+from repro.gpusim import (
+    H100_PCIE,
+    MI250X_GCD,
+    Stream,
+    run_multi_device,
+    split_batch,
+)
+
+
+class TestSplit:
+    def test_even_split(self):
+        parts = split_batch(100, [MI250X_GCD, MI250X_GCD])
+        assert [p.count for p in parts] == [50, 50]
+        assert parts[0].stop == parts[1].start
+
+    def test_uneven_remainder_goes_last(self):
+        parts = split_batch(101, [MI250X_GCD, MI250X_GCD])
+        assert sum(p.count for p in parts) == 101
+
+    def test_weighted(self):
+        parts = split_batch(900, [H100_PCIE, MI250X_GCD],
+                            weights=[2.0, 1.0])
+        assert parts[0].count == 600
+        assert parts[1].count == 300
+
+    def test_empty_partitions_dropped(self):
+        parts = split_batch(1, [MI250X_GCD, MI250X_GCD, MI250X_GCD])
+        assert sum(p.count for p in parts) == 1
+        assert all(p.count > 0 for p in parts)
+
+    def test_validation(self):
+        with pytest.raises(ArgumentError):
+            split_batch(-1, [H100_PCIE])
+        with pytest.raises(ArgumentError):
+            split_batch(10, [])
+        with pytest.raises(ArgumentError):
+            split_batch(10, [H100_PCIE], weights=[1.0, 2.0])
+        with pytest.raises(ArgumentError):
+            split_batch(10, [H100_PCIE], weights=[0.0])
+
+
+class TestRun:
+    def _body(self, a, n, kl, ku):
+        def body(device, stream, start, stop):
+            gbtrf_batch(n, n, kl, ku, list(a[start:stop]),
+                        batch=stop - start, device=device, stream=stream)
+        return body
+
+    def test_functional_correctness(self):
+        n, kl, ku, batch = 64, 2, 3, 12
+        a = random_band_batch(batch, n, kl, ku, seed=0)
+        truth = a.copy()
+        for k in range(batch):
+            gbtf2(n, n, kl, ku, truth[k])
+        run = run_multi_device(self._body(a, n, kl, ku), batch,
+                               [MI250X_GCD, MI250X_GCD])
+        np.testing.assert_allclose(a, truth, atol=0)
+        assert len(run.streams) == 2
+        assert run.makespan == max(s.elapsed for s in run.streams)
+
+    def test_small_batch_gains_nothing(self):
+        """Below one wave of blocks, a second device cannot help."""
+        n, kl, ku, batch = 128, 2, 3, 50
+        mats = shape_only_batch(n, kl, ku, batch)
+
+        def body(device, stream, start, stop):
+            gbtrf_batch(n, n, kl, ku, mats[start:stop], batch=stop - start,
+                        device=device, stream=stream, execute=False)
+
+        run = run_multi_device(body, batch, [MI250X_GCD, MI250X_GCD])
+        single = time_gbtrf(MI250X_GCD, n, kl, ku, batch=batch)
+        assert run.makespan == pytest.approx(single, rel=0.01)
+
+    def test_large_batch_scales(self):
+        """Beyond several waves, two GCDs approach 2x."""
+        n, kl, ku, batch = 512, 10, 7, 8000
+        mats = shape_only_batch(n, kl, ku, batch)
+
+        def body(device, stream, start, stop):
+            gbtrf_batch(n, n, kl, ku, mats[start:stop], batch=stop - start,
+                        device=device, stream=stream, execute=False)
+
+        run = run_multi_device(body, batch, [MI250X_GCD, MI250X_GCD])
+        single = time_gbtrf(MI250X_GCD, n, kl, ku, batch=batch)
+        speedup = single / run.makespan
+        assert 1.5 < speedup <= 2.05
+        assert run.efficiency(single) > 0.75
+
+    def test_heterogeneous_weighting_beats_even_split(self):
+        """Weighting by throughput balances an H100 + MI250x pair."""
+        n, kl, ku, batch = 512, 10, 7, 8000
+        mats = shape_only_batch(n, kl, ku, batch)
+
+        def body(device, stream, start, stop):
+            gbtrf_batch(n, n, kl, ku, mats[start:stop], batch=stop - start,
+                        device=device, stream=stream, execute=False)
+
+        devices = [H100_PCIE, MI250X_GCD]
+        even = run_multi_device(body, batch, devices)
+        t_h = time_gbtrf(H100_PCIE, n, kl, ku, batch=batch)
+        t_m = time_gbtrf(MI250X_GCD, n, kl, ku, batch=batch)
+        weighted = run_multi_device(body, batch, devices,
+                                    weights=[1.0 / t_h, 1.0 / t_m])
+        assert weighted.makespan < even.makespan

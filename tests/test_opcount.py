@@ -1,0 +1,102 @@
+"""Exact operation counts and the pivoting-dependent work spread."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.band.generate import (
+    diagonally_dominant_band,
+    random_band,
+    random_band_batch,
+)
+from repro.core import (
+    OpCount,
+    gbtrf_gflops,
+    gbtrf_opcount,
+    gbtrf_opcount_batch,
+    gbtrf_opcount_bounds,
+)
+from repro.core.gbtf2 import gbtf2
+from repro.errors import ArgumentError
+
+
+class TestOpCount:
+    def test_add(self):
+        a = OpCount(1, 2, 3, 4)
+        b = OpCount(10, 20, 30, 40)
+        c = a + b
+        assert (c.multiplies, c.additions, c.divisions, c.comparisons) == \
+            (11, 22, 33, 44)
+        assert c.flops == 11 + 22 + 33
+
+    def test_instrumented_run_matches_gbtf2(self):
+        n, kl, ku = 24, 2, 3
+        ab = random_band(n, kl, ku, seed=0)
+        ref = ab.copy()
+        piv_ref, info_ref = gbtf2(n, n, kl, ku, ref)
+        count, piv, info = gbtrf_opcount(n, n, kl, ku, ab)
+        np.testing.assert_allclose(ab, ref, atol=0)
+        np.testing.assert_array_equal(piv, piv_ref)
+        assert info == info_ref
+
+    def test_diagonally_dominant_hits_minimum(self):
+        """No pivoting -> exactly the closed-form lower bound."""
+        n, kl, ku = 40, 3, 2
+        lo, hi = gbtrf_opcount_bounds(n, n, kl, ku)
+        ab = diagonally_dominant_band(n, kl, ku, seed=1, dominance=4.0)
+        count, piv, info = gbtrf_opcount(n, n, kl, ku, ab)
+        assert count.flops == lo.flops
+        np.testing.assert_array_equal(piv, np.arange(n))
+
+    def test_zero_matrix_does_minimum_comparisons_only(self):
+        n = 10
+        count, piv, info = gbtrf_opcount(n, n, 1, 1, np.zeros((4, n)))
+        assert info == 1
+        assert count.flops == 0
+        assert count.comparisons > 0
+
+    def test_diagonal_matrix_no_flops(self):
+        n = 8
+        ab = np.ones((1, n))
+        count, piv, info = gbtrf_opcount(n, n, 0, 0, ab)
+        assert count.flops == 0 and info == 0
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=6),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_bounds_hold_for_any_matrix(self, n, kl, ku, seed):
+        lo, hi = gbtrf_opcount_bounds(n, n, kl, ku)
+        ab = random_band(n, kl, ku, seed=seed)
+        count, _, _ = gbtrf_opcount(n, n, kl, ku, ab)
+        assert lo.flops <= count.flops <= hi.flops
+        assert count.comparisons == lo.comparisons == hi.comparisons
+
+    def test_rectangular_bounds(self):
+        for m, n in ((10, 20), (20, 10)):
+            lo, hi = gbtrf_opcount_bounds(m, n, 2, 3)
+            ab = random_band(n, 2, 3, m=m, seed=m)
+            count, _, _ = gbtrf_opcount(m, n, 2, 3, ab)
+            assert lo.flops <= count.flops <= hi.flops
+
+    def test_batch_spread_demonstrates_paper_caveat(self):
+        """Same dimensions, different pivoting, different work (§2)."""
+        n, kl, ku = 64, 2, 3
+        a = random_band_batch(32, n, kl, ku, seed=2)
+        counts, _, info = gbtrf_opcount_batch(n, n, kl, ku, a)
+        assert (info == 0).all()
+        flops = {c.flops for c in counts}
+        assert len(flops) > 5          # genuinely varies across the batch
+
+    def test_gflops_conversion(self):
+        c = OpCount(multiplies=500_000, additions=500_000)
+        assert gbtrf_gflops(c, 1e-3) == pytest.approx(1.0)
+        with pytest.raises(ArgumentError):
+            gbtrf_gflops(c, 0.0)
+
+    def test_wider_band_means_more_work(self):
+        lo_thin, _ = gbtrf_opcount_bounds(256, 256, 2, 3)
+        lo_wide, _ = gbtrf_opcount_bounds(256, 256, 10, 7)
+        assert lo_wide.flops > 5 * lo_thin.flops

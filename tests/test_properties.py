@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Strategies draw random problem configurations (size, bandwidths, RHS
+count, seed); properties assert the mathematical contracts: layout
+round-trips, pivot validity, backward-stable residuals, equivalence of
+every kernel design, and linearity of the band product.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.band.convert import band_to_dense, bandwidth_of_dense, dense_to_band
+from repro.band.generate import (
+    diagonally_dominant_band,
+    random_band,
+    random_band_batch,
+    random_band_dense,
+    random_rhs,
+)
+from repro.band.ops import gbmm, solve_residual
+from repro.core.gbsv import gbsv_batch
+from repro.core.gbtf2 import gbtf2
+from repro.core.gbtrf import gbtrf_batch
+from repro.core.gbtrs import gbtrs_batch
+from repro.core.solve_blocks import gbtrs_unblocked
+
+SETTINGS = dict(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+configs = st.tuples(
+    st.integers(min_value=1, max_value=48),     # n
+    st.integers(min_value=0, max_value=8),      # kl
+    st.integers(min_value=0, max_value=8),      # ku
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_layout_roundtrip(cfg):
+    n, kl, ku, seed = cfg
+    a = random_band_dense(n, n, kl, ku, seed=seed)
+    np.testing.assert_array_equal(
+        band_to_dense(dense_to_band(a, kl, ku), n, kl, ku), a)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_bandwidth_detection_within_declared(cfg):
+    n, kl, ku, seed = cfg
+    a = random_band_dense(n, n, kl, ku, seed=seed)
+    bkl, bku = bandwidth_of_dense(a)
+    assert bkl <= min(kl, n - 1)
+    assert bku <= min(ku, n - 1)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_pivots_within_band_reach(cfg):
+    n, kl, ku, seed = cfg
+    ab = random_band(n, kl, ku, seed=seed)
+    piv, info = gbtf2(n, n, kl, ku, ab)
+    for j, p in enumerate(piv):
+        assert j <= p <= min(j + kl, n - 1)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_factorization_preserves_solvability(cfg):
+    """factor + solve yields a backward-stable residual."""
+    n, kl, ku, seed = cfg
+    ab = diagonally_dominant_band(n, kl, ku, seed=seed)
+    orig = ab.copy()
+    b = random_rhs(n, 1, seed=seed)
+    piv, info = gbtf2(n, n, kl, ku, ab)
+    assert info == 0
+    x = gbtrs_unblocked("N", n, kl, ku, ab, piv, b.copy())
+    assert solve_residual(orig, x, b, kl, ku) < 1e-12
+
+
+@given(configs, st.integers(min_value=1, max_value=4))
+@settings(**SETTINGS)
+def test_gbsv_residual_random_matrices(cfg, nrhs):
+    n, kl, ku, seed = cfg
+    a = random_band_batch(2, n, kl, ku, seed=seed)
+    orig = a.copy()
+    b = random_rhs(n, nrhs, batch=2, seed=seed + 1)
+    x = b.copy()
+    piv, info = gbsv_batch(n, kl, ku, nrhs, a, None, x)
+    for k in range(2):
+        if info[k] == 0:
+            # Random matrices can be ill-conditioned; the *residual* must
+            # still be small (backward stability of partial pivoting).
+            assert solve_residual(orig[k], x[k], b[k], kl, ku) < 1e-10
+
+
+@given(configs, st.sampled_from(["fused", "window", "reference"]))
+@settings(**SETTINGS)
+def test_all_designs_agree(cfg, method):
+    n, kl, ku, seed = cfg
+    a = [random_band(n, kl, ku, seed=seed)]
+    ref = a[0].copy()
+    piv_ref, info_ref = gbtf2(n, n, kl, ku, ref)
+    try:
+        piv, info = gbtrf_batch(n, n, kl, ku, a, batch=1, method=method)
+    except Exception as exc:
+        from repro.errors import SharedMemoryError
+        assert isinstance(exc, SharedMemoryError)
+        return
+    np.testing.assert_allclose(a[0], ref, atol=0)
+    np.testing.assert_array_equal(piv[0], piv_ref)
+    assert info[0] == info_ref
+
+
+@given(configs, st.integers(min_value=1, max_value=64),
+       st.integers(min_value=1, max_value=64))
+@settings(**SETTINGS)
+def test_window_blocking_invariance(cfg, nb1, nb2):
+    """The sliding window result is independent of the blocking size."""
+    n, kl, ku, seed = cfg
+    a1 = [random_band(n, kl, ku, seed=seed)]
+    a2 = [a1[0].copy()]
+    gbtrf_batch(n, n, kl, ku, a1, batch=1, method="window", nb=nb1)
+    gbtrf_batch(n, n, kl, ku, a2, batch=1, method="window", nb=nb2)
+    np.testing.assert_allclose(a1[0], a2[0], atol=0)
+
+
+@given(configs, st.integers(min_value=1, max_value=48))
+@settings(**SETTINGS)
+def test_solve_blocking_invariance(cfg, nb):
+    n, kl, ku, seed = cfg
+    a = [random_band(n, kl, ku, seed=seed)]
+    b = [random_rhs(n, 2, seed=seed + 2)]
+    piv, info = gbtrf_batch(n, n, kl, ku, a, batch=1)
+    if info[0] != 0:
+        return
+    x1 = [b[0].copy()]
+    x2 = [b[0].copy()]
+    gbtrs_batch("N", n, kl, ku, 2, a, piv, x1, batch=1, method="blocked",
+                nb=nb)
+    gbtrs_batch("N", n, kl, ku, 2, a, piv, x2, batch=1,
+                method="reference")
+    np.testing.assert_allclose(x1[0], x2[0], atol=0)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_gbmm_linearity(cfg):
+    n, kl, ku, seed = cfg
+    ab = random_band(n, kl, ku, seed=seed)
+    x = random_rhs(n, 2, seed=seed + 3)
+    y = random_rhs(n, 2, seed=seed + 4)
+    lhs = gbmm(n, kl, ku, ab, 2.0 * x + y)
+    rhs = 2.0 * gbmm(n, kl, ku, ab, x) + gbmm(n, kl, ku, ab, y)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_trans_solve_is_inverse_of_trans_product(cfg):
+    n, kl, ku, seed = cfg
+    ab = diagonally_dominant_band(n, kl, ku, seed=seed)
+    orig = ab.copy()
+    piv, info = gbtf2(n, n, kl, ku, ab)
+    assert info == 0
+    b = random_rhs(n, 1, seed=seed + 5)
+    x = gbtrs_unblocked("T", n, kl, ku, ab, piv, b.copy())
+    a = band_to_dense(orig, n, kl, ku)
+    np.testing.assert_allclose(a.T @ x, b, atol=1e-9)
+
+
+@given(st.integers(min_value=1, max_value=30),
+       st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=5),
+       st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(**SETTINGS)
+def test_batch_equals_individual_solves(n, kl, ku, seed):
+    """A batched call is exactly the per-problem calls."""
+    batch = 3
+    a = random_band_batch(batch, n, kl, ku, seed=seed)
+    b = random_rhs(n, 1, batch=batch, seed=seed + 1)
+    a_batch, b_batch = a.copy(), b.copy()
+    gbsv_batch(n, kl, ku, 1, a_batch, None, b_batch)
+    for k in range(batch):
+        ak = [a[k].copy()]
+        bk = [b[k].copy()]
+        gbsv_batch(n, kl, ku, 1, ak, None, bk, batch=1)
+        np.testing.assert_allclose(a_batch[k], ak[0], atol=0)
+        np.testing.assert_allclose(b_batch[k], bk[0], atol=0)

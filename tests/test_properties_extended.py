@@ -1,0 +1,109 @@
+"""Property-based tests for equilibration, conditioning, and refinement."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.band.convert import band_to_dense
+from repro.band.generate import (
+    diagonally_dominant_band,
+    graded_condition_band,
+    random_band,
+    random_rhs,
+)
+from repro.band.ops import band_norm_1
+from repro.core import gbcon, gbequ, gbrfs, laqgb
+from repro.core.gbtf2 import gbtf2
+from repro.core.solve_blocks import gbtrs_unblocked
+
+SETTINGS = dict(max_examples=20, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+configs = st.tuples(
+    st.integers(min_value=2, max_value=32),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_gbequ_scalings_bound_entries(cfg):
+    """Scaled entries are bounded by 1 with the row maxima exactly 1."""
+    n, kl, ku, seed = cfg
+    ab = random_band(n, kl, ku, seed=seed)
+    a = band_to_dense(ab, n, kl, ku)
+    r, c, rowcnd, colcnd, amax, info = gbequ(n, n, kl, ku, ab)
+    if info != 0:
+        return  # a structurally zero row/column: nothing to check
+    scaled = np.abs(np.diag(r) @ a @ np.diag(c))
+    assert scaled.max() <= 1.0 + 1e-12
+    np.testing.assert_allclose(scaled.max(axis=1), 1.0, atol=1e-12)
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_laqgb_equilibrated_solve_matches_original(cfg):
+    """Solving the equilibrated system recovers the original solution."""
+    n, kl, ku, seed = cfg
+    ab = graded_condition_band(n, kl, ku, cond=1e7, seed=seed)
+    a = band_to_dense(ab, n, kl, ku)
+    b = random_rhs(n, 1, seed=seed + 1)
+    r, c, rowcnd, colcnd, _, info = gbequ(n, n, kl, ku, ab)
+    if info != 0:
+        return
+    work = ab.copy()
+    equed = laqgb(n, n, kl, ku, work, r, c, rowcnd, colcnd)
+    b_s = b.copy()
+    if equed in ("R", "B"):
+        b_s = r[:, None] * b_s
+    piv, fin = gbtf2(n, n, kl, ku, work)
+    if fin != 0:
+        return
+    x = gbtrs_unblocked("N", n, kl, ku, work, piv, b_s.copy())
+    if equed in ("C", "B"):
+        x = c[:, None] * x
+    resid = np.abs(a @ x - b).max()
+    scale = np.abs(a).max() * max(np.abs(x).max(), 1.0)
+    assert resid <= 1e-9 * scale
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_gbcon_is_upper_bound_within_factor(cfg):
+    """rcond estimate bounds the true rcond from above, within ~10x."""
+    n, kl, ku, seed = cfg
+    ab = diagonally_dominant_band(n, kl, ku, seed=seed)
+    a = band_to_dense(ab, n, kl, ku)
+    anorm = band_norm_1(ab, n, kl, ku)
+    fact = ab.copy()
+    piv, info = gbtf2(n, n, kl, ku, fact)
+    assert info == 0
+    rcond = gbcon("1", n, kl, ku, fact, piv, anorm)
+    true = 1.0 / (np.linalg.norm(a, 1)
+                  * np.linalg.norm(np.linalg.inv(a), 1))
+    assert true <= rcond * (1 + 1e-9)
+    assert rcond <= 10 * true + 1e-12
+
+
+@given(configs)
+@settings(**SETTINGS)
+def test_gbrfs_monotone_backward_error(cfg):
+    """Refinement never leaves the backward error above sqrt(eps)."""
+    n, kl, ku, seed = cfg
+    ab = random_band(n, kl, ku, seed=seed)
+    low = ab.astype(np.float32)
+    piv = np.zeros(n, dtype=np.int64)
+    _, info = gbtf2(n, n, kl, ku, low, piv)
+    if info != 0:
+        return
+    b = random_rhs(n, 2, seed=seed + 2)
+    x = b.astype(np.float32)
+    gbtrs_unblocked("N", n, kl, ku, low, piv, x)
+    x = x.astype(np.float64)
+    if not np.isfinite(x).all():
+        return  # fp32 factorization overflowed: out of scope
+    res = gbrfs(n, kl, ku, ab, low, piv, b, x)
+    assert res.berr.max() <= np.sqrt(np.finfo(np.float64).eps) * 100 \
+        or res.converged

@@ -1,0 +1,127 @@
+"""Tuning framework: sweep, tables, serialisation, lookup, defaults."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import H100_PCIE, MI250X_GCD
+from repro.tuning import (
+    FUSED_CUTOFF,
+    FUSED_GBSV_CUTOFF,
+    SweepConfig,
+    TuningEntry,
+    TuningTable,
+    candidate_nbs,
+    candidate_threads,
+    get_active_table,
+    heuristic_window_params,
+    load_shipped_table,
+    run_sweep,
+    set_active_table,
+    sweep_band_pattern,
+    window_params,
+)
+
+
+class TestHeuristics:
+    @pytest.mark.parametrize("kl,ku", [(0, 0), (2, 3), (10, 7), (32, 32)])
+    def test_minimum_thread_constraint(self, kl, ku):
+        for dev in (H100_PCIE, MI250X_GCD):
+            nb, threads = heuristic_window_params(dev, kl, ku)
+            assert threads >= kl + 1
+            assert nb >= 1
+
+    def test_wide_band_gets_more_threads(self):
+        _, thin = heuristic_window_params(H100_PCIE, 1, 1)
+        _, wide = heuristic_window_params(H100_PCIE, 24, 24)
+        assert wide > thin
+
+    def test_cutoffs_match_paper(self):
+        assert FUSED_CUTOFF == 64
+        assert FUSED_GBSV_CUTOFF == 64
+
+
+class TestSweep:
+    def test_candidates_respect_minimum(self):
+        for t in candidate_threads(H100_PCIE, 10, 7):
+            assert t >= 11
+        assert all(nb >= 1 for nb in candidate_nbs(10, 7))
+
+    def test_sweep_returns_feasible_best(self):
+        e = sweep_band_pattern(MI250X_GCD, 10, 7)
+        assert e.kl == 10 and e.ku == 7
+        assert e.threads >= 11
+        assert e.time > 0
+
+    def test_sweep_table_roundtrip(self, tmp_path):
+        cfg = SweepConfig(device=H100_PCIE, kl_range=[0, 2],
+                          ku_range=[0, 3])
+        table = run_sweep(cfg)
+        assert len(table.entries) == 4
+        path = tmp_path / "table.json"
+        table.save(path)
+        loaded = TuningTable.load(path)
+        assert loaded.device_name == "h100-pcie"
+        assert loaded.entries == table.entries
+
+    def test_best_entry_actually_best_among_candidates(self):
+        from repro.tuning.sweep import _config_time
+        kl, ku = 4, 4
+        e = sweep_band_pattern(H100_PCIE, kl, ku)
+        for nb in candidate_nbs(kl, ku)[:3]:
+            for t in candidate_threads(H100_PCIE, kl, ku)[:3]:
+                total = sum(_config_time(H100_PCIE, n, kl, ku, nb, t,
+                                         1000, 8) for n in (256, 1024))
+                assert e.time <= total * (1 + 1e-12)
+
+
+class TestTableLookup:
+    def test_exact_hit(self):
+        t = TuningTable("dev")
+        t.add(TuningEntry(2, 3, nb=24, threads=32, time=1.0))
+        assert t.lookup(2, 3) == (24, 32)
+
+    def test_nearest_neighbour(self):
+        t = TuningTable("dev")
+        t.add(TuningEntry(2, 3, nb=24, threads=32, time=1.0))
+        t.add(TuningEntry(20, 20, nb=8, threads=256, time=1.0))
+        assert t.lookup(3, 3) == (24, 32)
+        assert t.lookup(18, 22) == (8, 256)
+
+    def test_empty_table(self):
+        assert TuningTable("dev").lookup(1, 1) is None
+
+
+class TestActiveTables:
+    def test_shipped_tables_load(self):
+        for name in ("h100-pcie", "mi250x-gcd"):
+            table = load_shipped_table(name)
+            assert table is not None
+            assert table.device_name == name
+            assert (2, 3) in table.entries
+            assert (10, 7) in table.entries
+
+    def test_missing_table_is_none(self):
+        assert load_shipped_table("no-such-device") is None
+
+    def test_set_active_table_overrides(self):
+        custom = TuningTable("h100-pcie")
+        custom.add(TuningEntry(2, 3, nb=5, threads=99, time=1.0))
+        previous = get_active_table("h100-pcie")
+        try:
+            set_active_table("h100-pcie", custom)
+            assert window_params(H100_PCIE, 2, 3) == (5, 99)
+        finally:
+            if previous is not None:
+                set_active_table("h100-pcie", previous)
+
+    def test_window_params_functional(self):
+        """Parameters coming out of the tables drive a correct kernel."""
+        from repro.band.generate import random_band_batch
+        from repro.core.gbtf2 import gbtf2
+        from repro.core.gbtrf import gbtrf_batch
+        n, kl, ku = 40, 10, 7
+        a = random_band_batch(1, n, kl, ku, seed=1)
+        ref = a[0].copy()
+        gbtf2(n, n, kl, ku, ref)
+        gbtrf_batch(n, n, kl, ku, a, method="window")
+        np.testing.assert_allclose(a[0], ref, atol=0)

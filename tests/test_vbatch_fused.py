@@ -1,0 +1,121 @@
+"""Single-kernel non-uniform batching vs the grouped strategy."""
+
+import numpy as np
+import pytest
+
+from repro.band.generate import random_band
+from repro.core import VbatchProblem, gbtrf_vbatch, gbtrf_vbatch_fused
+from repro.core.gbtf2 import gbtf2
+from repro.errors import ArgumentError
+from repro.gpusim import H100_PCIE, MI250X_GCD, Stream
+
+
+def _mixed(seed=0, configs=None):
+    configs = configs or [(12, 1, 1), (30, 2, 3), (20, 10, 7), (12, 1, 1),
+                          (50, 3, 3), (7, 0, 2)]
+    rng = np.random.default_rng(seed)
+    mats = [random_band(n, kl, ku, seed=rng) for n, kl, ku in configs]
+    return configs, mats
+
+
+class TestCorrectness:
+    def test_matches_grouped_strategy(self):
+        configs, mats1 = _mixed()
+        mats2 = [m.copy() for m in mats1]
+        ns = [c[0] for c in configs]
+        kls = [c[1] for c in configs]
+        kus = [c[2] for c in configs]
+        p1, i1 = gbtrf_vbatch(ns, ns, kls, kus, mats1)
+        p2, i2 = gbtrf_vbatch_fused(ns, ns, kls, kus, mats2)
+        for a, b in zip(mats1, mats2):
+            np.testing.assert_allclose(a, b, atol=0)
+        for a, b in zip(p1, p2):
+            np.testing.assert_array_equal(a, b)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_matches_per_problem_gbtf2(self):
+        configs, mats = _mixed(seed=1)
+        refs = []
+        for (n, kl, ku), m in zip(configs, mats):
+            ab = m.copy()
+            piv, info = gbtf2(n, n, kl, ku, ab)
+            refs.append((ab, piv, info))
+        pivots, info = gbtrf_vbatch_fused(
+            [c[0] for c in configs], [c[0] for c in configs],
+            [c[1] for c in configs], [c[2] for c in configs], mats)
+        for k, (ab, piv, inf) in enumerate(refs):
+            np.testing.assert_allclose(mats[k], ab, atol=0)
+            np.testing.assert_array_equal(pivots[k], piv)
+            assert info[k] == inf
+
+    def test_per_problem_singularity(self):
+        n = 10
+        mats = [random_band(n, 1, 1, seed=2), np.zeros((4, n))]
+        pivots, info = gbtrf_vbatch_fused([n, n], [n, n], [1, 1], [1, 1],
+                                          mats)
+        assert info[0] == 0 and info[1] == 1
+
+    def test_length_mismatch(self):
+        configs, mats = _mixed()
+        with pytest.raises(ArgumentError):
+            gbtrf_vbatch_fused([8], [8, 8], [1, 1], [1, 1], mats[:2])
+
+    def test_shape_validation(self):
+        with pytest.raises(ArgumentError):
+            gbtrf_vbatch_fused([8], [8], [2], [3], [np.zeros((4, 8))])
+
+    def test_empty_batch(self):
+        pivots, info = gbtrf_vbatch_fused([], [], [], [], [])
+        assert pivots == [] and info.shape == (0,)
+
+
+class TestExecutionShape:
+    def test_single_launch(self):
+        configs, mats = _mixed(seed=3)
+        stream = Stream(H100_PCIE)
+        gbtrf_vbatch_fused([c[0] for c in configs],
+                           [c[0] for c in configs],
+                           [c[1] for c in configs],
+                           [c[2] for c in configs], mats, stream=stream)
+        assert stream.launch_count() == 1
+        assert stream.records[0].kernel_name == "gbtrf_vbatch"
+
+    def test_smem_reserved_for_largest_window(self):
+        from repro.core.gbtrf_vbatch_kernel import VbatchGbtrfKernel
+        probs = [VbatchProblem(8, 8, 1, 1, nb=8, threads=16),
+                 VbatchProblem(40, 40, 10, 7, nb=16, threads=90)]
+        mats = [np.zeros((4, 8)), np.zeros((28, 40))]
+        piv = [np.zeros(8, dtype=np.int64), np.zeros(40, dtype=np.int64)]
+        k = VbatchGbtrfKernel(probs, mats, piv, np.zeros(2, dtype=np.int64))
+        assert k.smem_bytes() == probs[1].window_bytes
+        assert k.threads() == 90
+
+    def test_fused_beats_grouped_for_many_distinct_shapes(self):
+        """Launch-bound regime: every problem has a unique configuration."""
+        rng = np.random.default_rng(4)
+        configs = [(int(n), int(kl), int(ku))
+                   for n, kl, ku in zip(rng.integers(8, 40, 24),
+                                        rng.integers(0, 4, 24),
+                                        rng.integers(0, 4, 24))]
+        # Deduplicate sizes enough to keep many distinct groups.
+        configs, mats = _mixed(seed=5, configs=configs)
+        ns = [c[0] for c in configs]
+        kls = [c[1] for c in configs]
+        kus = [c[2] for c in configs]
+        s1, s2 = Stream(H100_PCIE), Stream(H100_PCIE)
+        gbtrf_vbatch(ns, ns, kls, kus, [m.copy() for m in mats],
+                     stream=s1, execute=False)
+        gbtrf_vbatch_fused(ns, ns, kls, kus, [m.copy() for m in mats],
+                           stream=s2, execute=False)
+        assert s1.launch_count() > s2.launch_count()
+        assert s2.elapsed < s1.elapsed
+
+    def test_devices_agree(self):
+        configs, mats1 = _mixed(seed=6)
+        mats2 = [m.copy() for m in mats1]
+        args = ([c[0] for c in configs], [c[0] for c in configs],
+                [c[1] for c in configs], [c[2] for c in configs])
+        gbtrf_vbatch_fused(*args, mats1, device=H100_PCIE)
+        gbtrf_vbatch_fused(*args, mats2, device=MI250X_GCD)
+        for a, b in zip(mats1, mats2):
+            np.testing.assert_allclose(a, b, atol=0)

@@ -1,0 +1,90 @@
+"""Coordinate-descent fit of device/CPU cost constants to the paper's tables."""
+import dataclasses, itertools, math
+import numpy as np
+from repro.bench.harness import time_gbtrf, time_gbsv
+from repro.cpu.costmodel import CpuSpec, cpu_gbtrf_time, cpu_gbsv_time
+from repro.gpusim.device import H100_PCIE, MI250X_GCD
+
+SIZES = [32,64,128,192,256,320,384,448,512,576,640,704,768,832,896,960,1024]
+
+TARGETS = [
+    # (table, device, kl, ku, nrhs, paper_min, paper_max, paper_avg)
+    ("trf","h", 2,3, None, 2.13,3.43,3.07),
+    ("trf","h",10,7, None, 3.07,4.27,3.56),
+    ("trf","m", 2,3, None, 1.67,2.32,1.88),
+    ("trf","m",10,7, None, 0.96,2.01,1.16),
+    ("sv","h", 2,3, 1, 2.23,3.58,2.54),
+    ("sv","h",10,7, 1, 2.79,4.65,3.03),
+    ("sv","m", 2,3, 1, 1.22,2.58,1.59),
+    ("sv","m",10,7, 1, 0.92,1.66,1.11),
+    ("sv","h", 2,3, 10, 3.33,4.85,3.69),
+    ("sv","h",10,7, 10, 4.12,7.67,4.64),
+    ("sv","m", 2,3, 10, 1.40,2.11,1.57),
+    ("sv","m",10,7, 10, 1.42,3.41,1.61),
+]
+
+def make_devices(p):
+    h = dataclasses.replace(H100_PCIE, sync_latency=p["h_sync"], smem_bw_per_block=p["h_smem"], _skip=None) if False else dataclasses.replace(H100_PCIE, sync_latency=p["h_sync"], smem_bw_per_block=p["h_smem"])
+    m = dataclasses.replace(MI250X_GCD, sync_latency=p["m_sync"], smem_bw_per_block=p["m_smem"], smem_block_overhead=5120)
+    return h, m
+
+def make_cpu(p):
+    return CpuSpec(column_cost=p["c_col"], flop_time=p["c_flop"],
+                   rhs_column_cost=p["c_rcol"], rhs_flop_time=p["c_rflop"],
+                   rhs_vector_efficiency=p["c_rvec"])
+
+def objective(p, detail=False):
+    h, m = make_devices(p)
+    cpu = make_cpu(p)
+    dev = {"h": h, "m": m}
+    err = 0.0
+    rows = []
+    for tab, d, kl, ku, nrhs, pmin, pmax, pavg in TARGETS:
+        sp = []
+        for n in SIZES:
+            if tab == "trf":
+                g = time_gbtrf(dev[d], n, kl, ku)
+                c = cpu_gbtrf_time(cpu, n, n, kl, ku, 1000)
+            else:
+                g = time_gbsv(dev[d], n, kl, ku, nrhs)
+                c = cpu_gbsv_time(cpu, n, kl, ku, nrhs, 1000)
+            sp.append(c/g)
+        mn, mx, avg = min(sp), max(sp), sum(sp)/len(sp)
+        err += math.log(avg/pavg)**2 + 0.3*math.log(mn/pmin)**2 + 0.3*math.log(mx/pmax)**2
+        rows.append((tab,d,kl,ku,nrhs,mn,mx,avg,pmin,pmax,pavg))
+    if detail:
+        for r in rows:
+            print(f"  {r[0]:>3} {r[1]} ({r[2]:>2},{r[3]}) rhs={r[4]}: model {r[5]:4.2f}/{r[6]:4.2f}/{r[7]:4.2f}  paper {r[8]:4.2f}/{r[9]:4.2f}/{r[10]:4.2f}")
+    return err
+
+p = dict(h_sync=1.5e-7, h_smem=9.0e10, m_sync=1.2e-7, m_smem=3.6e10,
+         c_col=3.0e-8, c_flop=1.3e-10, c_rcol=6e-9, c_rflop=2.0e-10, c_rvec=0.75)
+
+grid = dict(
+    h_sync=[1.2e-7,1.35e-7,1.5e-7,1.7e-7,1.9e-7],
+    h_smem=[6e10,7.5e10,9e10,11e10],
+    m_sync=[1.0e-7,1.2e-7,1.4e-7,1.6e-7,1.9e-7],
+    m_smem=[2.4e10,3.0e10,3.6e10,4.4e10],
+    c_col=[2.4e-8,2.8e-8,3.2e-8,3.6e-8,4.2e-8],
+    c_flop=[1.0e-10,1.15e-10,1.3e-10,1.5e-10],
+    c_rcol=[4e-9,6e-9,9e-9,1.3e-8],
+    c_rflop=[1.6e-10,2.0e-10,2.6e-10,3.4e-10],
+    c_rvec=[0.55,0.65,0.75,0.9],
+)
+
+best = objective(p)
+print("start err", best)
+for sweep in range(4):
+    improved = False
+    for key, cands in grid.items():
+        for v in cands:
+            if v == p[key]: continue
+            q = dict(p); q[key] = v
+            e = objective(q)
+            if e < best - 1e-6:
+                best, p, improved = e, q, True
+    print(f"sweep {sweep}: err {best:.4f}  {p}")
+    if not improved: break
+print()
+objective(p, detail=True)
+print("FINAL:", p, "err", best)

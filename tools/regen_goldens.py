@@ -1,0 +1,19 @@
+"""Regenerate the golden numbers for tests/test_model_regression.py."""
+from repro.bench.harness import time_cpu_gbsv, time_cpu_gbtrf, time_gbsv, time_gbtrf
+from repro.gpusim import H100_PCIE, MI250X_GCD
+
+cases = [
+    ("h100 gbtrf (2,3) n=512", lambda: time_gbtrf(H100_PCIE, 512, 2, 3)),
+    ("h100 gbtrf (10,7) n=512", lambda: time_gbtrf(H100_PCIE, 512, 10, 7)),
+    ("mi250x gbtrf (2,3) n=512", lambda: time_gbtrf(MI250X_GCD, 512, 2, 3)),
+    ("mi250x gbtrf (10,7) n=512", lambda: time_gbtrf(MI250X_GCD, 512, 10, 7)),
+    ("h100 gbsv (2,3) n=512 1rhs", lambda: time_gbsv(H100_PCIE, 512, 2, 3, 1)),
+    ("h100 gbsv (2,3) n=512 10rhs", lambda: time_gbsv(H100_PCIE, 512, 2, 3, 10)),
+    ("mi250x gbsv (10,7) n=512 1rhs", lambda: time_gbsv(MI250X_GCD, 512, 10, 7, 1)),
+    ("h100 fused gbtrf (2,3) n=448", lambda: time_gbtrf(H100_PCIE, 448, 2, 3, method="fused")),
+    ("mi250x fused gbtrf (2,3) n=448", lambda: time_gbtrf(MI250X_GCD, 448, 2, 3, method="fused")),
+    ("cpu gbtrf (2,3) n=512", lambda: time_cpu_gbtrf(512, 2, 3)),
+    ("cpu gbsv (10,7) n=512 10rhs", lambda: time_cpu_gbsv(512, 10, 7, 10)),
+]
+for desc, fn in cases:
+    print(f'    ("{desc}", ..., {fn():.4e}),')
