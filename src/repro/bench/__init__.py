@@ -22,12 +22,14 @@ from .figures import (
 )
 from .harness import (
     DEFAULT_BATCH,
+    WallClock,
     time_cpu_gbsv,
     time_cpu_gbtrf,
     time_cpu_gbtrs,
     time_gbsv,
     time_gbtrf,
     time_gbtrs,
+    wallclock_gbtrf_paths,
 )
 from .report import FigureResult, Series, SpeedupRow, format_figure, format_speedup_table, geomean
 from .streams import StreamedResult, run_streamed
@@ -43,4 +45,5 @@ __all__ = [
     "table1", "table2", "table3",
     "time_cpu_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs",
     "time_gbsv", "time_gbtrf", "time_gbtrs",
+    "WallClock", "wallclock_gbtrf_paths",
 ]

@@ -7,6 +7,11 @@ executing all 1000 factorizations — the drivers run with ``execute=False``
 numerical correctness is covered separately by the test suite and by each
 benchmark's small functional sample).  Times are returned in seconds; the
 report layer converts to the paper's milliseconds.
+
+:func:`wallclock_gbtrf_paths` is the exception: it executes the functional
+kernel bodies for real on both execution paths (per-block loop vs
+batch-interleaved) and reports host wall-clock, quantifying the simulator's
+own throughput rather than the modeled device time.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from ..types import Trans
 __all__ = [
     "DEFAULT_BATCH", "shape_only_batch", "time_gbtrf", "time_gbtrs",
     "time_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs", "time_cpu_gbsv",
+    "WallClock", "wallclock_gbtrf_paths",
 ]
 
 # The paper's evaluation batch size.
@@ -88,6 +94,68 @@ def time_gbsv(device: DeviceSpec, n: int, kl: int, ku: int, nrhs: int, *,
     gbsv_batch(n, kl, ku, nrhs, mats, None, rhs, batch=batch, device=device,
                stream=stream, method=method, execute=False)
     return stream.synchronize()
+
+
+@dataclass(frozen=True)
+class WallClock:
+    """Host wall-clock seconds of one workload on both execution paths."""
+
+    per_block: float
+    vectorized: float
+    batch: int
+
+    @property
+    def speedup(self) -> float:
+        return self.per_block / self.vectorized
+
+
+def wallclock_gbtrf_paths(n: int, kl: int, ku: int, *,
+                          batch: int = DEFAULT_BATCH,
+                          device: DeviceSpec | None = None,
+                          method: str = "auto", dtype=np.float64,
+                          seed: int = 0, repeats: int = 1,
+                          warmup: bool = False) -> WallClock:
+    """Wall-clock a real (``execute=True``) batched factorization on the
+    per-block and batch-interleaved paths.
+
+    Unlike the modeled ``time_*`` entries above, this measures what the
+    host actually spends executing the functional kernel bodies — the
+    quantity the ``vectorize`` dispatch exists to improve.  Both runs
+    start from identical copies of one random batch; the factored outputs
+    are bit-identical by the launch contract (asserted in
+    ``benchmarks/bench_vectorized_speedup.py``).
+
+    ``repeats`` reports the best of that many timed runs (each from a
+    fresh copy of the inputs) and ``warmup`` runs each path once on a
+    small batch first, so first-call effects (allocator/page-fault
+    warmup) don't contaminate the steady-state comparison.
+    """
+    from time import perf_counter
+
+    from ..band.generate import random_band_batch
+    from ..gpusim.device import H100_PCIE
+
+    if device is None:
+        device = H100_PCIE
+    a = random_band_batch(batch, n, kl, ku, dtype=dtype, seed=seed)
+    seconds = {}
+    for label, vec in (("per_block", False), ("vectorized", True)):
+        if warmup:
+            small = a[:min(8, batch)].copy()
+            gbtrf_batch(n, n, kl, ku, small, None, None,
+                        batch=small.shape[0], device=device, method=method,
+                        vectorize=vec)
+        best = None
+        for _ in range(max(1, repeats)):
+            work = a.copy()
+            t0 = perf_counter()
+            gbtrf_batch(n, n, kl, ku, work, None, None, batch=batch,
+                        device=device, method=method, vectorize=vec)
+            dt = perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        seconds[label] = best
+    return WallClock(per_block=seconds["per_block"],
+                     vectorized=seconds["vectorized"], batch=batch)
 
 
 def time_cpu_gbtrf(n: int, kl: int, ku: int, *,

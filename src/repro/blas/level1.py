@@ -10,7 +10,36 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["iamax", "swap", "scal", "axpy", "dot", "nrm2", "asum"]
+__all__ = ["iamax", "iamax_batched", "swap", "scal", "scal_batched",
+           "stable_mul", "axpy", "dot", "nrm2", "asum"]
+
+
+def stable_mul(x, y):
+    """Elementwise product whose rounding does not depend on array shape.
+
+    numpy's complex multiply is not shape-stable: the contiguous SIMD main
+    loop contracts ``re*re - im*im`` with FMA while the scalar/strided/tail
+    loop evaluates the naive real-decomposed formula, so the same operand
+    values multiplied under different shapes or strides can differ in the
+    last ulp.  The batch-interleaved kernels must produce factors that are
+    bit-identical to the per-matrix reference path, so every complex
+    multiply in the factor/solve building blocks routes through this
+    helper.  It evaluates the naive formula with real arithmetic — real
+    multiply/add/subtract are correctly rounded elementwise in every numpy
+    loop, hence shape-stable.  Real dtypes multiply directly (also
+    correctly rounded elementwise, so already stable).
+    """
+    if not (np.iscomplexobj(x) or np.iscomplexobj(y)):
+        return x * y
+    x = np.asarray(x)
+    y = np.asarray(y)
+    xr, xi = x.real, x.imag
+    yr, yi = y.real, y.imag
+    out = np.empty(np.broadcast_shapes(x.shape, y.shape),
+                   dtype=np.result_type(x, y))
+    out.real = xr * yr - xi * yi
+    out.imag = xr * yi + xi * yr
+    return out
 
 
 def iamax(x: np.ndarray) -> int:
@@ -30,6 +59,24 @@ def iamax(x: np.ndarray) -> int:
     return int(np.argmax(mag))
 
 
+def iamax_batched(x: np.ndarray) -> np.ndarray:
+    """Batch-interleaved IAMAX: one pivot search per row of ``x``.
+
+    ``x`` has shape ``(batch, k)``; returns a ``(batch,)`` int64 vector of
+    0-based indices, each computed with exactly the semantics of
+    :func:`iamax` (``|real| + |imag|`` magnitude, first-occurrence ties).
+    One ``argmax`` call advances the whole batch — the Python analogue of
+    the one-instruction-stream-per-column interleaved layout.
+    """
+    if x.shape[-1] == 0:
+        return np.zeros(x.shape[0], dtype=np.int64)
+    if np.iscomplexobj(x):
+        mag = np.abs(x.real) + np.abs(x.imag)
+    else:
+        mag = np.abs(x)
+    return np.argmax(mag, axis=-1).astype(np.int64)
+
+
 def swap(x: np.ndarray, y: np.ndarray) -> None:
     """Exchange the contents of two equal-length views, in place."""
     tmp = x.copy()
@@ -40,6 +87,22 @@ def swap(x: np.ndarray, y: np.ndarray) -> None:
 def scal(alpha, x: np.ndarray) -> None:
     """``x *= alpha`` in place."""
     x *= alpha
+
+
+def scal_batched(alpha: np.ndarray, x: np.ndarray) -> None:
+    """Batch-interleaved SCAL: ``x[b] *= alpha[b]`` for every problem ``b``.
+
+    ``alpha`` has shape ``(batch,)`` and ``x`` shape ``(batch, ...)``; each
+    element sees the identical multiply the per-problem :func:`scal` would
+    perform, so results are bit-for-bit equal.  Complex data routes
+    through :func:`stable_mul` so the rounding cannot shift with the loop
+    numpy happens to pick for the batched shape.
+    """
+    a = alpha.reshape((-1,) + (1,) * (x.ndim - 1))
+    if np.iscomplexobj(x):
+        x[...] = stable_mul(x, a)
+    else:
+        x *= a
 
 
 def axpy(alpha, x: np.ndarray, y: np.ndarray) -> None:

@@ -27,7 +27,42 @@ __all__ = [
     "ensure_pivots",
     "ensure_info",
     "check_gb_args",
+    "is_uniform_stack",
 ]
+
+
+def is_uniform_stack(mats) -> bool:
+    """True when ``mats`` are consecutive slices of one contiguous stack.
+
+    This is the eligibility gate for the batch-interleaved execution path:
+    every per-problem view must share the same base array, shape, dtype and
+    strides, and sit at evenly spaced, non-overlapping offsets — exactly
+    what ``list(stack)`` of a ``(batch, ldab, n)`` strided-batch array
+    produces.  :class:`~repro.gpusim.memory.PointerArray` batches (matrices
+    scattered through memory), aliased matrices and ragged (vbatch) inputs
+    all return False, so they keep the per-block path.
+    """
+    if len(mats) == 0:
+        return False
+    first = mats[0]
+    if not isinstance(first, np.ndarray) or first.base is None:
+        return False
+    base = first.base
+    shape, dtype, strides = first.shape, first.dtype, first.strides
+    if len(mats) == 1:
+        return True
+    ptr0 = first.__array_interface__["data"][0]
+    extent = shape[0] * strides[0] if strides else 0
+    if extent <= 0:
+        return False
+    for k, mk in enumerate(mats[1:], 1):
+        if (not isinstance(mk, np.ndarray) or mk.base is not base
+                or mk.shape != shape or mk.dtype != dtype
+                or mk.strides != strides):
+            return False
+        if mk.__array_interface__["data"][0] != ptr0 + k * extent:
+            return False
+    return True
 
 
 def as_matrix_list(a_array, batch: int, *, arg_pos: int) -> list[np.ndarray]:

@@ -67,11 +67,16 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                b_array, info=None, *, batch: int | None = None,
                device: DeviceSpec = H100_PCIE, stream=None,
                method: str = "auto", execute: bool = True,
-               max_blocks: int | None = None):
+               max_blocks: int | None = None,
+               vectorize: bool | None = None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
     ``b_array`` with solutions (per-problem, skipped when singular).
+    ``vectorize`` selects the execution path (see
+    :func:`repro.core.gbtrf.gbtrf_batch`); when some problems are singular
+    the follow-up solve runs on a scattered sub-batch, which falls back to
+    per-block execution automatically.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
@@ -94,22 +99,24 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     if method == "fused" and nrhs >= 1:
         kernel = FusedGbsvKernel(n, kl, ku, nrhs, mats, pivots, rhs, info)
         launch(device, kernel, stream=stream, execute=execute,
-               max_blocks=max_blocks)
+               max_blocks=max_blocks, vectorize=vectorize)
         return pivots, info
 
     gbtrf_batch(n, n, kl, ku, mats, pivots, info, batch=batch,
                 device=device, stream=stream, execute=execute,
-                max_blocks=max_blocks)
+                max_blocks=max_blocks, vectorize=vectorize)
     if nrhs == 0:
         return pivots, info
     ok = [k for k in range(batch) if info[k] == 0]
     if len(ok) == batch:
         gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivots, rhs,
                     batch=batch, device=device, stream=stream,
-                    execute=execute, max_blocks=max_blocks)
+                    execute=execute, max_blocks=max_blocks,
+                    vectorize=vectorize)
     elif ok:
         # Solve only the non-singular problems (LAPACK leaves B of a
-        # singular problem unchanged).
+        # singular problem unchanged).  The scattered sub-batch is no
+        # longer a contiguous stack, so it takes the per-block path.
         sub_mats = [mats[k] for k in ok]
         sub_piv = [pivots[k] for k in ok]
         sub_rhs = [rhs[k] for k in ok]

@@ -12,6 +12,13 @@ for systems of order 64 or less with a single right-hand side.
 Following LAPACK ``DGBSV`` semantics, if the factorization reports a
 singular ``U`` the solution is not computed: the factors and pivots are
 still written back but ``B`` is left unchanged in global memory.
+
+The kernel also implements the batch-interleaved path
+(:meth:`~repro.gpusim.kernel.Kernel.run_batch_vectorized`): uniform
+contiguous ``[A|B]`` batches run every column step (Section 5.1 building
+blocks plus the Section 6 solve steps) across the whole batch at once
+with per-lane ``active`` masks for singular problems, bit-identical to
+the per-block body (see ``docs/PERFORMANCE.md``).
 """
 
 from __future__ import annotations
@@ -21,18 +28,33 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
+from .batch_args import is_uniform_stack
 from .costs import gbsv_fused_cost
 from .gbtf2 import (
     init_fillin,
+    init_fillin_batched,
     pivot_search,
+    pivot_search_batched,
     rank_one_update,
+    rank_one_update_batched,
     scale_column,
+    scale_column_batched,
     set_fillin,
+    set_fillin_batched,
     swap_right,
+    swap_right_batched,
     update_bound,
+    update_bound_batched,
 )
 from .gbtrf_fused import default_fused_threads
-from .solve_blocks import backward_step, forward_swap, forward_update
+from .solve_blocks import (
+    backward_step,
+    backward_step_batched,
+    forward_swap,
+    forward_swap_batched,
+    forward_update,
+    forward_update_batched,
+)
 
 __all__ = ["FusedGbsvKernel"]
 
@@ -109,3 +131,52 @@ class FusedGbsvKernel(Kernel):
         for j in range(n - 1, -1, -1):
             backward_step(tile, n, kl, ku, j, bt)
         b[...] = bt
+
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        n, kl, ku = self.n, self.kl, self.ku
+        kv = kl + ku
+        ldab = self.layout.ldab_factor
+        dtype = self.mats[0].dtype
+
+        tiles = smem.alloc((nblocks, ldab, n), dtype=dtype)
+        bts = smem.alloc((nblocks, n, self.nrhs), dtype=self.rhs[0].dtype)
+        for k in range(nblocks):
+            tiles[k] = self.mats[k][:ldab, :]
+            bts[k] = self.rhs[k]
+
+        bidx = np.arange(nblocks)
+        pivs = np.zeros((nblocks, n), dtype=np.int64)
+        info = np.zeros(nblocks, dtype=np.int64)
+        init_fillin_batched(tiles, n, kl, ku)
+        ju = np.full(nblocks, -1, dtype=np.int64)
+        for j in range(n):
+            set_fillin_batched(tiles, n, kl, ku, j)
+            jp = pivot_search_batched(tiles, n, kl, ku, j)
+            pivs[:, j] = j + jp
+            active = tiles[bidx, kv + jp, j] != 0
+            ju = update_bound_batched(n, kl, ku, j, jp, ju, active)
+            swap_right_batched(tiles, kl, ku, j, jp, ju, active=active)
+            forward_swap_batched(bts, j, np.where(active, j + jp, j))
+            scale_column_batched(tiles, n, kl, ku, j, active=active)
+            rank_one_update_batched(tiles, n, kl, ku, j, ju, active=active)
+            forward_update_batched(tiles, n, kl, ku, j, bts, active=active)
+            info[...] = np.where(~active & (info == 0), j + 1, info)
+
+        for k in range(nblocks):
+            self.mats[k][:ldab, :] = tiles[k]
+            self.pivots[k][:] = pivs[k]
+        self.info[:nblocks] = info
+        ok = info == 0
+        if not ok.any():
+            return  # LAPACK GBSV: leave B untouched on singularity
+        # Backward solve on the non-singular subset only (gathered copy, so
+        # no divide-by-zero lanes; singular problems keep B untouched).
+        sub_t = tiles[ok]
+        sub_b = bts[ok]
+        for j in range(n - 1, -1, -1):
+            backward_step_batched(sub_t, n, kl, ku, j, sub_b)
+        for i, k in enumerate(np.flatnonzero(ok)):
+            self.rhs[k][...] = sub_b[i]

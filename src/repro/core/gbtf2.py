@@ -22,13 +22,31 @@ The band array is factor layout: dense entry ``(r, c)`` lives at
 ``ab[kv + r - c, c - col0]``.  All indices 0-based.  The resulting factors
 and pivot sequence match LAPACK's ``DGBTF2`` bit-for-bit (ties in the pivot
 search resolve to the first maximal entry, as in ``IDAMAX``).
+
+The per-problem blocks feed all three kernel designs of the paper: the
+fork-join reference (Section 5.1, :mod:`repro.core.gbtrf_reference`), the
+fully fused kernel (Section 5.2, :mod:`repro.core.gbtrf_fused`), the
+sliding-window kernel (Section 5.3, :mod:`repro.core.gbtrf_window`), and
+through them the dispatcher (Section 5.4, :mod:`repro.core.gbtrf`).
+
+**Batch-interleaved variants.**  Each building block also has a
+``*_batched`` form operating on a ``(batch, ldab, ncols)`` stack that
+advances *every* matrix of a uniform batch through the same column step in
+one numpy instruction stream — the Python analogue of the paper's
+one-thread-block-per-matrix parallelism (and of the interleaved batch
+layout of Gloster et al., arXiv:1909.04539).  Per-problem control-flow
+divergence (pivot offsets, the ``ju`` update bound, singular columns) is
+handled with per-batch index vectors and masks; every element of every
+matrix receives the identical floating-point operation sequence the scalar
+blocks would apply, so the results are **bit-for-bit identical** to running
+:func:`gbtf2` per problem.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..blas.level1 import iamax
+from ..blas.level1 import iamax, iamax_batched, scal_batched, stable_mul
 
 __all__ = [
     "pivot_search",
@@ -39,6 +57,14 @@ __all__ = [
     "scale_column",
     "rank_one_update",
     "gbtf2",
+    "pivot_search_batched",
+    "update_bound_batched",
+    "init_fillin_batched",
+    "set_fillin_batched",
+    "swap_right_batched",
+    "scale_column_batched",
+    "rank_one_update_batched",
+    "gbtf2_batched",
 ]
 
 
@@ -129,7 +155,8 @@ def scale_column(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
     km = min(kl, m - j - 1)
     if km > 0:
         jj = j - col0
-        ab[kv + 1:kv + km + 1, jj] *= 1.0 / ab[kv, jj]
+        col = ab[kv + 1:kv + km + 1, jj]
+        col[...] = stable_mul(col, 1.0 / ab[kv, jj])
 
 
 def rank_one_update(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
@@ -149,7 +176,7 @@ def rank_one_update(ab: np.ndarray, m: int, kl: int, ku: int, j: int,
     l = ab[kv + 1:kv + km + 1, j - col0]          # multipliers of column j
     rows = np.arange(j + 1, j + km + 1)
     band_rows = kv + rows[:, None] - cols[None, :]
-    ab[band_rows, c[None, :]] -= np.outer(l, u)
+    ab[band_rows, c[None, :]] -= stable_mul(l[:, None], u[None, :])
 
 
 def gbtf2(m: int, n: int, kl: int, ku: int, ab: np.ndarray,
@@ -194,4 +221,215 @@ def gbtf2(m: int, n: int, kl: int, ku: int, ab: np.ndarray,
             rank_one_update(ab, m, kl, ku, j, ju)
         elif info == 0:
             info = j + 1
+    return ipiv, info
+
+
+# --- Batch-interleaved variants ---------------------------------------------
+#
+# Same blocks, vectorized over the leading batch axis of a
+# ``(batch, ldab, ncols)`` stack.  ``jp`` and ``ju`` become per-batch
+# vectors; ``active`` masks out problems whose current pivot is exactly
+# zero (those skip the swap/scale/update, LAPACK semantics).  Masked lanes
+# are written back with their original bits, so divergence never perturbs
+# a single element.
+
+
+def init_fillin_batched(abst: np.ndarray, n: int, kl: int, ku: int,
+                        *, col0: int = 0, ncols: int | None = None) -> None:
+    """Batched :func:`init_fillin` on a ``(batch, ldab, ncols)`` stack."""
+    kv = kl + ku
+    hi = min(kv, n)
+    if ncols is not None:
+        hi = min(hi, col0 + ncols)
+    for c in range(max(ku + 1, col0), hi):
+        abst[:, kv - c:kl, c - col0] = 0
+
+
+def pivot_search_batched(abst: np.ndarray, m: int, kl: int, ku: int, j: int,
+                         *, col0: int = 0) -> np.ndarray:
+    """Batched :func:`pivot_search`: per-batch IAMAX over one 2-D slab.
+
+    Returns the ``(batch,)`` vector of pivot offsets ``jp``.
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    return iamax_batched(abst[:, kv:kv + km + 1, j - col0])
+
+
+def update_bound_batched(n: int, kl: int, ku: int, j: int, jp: np.ndarray,
+                         ju: np.ndarray, active: np.ndarray) -> np.ndarray:
+    """Batched :func:`update_bound` with the zero-pivot lanes left as-is."""
+    cand = np.minimum(j + ku + jp, n - 1)
+    return np.where(active, np.maximum(ju, cand), ju)
+
+
+def set_fillin_batched(abst: np.ndarray, n: int, kl: int, ku: int, j: int,
+                       *, col0: int = 0) -> None:
+    """Batched :func:`set_fillin` (the cleared column is batch-uniform)."""
+    kv = kl + ku
+    c = j + kv
+    if c < n and kl > 0:
+        abst[:, 0:kl, c - col0] = 0
+
+
+def swap_right_batched(abst: np.ndarray, kl: int, ku: int, j: int,
+                       jp: np.ndarray, ju: np.ndarray, *, col0: int = 0,
+                       active: np.ndarray | None = None) -> None:
+    """Batched :func:`swap_right`: gather/scatter with per-batch pivots.
+
+    Lanes with ``jp == 0``, inactive lanes, and columns beyond a lane's
+    ``ju`` rewrite their original values, leaving them bit-identical.
+    """
+    kv = kl + ku
+    jumax = int(ju.max())
+    if jumax < j:
+        return
+    cols = np.arange(j, jumax + 1)
+    mask = (cols[None, :] <= ju[:, None]) & (jp[:, None] != 0)
+    if active is not None:
+        mask = mask & active[:, None]
+    if not bool(mask.any()):
+        return
+    ncols = cols.size
+    jj = j - col0
+    batch = abst.shape[0]
+    sb, sr, sc = abst.strides
+    # Dense row j lives on the band anti-diagonal abst[k, kv - t, jj + t]
+    # — a plain strided view (see rank_one_update_batched).  Row j + jp
+    # sits ``jp`` band rows below it, per lane, so that side stays a
+    # gather/scatter.
+    v1 = np.lib.stride_tricks.as_strided(
+        abst[:, kv:, jj:], shape=(batch, ncols), strides=(sb, sc - sr))
+    r2 = (kv + j - cols)[None, :] + jp[:, None]
+    c = (cols - col0)[None, :]
+    bidx = np.arange(batch)[:, None]
+    a2 = abst[bidx, r2, c]
+    # Scatter first (it reads the still-intact row j through ``v1``);
+    # unmasked lanes rewrite their original bits.  Then pull the pivot
+    # rows up into row j.
+    abst[bidx, r2, c] = np.where(mask, v1, a2)
+    np.copyto(v1, a2, where=mask)
+
+
+def scale_column_batched(abst: np.ndarray, m: int, kl: int, ku: int, j: int,
+                         *, col0: int = 0,
+                         active: np.ndarray | None = None) -> None:
+    """Batched :func:`scale_column`: broadcast multiply by the reciprocal.
+
+    Matches the scalar block's ``*= 1.0 / pivot`` exactly: the reciprocal
+    is formed per problem in the array dtype and multiplied in, which is
+    the identical per-element operation sequence.
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    if km <= 0:
+        return
+    jj = j - col0
+    col = abst[:, kv + 1:kv + km + 1, jj]
+    piv = abst[:, kv, jj]
+    if active is None or bool(active.all()):
+        scal_batched(1.0 / piv, col)
+    else:
+        inv = 1.0 / np.where(active, piv, piv.dtype.type(1))
+        col[...] = np.where(active[:, None],
+                            stable_mul(col, inv[:, None]), col)
+
+
+def rank_one_update_batched(abst: np.ndarray, m: int, kl: int, ku: int,
+                            j: int, ju: np.ndarray, *, col0: int = 0,
+                            active: np.ndarray | None = None) -> None:
+    """Batched :func:`rank_one_update`: broadcast outer products + masking.
+
+    The update slab of every problem is gathered into a dense
+    ``(batch, km, ncols)`` cube, updated with one fused broadcast multiply
+    (the batched GER), and scattered back; columns past a lane's ``ju``
+    and inactive lanes get their original bits.
+    """
+    kv = kl + ku
+    km = min(kl, m - j - 1)
+    if km <= 0:
+        return
+    jumax = int(ju.max())
+    if jumax <= j:
+        return
+    nc = jumax - j
+    jj = j - col0
+    batch = abst.shape[0]
+    sb, sr, sc = abst.strides
+    # In factor layout, dense element (r, c) lives at band row kv + r - c:
+    # stepping one dense column right moves ``sc - sr`` bytes.  The update
+    # slab A[j+1:j+km+1, j+1:jumax+1] and the pivot row segment
+    # U[j, j+1:jumax+1] are therefore plain strided views of the band
+    # array — no gather/scatter needed (every (row, col) pair is a valid
+    # in-bounds element of ``abst``, so the views stay inside the buffer).
+    slab = np.lib.stride_tricks.as_strided(
+        abst[:, kv:, jj + 1:], shape=(batch, km, nc),
+        strides=(sb, sr, sc - sr))
+    u = np.lib.stride_tricks.as_strided(
+        abst[:, kv - 1:, jj + 1:], shape=(batch, nc),
+        strides=(sb, sc - sr))
+    l = abst[:, kv + 1:kv + km + 1, jj]
+    if np.iscomplexobj(abst):
+        upd = stable_mul(l[:, :, None], u[:, None, :])
+    else:
+        # Real multiply is correctly rounded whatever the loop order, so
+        # we can let the product land in a buffer whose axis order matches
+        # ``slab`` (contiguous inner loop when the stack is batch-minor).
+        upd = np.empty_like(slab)
+        np.multiply(l[:, :, None], u[:, None, :], out=upd)
+    cols = np.arange(j + 1, jumax + 1)
+    mask = cols[None, :] <= ju[:, None]
+    if active is not None:
+        mask = mask & active[:, None]
+    if bool(mask.all()):
+        slab -= upd
+    else:
+        # ufunc masking updates only the in-bound active elements in one
+        # pass; everything else keeps its exact bits.
+        np.subtract(slab, upd, out=slab, where=mask[:, None, :])
+
+
+def gbtf2_batched(m: int, n: int, kl: int, ku: int, abst: np.ndarray,
+                  ipiv: np.ndarray | None = None,
+                  info: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Unblocked band LU on a whole uniform batch, interleaved, in place.
+
+    Parameters
+    ----------
+    abst:
+        ``(batch, ldab, n)`` stack in factor layout; every matrix is
+        overwritten with its factors exactly as :func:`gbtf2` would.
+    ipiv:
+        Optional ``(batch, min(m, n))`` integer output stack.
+    info:
+        Optional ``(batch,)`` integer output vector.
+
+    Returns
+    -------
+    (ipiv, info):
+        Bit-for-bit identical to looping :func:`gbtf2` over the batch.
+    """
+    batch = abst.shape[0]
+    mn = min(m, n)
+    if ipiv is None:
+        ipiv = np.zeros((batch, mn), dtype=np.int64)
+    if info is None:
+        info = np.zeros(batch, dtype=np.int64)
+    else:
+        info[...] = 0          # pure output, like LAPACK's INFO
+    kv = kl + ku
+    bidx = np.arange(batch)
+    init_fillin_batched(abst, n, kl, ku)
+    ju = np.full(batch, -1, dtype=np.int64)
+    for j in range(mn):
+        set_fillin_batched(abst, n, kl, ku, j)
+        jp = pivot_search_batched(abst, m, kl, ku, j)
+        ipiv[:, j] = j + jp
+        active = abst[bidx, kv + jp, j] != 0
+        ju = update_bound_batched(n, kl, ku, j, jp, ju, active)
+        swap_right_batched(abst, kl, ku, j, jp, ju, active=active)
+        scale_column_batched(abst, m, kl, ku, j, active=active)
+        rank_one_update_batched(abst, m, kl, ku, j, ju, active=active)
+        info[...] = np.where(~active & (info == 0), j + 1, info)
     return ipiv, info

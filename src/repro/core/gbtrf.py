@@ -64,7 +64,8 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 device: DeviceSpec = H100_PCIE, stream=None,
                 method: str = "auto", nb: int | None = None,
                 threads: int | None = None, execute: bool = True,
-                max_blocks: int | None = None):
+                max_blocks: int | None = None,
+                vectorize: bool | None = None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -91,6 +92,13 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
     execute, max_blocks:
         Passed to the launcher: ``execute=False`` evaluates only the timing
         model; ``max_blocks`` functionally executes a sample of the batch.
+    vectorize:
+        Execution-path selector, forwarded to the launcher.  ``None``
+        (default) auto-dispatches to the batch-interleaved path when the
+        batch is a uniform contiguous stack; ``False`` forces the
+        per-block reference path; ``True`` requires the vectorized path
+        (raises for pointer-array inputs or ``method='reference'``, which
+        have no such path).  Results are bit-identical either way.
 
     Returns
     -------
@@ -118,7 +126,7 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         kernel = FusedGbtrfKernel(m, n, kl, ku, mats, pivots, info,
                                   threads=threads)
         launch(device, kernel, stream=stream, execute=execute,
-               max_blocks=max_blocks)
+               max_blocks=max_blocks, vectorize=vectorize)
     elif method == "window":
         nb_d, th_d = window_params(device, kl, ku)
         kernel = SlidingWindowGbtrfKernel(
@@ -126,8 +134,11 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
             nb=nb_d if nb is None else nb,
             threads=th_d if threads is None else threads)
         launch(device, kernel, stream=stream, execute=execute,
-               max_blocks=max_blocks)
+               max_blocks=max_blocks, vectorize=vectorize)
     else:
+        check_arg(not vectorize, 17,
+                  "method='reference' (fork-join per-column kernels) has "
+                  "no batch-interleaved path; use vectorize=None or False")
         gbtrf_reference_batch(m, n, kl, ku, mats, pivots, info, device,
                               stream, execute=execute, max_blocks=max_blocks)
     return pivots, info

@@ -17,8 +17,9 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
+from .batch_args import is_uniform_stack
 from .costs import gbtrf_fused_cost
-from .gbtf2 import gbtf2
+from .gbtf2 import gbtf2, gbtf2_batched
 
 __all__ = ["FusedGbtrfKernel", "default_fused_threads"]
 
@@ -53,7 +54,8 @@ class FusedGbtrfKernel(Kernel):
             raise ValueError(
                 f"fused gbtrf needs at least kl+1={kl + 1} threads, "
                 f"got {self.nthreads}")
-        self.itemsize = mats[0].dtype.itemsize if mats else 8
+        self.itemdtype = mats[0].dtype if mats else np.dtype(np.float64)
+        self.itemsize = self.itemdtype.itemsize
 
     def grid(self) -> int:
         return len(self.mats)
@@ -77,3 +79,18 @@ class FusedGbtrfKernel(Kernel):
                         self.pivots[block_id])
         ab[:ldab, :] = tile                           # shared -> global
         self.info[block_id] = info
+
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats)
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        ldab = self.layout.ldab_factor
+        tiles = smem.alloc((nblocks, ldab, self.n), dtype=self.itemdtype)
+        for k in range(nblocks):
+            tiles[k] = self.mats[k][:ldab, :]         # global -> shared
+        pivs = np.zeros((nblocks, min(self.m, self.n)), dtype=np.int64)
+        gbtf2_batched(self.m, self.n, self.kl, self.ku, tiles, pivs,
+                      self.info[:nblocks])
+        for k in range(nblocks):
+            self.mats[k][:ldab, :] = tiles[k]         # shared -> global
+            self.pivots[k][:] = pivs[k]

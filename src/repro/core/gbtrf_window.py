@@ -23,19 +23,27 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
+from .batch_args import is_uniform_stack
 from .costs import gbtrf_window_cost
 from .gbtf2 import (
     init_fillin,
+    init_fillin_batched,
     pivot_search,
+    pivot_search_batched,
     rank_one_update,
+    rank_one_update_batched,
     scale_column,
+    scale_column_batched,
     set_fillin,
+    set_fillin_batched,
     swap_right,
+    swap_right_batched,
     update_bound,
+    update_bound_batched,
 )
 
 __all__ = ["SlidingWindowGbtrfKernel", "window_factor_steps",
-           "sliding_window_factor"]
+           "sliding_window_factor", "sliding_window_factor_batched"]
 
 
 def window_factor_steps(mn: int, nb: int) -> int:
@@ -108,6 +116,75 @@ def sliding_window_factor(ab: np.ndarray, piv: np.ndarray, m: int, n: int,
     return info
 
 
+def sliding_window_factor_batched(abst: np.ndarray, pivs: np.ndarray,
+                                  info: np.ndarray, m: int, n: int,
+                                  kl: int, ku: int, nb: int,
+                                  smem: SharedMemory) -> None:
+    """Batch-interleaved :func:`sliding_window_factor`.
+
+    Runs the identical window schedule over a ``(batch, ldab, n)`` stack,
+    advancing every problem through each column step with one numpy
+    operation; ``pivs`` is ``(batch, mn)`` and ``info`` ``(batch,)``,
+    both written in place.  Bit-identical to running the per-block body
+    on each problem in turn.
+    """
+    batch = abst.shape[0]
+    kv = kl + ku
+    mn = min(m, n)
+    layout = BandLayout(m, n, kl, ku)
+    ldab = layout.ldab_factor
+    wcols = layout.window_cols(nb)
+    bidx = np.arange(batch)
+
+    # Stage the window batch-minor (lane axis innermost in memory): every
+    # per-column block then runs its elementwise work with a contiguous
+    # inner loop over the batch, which is where the interleaved layout
+    # pays off.  The blocks are layout-agnostic (they go through
+    # ``abst.strides``), and every elementwise op used is correctly
+    # rounded independent of memory layout, so the bits don't change.
+    win = np.moveaxis(
+        smem.alloc((ldab, wcols, batch), dtype=abst.dtype), 2, 0)
+    loaded = min(wcols, n)
+    win[:, :, :loaded] = abst[:, :ldab, :loaded]
+    init_fillin_batched(win, n, kl, ku, ncols=loaded)
+
+    c0 = 0
+    ju = np.full(batch, -1, dtype=np.int64)
+    info[...] = 0
+    j = 0
+    while j < mn:
+        jend = min(j + nb, mn)
+        for jj in range(j, jend):
+            set_fillin_batched(win, n, kl, ku, jj, col0=c0)
+            jp = pivot_search_batched(win, m, kl, ku, jj, col0=c0)
+            pivs[:, jj] = jj + jp
+            active = win[bidx, kv + jp, jj - c0] != 0
+            ju = update_bound_batched(n, kl, ku, jj, jp, ju, active)
+            swap_right_batched(win, kl, ku, jj, jp, ju, col0=c0,
+                               active=active)
+            scale_column_batched(win, m, kl, ku, jj, col0=c0, active=active)
+            rank_one_update_batched(win, m, kl, ku, jj, ju, col0=c0,
+                                    active=active)
+            info[...] = np.where(~active & (info == 0), jj + 1, info)
+        abst[:, :ldab, j:jend] = win[:, :, j - c0:jend - c0]
+        if jend >= mn:
+            tail_hi = min(c0 + wcols, n)
+            if tail_hi > jend:
+                abst[:, :ldab, jend:tail_hi] = \
+                    win[:, :, jend - c0:tail_hi - c0]
+            break
+        shift = jend - c0
+        keep = wcols - shift
+        win[:, :, :keep] = win[:, :, shift:].copy()
+        win[:, :, keep:] = 0
+        lo = c0 + wcols
+        hi = min(lo + shift, n)
+        if hi > lo:
+            win[:, :, keep:keep + (hi - lo)] = abst[:, :ldab, lo:hi]
+        c0 = jend
+        j = jend
+
+
 class SlidingWindowGbtrfKernel(Kernel):
     """Batched band LU with a sliding shared-memory window."""
 
@@ -148,3 +225,17 @@ class SlidingWindowGbtrfKernel(Kernel):
         self.info[block_id] = sliding_window_factor(
             self.mats[block_id], self.pivots[block_id],
             self.m, self.n, self.kl, self.ku, self.nb, smem)
+
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats)
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        ldab = self.layout.ldab_factor
+        abst = np.stack([mat[:ldab, :] for mat in self.mats[:nblocks]])
+        pivs = np.zeros((nblocks, min(self.m, self.n)), dtype=np.int64)
+        sliding_window_factor_batched(
+            abst, pivs, self.info[:nblocks],
+            self.m, self.n, self.kl, self.ku, self.nb, smem)
+        for k in range(nblocks):
+            self.mats[k][:ldab, :] = abst[k]
+            self.pivots[k][:] = pivs[k]

@@ -56,7 +56,8 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
                 batch: int | None = None, device: DeviceSpec = H100_PCIE,
                 stream=None, method: str = "auto", nb: int | None = None,
                 threads: int | None = None, rhs_tile: int | None = None,
-                execute: bool = True, max_blocks: int | None = None):
+                execute: bool = True, max_blocks: int | None = None,
+                vectorize: bool | None = None):
     """Solve a uniform batch of factored band systems on the simulated GPU.
 
     Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
@@ -64,6 +65,13 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     Returns the ``info`` array (all zeros unless argument validation
     raises; numerical singularity is reported by the factorization, not the
     solve — LAPACK semantics).
+
+    ``vectorize`` selects the execution path as in
+    :func:`repro.core.gbtrf.gbtrf_batch`: ``None`` auto-dispatches the
+    no-transpose blocked kernels to the batch-interleaved path for uniform
+    contiguous stacks, ``False`` forces per-block execution, ``True``
+    requires vectorized execution (transposed solves and the reference
+    method have no vectorized path and raise).
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,
@@ -103,8 +111,11 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
             ]
         for kernel in kernels:
             launch(device, kernel, stream=stream, execute=execute,
-                   max_blocks=max_blocks)
+                   max_blocks=max_blocks, vectorize=vectorize)
     else:
+        check_arg(not vectorize, 16,
+                  "method='reference' (per-column kernels) has no "
+                  "batch-interleaved path; use vectorize=None or False")
         gbtrs_reference_batch(trans, n, kl, ku, nrhs, mats, pivots, rhs,
                               device, stream, execute=execute,
                               max_blocks=max_blocks)

@@ -16,6 +16,14 @@ the RHS in shared memory:
 The ``nb`` columns of the factors are "cached in the register file" in the
 paper's CUDA/HIP kernels; functionally we read them straight from the
 matrix, and the cost formulas charge them as global traffic.
+
+Like the factorization kernels (Sections 5.2-5.4), the no-transpose
+kernels carry a batch-interleaved execution path
+(:meth:`~repro.gpusim.kernel.Kernel.run_batch_vectorized`): when the
+factors *and* right-hand sides are uniform contiguous stacks, every
+problem advances through the identical window schedule with one numpy
+operation per step, bit-identical to the per-block bodies (see
+``docs/PERFORMANCE.md``).  Transposed solves keep the per-block path.
 """
 
 from __future__ import annotations
@@ -25,8 +33,15 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
+from .batch_args import is_uniform_stack
 from .costs import gbtrs_backward_cost, gbtrs_forward_cost
-from .solve_blocks import backward_step, forward_step
+from .solve_blocks import (
+    backward_step,
+    backward_step_batched,
+    forward_step,
+    forward_swap_batched,
+    forward_update_batched,
+)
 
 __all__ = ["BlockedForwardKernel", "BlockedBackwardKernel",
            "BlockedTransUKernel", "BlockedTransLKernel",
@@ -84,6 +99,19 @@ class _BlockedSolveBase(Kernel):
     def threads(self) -> int:
         return self.nthreads
 
+    def _stage_batch(self, nblocks: int):
+        """Stage factors, pivots and RHS of the first ``nblocks`` problems
+        as ``(batch, ...)`` stacks for the batch-interleaved path."""
+        abst = np.stack(self.mats[:nblocks])
+        pivs = (np.stack([np.asarray(p) for p in self.pivots[:nblocks]])
+                if self.pivots is not None else None)
+        btall = np.stack(self.rhs[:nblocks])
+        return abst, pivs, btall
+
+    def _writeback_rhs(self, btall: np.ndarray, nblocks: int) -> None:
+        for k in range(nblocks):
+            self.rhs[k][...] = btall[k]
+
 
 class BlockedForwardKernel(_BlockedSolveBase):
     """Forward solve: progressive pivoting + rank-1 updates on a RHS window."""
@@ -136,6 +164,41 @@ class BlockedForwardKernel(_BlockedSolveBase):
                     rw[rem:rem + (hi - lo)] = b[lo:hi]  # next rows in
                 cached = rem + max(0, hi - lo)
                 jbeg = jend
+
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        if kl == 0:
+            return  # L is the identity: nothing to do
+        abst, pivs, btall = self._stage_batch(nblocks)
+        rw_full = smem.alloc((nblocks, nb + kl, self.rhs_tile),
+                             dtype=btall.dtype)
+        for cs in self._rhs_slices():
+            bt = btall[:, :, cs]
+            rw = rw_full[:, :, :bt.shape[2]]
+            cached = min(nb + kl, n)
+            rw[:, :cached] = bt[:, :cached]
+            jbeg = 0
+            while jbeg < n:
+                jend = min(jbeg + nb, n)
+                for j in range(jbeg, jend):
+                    forward_swap_batched(rw, j, pivs[:, j], row0=jbeg)
+                    forward_update_batched(abst, n, kl, ku, j, rw, row0=jbeg)
+                bt[:, jbeg:jend] = rw[:, :jend - jbeg]   # final rows out
+                if jend >= n:
+                    break
+                done = jend - jbeg
+                rem = cached - done
+                rw[:, :rem] = rw[:, done:cached].copy()  # shift up
+                lo = jbeg + cached
+                hi = min(jend + nb + kl, n)
+                if hi > lo:
+                    rw[:, rem:rem + (hi - lo)] = bt[:, lo:hi]
+                cached = rem + max(0, hi - lo)
+                jbeg = jend
+        self._writeback_rhs(btall, nblocks)
 
 
 class BlockedTransUKernel(_BlockedSolveBase):
@@ -297,3 +360,37 @@ class BlockedBackwardKernel(_BlockedSolveBase):
                 if off > 0:
                     rw[:off] = b[base2:base]        # stream next rows in
                 jend, jbeg, base = jend2, jbeg2, base2
+
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        kv = kl + ku
+        abst, _, btall = self._stage_batch(nblocks)
+        rw_full = smem.alloc((nblocks, nb + kv, self.rhs_tile),
+                             dtype=btall.dtype)
+        for cs in self._rhs_slices():
+            bt = btall[:, :, cs]
+            rw = rw_full[:, :, :bt.shape[2]]
+            jend = n
+            jbeg = max(n - nb, 0)
+            base = max(jbeg - kv, 0)
+            rw[:, :jend - base] = bt[:, base:jend]
+            while True:
+                for j in range(jend - 1, jbeg - 1, -1):
+                    backward_step_batched(abst, n, kl, ku, j, rw, row0=base)
+                bt[:, jbeg:jend] = rw[:, jbeg - base:jend - base]
+                if jbeg == 0:
+                    break
+                jend2 = jbeg
+                jbeg2 = max(jend2 - nb, 0)
+                base2 = max(jbeg2 - kv, 0)
+                keep = jend2 - base                 # updated rows to keep
+                off = base - base2
+                if keep > 0:
+                    rw[:, off:off + keep] = rw[:, :keep].copy()  # shift down
+                if off > 0:
+                    rw[:, :off] = bt[:, base2:base]
+                jend, jbeg, base = jend2, jbeg2, base2
+        self._writeback_rhs(btall, nblocks)

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..blas.level1 import stable_mul
 from ..types import Trans
 
 __all__ = [
@@ -27,6 +28,9 @@ __all__ = [
     "forward_update",
     "forward_step",
     "backward_step",
+    "forward_swap_batched",
+    "forward_update_batched",
+    "backward_step_batched",
     "gbtrs_unblocked",
 ]
 
@@ -51,7 +55,8 @@ def forward_update(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
     lm = min(kl, n - j - 1)
     if lm > 0:
         jj = j - row0
-        b[jj + 1:jj + lm + 1] -= np.outer(ab[kv + 1:kv + lm + 1, j], b[jj])
+        b[jj + 1:jj + lm + 1] -= stable_mul(ab[kv + 1:kv + lm + 1, j][:, None],
+                                            b[jj][None, :])
 
 
 def forward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
@@ -75,7 +80,54 @@ def backward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
     b[jj] = b[jj] / ab[kv, j]
     lm = min(kv, j)
     if lm > 0:
-        b[jj - lm:jj] -= np.outer(ab[kv - lm:kv, j], b[jj])
+        b[jj - lm:jj] -= stable_mul(ab[kv - lm:kv, j][:, None], b[jj][None, :])
+
+
+def forward_swap_batched(bt: np.ndarray, j: int, piv: np.ndarray,
+                         *, row0: int = 0) -> None:
+    """Batched :func:`forward_swap` with a per-problem pivot-row vector.
+
+    ``bt`` is ``(batch, rows, nrhs)``; ``piv`` holds absolute pivot rows
+    (``piv[k] == j`` means no swap for problem ``k``).  Swapped rows are
+    exchanged as exact bit copies, so no-swap lanes are untouched.
+    """
+    jj = j - row0
+    pp = np.asarray(piv) - row0
+    bidx = np.arange(bt.shape[0])
+    rowj = bt[:, jj].copy()
+    rowp = bt[bidx, pp].copy()
+    bt[:, jj] = rowp
+    bt[bidx, pp] = rowj
+
+
+def forward_update_batched(abst: np.ndarray, n: int, kl: int, ku: int,
+                           j: int, bt: np.ndarray, *, row0: int = 0,
+                           active: np.ndarray | None = None) -> None:
+    """Batched :func:`forward_update`: one broadcast rank-1 RHS update."""
+    kv = kl + ku
+    lm = min(kl, n - j - 1)
+    if lm <= 0:
+        return
+    jj = j - row0
+    upd = stable_mul(abst[:, kv + 1:kv + lm + 1, j][:, :, None],
+                     bt[:, jj][:, None, :])
+    seg = bt[:, jj + 1:jj + lm + 1]
+    if active is None:
+        seg -= upd
+    else:
+        seg[...] = np.where(active[:, None, None], seg - upd, seg)
+
+
+def backward_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
+                          j: int, bt: np.ndarray, *, row0: int = 0) -> None:
+    """Batched :func:`backward_step`: broadcast divide + rank-1 update."""
+    kv = kl + ku
+    jj = j - row0
+    bt[:, jj] = bt[:, jj] / abst[:, kv, j][:, None]
+    lm = min(kv, j)
+    if lm > 0:
+        bt[:, jj - lm:jj] -= stable_mul(abst[:, kv - lm:kv, j][:, :, None],
+                                        bt[:, jj][:, None, :])
 
 
 def gbtrs_unblocked(trans: Trans | str, n: int, kl: int, ku: int,

@@ -76,6 +76,36 @@ class Kernel(abc.ABC):
     def run_block(self, block_id: int, smem: SharedMemory) -> None:
         """Functional behaviour of one thread block."""
 
+    # -- batch-interleaved execution ---------------------------------------
+
+    def can_batch_vectorize(self) -> bool:
+        """Whether this launch is eligible for the batch-interleaved path.
+
+        Kernels that can advance every block through each step of the
+        algorithm simultaneously (one numpy operation over a
+        ``(batch, ...)`` stack instead of a Python loop per block) return
+        True *for the inputs they currently hold* — typically requiring
+        all blocks to share uniform dimensions and the batch to be a
+        contiguous stack.  The default is False, so ragged/vbatch and
+        :class:`~repro.gpusim.memory.PointerArray` workloads keep the
+        per-block path untouched.
+        """
+        return False
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        """Advance blocks ``0..nblocks-1`` together, batch-interleaved.
+
+        Must be numerically bit-identical to running ``run_block`` for
+        each of the ``nblocks`` blocks in order.  ``smem`` carries the
+        aggregate budget of all executed blocks (``nblocks ×`` the
+        per-block occupancy limit), mirroring the total on-chip footprint
+        the grid would occupy.  Only called when
+        :meth:`can_batch_vectorize` returned True.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement the "
+            "batch-interleaved path")
+
     # -- convenience -------------------------------------------------------
 
     def timing(self, device: DeviceSpec) -> KernelTiming:
@@ -100,14 +130,23 @@ class LaunchRecord:
     smem_bytes: int
     timing: KernelTiming
     executed_blocks: int
+    vectorized: bool = False
 
     @property
     def time(self) -> float:
         return self.timing.total
 
+    @property
+    def display_name(self) -> str:
+        """Kernel name with a ``[vec]`` suffix for batch-interleaved runs,
+        so vectorized launches stay attributable in trace output."""
+        return f"{self.kernel_name}[vec]" if self.vectorized \
+            else self.kernel_name
+
 
 def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
-           execute: bool = True, max_blocks: int | None = None) -> LaunchRecord:
+           execute: bool = True, max_blocks: int | None = None,
+           vectorize: bool | None = None) -> LaunchRecord:
     """Launch ``kernel`` on ``device``.
 
     Parameters
@@ -123,11 +162,25 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         Execute at most this many blocks functionally (still timing the full
         grid).  Lets benchmarks validate numerics on a sample while modeling
         a batch of 1000.
+    vectorize:
+        Select the execution path for the functional bodies.  ``None``
+        (default) auto-dispatches: the batch-interleaved
+        :meth:`Kernel.run_batch_vectorized` path runs when the kernel
+        reports :meth:`Kernel.can_batch_vectorize` and more than one block
+        executes; otherwise blocks run one at a time through
+        :meth:`Kernel.run_block`.  ``False`` forces the per-block path
+        (the reference semantics).  ``True`` requires the vectorized path
+        and raises :class:`~repro.errors.DeviceError` if the kernel (or
+        its current inputs) cannot take it.  Both paths are bit-identical
+        by contract.
 
     Raises
     ------
     SharedMemoryError
         If the kernel cannot launch on this device.
+    DeviceError
+        If ``vectorize=True`` but the kernel cannot batch-vectorize its
+        current inputs.
     """
     grid = kernel.grid()
     if grid < 0:
@@ -138,13 +191,25 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     capturing = bool(getattr(stream, "_capturing", False))
     if capturing:
         execute = False
+    if vectorize and not kernel.can_batch_vectorize():
+        raise DeviceError(
+            f"kernel {kernel.name!r} cannot batch-vectorize its current "
+            "inputs (non-uniform blocks or non-contiguous batch)")
     executed = 0
+    vectorized = False
     if execute:
         limit = timing.occupancy.smem_per_block
         n_exec = grid if max_blocks is None else min(grid, max_blocks)
-        for bid in range(n_exec):
-            kernel.run_block(bid, SharedMemory(limit))
-            executed += 1
+        use_vec = (vectorize if vectorize is not None
+                   else kernel.can_batch_vectorize() and n_exec > 1)
+        if use_vec and n_exec > 0:
+            kernel.run_batch_vectorized(n_exec, SharedMemory(limit * n_exec))
+            executed = n_exec
+            vectorized = True
+        else:
+            for bid in range(n_exec):
+                kernel.run_block(bid, SharedMemory(limit))
+                executed += 1
     record = LaunchRecord(
         kernel_name=kernel.name,
         grid=grid,
@@ -152,6 +217,7 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         smem_bytes=kernel.smem_bytes(),
         timing=timing,
         executed_blocks=executed,
+        vectorized=vectorized,
     )
     if stream is not None:
         stream.record(record)

@@ -48,7 +48,10 @@ def summarize(records) -> list[KernelSummary]:
             flat.append(item)
     groups: dict[str, list[LaunchRecord]] = defaultdict(list)
     for rec in flat:
-        groups[rec.kernel_name].append(rec)
+        # Batch-interleaved launches group under "<name>[vec]" so the two
+        # execution paths of the same kernel stay separately attributable.
+        # (TransferRecords and other stream entries have no display_name.)
+        groups[getattr(rec, "display_name", rec.kernel_name)].append(rec)
     out = []
     for name, recs in groups.items():
         times = [r.time for r in recs]
@@ -81,7 +84,7 @@ def chrome_trace(streams) -> list[dict]:
         t = 0.0
         for rec in stream.records:
             events.append({
-                "name": rec.kernel_name,
+                "name": getattr(rec, "display_name", rec.kernel_name),
                 "ph": "X",
                 "pid": 0,
                 "tid": tid,
@@ -91,6 +94,7 @@ def chrome_trace(streams) -> list[dict]:
                     "grid": rec.grid,
                     "threads": getattr(rec, "threads", None),
                     "smem_bytes": getattr(rec, "smem_bytes", None),
+                    "vectorized": getattr(rec, "vectorized", False),
                 },
             })
             t += rec.time

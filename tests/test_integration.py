@@ -84,9 +84,10 @@ class TestXgcPipeline:
             np.testing.assert_allclose(dense0 @ x[0], b[0], atol=1e-10)
         # 1 factor launch + 3 x (fwd + bwd) solve launches.
         assert stream.launch_count() == 1 + 3 * 2
+        # Uniform contiguous stacks take the batch-interleaved path.
         names = {s.name for s in summarize([stream])}
-        assert names == {"gbtrf_window", "gbtrs_fwd_blocked",
-                         "gbtrs_bwd_blocked"}
+        assert names == {"gbtrf_window[vec]", "gbtrs_fwd_blocked[vec]",
+                         "gbtrs_bwd_blocked[vec]"}
 
 
 class TestReactEvalPipeline:
@@ -98,9 +99,10 @@ class TestReactEvalPipeline:
                               stream=stream)
         assert res.stats.converged
         assert res.stats.solver_calls > 0
-        # Small systems (n=10) go through the fused GBSV kernel.
+        # Small systems (n=10) go through the fused GBSV kernel, on the
+        # batch-interleaved path (uniform contiguous batch).
         names = {s.name for s in summarize([stream])}
-        assert names == {"gbsv_fused"}
+        assert names == {"gbsv_fused[vec]"}
 
     def test_integration_matches_dense_reference(self):
         """The banded Newton path reproduces a dense-solver integrator."""

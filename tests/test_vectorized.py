@@ -1,0 +1,285 @@
+"""Batch-interleaved execution path: bit-for-bit equivalence and dispatch.
+
+The vectorized path must be indistinguishable from the per-block reference
+path in everything except wall-clock: identical factor bits, pivots and
+info across dtypes, singular matrices, non-square shapes and
+pivot-divergent batches.  These tests compare the two paths with
+``tobytes()`` (atol=0 would still admit -0.0 vs +0.0 and NaN mismatches).
+Dispatch rules — uniform contiguous stacks vectorize, pointer arrays and
+scattered views fall back — are pinned here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import gbsv_batch, gbtrf_batch, gbtrs_batch
+from repro.core.batch_args import is_uniform_stack
+from repro.core.gbtf2 import gbtf2, gbtf2_batched
+from repro.errors import DeviceError
+from repro.gpusim import H100_PCIE, PointerArray, Stream, launch, summarize
+from repro.gpusim.kernel import SharedMemory
+
+DTYPES = [np.float32, np.float64, np.complex64, np.complex128]
+DTYPE_IDS = [np.dtype(d).name for d in DTYPES]
+
+
+def _bytes_equal(*pairs):
+    for got, ref in pairs:
+        assert np.asarray(got).tobytes() == np.asarray(ref).tobytes()
+
+
+def _band_batch(batch, n, kl, ku, dtype, seed, m=None):
+    """Random factor-layout batch; rows sized for the factor layout."""
+    a = random_band_batch(batch, n, kl, ku, dtype=dtype, seed=seed)
+    return a
+
+
+# ---------------------------------------------------------------------------
+# Building-block level: gbtf2_batched vs looped gbtf2
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+@pytest.mark.parametrize("m,n,kl,ku", [
+    (16, 16, 2, 3),
+    (20, 20, 8, 8),     # band wider than the matrix quarter
+    (24, 16, 2, 3),     # m > n
+    (16, 24, 2, 3),     # m < n (trailing update columns)
+    (12, 12, 0, 2),     # no subdiagonals
+    (12, 12, 2, 0),     # no superdiagonals
+])
+def test_gbtf2_batched_bitwise(dtype, m, n, kl, ku):
+    batch = 7
+    ldab = 2 * kl + ku + 1
+    rng = np.random.default_rng(11)
+    a = rng.standard_normal((batch, ldab, n))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((batch, ldab, n))
+    a = a.astype(dtype)
+
+    ref = a.copy()
+    piv_ref = np.zeros((batch, min(m, n)), dtype=np.int64)
+    info_ref = np.zeros(batch, dtype=np.int64)
+    for k in range(batch):
+        p, inf = gbtf2(m, n, kl, ku, ref[k])
+        piv_ref[k], info_ref[k] = p, inf
+
+    vec = a.copy()
+    piv_v, info_v = gbtf2_batched(m, n, kl, ku, vec)
+    _bytes_equal((vec, ref), (piv_v, piv_ref), (info_v, info_ref))
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+def test_gbtf2_batched_singular_lanes(dtype):
+    n, kl, ku = 14, 3, 2
+    batch = 6
+    ldab = 2 * kl + ku + 1
+    rng = np.random.default_rng(12)
+    a = rng.standard_normal((batch, ldab, n))
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal((batch, ldab, n))
+    a = a.astype(dtype)
+    # Zero whole band columns in a subset of lanes -> exact zero pivots.
+    a[1, :, 4] = 0
+    a[3, :, 0] = 0
+    a[3, :, 9] = 0
+
+    ref = a.copy()
+    info_ref = np.zeros(batch, dtype=np.int64)
+    piv_ref = np.zeros((batch, n), dtype=np.int64)
+    for k in range(batch):
+        piv_ref[k], info_ref[k] = gbtf2(n, n, kl, ku, ref[k])
+    assert info_ref[1] != 0 and info_ref[3] != 0  # test is meaningful
+
+    vec = a.copy()
+    piv_v, info_v = gbtf2_batched(n, n, kl, ku, vec)
+    _bytes_equal((vec, ref), (piv_v, piv_ref), (info_v, info_ref))
+
+
+# ---------------------------------------------------------------------------
+# Driver level: vectorize=None (auto) vs vectorize=False across methods
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+@pytest.mark.parametrize("method,n,kl,ku", [
+    ("fused", 24, 2, 3),
+    ("window", 48, 3, 2),
+    ("window", 64, 8, 8),
+])
+def test_gbtrf_paths_bitwise(dtype, method, n, kl, ku):
+    batch = 9
+    a = _band_batch(batch, n, kl, ku, dtype, seed=21)
+    a_ref, a_vec = a.copy(), a.copy()
+    piv_ref, info_ref = gbtrf_batch(n, n, kl, ku, a_ref, method=method,
+                                    vectorize=False)
+    piv_vec, info_vec = gbtrf_batch(n, n, kl, ku, a_vec, method=method)
+    # Pivot-divergent batch: lanes must not all share one pivot sequence,
+    # otherwise the per-lane masking logic is untested.
+    assert len({tuple(np.asarray(p)) for p in piv_ref}) > 1
+    _bytes_equal((a_vec, a_ref), (np.stack(piv_vec), np.stack(piv_ref)),
+                 (info_vec, info_ref))
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+@pytest.mark.parametrize("nrhs", [1, 3])
+def test_gbtrs_paths_bitwise(dtype, nrhs):
+    batch, n, kl, ku = 8, 40, 3, 2
+    a = _band_batch(batch, n, kl, ku, dtype, seed=22)
+    piv, info = gbtrf_batch(n, n, kl, ku, a)
+    assert (info == 0).all()
+    b = random_rhs(n, nrhs, batch=batch, dtype=dtype, seed=23)
+    b_ref, b_vec = b.copy(), b.copy()
+    gbtrs_batch("N", n, kl, ku, nrhs, a, np.stack(piv), b_ref,
+                vectorize=False)
+    gbtrs_batch("N", n, kl, ku, nrhs, a, np.stack(piv), b_vec)
+    _bytes_equal((b_vec, b_ref))
+
+
+@pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+@pytest.mark.parametrize("method", ["fused", "standard"])
+def test_gbsv_singular_paths_bitwise(dtype, method):
+    """Singular lanes: factors/pivots written, B untouched, info nonzero —
+    identically on both paths (the standard method exercises the scattered
+    sub-batch fallback)."""
+    batch, n, kl, ku = 8, 16, 2, 2
+    a = _band_batch(batch, n, kl, ku, dtype, seed=24)
+    a[2, :, 5] = 0
+    a[5, :, 0] = 0
+    b = random_rhs(n, 1, batch=batch, dtype=dtype, seed=25)
+    a_ref, a_vec = a.copy(), a.copy()
+    b_ref, b_vec = b.copy(), b.copy()
+    piv_ref, info_ref = gbsv_batch(n, kl, ku, 1, a_ref, None, b_ref,
+                                   method=method, vectorize=False)
+    piv_vec, info_vec = gbsv_batch(n, kl, ku, 1, a_vec, None, b_vec,
+                                   method=method)
+    assert info_ref[2] != 0 and info_ref[5] != 0
+    # Singular problems keep their RHS bits.
+    _bytes_equal((b_ref[2], b[2]), (b_ref[5], b[5]))
+    _bytes_equal((a_vec, a_ref), (b_vec, b_ref),
+                 (np.stack(piv_vec), np.stack(piv_ref)),
+                 (info_vec, info_ref))
+
+
+def test_gbtrf_nonsquare_paths_bitwise():
+    m, n, kl, ku, batch = 24, 32, 2, 3, 6
+    ldab = 2 * kl + ku + 1
+    rng = np.random.default_rng(26)
+    a = rng.standard_normal((batch, ldab, n))
+    a_ref, a_vec = a.copy(), a.copy()
+    piv_ref, info_ref = gbtrf_batch(m, n, kl, ku, a_ref, method="window",
+                                    vectorize=False)
+    piv_vec, info_vec = gbtrf_batch(m, n, kl, ku, a_vec, method="window")
+    _bytes_equal((a_vec, a_ref), (np.stack(piv_vec), np.stack(piv_ref)),
+                 (info_vec, info_ref))
+
+
+# ---------------------------------------------------------------------------
+# Dispatch rules
+# ---------------------------------------------------------------------------
+
+
+class TestDispatch:
+    def test_uniform_stack_detection(self):
+        stack = np.zeros((4, 7, 9))
+        assert is_uniform_stack(list(stack))
+        assert is_uniform_stack([stack[0]])          # single view
+        assert not is_uniform_stack([])
+        assert not is_uniform_stack(list(stack[::2]))          # gaps
+        assert not is_uniform_stack([stack[0]] * 4)            # aliased
+        assert not is_uniform_stack([np.zeros((7, 9))          # no base
+                                     for _ in range(3)])
+        assert not is_uniform_stack([stack[0], stack[1][:, :8]])
+
+    def test_stack_auto_vectorizes_and_is_traced(self):
+        n, kl, ku, batch = 24, 2, 3, 5
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=30)
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(n, n, kl, ku, a, method="window", stream=stream)
+        rec = stream.records[-1]
+        assert rec.vectorized
+        assert rec.executed_blocks == batch
+        assert rec.display_name == "gbtrf_window[vec]"
+        assert {s.name for s in summarize([stream])} == {"gbtrf_window[vec]"}
+
+    def test_pointer_array_falls_back(self):
+        n, kl, ku, batch = 24, 2, 3, 4
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=31)
+        scattered = PointerArray([a[k].copy() for k in range(batch)])
+        stream = Stream(H100_PCIE)
+        piv, info = gbtrf_batch(n, n, kl, ku, scattered, method="window",
+                                stream=stream)
+        rec = stream.records[-1]
+        assert not rec.vectorized
+        assert rec.display_name == "gbtrf_window"
+        # Same numbers as the stack path, just per-block.
+        a2 = a.copy()
+        piv2, info2 = gbtrf_batch(n, n, kl, ku, a2, method="window")
+        _bytes_equal((np.stack([np.asarray(m) for m in scattered]), a2),
+                     (np.stack(piv), np.stack(piv2)), (info, info2))
+
+    def test_vectorize_true_rejects_pointer_array(self):
+        n, kl, ku, batch = 16, 1, 2, 3
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=32)
+        scattered = PointerArray([a[k].copy() for k in range(batch)])
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrf_batch(n, n, kl, ku, scattered, method="window",
+                        vectorize=True)
+
+    def test_vectorize_false_forces_per_block(self):
+        n, kl, ku, batch = 24, 2, 3, 4
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=33)
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(n, n, kl, ku, a, method="window", stream=stream,
+                    vectorize=False)
+        assert not stream.records[-1].vectorized
+
+    def test_reference_method_rejects_vectorize_true(self):
+        from repro.errors import ArgumentError
+        a = _band_batch(3, 16, 1, 1, np.float64, seed=34)
+        with pytest.raises(ArgumentError):
+            gbtrf_batch(16, 16, 1, 1, a, method="reference", vectorize=True)
+
+    def test_max_blocks_limits_vectorized_sample(self):
+        n, kl, ku, batch = 24, 2, 3, 6
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=35)
+        orig = a.copy()
+        stream = Stream(H100_PCIE)
+        piv, info = gbtrf_batch(n, n, kl, ku, a, method="window",
+                                stream=stream, max_blocks=2)
+        rec = stream.records[-1]
+        assert rec.vectorized and rec.executed_blocks == 2
+        assert rec.grid == batch                     # timing covers all
+        # Only the sample was factored; the rest keeps its input bits.
+        assert a[2:].tobytes() == orig[2:].tobytes()
+        assert a[:2].tobytes() != orig[:2].tobytes()
+
+    def test_transposed_solve_falls_back(self):
+        batch, n, kl, ku = 4, 20, 2, 2
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=36)
+        piv, info = gbtrf_batch(n, n, kl, ku, a)
+        b = random_rhs(n, 1, batch=batch, dtype=np.float64, seed=37)
+        stream = Stream(H100_PCIE)
+        gbtrs_batch("T", n, kl, ku, 1, a, np.stack(piv), b, stream=stream)
+        assert all(not r.vectorized for r in stream.records)
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrs_batch("T", n, kl, ku, 1, a, np.stack(piv), b,
+                        vectorize=True)
+
+    def test_aggregate_smem_budget(self):
+        """The vectorized path is charged the whole grid's footprint."""
+        from repro.core.gbtrf_window import SlidingWindowGbtrfKernel
+        n, kl, ku, batch = 24, 2, 3, 4
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=38)
+        pivots = [np.zeros(n, dtype=np.int64) for _ in range(batch)]
+        info = np.zeros(batch, dtype=np.int64)
+        kernel = SlidingWindowGbtrfKernel(n, n, kl, ku, list(a), pivots,
+                                          info, nb=8, threads=kl + 1)
+        from repro.errors import SharedMemoryError
+        with pytest.raises(SharedMemoryError):
+            kernel.run_batch_vectorized(
+                batch, SharedMemory(kernel.smem_bytes()))  # 1-block budget
+        kernel.run_batch_vectorized(
+            batch, SharedMemory(kernel.smem_bytes() * batch))
+        assert (info == 0).all()
