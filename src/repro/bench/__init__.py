@@ -30,6 +30,7 @@ from .harness import (
     time_gbtrf,
     time_gbtrs,
     wallclock_gbtrf_paths,
+    wallclock_vbatch_paths,
 )
 from .report import FigureResult, Series, SpeedupRow, format_figure, format_speedup_table, geomean
 from .streams import StreamedResult, run_streamed
@@ -45,5 +46,5 @@ __all__ = [
     "table1", "table2", "table3",
     "time_cpu_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs",
     "time_gbsv", "time_gbtrf", "time_gbtrs",
-    "WallClock", "wallclock_gbtrf_paths",
+    "WallClock", "wallclock_gbtrf_paths", "wallclock_vbatch_paths",
 ]

@@ -33,7 +33,7 @@ from ..types import Trans
 __all__ = [
     "DEFAULT_BATCH", "shape_only_batch", "time_gbtrf", "time_gbtrs",
     "time_gbsv", "time_cpu_gbtrf", "time_cpu_gbtrs", "time_cpu_gbsv",
-    "WallClock", "wallclock_gbtrf_paths",
+    "WallClock", "wallclock_gbtrf_paths", "wallclock_vbatch_paths",
 ]
 
 # The paper's evaluation batch size.
@@ -156,6 +156,57 @@ def wallclock_gbtrf_paths(n: int, kl: int, ku: int, *,
         seconds[label] = best
     return WallClock(per_block=seconds["per_block"],
                      vectorized=seconds["vectorized"], batch=batch)
+
+
+def wallclock_vbatch_paths(configs, *, device: DeviceSpec | None = None,
+                           dtype=np.float64, seed: int = 0,
+                           repeats: int = 1,
+                           warmup: bool = False) -> WallClock:
+    """Wall-clock a real non-uniform batch on both execution paths.
+
+    ``configs`` is one ``(m, n, kl, ku)`` or ``(n, kl, ku)`` tuple per
+    problem (lane order is preserved; repeats of a configuration are what
+    the bucketed path interleaves).  Each path —
+    :func:`repro.core.batched.gbtrf_vbatch` with ``vectorize=False`` vs
+    ``vectorize=True`` — factors fresh copies of the same random batch;
+    the outputs are bit-identical by the launch contract (asserted in
+    ``benchmarks/bench_vbatch_vectorized.py``).  ``repeats``/``warmup``
+    behave as in :func:`wallclock_gbtrf_paths`.
+    """
+    from time import perf_counter
+
+    from ..band.generate import random_band
+    from ..core.batched import gbtrf_vbatch
+    from ..gpusim.device import H100_PCIE
+
+    if device is None:
+        device = H100_PCIE
+    full = [c if len(c) == 4 else (c[0],) + tuple(c) for c in configs]
+    rng = np.random.default_rng(seed)
+    mats = [random_band(n, kl, ku, m=m, dtype=dtype, seed=rng)
+            for m, n, kl, ku in full]
+    ms = [c[0] for c in full]
+    ns = [c[1] for c in full]
+    kls = [c[2] for c in full]
+    kus = [c[3] for c in full]
+    seconds = {}
+    for label, vec in (("per_block", False), ("vectorized", True)):
+        if warmup:
+            k = min(8, len(full))
+            gbtrf_vbatch(ms[:k], ns[:k], kls[:k], kus[:k],
+                         [a.copy() for a in mats[:k]], device=device,
+                         vectorize=vec)
+        best = None
+        for _ in range(max(1, repeats)):
+            work = [a.copy() for a in mats]
+            t0 = perf_counter()
+            gbtrf_vbatch(ms, ns, kls, kus, work, device=device,
+                         vectorize=vec)
+            dt = perf_counter() - t0
+            best = dt if best is None else min(best, dt)
+        seconds[label] = best
+    return WallClock(per_block=seconds["per_block"],
+                     vectorized=seconds["vectorized"], batch=len(full))
 
 
 def time_cpu_gbtrf(n: int, kl: int, ku: int, *,

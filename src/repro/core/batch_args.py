@@ -1,6 +1,6 @@
 """Canonicalisation and validation of batched call arguments.
 
-The paper's C interface (Section 4) takes arrays of device pointers plus an
+The paper's C interface (paper Section 4) takes arrays of device pointers plus an
 ``info`` output array.  On the Python side we accept, for each batched
 operand, either
 
@@ -19,7 +19,7 @@ import numpy as np
 
 from ..band.layout import ldab_for_factor
 from ..errors import ArgumentError, check_arg
-from ..gpusim.memory import PointerArray
+from ..gpusim.memory import PointerArray, is_packable_batch
 
 __all__ = [
     "as_matrix_list",
@@ -28,19 +28,23 @@ __all__ = [
     "ensure_info",
     "check_gb_args",
     "is_uniform_stack",
+    "is_packable_batch",
 ]
 
 
 def is_uniform_stack(mats) -> bool:
     """True when ``mats`` are consecutive slices of one contiguous stack.
 
-    This is the eligibility gate for the batch-interleaved execution path:
-    every per-problem view must share the same base array, shape, dtype and
-    strides, and sit at evenly spaced, non-overlapping offsets — exactly
-    what ``list(stack)`` of a ``(batch, ldab, n)`` strided-batch array
-    produces.  :class:`~repro.gpusim.memory.PointerArray` batches (matrices
-    scattered through memory), aliased matrices and ragged (vbatch) inputs
-    all return False, so they keep the per-block path.
+    This is the *direct* eligibility gate for the batch-interleaved
+    execution path: every per-problem view must share the same base array,
+    shape, dtype and strides, and sit at evenly spaced, non-overlapping
+    offsets — exactly what ``list(stack)`` of a ``(batch, ldab, n)``
+    strided-batch array produces.
+    :class:`~repro.gpusim.memory.PointerArray` batches (matrices scattered
+    through memory), aliased matrices and ragged (vbatch) inputs all
+    return False; scattered same-shape batches can still vectorize via the
+    gather/pack stage (:func:`~repro.gpusim.memory.is_packable_batch`),
+    while aliased/overlapping batches keep the per-block path.
     """
     if len(mats) == 0:
         return False

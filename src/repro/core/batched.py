@@ -1,4 +1,4 @@
-"""Paper-faithful batched entry points (Section 4) and non-uniform batches.
+"""Paper-faithful batched entry points (paper Section 4) and non-uniform batches.
 
 The three C declarations of the paper map to :func:`dgbtrf_batch`,
 :func:`dgbtrs_batch` and :func:`dgbsv_batch` (with ``s``/``c``/``z``
@@ -24,7 +24,7 @@ precision prefix.  The keyword-style drivers in :mod:`repro.core.gbtrf`
 / ``gbtrs`` / ``gbsv`` are the friendlier API underneath.
 
 ``gbtrf_vbatch`` / ``gbsv_vbatch`` implement the paper's future-work
-extension (Section 9): non-uniform batches with per-problem sizes and/or
+extension (paper Section 9): non-uniform batches with per-problem sizes and/or
 bandwidths, executed by grouping identical configurations into uniform
 sub-batches.
 """
@@ -155,7 +155,8 @@ def _group_indices(keys) -> dict:
 
 
 def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
-                 device=None, stream=None, execute: bool = True):
+                 device=None, stream=None, execute: bool = True,
+                 vectorize: bool | None = None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -163,6 +164,15 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     per configuration — the natural GPU strategy for irregular batches).
 
     Returns ``(pivots, info)`` ordered like the input problems.
+
+    ``vectorize`` selects the host execution path per group, with the
+    same semantics as the uniform drivers: ``None`` (default)
+    auto-dispatches each group to the batch-interleaved path when its
+    matrices can be staged (scattered allocations pack automatically),
+    ``False`` forces per-block execution, ``True`` requires the
+    vectorized path and raises :class:`~repro.errors.DeviceError` when
+    some group cannot take it (e.g. aliased matrices).  Both paths are
+    bit-identical by contract.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -180,15 +190,18 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                   for k in range(batch)]
     if info is None:
         info = np.zeros(batch, dtype=np.int64)
+    # Storage shape joins the key so every group stacks uniformly on the
+    # batch-interleaved path (same (m, n, kl, ku) may arrive with
+    # different ldab padding).
     groups = _group_indices(
-        (int(ms[k]), int(ns[k]), int(kls[k]), int(kus[k]))
+        (int(ms[k]), int(ns[k]), int(kls[k]), int(kus[k]), mats[k].shape)
         for k in range(batch))
-    for (m, n, kl, ku), idxs in groups.items():
+    for (m, n, kl, ku, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
         gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
                     [pivots[i] for i in idxs], sub_info,
                     batch=len(idxs), device=device, stream=stream,
-                    execute=execute)
+                    execute=execute, vectorize=vectorize)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     return pivots, info
@@ -196,11 +209,14 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
 
 def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 info=None, *, device=None, stream=None,
-                execute: bool = True):
+                execute: bool = True, vectorize: bool | None = None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
     solution unless that problem is singular.
+
+    ``vectorize`` selects the host execution path per group
+    (``None``/``False``/``True`` — see :func:`gbtrf_vbatch`).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -219,14 +235,14 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     if info is None:
         info = np.zeros(batch, dtype=np.int64)
     groups = _group_indices(
-        (int(ns[k]), int(kls[k]), int(kus[k]), int(nrhss[k]))
+        (int(ns[k]), int(kls[k]), int(kus[k]), int(nrhss[k]), mats[k].shape)
         for k in range(batch))
-    for (n, kl, ku, nrhs), idxs in groups.items():
+    for (n, kl, ku, nrhs, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
         gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
                    [pivots[i] for i in idxs], [rhs[i] for i in idxs],
                    sub_info, batch=len(idxs), device=device, stream=stream,
-                   execute=execute)
+                   execute=execute, vectorize=vectorize)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     return pivots, info

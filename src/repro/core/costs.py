@@ -87,7 +87,7 @@ def _gbtrf_dram(m: int, n: int, kl: int, ku: int, itemsize: int) -> float:
 
 def gbtrf_fused_cost(m: int, n: int, kl: int, ku: int, threads: int,
                      itemsize: int) -> BlockCost:
-    """Per-block cost of the fully fused factorization (Section 5.2)."""
+    """Per-block cost of the fully fused factorization (paper Section 5.2)."""
     mn = min(m, n)
     col = gbtrf_column_cost(kl, ku, threads, itemsize).scaled(mn)
     return BlockCost(
@@ -101,7 +101,7 @@ def gbtrf_fused_cost(m: int, n: int, kl: int, ku: int, threads: int,
 
 def gbtrf_window_cost(m: int, n: int, kl: int, ku: int, nb: int,
                       threads: int, itemsize: int) -> BlockCost:
-    """Per-block cost of the sliding-window factorization (Section 5.3).
+    """Per-block cost of the sliding-window factorization (paper Section 5.3).
 
     Adds the in-shared-memory shift of the ``(kv + 1)`` trailing window
     columns after each ``nb``-column factor step — the "extra
@@ -128,7 +128,7 @@ def reference_column_cost(kl: int, ku: int, threads: int,
     """Per-block costs of the two per-column kernels of the reference design.
 
     Returns ``(pivot+swap+scale kernel, rank-1 update kernel)``.  The
-    reference design (Section 5.1) runs the column loop on the host and
+    reference design (paper Section 5.1) runs the column loop on the host and
     launches these at every iteration, which is why its performance is
     dominated by launch overhead.
     """
@@ -153,7 +153,7 @@ def reference_column_cost(kl: int, ku: int, threads: int,
 
 def gbtrs_forward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
                        threads: int, itemsize: int) -> BlockCost:
-    """Per-block cost of the blocked forward solve (Section 6, Figure 6)."""
+    """Per-block cost of the blocked forward solve (paper Section 6, Figure 6)."""
     per_col = (4 + 3 * kl) * nrhs        # swap + rank-1 on the RHS window
     iters = math.ceil(n / max(nb, 1))
     shift = iters * 2 * kl * nrhs        # shift the kl overlap rows up
@@ -170,7 +170,7 @@ def gbtrs_forward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
 
 def gbtrs_backward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
                         threads: int, itemsize: int) -> BlockCost:
-    """Per-block cost of the blocked backward solve (Section 6, Figure 6)."""
+    """Per-block cost of the blocked backward solve (paper Section 6, Figure 6)."""
     kv = kl + ku
     per_col = (2 + 3 * kv) * nrhs
     iters = math.ceil(n / max(nb, 1))
@@ -188,7 +188,7 @@ def gbtrs_backward_cost(n: int, kl: int, ku: int, nrhs: int, nb: int,
 
 def gbsv_fused_cost(n: int, kl: int, ku: int, nrhs: int, threads: int,
                     itemsize: int) -> BlockCost:
-    """Per-block cost of the fused factorize-and-solve kernel (Section 7).
+    """Per-block cost of the fused factorize-and-solve kernel (paper Section 7).
 
     The factorization of the augmented ``[A|B]`` adds the RHS swap/update to
     every column, and the in-shared-memory backward solve adds ``kv``-wide

@@ -54,7 +54,7 @@ def gbsv(n: int, kl: int, ku: int, ab: np.ndarray, b: np.ndarray,
 
 def select_gbsv_method(device: DeviceSpec, n: int, kl: int, ku: int,
                        nrhs: int, itemsize: int = 8) -> str:
-    """Dispatcher choice: fused for small single-RHS systems (Section 7)."""
+    """Dispatcher choice: fused for small single-RHS systems (paper Section 7)."""
     if n <= FUSED_GBSV_CUTOFF and nrhs == 1:
         from ..band.layout import BandLayout
         elems = BandLayout(n, n, kl, ku).fused_elems() + n * nrhs
@@ -75,8 +75,9 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     ``b_array`` with solutions (per-problem, skipped when singular).
     ``vectorize`` selects the execution path (see
     :func:`repro.core.gbtrf.gbtrf_batch`); when some problems are singular
-    the follow-up solve runs on a scattered sub-batch, which falls back to
-    per-block execution automatically.
+    the follow-up solve runs on a scattered sub-batch, which the
+    gather/pack stage stages for the batch-interleaved path like any
+    other scattered batch.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
@@ -116,11 +117,13 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     elif ok:
         # Solve only the non-singular problems (LAPACK leaves B of a
         # singular problem unchanged).  The scattered sub-batch is no
-        # longer a contiguous stack, so it takes the per-block path.
+        # longer a contiguous stack; the gather/pack stage stages it for
+        # the batch-interleaved path.
         sub_mats = [mats[k] for k in ok]
         sub_piv = [pivots[k] for k in ok]
         sub_rhs = [rhs[k] for k in ok]
         gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, sub_mats, sub_piv,
                     sub_rhs, batch=len(ok), device=device, stream=stream,
-                    execute=execute, max_blocks=max_blocks)
+                    execute=execute, max_blocks=max_blocks,
+                    vectorize=vectorize)
     return pivots, info

@@ -15,8 +15,8 @@ still written back but ``B`` is left unchanged in global memory.
 
 The kernel also implements the batch-interleaved path
 (:meth:`~repro.gpusim.kernel.Kernel.run_batch_vectorized`): uniform
-contiguous ``[A|B]`` batches run every column step (Section 5.1 building
-blocks plus the Section 6 solve steps) across the whole batch at once
+contiguous ``[A|B]`` batches run every column step (paper Section 5.1 building
+blocks plus the paper Section 6 solve steps) across the whole batch at once
 with per-lane ``active`` masks for singular problems, bit-identical to
 the per-block body (see ``docs/PERFORMANCE.md``).
 """
@@ -134,6 +134,9 @@ class FusedGbsvKernel(Kernel):
 
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def pack_operands(self) -> tuple:
+        return (self.mats, self.rhs)
 
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         n, kl, ku = self.n, self.kl, self.ku

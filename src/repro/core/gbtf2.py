@@ -15,8 +15,8 @@ These are the memory-bound primitives of the reference design's pseudocode::
 
 Every block takes the band array together with a *column offset*, so the
 same code runs on the full matrix in global memory (reference design), on a
-whole-matrix shared-memory tile (fused design, Section 5.2), or on a sliding
-window holding only columns ``[c0, c0 + nb + kv + 1)`` (Section 5.3).
+whole-matrix shared-memory tile (fused design, paper Section 5.2), or on a sliding
+window holding only columns ``[c0, c0 + nb + kv + 1)`` (paper Section 5.3).
 
 The band array is factor layout: dense entry ``(r, c)`` lives at
 ``ab[kv + r - c, c - col0]``.  All indices 0-based.  The resulting factors
@@ -24,10 +24,10 @@ and pivot sequence match LAPACK's ``DGBTF2`` bit-for-bit (ties in the pivot
 search resolve to the first maximal entry, as in ``IDAMAX``).
 
 The per-problem blocks feed all three kernel designs of the paper: the
-fork-join reference (Section 5.1, :mod:`repro.core.gbtrf_reference`), the
-fully fused kernel (Section 5.2, :mod:`repro.core.gbtrf_fused`), the
-sliding-window kernel (Section 5.3, :mod:`repro.core.gbtrf_window`), and
-through them the dispatcher (Section 5.4, :mod:`repro.core.gbtrf`).
+fork-join reference (paper Section 5.1, :mod:`repro.core.gbtrf_reference`), the
+fully fused kernel (paper Section 5.2, :mod:`repro.core.gbtrf_fused`), the
+sliding-window kernel (paper Section 5.3, :mod:`repro.core.gbtrf_window`), and
+through them the dispatcher (paper Section 5.4, :mod:`repro.core.gbtrf`).
 
 **Batch-interleaved variants.**  Each building block also has a
 ``*_batched`` form operating on a ``(batch, ldab, ncols)`` stack that

@@ -27,7 +27,7 @@ __all__ = ["FusedGbtrfKernel", "default_fused_threads"]
 def default_fused_threads(kl: int, ku: int) -> int:
     """Default thread count for the fused kernel.
 
-    The design minimum is ``kl + 1`` (the pivot-search span, Section 5.2).
+    The design minimum is ``kl + 1`` (the pivot-search span, paper Section 5.2).
     We size the team so the rank-1 update of one column — ``kl`` rows by up
     to ``kv + 1`` columns — completes in at most two rounds, which keeps the
     serial dependency chain per column short even for wide bands.
@@ -82,6 +82,9 @@ class FusedGbtrfKernel(Kernel):
 
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats)
+
+    def pack_operands(self) -> tuple:
+        return (self.mats,)
 
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         ldab = self.layout.ldab_factor

@@ -26,9 +26,10 @@ from ..errors import check_arg
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.device import H100_PCIE, DeviceSpec
 from ..gpusim.kernel import Kernel, SharedMemory, launch
+from ..gpusim.memory import is_packable_batch
 from ..tuning.defaults import window_params
 from .costs import gbtrf_window_cost
-from .gbtrf_window import sliding_window_factor
+from .gbtrf_window import sliding_window_factor, sliding_window_factor_batched
 
 __all__ = ["VbatchProblem", "VbatchGbtrfKernel", "gbtrf_vbatch_fused"]
 
@@ -96,16 +97,73 @@ class VbatchGbtrfKernel(Kernel):
             self.mats[block_id], self.pivots[block_id],
             p.m, p.n, p.kl, p.ku, p.nb, smem)
 
+    # -- bucketed batch-interleaved execution ------------------------------
+
+    def _buckets(self, nblocks: int) -> dict:
+        """Group block ids by full problem configuration (and storage
+        shape, so each bucket stacks into one uniform array)."""
+        buckets: dict = {}
+        for bid in range(nblocks):
+            p = self.problems[bid]
+            key = (p.m, p.n, p.kl, p.ku, p.nb, self.mats[bid].shape)
+            buckets.setdefault(key, []).append(bid)
+        return buckets
+
+    def pack_operands(self) -> tuple:
+        return (self.mats,)
+
+    def can_pack_vectorize(self) -> bool:
+        """Bucketed eligibility: every same-configuration bucket of more
+        than one problem must be packable (same dtype, no overlapping
+        storage); singleton buckets run their per-block body as-is."""
+        if not self.mats:
+            return False
+        for idxs in self._buckets(len(self.mats)).values():
+            if len(idxs) > 1 and \
+                    not is_packable_batch([self.mats[i] for i in idxs]):
+                return False
+        return True
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        """Bucketed vectorization: each same-configuration bucket advances
+        through the window schedule batch-interleaved; singleton buckets
+        run the scalar body.  Problems are independent, so per-bucket
+        execution order cannot change any result bits."""
+        for idxs in self._buckets(nblocks).values():
+            p = self.problems[idxs[0]]
+            if len(idxs) == 1:
+                bid = idxs[0]
+                self.info[bid] = sliding_window_factor(
+                    self.mats[bid], self.pivots[bid],
+                    p.m, p.n, p.kl, p.ku, p.nb, smem)
+                continue
+            ldab = BandLayout(p.m, p.n, p.kl, p.ku).ldab_factor
+            abst = np.stack([self.mats[i][:ldab, :] for i in idxs])
+            pivs = np.zeros((len(idxs), min(p.m, p.n)), dtype=np.int64)
+            binfo = np.zeros(len(idxs), dtype=np.int64)
+            sliding_window_factor_batched(
+                abst, pivs, binfo, p.m, p.n, p.kl, p.ku, p.nb, smem)
+            for t, i in enumerate(idxs):
+                self.mats[i][:ldab, :] = abst[t]
+                self.pivots[i][:] = pivs[t]
+                self.info[i] = binfo[t]
+
 
 def gbtrf_vbatch_fused(ms, ns, kls, kus, a_array, pv_array=None,
                        info=None, *, device: DeviceSpec = H100_PCIE,
                        stream=None, execute: bool = True,
-                       max_blocks: int | None = None):
+                       max_blocks: int | None = None,
+                       vectorize: bool | None = None):
     """Non-uniform batch LU in a single kernel launch.
 
     Same contract as :func:`repro.core.batched.gbtrf_vbatch` (grouped
     strategy) — identical results, different execution shape.  Returns
     ``(pivots, info)``.
+
+    ``vectorize`` selects the host execution path (``None``/``False``/
+    ``True`` as in :func:`repro.core.gbtrf.gbtrf_batch`): the vectorized
+    path buckets the batch by configuration and advances each bucket
+    batch-interleaved, bit-identical to the per-block loop.
     """
     batch = len(a_array)
     for name, seq, pos in (("ms", ms, 1), ("ns", ns, 2), ("kls", kls, 3),
@@ -134,5 +192,5 @@ def gbtrf_vbatch_fused(ms, ns, kls, kus, a_array, pv_array=None,
         return pivots, info
     kernel = VbatchGbtrfKernel(problems, mats, pivots, info)
     launch(device, kernel, stream=stream, execute=execute,
-           max_blocks=max_blocks)
+           max_blocks=max_blocks, vectorize=vectorize)
     return pivots, info

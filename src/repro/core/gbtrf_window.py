@@ -229,6 +229,9 @@ class SlidingWindowGbtrfKernel(Kernel):
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats)
 
+    def pack_operands(self) -> tuple:
+        return (self.mats,)
+
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         ldab = self.layout.ldab_factor
         abst = np.stack([mat[:ldab, :] for mat in self.mats[:nblocks]])

@@ -68,10 +68,12 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
 
     ``vectorize`` selects the execution path as in
     :func:`repro.core.gbtrf.gbtrf_batch`: ``None`` auto-dispatches the
-    no-transpose blocked kernels to the batch-interleaved path for uniform
-    contiguous stacks, ``False`` forces per-block execution, ``True``
-    requires vectorized execution (transposed solves and the reference
-    method have no vectorized path and raise).
+    blocked kernels — no-transpose *and* transposed — to the
+    batch-interleaved path whenever the factors and right-hand sides can
+    be staged (uniform stacks directly, scattered/pointer-array batches
+    through the gather/pack stage), ``False`` forces per-block execution,
+    ``True`` requires vectorized execution (the reference method has no
+    vectorized path and raises; so do unpackable aliased batches).
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,

@@ -17,13 +17,15 @@ The ``nb`` columns of the factors are "cached in the register file" in the
 paper's CUDA/HIP kernels; functionally we read them straight from the
 matrix, and the cost formulas charge them as global traffic.
 
-Like the factorization kernels (Sections 5.2-5.4), the no-transpose
-kernels carry a batch-interleaved execution path
-(:meth:`~repro.gpusim.kernel.Kernel.run_batch_vectorized`): when the
-factors *and* right-hand sides are uniform contiguous stacks, every
-problem advances through the identical window schedule with one numpy
-operation per step, bit-identical to the per-block bodies (see
-``docs/PERFORMANCE.md``).  Transposed solves keep the per-block path.
+Like the factorization kernels (paper Sections 5.2-5.4), all four kernels
+— forward, backward, and both transposed stages — carry a
+batch-interleaved execution path
+(:meth:`~repro.gpusim.kernel.Kernel.run_batch_vectorized`): every problem
+advances through the identical window schedule with one numpy operation
+per step, bit-identical to the per-block bodies (see
+``docs/PERFORMANCE.md``).  Uniform contiguous stacks stage directly;
+scattered/pointer-array batches go through the gather/pack stage
+(:meth:`~repro.gpusim.kernel.Kernel.pack_operands`).
 """
 
 from __future__ import annotations
@@ -41,6 +43,10 @@ from .solve_blocks import (
     forward_step,
     forward_swap_batched,
     forward_update_batched,
+    transL_step,
+    transL_step_batched,
+    transU_step,
+    transU_step_batched,
 )
 
 __all__ = ["BlockedForwardKernel", "BlockedBackwardKernel",
@@ -112,6 +118,14 @@ class _BlockedSolveBase(Kernel):
         for k in range(nblocks):
             self.rhs[k][...] = btall[k]
 
+    def can_batch_vectorize(self) -> bool:
+        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def pack_operands(self) -> tuple:
+        # Factors are read-only in the solves, but staging keeps one rule
+        # for every kernel: both operand batches must be packable.
+        return (self.mats, self.rhs)
+
 
 class BlockedForwardKernel(_BlockedSolveBase):
     """Forward solve: progressive pivoting + rank-1 updates on a RHS window."""
@@ -165,9 +179,6 @@ class BlockedForwardKernel(_BlockedSolveBase):
                 cached = rem + max(0, hi - lo)
                 jbeg = jend
 
-    def can_batch_vectorize(self) -> bool:
-        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
-
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
         if kl == 0:
@@ -202,7 +213,7 @@ class BlockedForwardKernel(_BlockedSolveBase):
 
 
 class BlockedTransUKernel(_BlockedSolveBase):
-    """Transposed-solve stage 1: ``op(U)^T y = b`` (paper §6 layout, A^T).
+    """Transposed-solve stage 1: ``op(U)^T y = b`` (paper Section 6 layout, A^T).
 
     ``U^T`` is *lower* triangular with bandwidth ``kv``, so this sweeps
     forward, caching ``nb + kv`` solved rows in shared memory — the mirror
@@ -228,7 +239,7 @@ class BlockedTransUKernel(_BlockedSolveBase):
         kv = kl + ku
         ab = self.mats[block_id]
         b = self.rhs[block_id]
-        c = np.conj if (self.conj and np.iscomplexobj(ab)) else (lambda v: v)
+        conj = self.conj and np.iscomplexobj(ab)
         rw = smem.alloc((nb + kv, self.nrhs), dtype=b.dtype)
         jbeg = 0
         base = 0                       # global row of rw[0]
@@ -237,11 +248,7 @@ class BlockedTransUKernel(_BlockedSolveBase):
         while jbeg < n:
             jend = min(jbeg + nb, n)
             for j in range(jbeg, jend):
-                jj = j - base
-                lm = min(kv, j)
-                if lm > 0:
-                    rw[jj] -= c(ab[kv - lm:kv, j]) @ rw[jj - lm:jj]
-                rw[jj] = rw[jj] / c(ab[kv, j])
+                transU_step(ab, n, kl, ku, j, rw, conj=conj, row0=base)
             b[jbeg:jend] = rw[jbeg - base:jend - base]
             if jend >= n:
                 break
@@ -253,6 +260,33 @@ class BlockedTransUKernel(_BlockedSolveBase):
             rw[keep:keep + (hi - jend)] = b[jend:hi]
             base = base2
             jbeg = jend
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        kv = kl + ku
+        abst, _, btall = self._stage_batch(nblocks)
+        conj = self.conj and np.iscomplexobj(abst)
+        rw = smem.alloc((nblocks, nb + kv, self.nrhs), dtype=btall.dtype)
+        jbeg = 0
+        base = 0                       # global row of rw[:, 0]
+        cached = min(nb, n)
+        rw[:, :cached] = btall[:, :cached]
+        while jbeg < n:
+            jend = min(jbeg + nb, n)
+            for j in range(jbeg, jend):
+                transU_step_batched(abst, n, kl, ku, j, rw, conj=conj,
+                                    row0=base)
+            btall[:, jbeg:jend] = rw[:, jbeg - base:jend - base]
+            if jend >= n:
+                break
+            base2 = max(jend - kv, 0)
+            keep = jend - base2
+            rw[:, :keep] = rw[:, base2 - base:jend - base].copy()
+            hi = min(jend + nb, n)
+            rw[:, keep:keep + (hi - jend)] = btall[:, jend:hi]
+            base = base2
+            jbeg = jend
+        self._writeback_rhs(btall, nblocks)
 
 
 class BlockedTransLKernel(_BlockedSolveBase):
@@ -279,36 +313,47 @@ class BlockedTransLKernel(_BlockedSolveBase):
 
     def run_block(self, block_id: int, smem: SharedMemory) -> None:
         n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
-        kv = kl + ku
         ab = self.mats[block_id]
         piv = self.pivots[block_id]
         b = self.rhs[block_id]
         if kl == 0:
             return                      # L is the identity
-        c = np.conj if (self.conj and np.iscomplexobj(ab)) else (lambda v: v)
+        conj = self.conj and np.iscomplexobj(ab)
         rw = smem.alloc((nb + kl, self.nrhs), dtype=b.dtype)
         # Each block's swaps can reach kl rows past its top (piv[j] <=
         # j + kl), touching rows finalised by the previous (later) block —
         # so the window covers [jbeg, jend + kl) and the overlap is
-        # re-written after the swaps land.
+        # re-written after the swaps land
+        # (piv[j] <= j + kl <= jend - 1 + kl < hi).
         jend = n
         while jend > 0:
             jbeg = max(jend - nb, 0)
             hi = min(jend + kl, n)
             rw[:hi - jbeg] = b[jbeg:hi]
             for j in range(jend - 1, jbeg - 1, -1):
-                jj = j - jbeg
-                lm = min(kl, n - j - 1)
-                if lm > 0:
-                    rw[jj] -= c(ab[kv + 1:kv + lm + 1, j]) @ \
-                        rw[jj + 1:jj + lm + 1]
-                p = int(piv[j])
-                if p != j:              # p <= j + kl <= jend - 1 + kl < hi
-                    tmp = rw[jj].copy()
-                    rw[jj] = rw[p - jbeg]
-                    rw[p - jbeg] = tmp
+                transL_step(ab, n, kl, ku, j, int(piv[j]), rw, conj=conj,
+                            row0=jbeg)
             b[jbeg:hi] = rw[:hi - jbeg]
             jend = jbeg
+
+    def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
+        n, kl, ku, nb = self.n, self.kl, self.ku, self.nb
+        if kl == 0:
+            return                      # L is the identity
+        abst, pivs, btall = self._stage_batch(nblocks)
+        conj = self.conj and np.iscomplexobj(abst)
+        rw = smem.alloc((nblocks, nb + kl, self.nrhs), dtype=btall.dtype)
+        jend = n
+        while jend > 0:
+            jbeg = max(jend - nb, 0)
+            hi = min(jend + kl, n)
+            rw[:, :hi - jbeg] = btall[:, jbeg:hi]
+            for j in range(jend - 1, jbeg - 1, -1):
+                transL_step_batched(abst, n, kl, ku, j, pivs[:, j], rw,
+                                    conj=conj, row0=jbeg)
+            btall[:, jbeg:hi] = rw[:, :hi - jbeg]
+            jend = jbeg
+        self._writeback_rhs(btall, nblocks)
 
 
 class BlockedBackwardKernel(_BlockedSolveBase):
@@ -360,9 +405,6 @@ class BlockedBackwardKernel(_BlockedSolveBase):
                 if off > 0:
                     rw[:off] = b[base2:base]        # stream next rows in
                 jend, jbeg, base = jend2, jbeg2, base2
-
-    def can_batch_vectorize(self) -> bool:
-        return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
 
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         n, kl, ku, nb = self.n, self.kl, self.ku, self.nb

@@ -1,6 +1,6 @@
 """Exact operation counts for the band LU (the paper's Gflop/s caveat).
 
-Section 2: "It is not trivial to estimate the rate of execution (e.g.,
+paper Section 2: "It is not trivial to estimate the rate of execution (e.g.,
 Gflop/s), since the operation count per matrix depends on the pivoting
 pattern."  This module makes that statement precise:
 

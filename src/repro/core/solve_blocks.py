@@ -28,9 +28,13 @@ __all__ = [
     "forward_update",
     "forward_step",
     "backward_step",
+    "transU_step",
+    "transL_step",
     "forward_swap_batched",
     "forward_update_batched",
     "backward_step_batched",
+    "transU_step_batched",
+    "transL_step_batched",
     "gbtrs_unblocked",
 ]
 
@@ -83,6 +87,50 @@ def backward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
         b[jj - lm:jj] -= stable_mul(ab[kv - lm:kv, j][:, None], b[jj][None, :])
 
 
+def transU_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+                b: np.ndarray, *, conj: bool = False,
+                row0: int = 0) -> None:
+    """One column of ``op(U) y = b``: ``op(U)`` is *lower* triangular with
+    bandwidth ``kv``, so the sweep runs forward.
+
+    ``b[j] -= sum_t op(U)[j, j-t] * b[j-t]`` for ``t = lm..1``
+    (``lm = min(kv, j)``), then ``b[j] /= op(U)[j, j]``.  The sum is
+    accumulated *sequentially, one term at a time* (ascending source row)
+    rather than as a dot-product reduction: BLAS dot reductions are not
+    shape-stable, so a batched formulation could not reproduce their bits.
+    Term-at-a-time subtraction plus :func:`~repro.blas.level1.stable_mul`
+    makes :func:`transU_step_batched` bit-identical by construction.
+    """
+    kv = kl + ku
+    jj = j - row0
+    lm = min(kv, j)
+    for t in range(lm, 0, -1):
+        coeff = np.conj(ab[kv - t, j]) if conj else ab[kv - t, j]
+        b[jj] -= stable_mul(coeff, b[jj - t])
+    pivot = np.conj(ab[kv, j]) if conj else ab[kv, j]
+    b[jj] = b[jj] / pivot
+
+
+def transL_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
+                piv: int, b: np.ndarray, *, conj: bool = False,
+                row0: int = 0) -> None:
+    """One column of ``op(L) x = y``, pivots applied in reverse order.
+
+    ``op(L)`` is unit *upper* triangular with bandwidth ``kl``; the sweep
+    runs backward and each column's row interchange lands *after* its
+    update — the reverse of forward elimination's (swap, update) pairs.
+    The update is accumulated sequentially for the same shape-stability
+    reason as :func:`transU_step`.
+    """
+    kv = kl + ku
+    jj = j - row0
+    lm = min(kl, n - j - 1)
+    for t in range(1, lm + 1):
+        coeff = np.conj(ab[kv + t, j]) if conj else ab[kv + t, j]
+        b[jj] -= stable_mul(coeff, b[jj + t])
+    forward_swap(b, j, piv, row0=row0)
+
+
 def forward_swap_batched(bt: np.ndarray, j: int, piv: np.ndarray,
                          *, row0: int = 0) -> None:
     """Batched :func:`forward_swap` with a per-problem pivot-row vector.
@@ -130,6 +178,40 @@ def backward_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
                                         bt[:, jj][:, None, :])
 
 
+def transU_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
+                        j: int, bt: np.ndarray, *, conj: bool = False,
+                        row0: int = 0) -> None:
+    """Batched :func:`transU_step`: the identical term-at-a-time schedule
+    over a ``(batch, ldab, n)`` factor stack, bit-identical per lane."""
+    kv = kl + ku
+    jj = j - row0
+    lm = min(kv, j)
+    for t in range(lm, 0, -1):
+        coeff = abst[:, kv - t, j]
+        if conj:
+            coeff = np.conj(coeff)
+        bt[:, jj] -= stable_mul(coeff[:, None], bt[:, jj - t])
+    pivot = abst[:, kv, j]
+    if conj:
+        pivot = np.conj(pivot)
+    bt[:, jj] = bt[:, jj] / pivot[:, None]
+
+
+def transL_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
+                        j: int, piv: np.ndarray, bt: np.ndarray, *,
+                        conj: bool = False, row0: int = 0) -> None:
+    """Batched :func:`transL_step` with a per-problem pivot-row vector."""
+    kv = kl + ku
+    jj = j - row0
+    lm = min(kl, n - j - 1)
+    for t in range(1, lm + 1):
+        coeff = abst[:, kv + t, j]
+        if conj:
+            coeff = np.conj(coeff)
+        bt[:, jj] -= stable_mul(coeff[:, None], bt[:, jj + t])
+    forward_swap_batched(bt, j, piv, row0=row0)
+
+
 def gbtrs_unblocked(trans: Trans | str, n: int, kl: int, ku: int,
                     ab: np.ndarray, ipiv: np.ndarray,
                     b: np.ndarray) -> np.ndarray:
@@ -148,7 +230,6 @@ def gbtrs_unblocked(trans: Trans | str, n: int, kl: int, ku: int,
         ``(n, nrhs)`` right-hand sides, overwritten with the solution.
     """
     trans = Trans.from_any(trans)
-    kv = kl + ku
     if trans is Trans.NO_TRANS:
         if kl > 0:
             for j in range(n - 1):
@@ -158,21 +239,11 @@ def gbtrs_unblocked(trans: Trans | str, n: int, kl: int, ku: int,
         return b
 
     conj = trans is Trans.CONJ_TRANS and np.iscomplexobj(ab)
-
-    def c(v):
-        return np.conj(v) if conj else v
-
     # Solve op(U) y = b: op(U) is lower triangular with bandwidth kv.
     for j in range(n):
-        lm = min(kv, j)
-        if lm > 0:
-            b[j] -= c(ab[kv - lm:kv, j]) @ b[j - lm:j]
-        b[j] = b[j] / c(ab[kv, j])
-    # Solve op(L)^ x = y, applying the pivots in reverse order.
+        transU_step(ab, n, kl, ku, j, b, conj=conj)
+    # Solve op(L) x = y, applying the pivots in reverse order.
     if kl > 0:
         for j in range(n - 2, -1, -1):
-            lm = min(kl, n - j - 1)
-            if lm > 0:
-                b[j] -= c(ab[kv + 1:kv + lm + 1, j]) @ b[j + 1:j + lm + 1]
-            forward_swap(b, j, int(ipiv[j]))
+            transL_step(ab, n, kl, ku, j, int(ipiv[j]), b, conj=conj)
     return b

@@ -1,4 +1,4 @@
-"""Band-structure specialization — the paper's JIT extension (Section 8.1).
+"""Band-structure specialization — the paper's JIT extension (paper Section 8.1).
 
 The paper observes that caching the matrix in the *register file* would need
 ``(kl, ku)`` known at compile time, and that pre-compiling every pair is
@@ -126,7 +126,7 @@ def create_specialization(device: DeviceSpec, kl: int, ku: int,
 
 
 def destroy_specialization(spec: BandSpecialization) -> None:
-    """Destroy a specialization (the user-managed lifetime of Section 8.1)."""
+    """Destroy a specialization (the user-managed lifetime of paper Section 8.1)."""
     spec.alive = False
     key = (spec.device.name, spec.kl, spec.ku, spec.dtype.name)
     _CACHE.pop(key, None)

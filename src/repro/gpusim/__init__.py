@@ -10,7 +10,7 @@ from .graph import ExecGraph, GraphCapture, capture_graph
 from .costmodel import BlockCost, KernelTiming, estimate_block_time, estimate_kernel_time
 from .device import H100_PCIE, MI250X_GCD, DeviceSpec, get_device, list_devices, register_device
 from .kernel import Kernel, LaunchRecord, SharedMemory, launch
-from .memory import DeviceBuffer, PointerArray, TrafficCounter
+from .memory import DeviceBuffer, PointerArray, TrafficCounter, is_packable_batch
 from .multidevice import DevicePartition, MultiDeviceRun, run_multi_device, split_batch
 from .occupancy import Occupancy, occupancy, suggest_block_size, waves_for_grid
 from .stream import Event, Stream
@@ -23,7 +23,7 @@ __all__ = [
     "register_device",
     "Kernel", "LaunchRecord", "SharedMemory", "launch",
     "DeviceBuffer", "DevicePartition", "MultiDeviceRun", "PointerArray",
-    "TrafficCounter", "run_multi_device", "split_batch",
+    "TrafficCounter", "is_packable_batch", "run_multi_device", "split_batch",
     "Occupancy", "occupancy", "suggest_block_size", "waves_for_grid",
     "Event", "ExecGraph", "GraphCapture", "Stream",
     "capture_graph",

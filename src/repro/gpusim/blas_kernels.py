@@ -2,7 +2,7 @@
 
 These are the workloads of the paper's Figure 1 (dedicated batch kernels
 versus concurrent-stream execution of single-matrix kernels) and of the
-sustained-bandwidth measurement of Section 8 (very large GEMV).
+sustained-bandwidth measurement of paper Section 8 (very large GEMV).
 
 The dedicated batch kernels assign ``ceil(n / tile)^2`` tiles per matrix in
 one launch over the whole batch; the streamed baseline launches one

@@ -116,7 +116,7 @@ def estimate_block_time(device: DeviceSpec, cost: BlockCost) -> float:
     # A block's shared-memory pipe only saturates with a full warp of
     # active lanes; thin-band kernels running with (kl + 1) threads see a
     # proportionally lower service rate.  This is the mechanism that makes
-    # the threads-per-matrix tuning parameter matter (Section 5.3).
+    # the threads-per-matrix tuning parameter matter (paper Section 5.3).
     lane_util = min(1.0, threads / device.warp_size)
     smem = cost.smem_traffic / (device.smem_bw_per_block * lane_util)
     sync = cost.syncs * device.sync_latency

@@ -6,7 +6,7 @@ uses to explain its results:
 
 * shared-memory capacity per SM / CU — drives occupancy, the paper's primary
   performance mechanism ("the shared memory capacity plays a pivotal role on
-  the level of concurrency", Section 8);
+  the level of concurrency", paper Section 8);
 * sustained DRAM bandwidth — the paper measured 1.92 TB/s (H100-PCIe) and
   1.31 TB/s (MI250x GCD) with large GEMV;
 * multiprocessor count, thread/block limits, launch overhead, and a
@@ -100,7 +100,7 @@ class DeviceSpec:
     # Per-block shared-memory bookkeeping overhead (allocation granularity,
     # pivot staging, padding).  Included in occupancy maths; this is what
     # tips the MI250x fused kernel from 2 resident blocks to 1 between
-    # N = 416 and N = 448 for (kl, ku) = (2, 3) as reported in Section 5.2.
+    # N = 416 and N = 448 for (kl, ku) = (2, 3) as reported in paper Section 5.2.
     smem_block_overhead: int = 1024
     # Shared-memory allocation granularity in bytes.
     smem_granularity: int = 256
@@ -146,7 +146,7 @@ def list_devices() -> list[str]:
 # --- Shipped device models -------------------------------------------------
 #
 # Capacity/limit numbers follow the vendor datasheets the paper cites;
-# bandwidths are the paper's own sustained measurements (Section 8).  The
+# bandwidths are the paper's own sustained measurements (paper Section 8).  The
 # calibration constants (sync latency, per-block smem rate, launch overhead)
 # were fitted against the paper's reported curves; see EXPERIMENTS.md.
 

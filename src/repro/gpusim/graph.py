@@ -1,7 +1,7 @@
 """Execution-graph capture and replay (CUDA Graphs / HIP graphs analogue).
 
 The paper's reference designs are crippled by per-launch overhead — two
-kernel launches per matrix column (Section 5.1).  Real CUDA offers a
+kernel launches per matrix column (paper Section 5.1).  Real CUDA offers a
 mitigation the paper's future work gestures at: capture the launch sequence
 once into a graph, then replay the whole DAG with a *single* host-side
 submission.  This module reproduces that trade:

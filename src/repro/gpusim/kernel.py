@@ -100,11 +100,53 @@ class Kernel(abc.ABC):
         aggregate budget of all executed blocks (``nblocks ×`` the
         per-block occupancy limit), mirroring the total on-chip footprint
         the grid would occupy.  Only called when
-        :meth:`can_batch_vectorize` returned True.
+        :meth:`can_batch_vectorize` or :meth:`can_pack_vectorize`
+        returned True.
         """
         raise NotImplementedError(
             f"{type(self).__name__} does not implement the "
             "batch-interleaved path")
+
+    # -- pack/scatter stage ------------------------------------------------
+
+    def pack_operands(self) -> tuple:
+        """Operand sequences the pack stage would gather and scatter back.
+
+        A kernel with a batch-interleaved body whose staging loop copies
+        per-problem arrays into ``(batch, ...)`` stacks (and writes the
+        results back) returns those sequences here — typically
+        ``(self.mats,)`` or ``(self.mats, self.rhs)``.  ``launch`` uses
+        them to decide pack eligibility (:meth:`can_pack_vectorize`) and
+        to attribute the staging traffic (:meth:`pack_bytes`).  The
+        default (no operands) disables the pack path.
+        """
+        return ()
+
+    def can_pack_vectorize(self) -> bool:
+        """Whether a gather/pack stage makes this launch vectorizable.
+
+        Inputs that are *not* a uniform contiguous stack — pointer-array
+        batches, scattered allocations, strided views — can still take the
+        batch-interleaved path if every operand batch can be gathered into
+        a uniform stack and scattered back: same shape and dtype per
+        problem, and no two problems sharing memory (see
+        :func:`repro.gpusim.memory.is_packable_batch`).  Aliased or
+        overlapping batches stay per-block, where repeated processing of
+        the same storage keeps its sequential semantics.
+        """
+        from .memory import is_packable_batch
+        ops = self.pack_operands()
+        return bool(ops) and all(is_packable_batch(seq) for seq in ops)
+
+    def pack_bytes(self, nblocks: int) -> int:
+        """Bytes moved by the pack stage (gather + scatter) for a launch
+        executing ``nblocks`` blocks — the host-side staging overhead the
+        trace attributes to a ``[vec+pack]`` launch."""
+        total = 0
+        for seq in self.pack_operands():
+            for a in list(seq)[:nblocks]:
+                total += int(np.asarray(a).nbytes)
+        return 2 * total
 
     # -- convenience -------------------------------------------------------
 
@@ -131,6 +173,8 @@ class LaunchRecord:
     timing: KernelTiming
     executed_blocks: int
     vectorized: bool = False
+    packed: bool = False
+    pack_bytes: int = 0
 
     @property
     def time(self) -> float:
@@ -138,10 +182,14 @@ class LaunchRecord:
 
     @property
     def display_name(self) -> str:
-        """Kernel name with a ``[vec]`` suffix for batch-interleaved runs,
-        so vectorized launches stay attributable in trace output."""
-        return f"{self.kernel_name}[vec]" if self.vectorized \
-            else self.kernel_name
+        """Kernel name with a ``[vec]`` suffix for batch-interleaved runs
+        (``[vec+pack]`` when a gather/pack stage staged non-uniform
+        inputs), so vectorized launches stay attributable in traces."""
+        if self.packed:
+            return f"{self.kernel_name}[vec+pack]"
+        if self.vectorized:
+            return f"{self.kernel_name}[vec]"
+        return self.kernel_name
 
 
 def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
@@ -165,14 +213,17 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     vectorize:
         Select the execution path for the functional bodies.  ``None``
         (default) auto-dispatches: the batch-interleaved
-        :meth:`Kernel.run_batch_vectorized` path runs when the kernel
-        reports :meth:`Kernel.can_batch_vectorize` and more than one block
-        executes; otherwise blocks run one at a time through
-        :meth:`Kernel.run_block`.  ``False`` forces the per-block path
-        (the reference semantics).  ``True`` requires the vectorized path
-        and raises :class:`~repro.errors.DeviceError` if the kernel (or
-        its current inputs) cannot take it.  Both paths are bit-identical
-        by contract.
+        :meth:`Kernel.run_batch_vectorized` path runs when more than one
+        block executes and the kernel reports either
+        :meth:`Kernel.can_batch_vectorize` (uniform stack, staged
+        directly) or :meth:`Kernel.can_pack_vectorize` (scattered but
+        packable inputs, staged through the gather/pack stage); otherwise
+        blocks run one at a time through :meth:`Kernel.run_block`.
+        ``False`` forces the per-block path (the reference semantics).
+        ``True`` requires the vectorized path and raises
+        :class:`~repro.errors.DeviceError` if the kernel (or its current
+        inputs) cannot take it even with packing.  Both paths are
+        bit-identical by contract.
 
     Raises
     ------
@@ -180,7 +231,7 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         If the kernel cannot launch on this device.
     DeviceError
         If ``vectorize=True`` but the kernel cannot batch-vectorize its
-        current inputs.
+        current inputs, even through the pack/scatter stage.
     """
     grid = kernel.grid()
     if grid < 0:
@@ -191,21 +242,35 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     capturing = bool(getattr(stream, "_capturing", False))
     if capturing:
         execute = False
-    if vectorize and not kernel.can_batch_vectorize():
+    if vectorize and not (kernel.can_batch_vectorize()
+                          or kernel.can_pack_vectorize()):
         raise DeviceError(
             f"kernel {kernel.name!r} cannot batch-vectorize its current "
-            "inputs (non-uniform blocks or non-contiguous batch)")
+            "inputs (no batch-interleaved path, or aliased/overlapping/"
+            "mixed-shape blocks that the pack stage cannot stage)")
     executed = 0
     vectorized = False
+    packed = False
+    pack_bytes = 0
     if execute:
         limit = timing.occupancy.smem_per_block
         n_exec = grid if max_blocks is None else min(grid, max_blocks)
-        use_vec = (vectorize if vectorize is not None
-                   else kernel.can_batch_vectorize() and n_exec > 1)
+        if vectorize is False:
+            use_vec = direct = False
+        else:
+            direct = kernel.can_batch_vectorize()
+            if vectorize:
+                use_vec = True
+            else:
+                use_vec = n_exec > 1 and (direct
+                                          or kernel.can_pack_vectorize())
         if use_vec and n_exec > 0:
             kernel.run_batch_vectorized(n_exec, SharedMemory(limit * n_exec))
             executed = n_exec
             vectorized = True
+            packed = not direct
+            if packed:
+                pack_bytes = kernel.pack_bytes(n_exec)
         else:
             for bid in range(n_exec):
                 kernel.run_block(bid, SharedMemory(limit))
@@ -218,6 +283,8 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         timing=timing,
         executed_blocks=executed,
         vectorized=vectorized,
+        packed=packed,
+        pack_bytes=pack_bytes,
     )
     if stream is not None:
         stream.record(record)

@@ -1,6 +1,6 @@
 """Simulated device memory: buffers, pointer arrays, traffic accounting.
 
-The paper's batched interface (Section 4) passes arrays of device pointers
+The paper's batched interface (paper Section 4) passes arrays of device pointers
 (``double** A_array``).  :class:`PointerArray` reproduces that shape: a
 sequence of numpy views, one per problem, possibly all slicing one backing
 allocation (the common "strided batch" usage) or each pointing at unrelated
@@ -16,7 +16,61 @@ import numpy as np
 
 from ..errors import DeviceError
 
-__all__ = ["TrafficCounter", "DeviceBuffer", "PointerArray"]
+__all__ = ["TrafficCounter", "DeviceBuffer", "PointerArray",
+           "is_packable_batch"]
+
+
+def _byte_span(a: np.ndarray) -> tuple[int, int]:
+    """Inclusive-exclusive byte interval ``[lo, hi)`` touched by ``a``.
+
+    Conservative: the bounds cover every addressable element, so two arrays
+    whose spans do not intersect certainly do not share memory (the converse
+    does not hold for interleaved strided views, which is the safe
+    direction for the pack/scatter eligibility test).
+    """
+    ptr = a.__array_interface__["data"][0]
+    lo = hi = 0
+    for dim, st in zip(a.shape, a.strides):
+        if dim == 0:
+            return ptr, ptr
+        step = (dim - 1) * st
+        if step >= 0:
+            hi += step
+        else:
+            lo += step
+    return ptr + lo, ptr + hi + a.itemsize
+
+
+def is_packable_batch(mats) -> bool:
+    """True when ``mats`` can be gathered into one uniform stack and
+    scattered back without changing per-block semantics.
+
+    This is the eligibility gate for the pack/scatter stage of the
+    batch-interleaved execution path: every entry must be a numpy array of
+    one shape and dtype (strides and storage order may differ — that is
+    the point of a :class:`PointerArray`), and no two entries may share
+    memory.  The overlap test is a conservative byte-interval check, so
+    aliased batches (``[ab] * batch``) and interleaved views of one buffer
+    return False and keep the per-block path, where repeated factorization
+    of the same storage is the documented sequential semantics.
+    """
+    if len(mats) == 0:
+        return False
+    first = mats[0]
+    if not isinstance(first, np.ndarray):
+        return False
+    shape, dtype = first.shape, first.dtype
+    spans = []
+    for mk in mats:
+        if (not isinstance(mk, np.ndarray) or mk.shape != shape
+                or mk.dtype != dtype):
+            return False
+        spans.append(_byte_span(mk))
+    spans.sort()
+    for (_, hi1), (lo2, _) in zip(spans, spans[1:]):
+        if lo2 < hi1:
+            return False
+    return True
 
 
 @dataclass

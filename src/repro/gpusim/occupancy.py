@@ -2,7 +2,7 @@
 
 Occupancy — the number of thread blocks resident per SM — is the central
 performance mechanism of the paper: the fused factorization's "staircase"
-behaviour (Figure 3) and the H100/MI250x gap (Section 8) are both explained
+behaviour (Figure 3) and the H100/MI250x gap (paper Section 8) are both explained
 by shared-memory-limited occupancy.  This module reproduces the standard
 CUDA/HIP occupancy computation for the resource types our kernels use
 (threads and shared memory; register pressure is folded into the block

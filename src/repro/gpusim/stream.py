@@ -1,7 +1,7 @@
 """Streams (in-order queues) and events for the simulated device.
 
 The paper's interface requires a user-provided stream/queue for every batched
-call (Section 4).  A :class:`Stream` is an in-order timeline: launches
+call (paper Section 4).  A :class:`Stream` is an in-order timeline: launches
 enqueued on it run back-to-back, and ``synchronize`` reports the accumulated
 simulated time.  Multiple streams on the same device can overlap up to the
 device's concurrent-kernel limit; the cross-stream concurrency model lives in

@@ -48,9 +48,10 @@ def summarize(records) -> list[KernelSummary]:
             flat.append(item)
     groups: dict[str, list[LaunchRecord]] = defaultdict(list)
     for rec in flat:
-        # Batch-interleaved launches group under "<name>[vec]" so the two
-        # execution paths of the same kernel stay separately attributable.
-        # (TransferRecords and other stream entries have no display_name.)
+        # Batch-interleaved launches group under "<name>[vec]" (or
+        # "<name>[vec+pack]" when the gather/pack stage staged the batch)
+        # so the execution paths of the same kernel stay separately
+        # attributable.  (TransferRecords etc. have no display_name.)
         groups[getattr(rec, "display_name", rec.kernel_name)].append(rec)
     out = []
     for name, recs in groups.items():
@@ -95,6 +96,8 @@ def chrome_trace(streams) -> list[dict]:
                     "threads": getattr(rec, "threads", None),
                     "smem_bytes": getattr(rec, "smem_bytes", None),
                     "vectorized": getattr(rec, "vectorized", False),
+                    "packed": getattr(rec, "packed", False),
+                    "pack_bytes": getattr(rec, "pack_bytes", 0),
                 },
             })
             t += rec.time

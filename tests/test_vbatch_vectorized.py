@@ -1,0 +1,268 @@
+"""Bucketed vectorization of non-uniform and pointer-array batches.
+
+``gbtrf_vbatch`` / ``gbsv_vbatch`` (grouped) and ``gbtrf_vbatch_fused``
+(single-kernel) both expose a ``vectorize`` keyword; the vectorized path
+buckets lanes by configuration and must be bit-identical to the per-block
+loop — including singular lanes inside a bucket, ragged bucket sizes and
+scattered (pointer-array) storage.  Dispatch/attribution rules for the
+gather/pack stage are pinned here; uniform-batch coverage lives in
+``tests/test_vectorized.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.band.convert import dense_to_band
+from repro.band.generate import random_band, random_rhs
+from repro.core import gbtrf_batch
+from repro.core.batched import gbsv_vbatch, gbtrf_vbatch
+from repro.core.gbtrf_vbatch_kernel import gbtrf_vbatch_fused
+from repro.errors import ArgumentError, DeviceError
+from repro.gpusim import H100_PCIE, PointerArray, Stream
+
+DTYPES = [np.float64, np.complex128]
+DTYPE_IDS = [np.dtype(d).name for d in DTYPES]
+
+
+def _bytes_equal(*pairs):
+    for got, ref in pairs:
+        assert np.asarray(got).tobytes() == np.asarray(ref).tobytes()
+
+
+def _ragged_problems(dtype=np.float64, seed=0):
+    """Mixed-shape batch whose buckets have ragged sizes 1, 2 and 5."""
+    configs = ([(24, 2, 3)] * 5 + [(16, 1, 1)] * 2 + [(40, 4, 2)])
+    rng = np.random.default_rng(seed)
+    mats = [random_band(n, kl, ku, dtype=dtype, seed=rng)
+            for n, kl, ku in configs]
+    return configs, mats
+
+
+def _run_both(fn, configs, mats, **kw):
+    """Run ``fn`` with vectorize=False and =True on fresh copies."""
+    out = []
+    for vec in (False, True):
+        ms = [np.asarray(a).copy() for a in mats]
+        piv, info = fn([c[0] for c in configs], [c[0] for c in configs],
+                       [c[1] for c in configs], [c[2] for c in configs],
+                       ms, vectorize=vec, **kw)
+        out.append((ms, piv, info))
+    return out
+
+
+class TestGbtrfVbatchVectorized:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+    def test_ragged_buckets_bitwise(self, dtype):
+        configs, mats = _ragged_problems(dtype)
+        (m_ref, p_ref, i_ref), (m_vec, p_vec, i_vec) = _run_both(
+            gbtrf_vbatch, configs, mats)
+        for k in range(len(configs)):
+            _bytes_equal((m_vec[k], m_ref[k]), (p_vec[k], p_ref[k]))
+        _bytes_equal((i_vec, i_ref))
+
+    @pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+    def test_fused_ragged_buckets_bitwise(self, dtype):
+        configs, mats = _ragged_problems(dtype, seed=3)
+        (m_ref, p_ref, i_ref), (m_vec, p_vec, i_vec) = _run_both(
+            gbtrf_vbatch_fused, configs, mats)
+        for k in range(len(configs)):
+            _bytes_equal((m_vec[k], m_ref[k]), (p_vec[k], p_ref[k]))
+        _bytes_equal((i_vec, i_ref))
+
+    def test_singular_lane_inside_bucket(self):
+        """A singular lane sharing a bucket with healthy lanes must report
+        its own info without contaminating bucket-mates."""
+        n, kl, ku = 18, 2, 2
+        rng = np.random.default_rng(7)
+        mats = [random_band(n, kl, ku, seed=rng) for _ in range(4)]
+        sing = np.eye(n)
+        sing[5, 5] = 0.0            # zero pivot, no fill-in to repair it
+        mats[2] = dense_to_band(sing, kl, ku).astype(mats[0].dtype)
+        configs = [(n, kl, ku)] * 4
+        (m_ref, p_ref, i_ref), (m_vec, p_vec, i_vec) = _run_both(
+            gbtrf_vbatch, configs, mats)
+        assert i_ref[2] == 6 and i_vec[2] == 6
+        assert all(i_vec[k] == 0 for k in (0, 1, 3))
+        for k in range(4):
+            _bytes_equal((m_vec[k], m_ref[k]), (p_vec[k], p_ref[k]))
+
+    def test_fused_singleton_bucket_runs_scalar_body(self):
+        """A bucket of one lane has nothing to interleave; the vectorized
+        launch must still produce that lane's exact per-block bits."""
+        configs = [(12, 1, 1), (20, 2, 3)]    # two singleton buckets
+        rng = np.random.default_rng(11)
+        mats = [random_band(n, kl, ku, seed=rng) for n, kl, ku in configs]
+        (m_ref, p_ref, i_ref), (m_vec, p_vec, i_vec) = _run_both(
+            gbtrf_vbatch_fused, configs, mats)
+        for k in range(2):
+            _bytes_equal((m_vec[k], m_ref[k]), (p_vec[k], p_ref[k]))
+        _bytes_equal((i_vec, i_ref))
+
+
+class TestGbsvVbatchVectorized:
+    @pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+    def test_mixed_shapes_with_singular_lane_bitwise(self, dtype):
+        configs = [(24, 2, 3), (24, 2, 3), (16, 1, 1), (24, 2, 3),
+                   (16, 1, 1)]
+        rng = np.random.default_rng(5)
+        mats = [random_band(n, kl, ku, dtype=dtype, seed=rng)
+                for n, kl, ku in configs]
+        sing = np.eye(configs[1][0])
+        sing[8, 8] = 0.0                    # singular inside the big bucket
+        mats[1] = dense_to_band(sing, configs[1][1],
+                                configs[1][2]).astype(dtype)
+        rhs = [random_rhs(n, 1, dtype=dtype, seed=100 + k)
+               for k, (n, _, _) in enumerate(configs)]
+        outs = []
+        for vec in (False, True):
+            ms = [a.copy() for a in mats]
+            bs = [b.copy() for b in rhs]
+            piv, info = gbsv_vbatch(
+                [c[0] for c in configs], [c[1] for c in configs],
+                [c[2] for c in configs], [1] * len(configs),
+                ms, bs, vectorize=vec)
+            outs.append((ms, bs, piv, info))
+        (m_ref, b_ref, p_ref, i_ref), (m_vec, b_vec, p_vec, i_vec) = outs
+        assert i_ref[1] == 9 and i_vec[1] == 9
+        # LAPACK: B of the singular problem stays untouched.
+        _bytes_equal((b_vec[1], rhs[1]), (b_ref[1], rhs[1]))
+        for k in range(len(configs)):
+            _bytes_equal((m_vec[k], m_ref[k]), (b_vec[k], b_ref[k]),
+                         (p_vec[k], p_ref[k]))
+        _bytes_equal((i_vec, i_ref))
+
+
+class TestPointerArrayDispatch:
+    def test_noncontiguous_pointer_array_packs(self):
+        """Separate allocations (non-contiguous as a batch) stage through
+        the gather/pack path and match the per-block bits."""
+        n, kl, ku, batch = 20, 2, 2, 5
+        rng = np.random.default_rng(13)
+        blocks = [random_band(n, kl, ku, seed=rng) for _ in range(batch)]
+        scattered = PointerArray([b.copy() for b in blocks])
+        stream = Stream(H100_PCIE)
+        piv, info = gbtrf_batch(n, n, kl, ku, scattered, method="window",
+                                stream=stream, vectorize=True)
+        rec = stream.records[-1]
+        assert rec.vectorized and rec.packed
+        assert rec.display_name == "gbtrf_window[vec+pack]"
+        assert rec.pack_bytes == 2 * sum(b.nbytes for b in blocks)
+        ref = [b.copy() for b in blocks]
+        piv2, info2 = gbtrf_batch(n, n, kl, ku, ref, batch=batch,
+                                  method="window", vectorize=False)
+        for k in range(batch):
+            _bytes_equal((np.asarray(scattered[k]), ref[k]),
+                         (piv[k], piv2[k]))
+        _bytes_equal((info, info2))
+
+    def test_overlapping_views_fall_back(self):
+        """Interleaved views of one buffer overlap byte-wise: auto dispatch
+        must fall back per-block, vectorize=True must raise."""
+        n, kl, ku = 16, 1, 2
+        ldab = 2 * kl + ku + 1
+        rng = np.random.default_rng(17)
+        buf = np.asfortranarray(rng.standard_normal((2 * ldab, n)))
+        views = [buf[0::2, :], buf[1::2, :]]   # interleaved rows, one buffer
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(n, n, kl, ku, views, batch=2, method="window",
+                    stream=stream)
+        rec = stream.records[-1]
+        assert not rec.vectorized and not rec.packed
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrf_batch(n, n, kl, ku,
+                        [buf[0::2, :], buf[1::2, :]], batch=2,
+                        method="window", vectorize=True)
+
+
+class TestVectorizeErrorPaths:
+    def test_vbatch_aliased_lane_raises_on_true(self):
+        n, kl, ku = 14, 1, 1
+        a = random_band(n, kl, ku, seed=19)
+        mats = [a, a]                        # same storage in one bucket
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrf_vbatch([n, n], [n, n], [kl, kl], [ku, ku], mats,
+                         vectorize=True)
+
+    def test_vbatch_fused_aliased_lane_raises_on_true(self):
+        n, kl, ku = 14, 1, 1
+        a = random_band(n, kl, ku, seed=23)
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrf_vbatch_fused([n, n], [n, n], [kl, kl], [ku, ku], [a, a],
+                               vectorize=True)
+
+    def test_vbatch_aliased_auto_falls_back_bitwise(self):
+        """Auto dispatch on an aliased bucket silently runs per-block —
+        same bits as vectorize=False (both factor the shared storage
+        twice, in lane order)."""
+        n, kl, ku = 14, 1, 1
+        a0 = random_band(n, kl, ku, seed=29)
+        ref = a0.copy()
+        pv_ref, i_ref = gbtrf_vbatch([n, n], [n, n], [kl, kl], [ku, ku],
+                                     [ref, ref], vectorize=False)
+        got = a0.copy()
+        pv, i = gbtrf_vbatch([n, n], [n, n], [kl, kl], [ku, ku],
+                             [got, got])
+        _bytes_equal((got, ref), (pv[0], pv_ref[0]), (pv[1], pv_ref[1]),
+                     (i, i_ref))
+
+    def test_reference_method_rejects_vectorize_true(self):
+        n, kl, ku = 12, 1, 1
+        mats = [random_band(n, kl, ku, seed=31) for _ in range(2)]
+        with pytest.raises(ArgumentError):
+            gbtrf_batch(n, n, kl, ku, mats, batch=2, method="reference",
+                        vectorize=True)
+
+    def test_mixed_shape_uniform_batch_rejected_on_true(self):
+        """Same configuration, different ldab padding: the uniform driver
+        cannot stack them, so vectorize=True raises."""
+        n, kl, ku = 12, 1, 1
+        a = random_band(n, kl, ku, seed=37)
+        b = random_band(n, kl, ku, seed=38, ldab=2 * kl + ku + 3)
+        with pytest.raises(DeviceError, match="batch-vectorize"):
+            gbtrf_batch(n, n, kl, ku, [a, b], batch=2, method="window",
+                        vectorize=True)
+
+    def test_mixed_ldab_vbatch_buckets_separately(self):
+        """The vbatch group key includes the storage shape, so mixed-ldab
+        lanes of one configuration land in different buckets and still
+        vectorize bit-identically."""
+        n, kl, ku = 12, 1, 1
+        rng = np.random.default_rng(41)
+        mats = [random_band(n, kl, ku, seed=rng),
+                random_band(n, kl, ku, seed=rng, ldab=2 * kl + ku + 3),
+                random_band(n, kl, ku, seed=rng),
+                random_band(n, kl, ku, seed=rng, ldab=2 * kl + ku + 3)]
+        configs = [(n, kl, ku)] * 4
+        (m_ref, p_ref, i_ref), (m_vec, p_vec, i_vec) = _run_both(
+            gbtrf_vbatch, configs, mats)
+        for k in range(4):
+            _bytes_equal((m_vec[k], m_ref[k]), (p_vec[k], p_ref[k]))
+        _bytes_equal((i_vec, i_ref))
+
+
+class TestTraceAttribution:
+    def test_vbatch_fused_vectorized_record(self):
+        configs, mats = _ragged_problems(seed=43)
+        stream = Stream(H100_PCIE)
+        ms = [a.copy() for a in mats]
+        gbtrf_vbatch_fused([c[0] for c in configs],
+                           [c[0] for c in configs],
+                           [c[1] for c in configs],
+                           [c[2] for c in configs], ms,
+                           stream=stream, vectorize=True)
+        rec = stream.records[-1]
+        assert rec.vectorized and rec.packed
+        assert rec.display_name == "gbtrf_vbatch[vec+pack]"
+        assert rec.pack_bytes == 2 * sum(a.nbytes for a in ms)
+
+    def test_grouped_vbatch_vectorized_records(self):
+        configs, mats = _ragged_problems(seed=47)
+        stream = Stream(H100_PCIE)
+        ms = [a.copy() for a in mats]
+        gbtrf_vbatch([c[0] for c in configs], [c[0] for c in configs],
+                     [c[1] for c in configs], [c[2] for c in configs],
+                     ms, stream=stream, vectorize=True)
+        # One launch per distinct configuration, each vectorized (the
+        # scattered per-group matrix lists stage through the pack path).
+        assert len(stream.records) == 3
+        assert all(r.vectorized and r.packed for r in stream.records)

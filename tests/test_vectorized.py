@@ -5,8 +5,10 @@ path in everything except wall-clock: identical factor bits, pivots and
 info across dtypes, singular matrices, non-square shapes and
 pivot-divergent batches.  These tests compare the two paths with
 ``tobytes()`` (atol=0 would still admit -0.0 vs +0.0 and NaN mismatches).
-Dispatch rules — uniform contiguous stacks vectorize, pointer arrays and
-scattered views fall back — are pinned here too.
+Dispatch rules — uniform contiguous stacks vectorize directly, pointer
+arrays and scattered views vectorize through the gather/pack stage,
+aliased/overlapping batches fall back — are pinned here too (mixed-shape
+and vbatch coverage lives in ``tests/test_vbatch_vectorized.py``).
 """
 
 import numpy as np
@@ -203,7 +205,7 @@ class TestDispatch:
         assert rec.display_name == "gbtrf_window[vec]"
         assert {s.name for s in summarize([stream])} == {"gbtrf_window[vec]"}
 
-    def test_pointer_array_falls_back(self):
+    def test_pointer_array_packs_and_vectorizes(self):
         n, kl, ku, batch = 24, 2, 3, 4
         a = _band_batch(batch, n, kl, ku, np.float64, seed=31)
         scattered = PointerArray([a[k].copy() for k in range(batch)])
@@ -211,21 +213,34 @@ class TestDispatch:
         piv, info = gbtrf_batch(n, n, kl, ku, scattered, method="window",
                                 stream=stream)
         rec = stream.records[-1]
-        assert not rec.vectorized
-        assert rec.display_name == "gbtrf_window"
-        # Same numbers as the stack path, just per-block.
+        assert rec.vectorized and rec.packed
+        assert rec.display_name == "gbtrf_window[vec+pack]"
+        # Gather + scatter of the matrix batch.
+        assert rec.pack_bytes == 2 * sum(m.nbytes for m in scattered)
+        # Same bits as the stack path.
         a2 = a.copy()
         piv2, info2 = gbtrf_batch(n, n, kl, ku, a2, method="window")
         _bytes_equal((np.stack([np.asarray(m) for m in scattered]), a2),
                      (np.stack(piv), np.stack(piv2)), (info, info2))
 
-    def test_vectorize_true_rejects_pointer_array(self):
+    def test_vectorize_true_rejects_aliased_batch(self):
         n, kl, ku, batch = 16, 1, 2, 3
         a = _band_batch(batch, n, kl, ku, np.float64, seed=32)
-        scattered = PointerArray([a[k].copy() for k in range(batch)])
+        aliased = [a[0]] * batch          # same storage three times over
         with pytest.raises(DeviceError, match="batch-vectorize"):
-            gbtrf_batch(n, n, kl, ku, scattered, method="window",
-                        vectorize=True)
+            gbtrf_batch(n, n, kl, ku, aliased, batch=batch,
+                        method="window", vectorize=True)
+
+    def test_aliased_batch_auto_falls_back(self):
+        n, kl, ku, batch = 16, 1, 2, 3
+        a = _band_batch(batch, n, kl, ku, np.float64, seed=32)
+        aliased = [a[0].copy()] + [a[1]] * (batch - 1)
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(n, n, kl, ku, aliased, batch=batch, method="window",
+                    stream=stream)
+        rec = stream.records[-1]
+        assert not rec.vectorized and not rec.packed
+        assert rec.display_name == "gbtrf_window"
 
     def test_vectorize_false_forces_per_block(self):
         n, kl, ku, batch = 24, 2, 3, 4
@@ -255,17 +270,24 @@ class TestDispatch:
         assert a[2:].tobytes() == orig[2:].tobytes()
         assert a[:2].tobytes() != orig[:2].tobytes()
 
-    def test_transposed_solve_falls_back(self):
-        batch, n, kl, ku = 4, 20, 2, 2
-        a = _band_batch(batch, n, kl, ku, np.float64, seed=36)
+    @pytest.mark.parametrize("trans", ["T", "C"])
+    @pytest.mark.parametrize("dtype", DTYPES, ids=DTYPE_IDS)
+    def test_transposed_solve_vectorizes_bitwise(self, trans, dtype):
+        batch, n, kl, ku = 6, 40, 2, 2
+        a = _band_batch(batch, n, kl, ku, dtype, seed=36)
         piv, info = gbtrf_batch(n, n, kl, ku, a)
-        b = random_rhs(n, 1, batch=batch, dtype=np.float64, seed=37)
+        assert (info == 0).all()
+        b = random_rhs(n, 2, batch=batch, dtype=dtype, seed=37)
+        b_ref, b_vec = b.copy(), b.copy()
         stream = Stream(H100_PCIE)
-        gbtrs_batch("T", n, kl, ku, 1, a, np.stack(piv), b, stream=stream)
-        assert all(not r.vectorized for r in stream.records)
-        with pytest.raises(DeviceError, match="batch-vectorize"):
-            gbtrs_batch("T", n, kl, ku, 1, a, np.stack(piv), b,
-                        vectorize=True)
+        gbtrs_batch(trans, n, kl, ku, 2, a, np.stack(piv), b_vec,
+                    stream=stream, vectorize=True)
+        assert all(r.vectorized for r in stream.records)
+        assert {r.display_name for r in stream.records} == \
+            {"gbtrs_transU_blocked[vec]", "gbtrs_transL_blocked[vec]"}
+        gbtrs_batch(trans, n, kl, ku, 2, a, np.stack(piv), b_ref,
+                    vectorize=False)
+        _bytes_equal((b_vec, b_ref))
 
     def test_aggregate_smem_budget(self):
         """The vectorized path is charged the whole grid's footprint."""

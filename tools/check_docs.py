@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Execute the code samples embedded in the repo's markdown docs.
+
+Every fenced ``python`` block in the checked files must run: blocks
+written as interactive sessions (``>>>`` prompts) are checked with
+:mod:`doctest` (outputs compared), plain blocks are ``exec``-ed.  Blocks
+fenced as ``python no-run`` are skipped — that tag marks pseudo-signature
+listings and deliberately-slow examples.  All blocks of one file share a
+namespace, in order, so a later fence may use names a former one defined
+(the README quickstart does exactly that).
+
+Usage::
+
+    python tools/check_docs.py [file.md ...]
+
+With no arguments the default set is checked: ``README.md`` and every
+``docs/*.md``.  Exits non-zero on the first failing block, printing the
+file, fence number and error.
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+import traceback
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+FENCE_RE = re.compile(
+    r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def python_blocks(text: str):
+    """Yield ``(ordinal, line, source, skipped)`` for python fences."""
+    ordinal = 0
+    for match in FENCE_RE.finditer(text):
+        info = match.group(1).strip().lower().split()
+        if not info or info[0] != "python":
+            continue
+        ordinal += 1
+        line = text.count("\n", 0, match.start()) + 1
+        yield ordinal, line, match.group(2), "no-run" in info
+
+
+def run_block(source: str, namespace: dict, where: str) -> list[str]:
+    """Run one fence in ``namespace``; return a list of failure texts."""
+    if re.search(r"^\s*>>>", source, re.MULTILINE):
+        parser = doctest.DocTestParser()
+        test = parser.get_doctest(source, namespace, where, where, 0)
+        runner = doctest.DocTestRunner(verbose=False,
+                                       optionflags=doctest.ELLIPSIS)
+        failures: list[str] = []
+        runner.run(test, out=failures.append)
+        return failures
+    try:
+        exec(compile(source, where, "exec"), namespace)
+    except Exception:
+        return [traceback.format_exc()]
+    return []
+
+
+def check_file(path: Path) -> int:
+    text = path.read_text()
+    namespace: dict = {"__name__": "__docs__"}
+    checked = failed = 0
+    for ordinal, line, source, skipped in python_blocks(text):
+        where = f"{path}:{line} (python fence #{ordinal})"
+        if skipped:
+            continue
+        checked += 1
+        failures = run_block(source, namespace, where)
+        if failures:
+            failed += 1
+            print(f"FAILED {where}")
+            for chunk in failures:
+                print(chunk, end="" if chunk.endswith("\n") else "\n")
+    print(f"{path}: {checked} block(s) checked, {failed} failed")
+    return failed
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        paths = [Path(a) for a in argv]
+    else:
+        paths = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+    total = 0
+    for path in paths:
+        if not path.exists():
+            print(f"missing: {path}")
+            total += 1
+            continue
+        total += check_file(path)
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
