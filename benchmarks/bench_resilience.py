@@ -1,0 +1,111 @@
+"""Resilient dispatch overhead: ``resilient=True`` with zero faults.
+
+The self-healing driver (``core/resilience.py``) buys its guarantees with
+one defensive snapshot of the operands plus a post-run quarantine scan.
+This benchmark times a paper-scale ``gbsv_batch`` workload (batch 1000,
+n=256, kl=ku=8, fp64) on the plain path versus the resilient path with no
+fault plan armed, checks the two produce bit-identical factors/solutions,
+and asserts the fault-free overhead stays under 5%.
+
+Runnable standalone (``python benchmarks/bench_resilience.py [--quick]``)
+for the CI fault-injection job; ``--quick`` shrinks the workload and only
+verifies bit-identity, since timing ratios at small scale are noise.
+"""
+
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import gbsv_batch
+
+from _util import emit, run_once
+
+N, KL, KU, BATCH, NRHS = 256, 8, 8, 1000, 1
+
+# Acceptance ceiling is 5%; the measured slack is mostly one operand
+# snapshot (~50 MB memcpy) against ~0.5 s of factorization work.
+CEILING = 1.05
+
+
+def _run(resilient, a, b, n, kl, ku, batch):
+    mats, rhs = a.copy(), b.copy()
+    t0 = perf_counter()
+    out = gbsv_batch(n, kl, ku, NRHS, mats, None, rhs, batch=batch,
+                     resilient=resilient)
+    dt = perf_counter() - t0
+    if resilient:
+        piv, info, report = out
+        assert report.ok and report.faults_tolerated == 0
+    else:
+        piv, info = out
+    assert (np.asarray(info) == 0).all()
+    return dt, mats, rhs, np.stack(piv)
+
+
+def measure(*, n=N, kl=KL, ku=KU, batch=BATCH, repeats=2):
+    """Best-of-``repeats`` wall-clock for both paths, plus their outputs."""
+    a = random_band_batch(batch, n, kl, ku, seed=11)
+    b = random_rhs(n, NRHS, batch=batch, seed=12)
+    seconds, outputs = {}, {}
+    for label, resilient in (("plain", False), ("resilient", True)):
+        _run(resilient, a[:min(8, batch)], b[:min(8, batch)],
+             n, kl, ku, min(8, batch))            # warmup
+        best = None
+        for _ in range(max(1, repeats)):
+            dt, mats, rhs, piv = _run(resilient, a, b, n, kl, ku, batch)
+            best = dt if best is None else min(best, dt)
+        seconds[label] = best
+        outputs[label] = (mats, rhs, piv)
+    return seconds, outputs
+
+
+def _check_bit_identity(outputs):
+    """Zero faults => the resilient path is a pass-through, bit for bit."""
+    for part, name in zip(range(3), ("factors", "solution", "pivots")):
+        plain = outputs["plain"][part]
+        res = outputs["resilient"][part]
+        assert plain.tobytes() == res.tobytes(), (
+            f"resilient path changed {name} with no faults armed")
+
+
+def _render(seconds, *, n, batch):
+    ratio = seconds["resilient"] / seconds["plain"]
+    return ratio, "\n".join([
+        "Resilient dispatch overhead, zero faults "
+        f"(gbsv_batch, batch={batch}, n={n}, kl=ku={KL}, fp64)",
+        f"  plain path:        {seconds['plain']:8.3f} s",
+        f"  resilient path:    {seconds['resilient']:8.3f} s",
+        f"  overhead:          {(ratio - 1) * 100:8.1f} %   (ceiling 5%)",
+    ])
+
+
+def test_resilient_overhead(benchmark):
+    seconds, outputs = run_once(benchmark, measure)
+    _check_bit_identity(outputs)
+    ratio, text = _render(seconds, n=N, batch=BATCH)
+    emit("resilience_overhead", text)
+    assert ratio <= CEILING, (
+        f"fault-free resilient path {(ratio - 1) * 100:.1f}% slower "
+        f"than plain (ceiling {(CEILING - 1) * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    if quick:
+        seconds, outputs = measure(n=96, batch=64, repeats=1)
+        _check_bit_identity(outputs)
+        _, text = _render(seconds, n=96, batch=64)
+        print(text)
+        print("bit-identity OK (quick mode: ratio not asserted)")
+    else:
+        seconds, outputs = measure()
+        _check_bit_identity(outputs)
+        ratio, text = _render(seconds, n=N, batch=BATCH)
+        emit("resilience_overhead", text)
+        if ratio > CEILING:
+            sys.exit(f"overhead {(ratio - 1) * 100:.1f}% exceeds ceiling")

@@ -39,6 +39,8 @@ from .band import (
 )
 from .core import (
     BandSpecialization,
+    BatchReport,
+    ResiliencePolicy,
     create_specialization,
     destroy_specialization,
     dgbsv_batch,
@@ -66,9 +68,10 @@ from .types import Precision, Trans
 __version__ = "1.0.0"
 
 __all__ = [
-    "ArgumentError", "BandLayout", "BandSpecialization", "DeviceError",
-    "H100_PCIE", "MI250X_GCD", "PointerArray", "Precision", "ReproError",
-    "SharedMemoryError", "SingularMatrixError", "Stream", "Trans",
+    "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
+    "DeviceError", "H100_PCIE", "MI250X_GCD", "PointerArray", "Precision",
+    "ReproError", "ResiliencePolicy", "SharedMemoryError",
+    "SingularMatrixError", "Stream", "Trans",
     "alloc_band", "band_to_dense", "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",
     "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",

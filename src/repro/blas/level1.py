@@ -29,17 +29,21 @@ def stable_mul(x, y):
     loop, hence shape-stable.  Real dtypes multiply directly (also
     correctly rounded elementwise, so already stable).
     """
-    if not (np.iscomplexobj(x) or np.iscomplexobj(y)):
-        return x * y
-    x = np.asarray(x)
-    y = np.asarray(y)
-    xr, xi = x.real, x.imag
-    yr, yi = y.real, y.imag
-    out = np.empty(np.broadcast_shapes(x.shape, y.shape),
-                   dtype=np.result_type(x, y))
-    out.real = xr * yr - xi * yi
-    out.imag = xr * yi + xi * yr
-    return out
+    # Propagating non-finite lanes (singular solves, poisoned operands)
+    # legitimately evaluates inf*0 and inf-inf here; LAPACK raises no IEEE
+    # flags for these, so neither do we.
+    with np.errstate(invalid="ignore"):
+        if not (np.iscomplexobj(x) or np.iscomplexobj(y)):
+            return x * y
+        x = np.asarray(x)
+        y = np.asarray(y)
+        xr, xi = x.real, x.imag
+        yr, yi = y.real, y.imag
+        out = np.empty(np.broadcast_shapes(x.shape, y.shape),
+                       dtype=np.result_type(x, y))
+        out.real = xr * yr - xi * yi
+        out.imag = xr * yi + xi * yr
+        return out
 
 
 def iamax(x: np.ndarray) -> int:

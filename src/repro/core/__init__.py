@@ -20,6 +20,14 @@ from .gbtrf_reference import gbtrf_reference_batch
 from .gbtrf_vbatch_kernel import VbatchGbtrfKernel, VbatchProblem, gbtrf_vbatch_fused
 from .gbtrf_window import SlidingWindowGbtrfKernel
 from .gbtrs import gbtrs, gbtrs_batch
+from .resilience import (
+    BatchReport,
+    ResiliencePolicy,
+    gbsv_batch_resilient,
+    gbtrf_batch_resilient,
+    gbtrs_batch_resilient,
+    merge_reports,
+)
 from .opcount import OpCount, gbtrf_gflops, gbtrf_opcount, gbtrf_opcount_batch, gbtrf_opcount_bounds
 from .gbtrs_blocked import BlockedBackwardKernel, BlockedForwardKernel
 from .gbtrs_reference import gbtrs_reference_batch
@@ -33,7 +41,8 @@ from .specialize import (
 )
 
 __all__ = [
-    "BandSpecialization", "BlockedBackwardKernel", "BlockedForwardKernel",
+    "BandSpecialization", "BatchReport", "BlockedBackwardKernel",
+    "BlockedForwardKernel", "ResiliencePolicy",
     "FusedGbsvKernel", "FusedGbtrfKernel", "SlidingWindowGbtrfKernel",
     "cgbsv_batch", "cgbtrf_batch", "cgbtrs_batch",
     "clear_specialization_cache", "create_specialization",
@@ -45,6 +54,8 @@ __all__ = [
     "gbrfs", "gbrfs_batch",
     "gbsv", "gbsv_batch", "gbsv_refined_batch", "gbsv_vbatch", "gbtf2",
     "gbtrf", "gbtrf_batch", "laqgb", "laqgb_batch", "onenorm_inv_estimate",
+    "gbsv_batch_resilient", "gbtrf_batch_resilient",
+    "gbtrs_batch_resilient", "merge_reports",
     "gbtrf_reference_batch", "gbtrf_vbatch", "gbtrf_vbatch_fused",
     "VbatchGbtrfKernel", "VbatchProblem", "gbtrs", "gbtrs_batch",
     "gbtrs_reference_batch", "gbtrs_unblocked",

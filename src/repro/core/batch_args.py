@@ -119,9 +119,16 @@ def as_rhs_list(b_array, batch: int, n: int, nrhs: int, *,
     return out
 
 
-def ensure_pivots(pv_array, batch: int, mn: int, *,
-                  arg_pos: int) -> list[np.ndarray]:
-    """Canonicalise/allocate the per-problem pivot vectors."""
+def ensure_pivots(pv_array, batch: int, mn: int, *, arg_pos: int,
+                  zero: bool = False) -> list[np.ndarray]:
+    """Canonicalise/allocate the per-problem pivot vectors.
+
+    ``zero=True`` is for routines that *produce* pivots (``gbtrf``,
+    ``gbsv``): the caller-supplied storage is zeroed as soon as it
+    validates, upholding the error-path guarantee documented on
+    :func:`ensure_info`.  Routines that *consume* pivots (``gbtrs``,
+    ``gbrfs``, ``gbcon``) leave it False.
+    """
     if pv_array is None:
         return [np.zeros(mn, dtype=np.int64) for _ in range(batch)]
     if isinstance(pv_array, np.ndarray):
@@ -130,6 +137,8 @@ def ensure_pivots(pv_array, batch: int, mn: int, *,
                   f"expected {(batch, mn)}")
         check_arg(np.issubdtype(pv_array.dtype, np.integer), arg_pos,
                   f"pivot array must be integer, got {pv_array.dtype}")
+        if zero:
+            pv_array[...] = 0
         return list(pv_array)
     pivs = list(pv_array)
     check_arg(len(pivs) == batch, arg_pos,
@@ -139,11 +148,23 @@ def ensure_pivots(pv_array, batch: int, mn: int, *,
                   f"pivot vector {k} has shape {p.shape}, expected {(mn,)}")
         check_arg(np.issubdtype(p.dtype, np.integer), arg_pos,
                   f"pivot vector {k} must be integer, got {p.dtype}")
+        if zero:
+            p[...] = 0
     return pivs
 
 
 def ensure_info(info, batch: int, *, arg_pos: int) -> np.ndarray:
-    """Canonicalise/allocate the per-problem ``info`` output array."""
+    """Canonicalise/allocate the per-problem ``info`` output array.
+
+    The array is **zeroed here**, at canonicalisation time, before any
+    numerical work starts.  This is the batched drivers' error-path
+    guarantee: if a driver raises after its outputs validated — a rejected
+    kernel launch, a shared-memory failure, an injected fault — the
+    caller's ``info`` (and, via ``ensure_pivots(..., zero=True)``, output
+    pivots) hold zeros, never stale values from a previous call.  Status
+    codes written before the exception (e.g. by a completed factorization
+    stage) are preserved, since they are meaningful results.
+    """
     if info is None:
         return np.zeros(batch, dtype=np.int64)
     info = np.asarray(info)
@@ -151,6 +172,7 @@ def ensure_info(info, batch: int, *, arg_pos: int) -> np.ndarray:
               f"info has shape {info.shape}, expected {(batch,)}")
     check_arg(np.issubdtype(info.dtype, np.integer), arg_pos,
               f"info must be integer, got {info.dtype}")
+    info[...] = 0
     return info
 
 

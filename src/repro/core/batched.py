@@ -156,7 +156,8 @@ def _group_indices(keys) -> dict:
 
 def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                  device=None, stream=None, execute: bool = True,
-                 vectorize: bool | None = None):
+                 vectorize: bool | None = None,
+                 resilient: bool = False, policy=None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -173,6 +174,12 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     vectorized path and raises :class:`~repro.errors.DeviceError` when
     some group cannot take it (e.g. aliased matrices).  Both paths are
     bit-identical by contract.
+
+    ``resilient=True`` runs every group through the self-healing dispatch
+    (:mod:`repro.core.resilience`) and returns ``(pivots, info, report)``
+    where ``report`` merges the per-group
+    :class:`~repro.core.resilience.BatchReport` objects with lanes mapped
+    back to global problem indices.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -196,27 +203,45 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     groups = _group_indices(
         (int(ms[k]), int(ns[k]), int(kls[k]), int(kus[k]), mats[k].shape)
         for k in range(batch))
+    parts = []
     for (m, n, kl, ku, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
-        gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
-                    [pivots[i] for i in idxs], sub_info,
-                    batch=len(idxs), device=device, stream=stream,
-                    execute=execute, vectorize=vectorize)
+        if resilient:
+            _, _, rep = gbtrf_batch(
+                m, n, kl, ku, [mats[i] for i in idxs],
+                [pivots[i] for i in idxs], sub_info, batch=len(idxs),
+                device=device, stream=stream, vectorize=vectorize,
+                resilient=True, policy=policy)
+            parts.append((idxs, rep))
+        else:
+            gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
+                        [pivots[i] for i in idxs], sub_info,
+                        batch=len(idxs), device=device, stream=stream,
+                        execute=execute, vectorize=vectorize)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
+    if resilient:
+        from .resilience import merge_reports
+        report = merge_reports("gbtrf", batch, parts)
+        report.info = info
+        return pivots, info, report
     return pivots, info
 
 
 def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 info=None, *, device=None, stream=None,
-                execute: bool = True, vectorize: bool | None = None):
+                execute: bool = True, vectorize: bool | None = None,
+                resilient: bool = False, policy=None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
     solution unless that problem is singular.
 
     ``vectorize`` selects the host execution path per group
-    (``None``/``False``/``True`` — see :func:`gbtrf_vbatch`).
+    (``None``/``False``/``True`` — see :func:`gbtrf_vbatch`);
+    ``resilient=True`` likewise mirrors :func:`gbtrf_vbatch`, returning
+    ``(pivots, info, report)`` with a merged
+    :class:`~repro.core.resilience.BatchReport`.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -237,12 +262,26 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     groups = _group_indices(
         (int(ns[k]), int(kls[k]), int(kus[k]), int(nrhss[k]), mats[k].shape)
         for k in range(batch))
+    parts = []
     for (n, kl, ku, nrhs, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
-        gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
-                   [pivots[i] for i in idxs], [rhs[i] for i in idxs],
-                   sub_info, batch=len(idxs), device=device, stream=stream,
-                   execute=execute, vectorize=vectorize)
+        if resilient:
+            _, _, rep = gbsv_batch(
+                n, kl, ku, nrhs, [mats[i] for i in idxs],
+                [pivots[i] for i in idxs], [rhs[i] for i in idxs],
+                sub_info, batch=len(idxs), device=device, stream=stream,
+                vectorize=vectorize, resilient=True, policy=policy)
+            parts.append((idxs, rep))
+        else:
+            gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
+                       [pivots[i] for i in idxs], [rhs[i] for i in idxs],
+                       sub_info, batch=len(idxs), device=device,
+                       stream=stream, execute=execute, vectorize=vectorize)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
+    if resilient:
+        from .resilience import merge_reports
+        report = merge_reports("gbsv", batch, parts)
+        report.info = info
+        return pivots, info, report
     return pivots, info

@@ -68,7 +68,8 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                device: DeviceSpec = H100_PCIE, stream=None,
                method: str = "auto", execute: bool = True,
                max_blocks: int | None = None,
-               vectorize: bool | None = None):
+               vectorize: bool | None = None,
+               resilient: bool = False, policy=None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
@@ -78,18 +79,31 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     the follow-up solve runs on a scattered sub-batch, which the
     gather/pack stage stages for the batch-interleaved path like any
     other scattered batch.
+
+    ``resilient=True`` routes the call through the self-healing dispatch
+    of :mod:`repro.core.resilience` and returns ``(pivots, info,
+    report)``; ``policy`` is an optional
+    :class:`~repro.core.resilience.ResiliencePolicy`.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
+    if resilient:
+        check_arg(execute and max_blocks is None, 13,
+                  "resilient=True requires full functional execution "
+                  "(execute=True, max_blocks=None)")
+        from .resilience import gbsv_batch_resilient
+        return gbsv_batch_resilient(
+            n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, device=device, stream=stream, method=method,
+            vectorize=vectorize, policy=policy)
     check_arg(nrhs >= 0, 4, f"nrhs must be non-negative, got {nrhs}")
     if batch is None:
         batch = len(a_array)
     mats = as_matrix_list(a_array, batch, arg_pos=5)
     check_gb_args(n, n, kl, ku, mats, batch=batch)
-    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6, zero=True)
     rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=7)
     info = ensure_info(info, batch, arg_pos=8)
-    info[...] = 0
     if batch == 0 or n == 0:
         return pivots, info
 

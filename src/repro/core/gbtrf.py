@@ -65,7 +65,8 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 method: str = "auto", nb: int | None = None,
                 threads: int | None = None, execute: bool = True,
                 max_blocks: int | None = None,
-                vectorize: bool | None = None):
+                vectorize: bool | None = None,
+                resilient: bool = False, policy=None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -104,21 +105,38 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         :class:`~repro.errors.ArgumentError` for ``method='reference'``,
         which has no such path).  Results are bit-identical either way.
 
+    resilient, policy:
+        ``resilient=True`` routes the call through the self-healing
+        dispatch of :mod:`repro.core.resilience` (retry, design-ladder
+        fallback, lane quarantine) and returns ``(pivots, info, report)``
+        with a :class:`~repro.core.resilience.BatchReport` appended.
+        ``policy`` is an optional
+        :class:`~repro.core.resilience.ResiliencePolicy`.
+
     Returns
     -------
     (pivots, info):
-        List of per-problem pivot vectors and the info array.
+        List of per-problem pivot vectors and the info array (plus the
+        report when ``resilient=True``).
     """
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    if resilient:
+        check_arg(execute and max_blocks is None, 15,
+                  "resilient=True requires full functional execution "
+                  "(execute=True, max_blocks=None)")
+        from .resilience import gbtrf_batch_resilient
+        return gbtrf_batch_resilient(
+            m, n, kl, ku, a_array, pv_array, info, batch=batch,
+            device=device, stream=stream, method=method, nb=nb,
+            threads=threads, vectorize=vectorize, policy=policy)
     if batch is None:
         batch = len(a_array)
     mats = as_matrix_list(a_array, batch, arg_pos=5)
     check_gb_args(m, n, kl, ku, mats, batch=batch)
     mn = min(m, n)
-    pivots = ensure_pivots(pv_array, batch, mn, arg_pos=7)
+    pivots = ensure_pivots(pv_array, batch, mn, arg_pos=7, zero=True)
     info = ensure_info(info, batch, arg_pos=8)
-    info[...] = 0
     if batch == 0 or mn == 0:
         return pivots, info
 

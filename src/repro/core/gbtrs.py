@@ -57,7 +57,8 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
                 stream=None, method: str = "auto", nb: int | None = None,
                 threads: int | None = None, rhs_tile: int | None = None,
                 execute: bool = True, max_blocks: int | None = None,
-                vectorize: bool | None = None):
+                vectorize: bool | None = None,
+                resilient: bool = False, policy=None):
     """Solve a uniform batch of factored band systems on the simulated GPU.
 
     Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
@@ -74,10 +75,25 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     through the gather/pack stage), ``False`` forces per-block execution,
     ``True`` requires vectorized execution (the reference method has no
     vectorized path and raises; so do unpackable aliased batches).
+
+    ``resilient=True`` routes the call through the self-healing dispatch
+    of :mod:`repro.core.resilience` and returns ``(info, report)``;
+    ``policy`` is an optional
+    :class:`~repro.core.resilience.ResiliencePolicy`.
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    if resilient:
+        check_arg(execute and max_blocks is None, 15,
+                  "resilient=True requires full functional execution "
+                  "(execute=True, max_blocks=None)")
+        from .resilience import gbtrs_batch_resilient
+        return gbtrs_batch_resilient(
+            trans, n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, device=device, stream=stream, method=method,
+            nb=nb, threads=threads, rhs_tile=rhs_tile,
+            vectorize=vectorize, policy=policy)
     check_arg(nrhs >= 0, 5, f"nrhs must be non-negative, got {nrhs}")
     if batch is None:
         batch = len(a_array)
@@ -86,7 +102,6 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     pivots = ensure_pivots(pv_array, batch, n, arg_pos=8)
     rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=9)
     info = ensure_info(info, batch, arg_pos=11)
-    info[...] = 0
     if batch == 0 or n == 0 or nrhs == 0:
         return info
 

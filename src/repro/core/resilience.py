@@ -1,0 +1,728 @@
+"""Self-healing batched dispatch: retry, fallback, lane quarantine.
+
+The paper's dispatcher (paper Section 5.4) already expresses a degradation
+order — fused for tiny orders, sliding-window as the workhorse, and the
+fork-join reference design "as a safeguard".  This module turns that order
+into an actual fault-tolerance ladder.  The resilient drivers
+(:func:`gbtrf_batch_resilient`, :func:`gbtrs_batch_resilient`,
+:func:`gbsv_batch_resilient`, reachable as ``resilient=True`` on the plain
+drivers) wrap each kernel stage so that a batch survives the failure modes
+the fault-injection harness (:mod:`repro.gpusim.faults`) models:
+
+* **transient launch failures** (:class:`~repro.errors.DeviceError`) are
+  retried in place, up to :attr:`ResiliencePolicy.max_retries` times per
+  ladder rung with capped exponential backoff; operands are restored from
+  pristine snapshots before every re-attempt, so a retry after a partial
+  in-place factorization is exact, not best-effort;
+* **shared-memory rejections** (:class:`~repro.errors.SharedMemoryError`)
+  degrade to the next rung of the design ladder — ``fused`` → ``window`` →
+  ``reference`` for the factorization, ``blocked`` → ``reference`` for the
+  solve, fused ``gbsv`` → the standard two-stage path.  The gbtrf/gbtrs
+  rungs are bit-identical by contract (the design-equivalence tests pin
+  this at ``atol=0``), so a fallback changes *where* the batch runs, never
+  *what* it computes;
+* **lane corruption and numerical breakdown** are quarantined after the
+  fact: any lane whose ``info > 0`` (singular) or whose outputs are
+  non-finite is re-run from its snapshot through the reference design —
+  first the reference kernels, then, should the storm also knock those
+  over, the same per-column elimination on the host (``gbtf2`` /
+  ``gbtrs_unblocked``, bit-identical to the reference kernels) — while the
+  healthy lanes keep their fast-path results untouched and bit-identical
+  to a fault-free run;
+* recovered ``gbsv`` lanes that were quarantined for non-finite output, or
+  whose pivot growth exceeds :attr:`ResiliencePolicy.growth_threshold`,
+  get one :func:`~repro.core.gbrfs.gbrfs` refinement pass against the
+  original operands.
+
+Everything that happened is reported through a structured
+:class:`BatchReport` so callers (and the fault-sweep tests) can assert the
+batch survived *exactly* the storm that was injected.
+
+The resilient path is honest about its own limits: argument errors
+(:class:`~repro.errors.ArgumentError`) still raise eagerly — retrying a
+malformed call cannot fix it — and a ladder whose every rung is exhausted
+re-raises the last device error.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..band.layout import ldab_for_factor
+from ..errors import DeviceError, SharedMemoryError, check_arg
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..types import Trans
+from .batch_args import (
+    as_matrix_list,
+    as_rhs_list,
+    check_gb_args,
+    ensure_info,
+    ensure_pivots,
+)
+from .gbrfs import gbrfs
+from .gbtf2 import gbtf2
+from .gbtrf import gbtrf_batch, select_gbtrf_method
+from .gbtrs import gbtrs_batch
+from .gbsv import gbsv_batch, select_gbsv_method
+from .solve_blocks import gbtrs_unblocked
+
+__all__ = [
+    "ResiliencePolicy",
+    "BatchReport",
+    "merge_reports",
+    "gbtrf_batch_resilient",
+    "gbtrs_batch_resilient",
+    "gbsv_batch_resilient",
+]
+
+_GBTRF_LADDER = ("fused", "window", "reference")
+_GBTRS_LADDER = ("blocked", "reference")
+
+#: Marker used in :attr:`BatchReport.fallbacks` when a quarantine re-run
+#: abandoned the reference *kernels* for the host reference *algorithm*.
+HOST_FALLBACK = "host"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tunables for the self-healing dispatch.
+
+    Attributes
+    ----------
+    max_retries:
+        Re-attempts per ladder rung after a transient
+        :class:`~repro.errors.DeviceError` before falling to the next
+        rung.
+    backoff_base, backoff_cap:
+        Exponential backoff between retries: attempt ``i`` sleeps
+        ``min(backoff_base * 2**(i-1), backoff_cap)`` seconds.  The
+        default base of 0 keeps the simulation instant while preserving
+        the accounting (:attr:`BatchReport.backoff_total`).
+    growth_threshold:
+        Pivot-growth ratio ``max|U| / max|A|`` above which a recovered
+        ``gbsv`` lane gets a refinement pass even though it is finite.
+    refine:
+        Master switch for the single :func:`~repro.core.gbrfs.gbrfs`
+        pass on recovered ``gbsv`` lanes.
+    """
+
+    max_retries: int = 4
+    backoff_base: float = 0.0
+    backoff_cap: float = 0.05
+    growth_threshold: float = 1e8
+    refine: bool = True
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based), in seconds."""
+        return min(self.backoff_base * (2.0 ** (attempt - 1)),
+                   self.backoff_cap)
+
+
+@dataclass
+class BatchReport:
+    """Structured account of one resilient batched call.
+
+    Lane tuples are 0-based batch indices, sorted ascending.  ``info`` is
+    the same array the driver returned, attached for convenience.
+    """
+
+    operation: str
+    batch: int
+    method_requested: str = "auto"
+    #: stage name -> design that finally served it (e.g. ``{"gbtrf":
+    #: "window", "gbtrs": "blocked"}``).
+    methods: dict = field(default_factory=dict)
+    #: Launch re-attempts made after transient device errors.
+    retries: int = 0
+    #: Injected/real :class:`~repro.errors.DeviceError` launches absorbed.
+    launch_failures: int = 0
+    #: :class:`~repro.errors.SharedMemoryError` rejections absorbed.
+    smem_rejections: int = 0
+    #: Seconds of backoff accounted (slept when ``backoff_base > 0``).
+    backoff_total: float = 0.0
+    #: ``(stage, from_design, to_design)`` degradations, in order.
+    fallbacks: list = field(default_factory=list)
+    #: Lanes pulled off the fast path (union of singular + corrupted).
+    quarantined: tuple = ()
+    #: Quarantined lanes whose final ``info > 0`` (genuinely singular).
+    singular: tuple = ()
+    #: Quarantined lanes with non-finite output (corruption/breakdown).
+    corrupted: tuple = ()
+    #: Recovered lanes that received a gbrfs refinement pass.
+    refined: tuple = ()
+    #: Lanes that stayed non-finite even after the reference re-run
+    #: (their *inputs* are non-finite; nothing recoverable).
+    unrecovered: tuple = ()
+    info: np.ndarray | None = None
+
+    @property
+    def faults_tolerated(self) -> int:
+        """Total faults this call absorbed without raising."""
+        return (self.launch_failures + self.smem_rejections
+                + len(self.corrupted))
+
+    @property
+    def ok(self) -> bool:
+        """True when every lane ended in a well-defined state."""
+        return not self.unrecovered
+
+    def summary(self) -> str:
+        """One-line human-readable account."""
+        parts = [f"{self.operation} batch={self.batch}"]
+        if self.methods:
+            parts.append("via " + ",".join(
+                f"{s}:{m}" for s, m in sorted(self.methods.items())))
+        parts.append(f"retries={self.retries}")
+        parts.append(f"launch_failures={self.launch_failures}")
+        parts.append(f"smem_rejections={self.smem_rejections}")
+        if self.fallbacks:
+            parts.append("fallbacks=" + ";".join(
+                f"{s}:{a}->{b}" for s, a, b in self.fallbacks))
+        if self.quarantined:
+            parts.append(f"quarantined={list(self.quarantined)}"
+                         f" (singular={list(self.singular)},"
+                         f" corrupted={list(self.corrupted)})")
+        if self.refined:
+            parts.append(f"refined={list(self.refined)}")
+        if self.unrecovered:
+            parts.append(f"UNRECOVERED={list(self.unrecovered)}")
+        return " ".join(parts)
+
+
+def merge_reports(operation: str, batch: int, parts) -> BatchReport:
+    """Merge per-group reports of a vbatch call into one global report.
+
+    ``parts`` is a sequence of ``(lane_indices, BatchReport)`` pairs where
+    ``lane_indices[j]`` is the global lane of the group's lane ``j``.
+    """
+    merged = BatchReport(operation, batch)
+    info = np.zeros(batch, dtype=np.int64)
+    for idxs, rep in parts:
+        merged.method_requested = rep.method_requested
+        merged.retries += rep.retries
+        merged.launch_failures += rep.launch_failures
+        merged.smem_rejections += rep.smem_rejections
+        merged.backoff_total += rep.backoff_total
+        merged.fallbacks.extend(rep.fallbacks)
+        for stage, meth in rep.methods.items():
+            prev = merged.methods.get(stage)
+            if prev is None:
+                merged.methods[stage] = meth
+            elif meth not in prev.split("+"):
+                merged.methods[stage] = prev + "+" + meth
+        remap = lambda lanes: tuple(int(idxs[k]) for k in lanes)
+        merged.quarantined += remap(rep.quarantined)
+        merged.singular += remap(rep.singular)
+        merged.corrupted += remap(rep.corrupted)
+        merged.refined += remap(rep.refined)
+        merged.unrecovered += remap(rep.unrecovered)
+        if rep.info is not None:
+            for j, i in enumerate(idxs):
+                info[i] = rep.info[j]
+    for name in ("quarantined", "singular", "corrupted", "refined",
+                 "unrecovered"):
+        setattr(merged, name, tuple(sorted(getattr(merged, name))))
+    merged.info = info
+    return merged
+
+
+# --- ladder execution ------------------------------------------------------
+
+def _run_ladder(report: BatchReport, stage: str, ladder, call, restore,
+                policy: ResiliencePolicy) -> str:
+    """Run ``call(method)`` down the design ladder until one rung succeeds.
+
+    ``restore()`` rewinds the operands to their pristine snapshots; it runs
+    before every attempt except the very first (whose operands are already
+    pristine), which is what keeps the zero-fault overhead to one snapshot
+    copy.  Transient :class:`~repro.errors.DeviceError` launches are
+    retried on the same rung; :class:`~repro.errors.SharedMemoryError`
+    falls straight to the next rung (re-asking for the same allocation
+    cannot succeed).  Raises the last error when the ladder is exhausted.
+    """
+    last: Exception | None = None
+    dirty = False
+    for pos, meth in enumerate(ladder):
+        attempt = 0
+        while True:
+            try:
+                if dirty:
+                    restore()
+                dirty = True
+                call(meth)
+                report.methods[stage] = meth
+                return meth
+            except DeviceError as exc:
+                last = exc
+                report.launch_failures += 1
+                if attempt >= policy.max_retries:
+                    break
+                attempt += 1
+                report.retries += 1
+                delay = policy.backoff(attempt)
+                if delay > 0:
+                    report.backoff_total += delay
+                    time.sleep(delay)
+            except SharedMemoryError as exc:
+                last = exc
+                report.smem_rejections += 1
+                break
+        if pos + 1 < len(ladder):
+            report.fallbacks.append((stage, meth, ladder[pos + 1]))
+    assert last is not None
+    raise last
+
+
+def _ladder_with_host(report: BatchReport, stage: str, ladder, call,
+                      restore, policy: ResiliencePolicy, host) -> None:
+    """Run the kernel ladder with the host reference algorithm as the net.
+
+    When every rung is exhausted — a storm that rejects even the
+    reference kernels — the stage finishes on the host (``gbtf2`` /
+    ``gbtrs_unblocked``), which the design-equivalence tests pin as
+    bit-identical to the reference kernels.  With the net in place the
+    resilient drivers raise only for argument errors.
+    """
+    try:
+        _run_ladder(report, stage, ladder, call, restore, policy)
+    except (DeviceError, SharedMemoryError):
+        restore()
+        host()
+        report.fallbacks.append((stage, ladder[-1], HOST_FALLBACK))
+        report.methods[stage] = HOST_FALLBACK
+
+
+def _vec_for(method: str, vectorize):
+    """Downgrade ``vectorize=True`` on the reference rung.
+
+    The reference designs have no batch-interleaved path and reject
+    ``vectorize=True`` eagerly; a fallback that lands there must not turn
+    a recoverable device fault into an argument error.
+    """
+    return None if (vectorize and method == "reference") else vectorize
+
+
+def _gbtrf_ladder(method: str, device, m, n, kl, ku, itemsize):
+    if method == "auto":
+        method = select_gbtrf_method(device, m, n, kl, ku, itemsize)
+    return _GBTRF_LADDER[_GBTRF_LADDER.index(method):]
+
+
+def _gbtrs_ladder(method: str):
+    if method == "auto":
+        method = "blocked"
+    return _GBTRS_LADDER[_GBTRS_LADDER.index(method):]
+
+
+# --- lane health -----------------------------------------------------------
+
+def _lane_nonfinite(mat, kl: int, ku: int) -> bool:
+    """Non-finite anywhere in the factor-relevant rows of one band matrix.
+
+    Rows past ``2*kl + ku + 1`` are caller padding the kernels never
+    touch; scanning them would quarantine lanes for garbage we did not
+    produce.
+    """
+    rows = ldab_for_factor(kl, ku)
+    return not bool(np.all(np.isfinite(mat[:rows])))
+
+
+def _pivot_growth(fact, orig, kl: int, ku: int) -> float:
+    """Pivot growth ``max|U| / max|A|`` of one factored lane.
+
+    ``U`` occupies rows ``0 .. kl+ku`` of the factor layout.  Returns 0
+    for an all-zero input; NaN factors yield NaN, which compares False
+    against any threshold (those lanes are already quarantined as
+    corrupted).
+    """
+    rows = ldab_for_factor(kl, ku)
+    denom = float(np.max(np.abs(orig[:rows]))) if orig.size else 0.0
+    if denom == 0.0:
+        return 0.0
+    return float(np.max(np.abs(fact[:kl + ku + 1])) / denom)
+
+
+# --- quarantine re-runs ----------------------------------------------------
+
+def _reference_refactor(report, stage, m, n, kl, ku, sub_mats, sub_piv,
+                        sub_info, sub_snap, device, stream, policy):
+    """Re-factor quarantined lanes through the reference design.
+
+    Tries the reference kernels (with the usual retry budget); if the
+    fault storm takes those down too, the host net of
+    :func:`_ladder_with_host` finishes the lanes.
+    """
+    def restore():
+        for a, s in zip(sub_mats, sub_snap):
+            a[...] = s
+        for p in sub_piv:
+            p[...] = 0
+        sub_info[...] = 0
+
+    def attempt(meth):
+        gbtrf_batch(m, n, kl, ku, sub_mats, sub_piv, sub_info,
+                    batch=len(sub_mats), device=device, stream=stream,
+                    method="reference", vectorize=None)
+
+    def host():
+        for j, (a, p) in enumerate(zip(sub_mats, sub_piv)):
+            _, inf = gbtf2(m, n, kl, ku, a, p)
+            sub_info[j] = inf
+
+    _ladder_with_host(report, stage, ("reference",), attempt, restore,
+                      policy, host)
+
+
+def _reference_resolve(report, stage, trans, n, kl, ku, nrhs, sub_mats,
+                       sub_piv, sub_rhs, sub_snap_b, device, stream, policy):
+    """Re-solve recovered lanes through the reference design (or host)."""
+    def restore():
+        for b, s in zip(sub_rhs, sub_snap_b):
+            b[...] = s
+
+    def attempt(meth):
+        gbtrs_batch(trans, n, kl, ku, nrhs, sub_mats, sub_piv, sub_rhs,
+                    batch=len(sub_mats), device=device, stream=stream,
+                    method="reference", vectorize=None)
+
+    def host():
+        for a, p, b in zip(sub_mats, sub_piv, sub_rhs):
+            gbtrs_unblocked(trans, n, kl, ku, a, p, b)
+
+    _ladder_with_host(report, stage, ("reference",), attempt, restore,
+                      policy, host)
+
+
+# --- resilient drivers -----------------------------------------------------
+
+def gbtrf_batch_resilient(m, n, kl, ku, a_array, pv_array=None, info=None, *,
+                          batch: int | None = None,
+                          device: DeviceSpec = H100_PCIE, stream=None,
+                          method: str = "auto", nb: int | None = None,
+                          threads: int | None = None,
+                          vectorize: bool | None = None,
+                          policy: ResiliencePolicy | None = None):
+    """Self-healing :func:`~repro.core.gbtrf.gbtrf_batch`.
+
+    Returns ``(pivots, info, report)``.  Healthy lanes are bit-identical
+    to a fault-free call (every gbtrf design is bit-identical, and retries
+    restore the operands from snapshots before re-running).
+    """
+    policy = policy or ResiliencePolicy()
+    check_arg(method in ("auto",) + _GBTRF_LADDER, 14,
+              f"method must be one of {('auto',) + _GBTRF_LADDER}, "
+              f"got {method!r}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(m, n, kl, ku, mats, batch=batch)
+    mn = min(m, n)
+    pivots = ensure_pivots(pv_array, batch, mn, arg_pos=7, zero=True)
+    info = ensure_info(info, batch, arg_pos=8)
+    report = BatchReport("gbtrf", batch, method_requested=method, info=info)
+    if batch == 0 or mn == 0:
+        return pivots, info, report
+
+    snap_a = [a.copy() for a in mats]
+    ladder = _gbtrf_ladder(method, device, m, n, kl, ku,
+                           mats[0].dtype.itemsize)
+
+    def restore():
+        for a, s in zip(mats, snap_a):
+            a[...] = s
+        for p in pivots:
+            p[...] = 0
+        info[...] = 0
+
+    def attempt(meth):
+        gbtrf_batch(m, n, kl, ku, mats, pivots, info, batch=batch,
+                    device=device, stream=stream, method=meth, nb=nb,
+                    threads=threads, vectorize=_vec_for(meth, vectorize))
+
+    def host():
+        for j, (a, p) in enumerate(zip(mats, pivots)):
+            _, inf = gbtf2(m, n, kl, ku, a, p)
+            info[j] = inf
+
+    _ladder_with_host(report, "gbtrf", ladder, attempt, restore, policy,
+                      host)
+
+    singular = [k for k in range(batch) if info[k] > 0]
+    corrupted = [k for k in range(batch)
+                 if info[k] <= 0 and _lane_nonfinite(mats[k], kl, ku)]
+    bad = sorted(singular + corrupted)
+    if bad:
+        report.quarantined = tuple(bad)
+        report.singular = tuple(singular)
+        report.corrupted = tuple(corrupted)
+        sub_info = np.zeros(len(bad), dtype=np.int64)
+        _reference_refactor(report, "quarantine:gbtrf", m, n, kl, ku,
+                            [mats[k] for k in bad],
+                            [pivots[k] for k in bad], sub_info,
+                            [snap_a[k] for k in bad], device, stream, policy)
+        unrecovered = []
+        for j, k in enumerate(bad):
+            info[k] = sub_info[j]
+            if sub_info[j] == 0 and _lane_nonfinite(mats[k], kl, ku):
+                unrecovered.append(k)
+        report.unrecovered = tuple(unrecovered)
+        report.singular = tuple(k for k in bad if info[k] > 0)
+    return pivots, info, report
+
+
+def gbtrs_batch_resilient(trans, n, kl, ku, nrhs, a_array, pv_array,
+                          b_array, info=None, *, batch: int | None = None,
+                          device: DeviceSpec = H100_PCIE, stream=None,
+                          method: str = "auto", nb: int | None = None,
+                          threads: int | None = None,
+                          rhs_tile: int | None = None,
+                          vectorize: bool | None = None,
+                          policy: ResiliencePolicy | None = None):
+    """Self-healing :func:`~repro.core.gbtrs.gbtrs_batch`.
+
+    Returns ``(info, report)``.  Lanes whose solution comes back
+    non-finite are restored and re-solved through the reference design;
+    a lane that stays non-finite (its factors or RHS are themselves
+    non-finite) is reported as unrecovered — ``info`` keeps LAPACK
+    semantics (``gbtrs`` never signals numerical singularity).
+    """
+    policy = policy or ResiliencePolicy()
+    trans = Trans.from_any(trans)
+    check_arg(method in ("auto",) + _GBTRS_LADDER, 14,
+              f"method must be one of {('auto',) + _GBTRS_LADDER}, "
+              f"got {method!r}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=6)
+    check_gb_args(n, n, kl, ku, mats, batch=batch, ldab_pos=7)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=8)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=9)
+    info = ensure_info(info, batch, arg_pos=11)
+    report = BatchReport("gbtrs", batch, method_requested=method, info=info)
+    if batch == 0 or n == 0 or nrhs == 0:
+        return info, report
+
+    # Factors and pivots are read-only inputs to the solve, but a memory
+    # fault can still corrupt them mid-flight; snapshot both operands so
+    # quarantined lanes can be restored wholesale.
+    snap_a = [a.copy() for a in mats]
+    snap_b = [b.copy() for b in rhs]
+
+    def restore():
+        for b, s in zip(rhs, snap_b):
+            b[...] = s
+
+    def attempt(meth):
+        gbtrs_batch(trans, n, kl, ku, nrhs, mats, pivots, rhs, batch=batch,
+                    device=device, stream=stream, method=meth, nb=nb,
+                    threads=threads, rhs_tile=rhs_tile,
+                    vectorize=_vec_for(meth, vectorize))
+
+    def host():
+        for a, p, b in zip(mats, pivots, rhs):
+            gbtrs_unblocked(trans, n, kl, ku, a, p, b)
+
+    _ladder_with_host(report, "gbtrs", _gbtrs_ladder(method), attempt,
+                      restore, policy, host)
+
+    bad = [k for k in range(batch)
+           if not bool(np.all(np.isfinite(rhs[k])))
+           or _lane_nonfinite(mats[k], kl, ku)]
+    if bad:
+        report.quarantined = tuple(bad)
+        report.corrupted = tuple(bad)
+        for k in bad:
+            mats[k][...] = snap_a[k]
+            rhs[k][...] = snap_b[k]
+        _reference_resolve(report, "quarantine:gbtrs", trans, n, kl, ku,
+                           nrhs, [mats[k] for k in bad],
+                           [pivots[k] for k in bad],
+                           [rhs[k] for k in bad],
+                           [snap_b[k] for k in bad], device, stream, policy)
+        report.unrecovered = tuple(
+            k for k in bad if not bool(np.all(np.isfinite(rhs[k]))))
+    return info, report
+
+
+def gbsv_batch_resilient(n, kl, ku, nrhs, a_array, pv_array, b_array,
+                         info=None, *, batch: int | None = None,
+                         device: DeviceSpec = H100_PCIE, stream=None,
+                         method: str = "auto",
+                         vectorize: bool | None = None,
+                         policy: ResiliencePolicy | None = None):
+    """Self-healing :func:`~repro.core.gbsv.gbsv_batch`.
+
+    Returns ``(pivots, info, report)``.  The fused single-kernel path
+    (when selected) degrades to the standard two-stage path on failure;
+    each stage of the standard path runs its own retry/fallback ladder.
+    Quarantined lanes are re-run from snapshots through the reference
+    design; recovered lanes quarantined for non-finite output — or whose
+    pivot growth exceeds ``policy.growth_threshold`` — get one
+    :func:`~repro.core.gbrfs.gbrfs` refinement pass.  Singular lanes keep
+    LAPACK semantics: factors and pivots are written, ``info > 0``, and
+    ``B`` is left unchanged.
+    """
+    policy = policy or ResiliencePolicy()
+    check_arg(method in ("auto", "fused", "standard"), 12,
+              f"method must be one of ('auto', 'fused', 'standard'), "
+              f"got {method!r}")
+    check_arg(nrhs >= 0, 4, f"nrhs must be non-negative, got {nrhs}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(n, n, kl, ku, mats, batch=batch)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6, zero=True)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=7)
+    info = ensure_info(info, batch, arg_pos=8)
+    report = BatchReport("gbsv", batch, method_requested=method, info=info)
+    if batch == 0 or n == 0:
+        return pivots, info, report
+
+    snap_a = [a.copy() for a in mats]
+    snap_b = [b.copy() for b in rhs]
+    if method == "auto":
+        method = select_gbsv_method(device, n, kl, ku, nrhs,
+                                    mats[0].dtype.itemsize)
+
+    def restore_all():
+        for a, s in zip(mats, snap_a):
+            a[...] = s
+        for b, s in zip(rhs, snap_b):
+            b[...] = s
+        for p in pivots:
+            p[...] = 0
+        info[...] = 0
+
+    fused_done = False
+    if method == "fused" and nrhs >= 1:
+        def attempt_fused(meth):
+            gbsv_batch(n, kl, ku, nrhs, mats, pivots, rhs, info,
+                       batch=batch, device=device, stream=stream,
+                       method="fused", vectorize=vectorize)
+
+        try:
+            _run_ladder(report, "gbsv", ("fused",), attempt_fused,
+                        restore_all, policy)
+            fused_done = True
+        except (DeviceError, SharedMemoryError):
+            report.fallbacks.append(("gbsv", "fused", "standard"))
+            restore_all()
+
+    if not fused_done:
+        ladder = _gbtrf_ladder("auto", device, n, n, kl, ku,
+                               mats[0].dtype.itemsize)
+
+        def restore_f():
+            for a, s in zip(mats, snap_a):
+                a[...] = s
+            for p in pivots:
+                p[...] = 0
+            info[...] = 0
+
+        def attempt_f(meth):
+            gbtrf_batch(n, n, kl, ku, mats, pivots, info, batch=batch,
+                        device=device, stream=stream, method=meth,
+                        vectorize=_vec_for(meth, vectorize))
+
+        def host_f():
+            for j, (a, p) in enumerate(zip(mats, pivots)):
+                _, inf = gbtf2(n, n, kl, ku, a, p)
+                info[j] = inf
+
+        _ladder_with_host(report, "gbtrf", ladder, attempt_f, restore_f,
+                          policy, host_f)
+
+        if nrhs:
+            # Solve only the lanes the factorization left healthy; the
+            # singular and corrupted ones go through quarantine below.
+            # (Per-lane results do not depend on sub-batch composition —
+            # both execution paths are lane-independent by contract.)
+            ok = [k for k in range(batch)
+                  if info[k] == 0 and not _lane_nonfinite(mats[k], kl, ku)]
+            if ok:
+                sub_m = [mats[k] for k in ok]
+                sub_p = [pivots[k] for k in ok]
+                sub_b = [rhs[k] for k in ok]
+
+                def restore_s():
+                    for k in ok:
+                        rhs[k][...] = snap_b[k]
+
+                def attempt_s(meth):
+                    gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, sub_m,
+                                sub_p, sub_b, batch=len(ok), device=device,
+                                stream=stream, method=meth,
+                                vectorize=_vec_for(meth, vectorize))
+
+                def host_s():
+                    for a, p, b in zip(sub_m, sub_p, sub_b):
+                        gbtrs_unblocked(Trans.NO_TRANS, n, kl, ku, a, p, b)
+
+                _ladder_with_host(report, "gbtrs", _GBTRS_LADDER,
+                                  attempt_s, restore_s, policy, host_s)
+
+    # -- quarantine ---------------------------------------------------------
+    singular = [k for k in range(batch) if info[k] > 0]
+    corrupted = []
+    for k in range(batch):
+        if info[k] > 0:
+            continue
+        if _lane_nonfinite(mats[k], kl, ku):
+            corrupted.append(k)
+        elif nrhs and not bool(np.all(np.isfinite(rhs[k]))):
+            corrupted.append(k)
+    bad = sorted(singular + corrupted)
+    if not bad:
+        return pivots, info, report
+    report.quarantined = tuple(bad)
+    report.singular = tuple(singular)
+    report.corrupted = tuple(corrupted)
+
+    for k in bad:
+        mats[k][...] = snap_a[k]
+        pivots[k][...] = 0
+        rhs[k][...] = snap_b[k]
+    sub_info = np.zeros(len(bad), dtype=np.int64)
+    _reference_refactor(report, "quarantine:gbtrf", n, n, kl, ku,
+                        [mats[k] for k in bad], [pivots[k] for k in bad],
+                        sub_info, [snap_a[k] for k in bad], device, stream,
+                        policy)
+    unrecovered = []
+    recovered = []
+    for j, k in enumerate(bad):
+        info[k] = sub_info[j]
+        if sub_info[j] > 0:
+            # Genuinely singular: factors + pivots stand, B stays as the
+            # caller supplied it (LAPACK semantics).
+            rhs[k][...] = snap_b[k]
+        elif _lane_nonfinite(mats[k], kl, ku):
+            unrecovered.append(k)
+        else:
+            recovered.append(k)
+    if nrhs and recovered:
+        _reference_resolve(report, "quarantine:gbtrs", Trans.NO_TRANS, n,
+                           kl, ku, nrhs, [mats[k] for k in recovered],
+                           [pivots[k] for k in recovered],
+                           [rhs[k] for k in recovered],
+                           [snap_b[k] for k in recovered], device, stream,
+                           policy)
+        refined = []
+        corrupt_set = set(corrupted)
+        for k in recovered:
+            if not bool(np.all(np.isfinite(rhs[k]))):
+                unrecovered.append(k)
+                continue
+            if not policy.refine:
+                continue
+            growth = _pivot_growth(mats[k], snap_a[k], kl, ku)
+            if k in corrupt_set or growth > policy.growth_threshold:
+                gbrfs(n, kl, ku, snap_a[k], mats[k], pivots[k], snap_b[k],
+                      rhs[k], max_iter=1)
+                refined.append(k)
+        report.refined = tuple(refined)
+    report.unrecovered = tuple(sorted(unrecovered))
+    report.singular = tuple(k for k in bad if info[k] > 0)
+    return pivots, info, report

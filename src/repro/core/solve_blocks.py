@@ -81,7 +81,10 @@ def backward_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
     """
     kv = kl + ku
     jj = j - row0
-    b[jj] = b[jj] / ab[kv, j]
+    # LAPACK DGBTRS does not guard this division; a zero U(j, j) must
+    # propagate inf/NaN silently (the caller's guard is gbtrf's info).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        b[jj] = b[jj] / ab[kv, j]
     lm = min(kv, j)
     if lm > 0:
         b[jj - lm:jj] -= stable_mul(ab[kv - lm:kv, j][:, None], b[jj][None, :])
@@ -108,7 +111,9 @@ def transU_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
         coeff = np.conj(ab[kv - t, j]) if conj else ab[kv - t, j]
         b[jj] -= stable_mul(coeff, b[jj - t])
     pivot = np.conj(ab[kv, j]) if conj else ab[kv, j]
-    b[jj] = b[jj] / pivot
+    # Unguarded like LAPACK: zero pivots propagate inf/NaN silently.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        b[jj] = b[jj] / pivot
 
 
 def transL_step(ab: np.ndarray, n: int, kl: int, ku: int, j: int,
@@ -171,7 +176,9 @@ def backward_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
     """Batched :func:`backward_step`: broadcast divide + rank-1 update."""
     kv = kl + ku
     jj = j - row0
-    bt[:, jj] = bt[:, jj] / abst[:, kv, j][:, None]
+    # Unguarded like LAPACK: zero pivots propagate inf/NaN silently.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bt[:, jj] = bt[:, jj] / abst[:, kv, j][:, None]
     lm = min(kv, j)
     if lm > 0:
         bt[:, jj - lm:jj] -= stable_mul(abst[:, kv - lm:kv, j][:, :, None],
@@ -194,7 +201,9 @@ def transU_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,
     pivot = abst[:, kv, j]
     if conj:
         pivot = np.conj(pivot)
-    bt[:, jj] = bt[:, jj] / pivot[:, None]
+    # Unguarded like LAPACK: zero pivots propagate inf/NaN silently.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        bt[:, jj] = bt[:, jj] / pivot[:, None]
 
 
 def transL_step_batched(abst: np.ndarray, n: int, kl: int, ku: int,

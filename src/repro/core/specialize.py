@@ -85,9 +85,9 @@ class BandSpecialization:
                       f"matrix {k} has dtype {a.dtype}, specialization was "
                       f"compiled for {self.dtype}")
         check_gb_args(m, n, self.kl, self.ku, mats, batch=batch)
-        pivots = ensure_pivots(pv_array, batch, min(m, n), arg_pos=4)
+        pivots = ensure_pivots(pv_array, batch, min(m, n), arg_pos=4,
+                               zero=True)
         info = ensure_info(info, batch, arg_pos=5)
-        info[...] = 0
         if batch == 0 or min(m, n) == 0:
             return pivots, info
         kernel = _SpecializedWindowKernel(

@@ -39,9 +39,9 @@ def cpu_gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         batch = len(a_array)
     mats = as_matrix_list(a_array, batch, arg_pos=5)
     check_gb_args(m, n, kl, ku, mats, batch=batch)
-    pivots = ensure_pivots(pv_array, batch, min(m, n), arg_pos=7)
+    pivots = ensure_pivots(pv_array, batch, min(m, n), arg_pos=7,
+                           zero=True)
     info = ensure_info(info, batch, arg_pos=8)
-    info[...] = 0
     if execute and batch and min(m, n):
         pool = pool or CpuPool(spec.cores)
 
@@ -88,10 +88,9 @@ def cpu_gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array,
         batch = len(a_array)
     mats = as_matrix_list(a_array, batch, arg_pos=5)
     check_gb_args(n, n, kl, ku, mats, batch=batch)
-    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6, zero=True)
     rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=7)
     info = ensure_info(info, batch, arg_pos=8)
-    info[...] = 0
     if execute and batch and n:
         pool = pool or CpuPool(spec.cores)
 

@@ -71,20 +71,55 @@ class SharedMemoryError(ReproError, MemoryError):
     The paper's fully fused factorization hits exactly this failure mode for
     large matrices (Section 5.2: "even failing to run due to exceeding the
     shared memory capacity").
+
+    The message always states the requested and limit byte counts; when the
+    raise site knows them it also names the kernel and the device, so a
+    rejection surfacing out of a deep batched call is directly actionable.
+    ``requested``, ``limit``, ``kernel`` and ``device`` are available as
+    attributes for programmatic handling (the resilient dispatcher keys its
+    degradation ladder off them).
     """
 
-    def __init__(self, requested: int, limit: int, kernel: str = ""):
+    def __init__(self, requested: int, limit: int, kernel: str = "",
+                 device: str = "", injected: bool = False):
         name = f" for kernel {kernel!r}" if kernel else ""
+        dev = f" on device {device!r}" if device else ""
+        verb = ("rejected by fault injection (device limit is"
+                if injected else "exceeds the limit of")
         super().__init__(
-            f"shared memory request of {requested} bytes exceeds the device "
-            f"limit of {limit} bytes per thread block{name}"
+            f"shared memory request of {requested} bytes {verb} "
+            f"{limit} bytes per thread block{')' if injected else ''}"
+            f"{name}{dev}"
         )
         self.requested = int(requested)
         self.limit = int(limit)
+        self.kernel = str(kernel)
+        self.device = str(device)
+        self.injected = bool(injected)
 
 
 class DeviceError(ReproError, RuntimeError):
-    """Invalid use of the simulated device (bad launch config, bad stream)."""
+    """Invalid use of the simulated device, or a failed kernel launch.
+
+    ``kernel`` and ``device`` name the launch that failed when the raise
+    site knows them (they default to ``""``); the message carries both so a
+    launch failure inside a batched driver identifies itself.  ``injected``
+    is True for failures manufactured by the fault-injection framework
+    (:mod:`repro.gpusim.faults`).
+    """
+
+    def __init__(self, message: str, *, kernel: str = "", device: str = "",
+                 injected: bool = False):
+        context = ""
+        if kernel:
+            context += f" [kernel {kernel!r}"
+            context += f" on device {device!r}]" if device else "]"
+        elif device:
+            context += f" [device {device!r}]"
+        super().__init__(message + context)
+        self.kernel = str(kernel)
+        self.device = str(device)
+        self.injected = bool(injected)
 
 
 def check_arg(condition: bool, position: int, message: str) -> None:

@@ -9,6 +9,10 @@ latency, with a DRAM-bandwidth floor) supplies the clock.
 from .graph import ExecGraph, GraphCapture, capture_graph
 from .costmodel import BlockCost, KernelTiming, estimate_block_time, estimate_kernel_time
 from .device import H100_PCIE, MI250X_GCD, DeviceSpec, get_device, list_devices, register_device
+from .faults import (
+    FaultEvent, FaultInjector, FaultPlan,
+    active_injector, arm_faults, disarm_faults, fault_injection,
+)
 from .kernel import Kernel, LaunchRecord, SharedMemory, launch
 from .memory import DeviceBuffer, PointerArray, TrafficCounter, is_packable_batch
 from .multidevice import DevicePartition, MultiDeviceRun, run_multi_device, split_batch
@@ -21,6 +25,8 @@ __all__ = [
     "BlockCost", "KernelTiming", "estimate_block_time", "estimate_kernel_time",
     "H100_PCIE", "MI250X_GCD", "DeviceSpec", "get_device", "list_devices",
     "register_device",
+    "FaultEvent", "FaultInjector", "FaultPlan",
+    "active_injector", "arm_faults", "disarm_faults", "fault_injection",
     "Kernel", "LaunchRecord", "SharedMemory", "launch",
     "DeviceBuffer", "DevicePartition", "MultiDeviceRun", "PointerArray",
     "TrafficCounter", "is_packable_batch", "run_multi_device", "split_batch",

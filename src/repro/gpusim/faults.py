@@ -1,0 +1,280 @@
+"""Deterministic fault injection for the simulated device.
+
+The paper keeps the reference design "as a safeguard" next to the fused and
+sliding-window kernels (paper Section 5.4); exercising that safeguard — and
+the retry/quarantine machinery of :mod:`repro.core.resilience` built around
+it — requires failures on demand.  This module supplies them, seeded and
+reproducible:
+
+* **launch failures** — :class:`~repro.errors.DeviceError` raised from
+  :func:`repro.gpusim.kernel.launch` with a configurable per-launch
+  probability (the moral equivalent of a transient
+  ``cudaErrorLaunchFailure``);
+* **shared-memory rejections** — :class:`~repro.errors.SharedMemoryError`
+  raised for the next ``k`` matching launches, as if the device refused the
+  kernel's dynamic shared-memory request;
+* **lane corruption** — designated batch lanes have their operands
+  overwritten with NaN/Inf *after* a kernel stage executes, modelling a
+  memory fault that poisons one problem without touching its neighbours.
+
+A :class:`FaultPlan` describes the storm; arming it on a device (via
+:func:`arm_faults` or the :func:`fault_injection` context manager) installs
+a :class:`FaultInjector` that the launcher consults on every launch.  Every
+injected fault is appended to the injector's :attr:`~FaultInjector.log`,
+and corruption events additionally travel on the resulting
+:class:`~repro.gpusim.kernel.LaunchRecord` so traces stay attributable.
+
+All decisions are driven by ``numpy``'s PCG64 generator seeded from
+``FaultPlan.seed``: the same plan against the same call sequence injects
+the same faults, which is what lets tests assert that the self-healing
+dispatcher survived *exactly* the storm it was dealt.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceError, SharedMemoryError
+
+__all__ = [
+    "LAUNCH_FAILURE", "SMEM_REJECTION", "LANE_CORRUPTION",
+    "FaultEvent", "FaultPlan", "FaultInjector",
+    "arm_faults", "disarm_faults", "active_injector", "fault_injection",
+]
+
+LAUNCH_FAILURE = "launch-failure"
+SMEM_REJECTION = "smem-rejection"
+LANE_CORRUPTION = "lane-corruption"
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, as recorded on the injector log and the trace.
+
+    ``lane`` is the 0-based batch lane for corruption events and ``-1``
+    for launch-level faults.
+    """
+
+    kind: str
+    kernel: str
+    device: str
+    lane: int = -1
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of a fault storm.
+
+    Attributes
+    ----------
+    seed:
+        Seed for the injector's PCG64 generator; identical plans replay
+        identical fault sequences.
+    launch_failure_rate:
+        Per-launch probability in ``[0, 1]`` of an injected
+        :class:`~repro.errors.DeviceError`.
+    max_launch_failures:
+        Cap on the number of injected launch failures (``None`` =
+        unlimited).
+    fail_kernels:
+        Substring filter on the kernel name for launch failures
+        (``""`` matches every kernel).
+    smem_rejections:
+        Number of launches (matching ``smem_kernels``) whose shared-memory
+        request is rejected with
+        :class:`~repro.errors.SharedMemoryError`; each rejection is
+        consumed once.
+    smem_kernels:
+        Substring filter on the kernel name for shared-memory rejections.
+    corrupt_lanes:
+        Batch lanes to poison once each, after a kernel matching
+        ``corrupt_after`` executes them.
+    corrupt_value:
+        Value written over the poisoned lane's floating-point operands
+        (NaN by default; use ``float("inf")`` for overflow-style faults).
+    corrupt_after:
+        Substring naming the stage after which corruption strikes
+        (e.g. ``"gbtrf"``); ``""`` poisons after the first kernel that
+        executes the lane.
+    """
+
+    seed: int = 0
+    launch_failure_rate: float = 0.0
+    max_launch_failures: int | None = None
+    fail_kernels: str = ""
+    smem_rejections: int = 0
+    smem_kernels: str = ""
+    corrupt_lanes: tuple[int, ...] = ()
+    corrupt_value: float = float("nan")
+    corrupt_after: str = ""
+
+    def __post_init__(self):
+        if not 0.0 <= self.launch_failure_rate <= 1.0:
+            raise ValueError(
+                f"launch_failure_rate must be in [0, 1], got "
+                f"{self.launch_failure_rate}")
+        if self.smem_rejections < 0:
+            raise ValueError(
+                f"smem_rejections must be >= 0, got {self.smem_rejections}")
+        object.__setattr__(self, "corrupt_lanes",
+                           tuple(int(k) for k in self.corrupt_lanes))
+
+
+class FaultInjector:
+    """Stateful executor of a :class:`FaultPlan`, armed on one device.
+
+    The launcher calls :meth:`on_launch` before running a kernel (which may
+    raise an injected error) and :meth:`after_execution` once the kernel's
+    blocks have run (which may poison lanes).  Both hooks are no-ops once
+    the plan's budgets are exhausted, so an armed injector with an empty
+    plan costs one dictionary lookup per launch.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.log: list[FaultEvent] = []
+        self._rng = np.random.default_rng(plan.seed)
+        self._smem_left = int(plan.smem_rejections)
+        self._launch_left = (float("inf") if plan.max_launch_failures is None
+                             else int(plan.max_launch_failures))
+        self._pending_lanes = set(plan.corrupt_lanes)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        """Number of injected faults so far, keyed by kind."""
+        out = {LAUNCH_FAILURE: 0, SMEM_REJECTION: 0, LANE_CORRUPTION: 0}
+        for ev in self.log:
+            out[ev.kind] = out.get(ev.kind, 0) + 1
+        return out
+
+    def events(self, kind: str) -> list[FaultEvent]:
+        """All logged events of one kind, in injection order."""
+        return [ev for ev in self.log if ev.kind == kind]
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the plan has no faults left to inject."""
+        return (self._smem_left == 0 and not self._pending_lanes
+                and (self.plan.launch_failure_rate == 0.0
+                     or self._launch_left == 0))
+
+    # -- launcher hooks ----------------------------------------------------
+
+    def on_launch(self, device, kernel) -> None:
+        """Pre-execution hook; raises the injected launch-level faults."""
+        name = kernel.name
+        if (self.plan.launch_failure_rate > 0.0 and self._launch_left > 0
+                and self.plan.fail_kernels in name
+                and self._rng.random() < self.plan.launch_failure_rate):
+            self._launch_left -= 1
+            self.log.append(FaultEvent(
+                LAUNCH_FAILURE, name, device.name,
+                detail=f"rate={self.plan.launch_failure_rate}"))
+            raise DeviceError("injected launch failure", kernel=name,
+                              device=device.name, injected=True)
+        if self._smem_left > 0 and self.plan.smem_kernels in name:
+            self._smem_left -= 1
+            requested = device.round_smem(kernel.smem_bytes())
+            self.log.append(FaultEvent(
+                SMEM_REJECTION, name, device.name,
+                detail=f"requested={requested}"))
+            raise SharedMemoryError(requested, device.max_smem_per_block,
+                                    name, device=device.name, injected=True)
+
+    def after_execution(self, device, kernel,
+                        executed: int) -> tuple[FaultEvent, ...]:
+        """Post-execution hook; poisons pending lanes the kernel executed.
+
+        Returns the corruption events injected by *this* launch, which the
+        launcher attaches to the :class:`~repro.gpusim.kernel.LaunchRecord`.
+        """
+        if not self._pending_lanes or self.plan.corrupt_after not in kernel.name:
+            return ()
+        events = []
+        for lane in sorted(self._pending_lanes):
+            if not 0 <= lane < executed:
+                continue
+            if self._poison(kernel, lane):
+                self._pending_lanes.discard(lane)
+                ev = FaultEvent(
+                    LANE_CORRUPTION, kernel.name, device.name, lane=lane,
+                    detail=f"value={self.plan.corrupt_value!r}")
+                self.log.append(ev)
+                events.append(ev)
+        return tuple(events)
+
+    def _poison(self, kernel, lane: int) -> bool:
+        """Overwrite the lane's first floating-point operand batch."""
+        seqs = kernel.pack_operands()
+        if not seqs:
+            # Fork-join kernels keep operands on a shared state object
+            # rather than on the kernel itself; check both holders.
+            holders = (kernel, getattr(kernel, "state", None))
+            seqs = tuple(s for h in holders if h is not None
+                         for s in (getattr(h, "mats", None),
+                                   getattr(h, "rhs", None))
+                         if s is not None)
+        for seq in seqs:
+            try:
+                arr = seq[lane]
+            except (IndexError, KeyError, TypeError):
+                continue
+            arr = np.asarray(arr)
+            if arr.dtype.kind in "fc" and arr.size:
+                arr[...] = self.plan.corrupt_value
+                return True
+        return False
+
+
+# -- arming ----------------------------------------------------------------
+
+_ARMED: dict[str, FaultInjector] = {}
+
+
+def arm_faults(device, plan: FaultPlan | FaultInjector) -> FaultInjector:
+    """Arm a fault plan (or a pre-built injector) on ``device``.
+
+    Replaces any injector previously armed on the same device; returns the
+    active injector so callers can inspect its log afterwards.
+    """
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    _ARMED[device.name] = injector
+    return injector
+
+
+def disarm_faults(device=None) -> None:
+    """Disarm ``device`` (or every device when ``None``)."""
+    if device is None:
+        _ARMED.clear()
+    else:
+        _ARMED.pop(device.name, None)
+
+
+def active_injector(device) -> FaultInjector | None:
+    """The injector currently armed on ``device``, if any."""
+    return _ARMED.get(device.name)
+
+
+@contextmanager
+def fault_injection(device, plan: FaultPlan | FaultInjector):
+    """Context manager: arm ``plan`` on ``device``, disarm on exit.
+
+    Yields the :class:`FaultInjector` so the body can assert against its
+    log::
+
+        with fault_injection(H100_PCIE, FaultPlan(seed=7,
+                                                  smem_rejections=1)) as inj:
+            ...
+        assert inj.counts()["smem-rejection"] == 1
+    """
+    injector = arm_faults(device, plan)
+    try:
+        yield injector
+    finally:
+        if _ARMED.get(device.name) is injector:
+            disarm_faults(device)

