@@ -40,9 +40,11 @@ from .band import (
 from .core import (
     BandSpecialization,
     BatchReport,
+    MemoryPlan,
     ResiliencePolicy,
     create_specialization,
     destroy_specialization,
+    estimate_footprint,
     dgbsv_batch,
     dgbtrf_batch,
     dgbtrs_batch,
@@ -54,10 +56,12 @@ from .core import (
     gbtrf_vbatch,
     gbtrs,
     gbtrs_batch,
+    plan_batch,
 )
 from .errors import (
     ArgumentError,
     DeviceError,
+    DeviceMemoryError,
     ReproError,
     SharedMemoryError,
     SingularMatrixError,
@@ -69,15 +73,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
-    "DeviceError", "H100_PCIE", "MI250X_GCD", "PointerArray", "Precision",
+    "DeviceError", "DeviceMemoryError", "H100_PCIE", "MI250X_GCD",
+    "MemoryPlan", "PointerArray", "Precision",
     "ReproError", "ResiliencePolicy", "SharedMemoryError",
     "SingularMatrixError", "Stream", "Trans",
     "alloc_band", "band_to_dense", "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",
     "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",
-    "diagonally_dominant_band", "gbmm", "gbmv", "gbsv", "gbsv_batch",
+    "diagonally_dominant_band", "estimate_footprint",
+    "gbmm", "gbmv", "gbsv", "gbsv_batch",
     "gbsv_vbatch", "gbtrf", "gbtrf_batch", "gbtrf_vbatch", "gbtrs",
-    "gbtrs_batch", "get_device", "graded_condition_band", "random_band",
-    "random_band_batch", "random_band_dense", "random_rhs",
+    "gbtrs_batch", "get_device", "graded_condition_band", "plan_batch",
+    "random_band", "random_band_batch", "random_band_dense", "random_rhs",
     "solve_residual",
 ]

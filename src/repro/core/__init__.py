@@ -20,6 +20,12 @@ from .gbtrf_reference import gbtrf_reference_batch
 from .gbtrf_vbatch_kernel import VbatchGbtrfKernel, VbatchProblem, gbtrf_vbatch_fused
 from .gbtrf_window import SlidingWindowGbtrfKernel
 from .gbtrs import gbtrs, gbtrs_batch
+from .memory_plan import (
+    MemoryPlan,
+    estimate_footprint,
+    estimate_vbatch_footprint,
+    plan_batch,
+)
 from .resilience import (
     BatchReport,
     ResiliencePolicy,
@@ -42,7 +48,8 @@ from .specialize import (
 
 __all__ = [
     "BandSpecialization", "BatchReport", "BlockedBackwardKernel",
-    "BlockedForwardKernel", "ResiliencePolicy",
+    "BlockedForwardKernel", "MemoryPlan", "ResiliencePolicy",
+    "estimate_footprint", "estimate_vbatch_footprint", "plan_batch",
     "FusedGbsvKernel", "FusedGbtrfKernel", "SlidingWindowGbtrfKernel",
     "cgbsv_batch", "cgbtrf_batch", "cgbtrs_batch",
     "clear_specialization_cache", "create_specialization",

@@ -157,7 +157,9 @@ def _group_indices(keys) -> dict:
 def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                  device=None, stream=None, execute: bool = True,
                  vectorize: bool | None = None,
-                 resilient: bool = False, policy=None):
+                 resilient: bool = False, policy=None,
+                 max_resident_bytes: int | None = None,
+                 chunk_hint: int | None = None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -180,6 +182,11 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     where ``report`` merges the per-group
     :class:`~repro.core.resilience.BatchReport` objects with lanes mapped
     back to global problem indices.
+
+    ``max_resident_bytes`` / ``chunk_hint`` are the memory-governance
+    knobs of :mod:`repro.core.memory_plan`, applied per uniform group
+    (each group plans against the shared device pool, so the caps bound
+    every group's resident footprint).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -211,13 +218,17 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                 m, n, kl, ku, [mats[i] for i in idxs],
                 [pivots[i] for i in idxs], sub_info, batch=len(idxs),
                 device=device, stream=stream, vectorize=vectorize,
-                resilient=True, policy=policy)
+                resilient=True, policy=policy,
+                max_resident_bytes=max_resident_bytes,
+                chunk_hint=chunk_hint)
             parts.append((idxs, rep))
         else:
             gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
                         [pivots[i] for i in idxs], sub_info,
                         batch=len(idxs), device=device, stream=stream,
-                        execute=execute, vectorize=vectorize)
+                        execute=execute, vectorize=vectorize,
+                        max_resident_bytes=max_resident_bytes,
+                        chunk_hint=chunk_hint)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:
@@ -231,7 +242,9 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
 def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 info=None, *, device=None, stream=None,
                 execute: bool = True, vectorize: bool | None = None,
-                resilient: bool = False, policy=None):
+                resilient: bool = False, policy=None,
+                max_resident_bytes: int | None = None,
+                chunk_hint: int | None = None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
@@ -242,6 +255,8 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     ``resilient=True`` likewise mirrors :func:`gbtrf_vbatch`, returning
     ``(pivots, info, report)`` with a merged
     :class:`~repro.core.resilience.BatchReport`.
+    ``max_resident_bytes`` / ``chunk_hint`` bound each uniform group's
+    resident device footprint (:mod:`repro.core.memory_plan`).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -270,13 +285,17 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 n, kl, ku, nrhs, [mats[i] for i in idxs],
                 [pivots[i] for i in idxs], [rhs[i] for i in idxs],
                 sub_info, batch=len(idxs), device=device, stream=stream,
-                vectorize=vectorize, resilient=True, policy=policy)
+                vectorize=vectorize, resilient=True, policy=policy,
+                max_resident_bytes=max_resident_bytes,
+                chunk_hint=chunk_hint)
             parts.append((idxs, rep))
         else:
             gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
                        [pivots[i] for i in idxs], [rhs[i] for i in idxs],
                        sub_info, batch=len(idxs), device=device,
-                       stream=stream, execute=execute, vectorize=vectorize)
+                       stream=stream, execute=execute, vectorize=vectorize,
+                       max_resident_bytes=max_resident_bytes,
+                       chunk_hint=chunk_hint)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:

@@ -69,7 +69,9 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                method: str = "auto", execute: bool = True,
                max_blocks: int | None = None,
                vectorize: bool | None = None,
-               resilient: bool = False, policy=None):
+               resilient: bool = False, policy=None,
+               max_resident_bytes: int | None = None,
+               chunk_hint: int | None = None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
@@ -84,9 +86,22 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     of :mod:`repro.core.resilience` and returns ``(pivots, info,
     report)``; ``policy`` is an optional
     :class:`~repro.core.resilience.ResiliencePolicy`.
+
+    ``max_resident_bytes`` / ``chunk_hint`` are the memory-governance
+    knobs (:mod:`repro.core.memory_plan`): a batch whose resident
+    footprint exceeds the device pool budget (or either cap) is streamed
+    through the device in chunks, bit-identically to an unchunked run.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
+    from . import memory_plan
+    if memory_plan.governance_active(execute=execute,
+                                     max_blocks=max_blocks, stream=stream):
+        return memory_plan.gbsv_batch_governed(
+            n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, device=device, stream=stream, method=method,
+            vectorize=vectorize, resilient=resilient, policy=policy,
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint)
     if resilient:
         check_arg(execute and max_blocks is None, 13,
                   "resilient=True requires full functional execution "

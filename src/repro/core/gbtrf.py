@@ -66,7 +66,9 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 threads: int | None = None, execute: bool = True,
                 max_blocks: int | None = None,
                 vectorize: bool | None = None,
-                resilient: bool = False, policy=None):
+                resilient: bool = False, policy=None,
+                max_resident_bytes: int | None = None,
+                chunk_hint: int | None = None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -112,6 +114,12 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         with a :class:`~repro.core.resilience.BatchReport` appended.
         ``policy`` is an optional
         :class:`~repro.core.resilience.ResiliencePolicy`.
+    max_resident_bytes, chunk_hint:
+        Memory-governance knobs (:mod:`repro.core.memory_plan`).
+        ``max_resident_bytes`` caps the batch's resident device footprint
+        below the pool budget; ``chunk_hint`` caps the lanes per chunk.
+        A batch over either cap is streamed through the device in chunks,
+        bit-identically to an unchunked run.
 
     Returns
     -------
@@ -121,6 +129,15 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
     """
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    from . import memory_plan
+    if memory_plan.governance_active(execute=execute,
+                                     max_blocks=max_blocks, stream=stream):
+        return memory_plan.gbtrf_batch_governed(
+            m, n, kl, ku, a_array, pv_array, info, batch=batch,
+            device=device, stream=stream, method=method, nb=nb,
+            threads=threads, vectorize=vectorize, resilient=resilient,
+            policy=policy, max_resident_bytes=max_resident_bytes,
+            chunk_hint=chunk_hint)
     if resilient:
         check_arg(execute and max_blocks is None, 15,
                   "resilient=True requires full functional execution "

@@ -58,7 +58,9 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
                 threads: int | None = None, rhs_tile: int | None = None,
                 execute: bool = True, max_blocks: int | None = None,
                 vectorize: bool | None = None,
-                resilient: bool = False, policy=None):
+                resilient: bool = False, policy=None,
+                max_resident_bytes: int | None = None,
+                chunk_hint: int | None = None):
     """Solve a uniform batch of factored band systems on the simulated GPU.
 
     Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
@@ -80,10 +82,24 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     of :mod:`repro.core.resilience` and returns ``(info, report)``;
     ``policy`` is an optional
     :class:`~repro.core.resilience.ResiliencePolicy`.
+
+    ``max_resident_bytes`` / ``chunk_hint`` are the memory-governance
+    knobs (:mod:`repro.core.memory_plan`): a batch whose resident
+    footprint exceeds the device pool budget (or either cap) is streamed
+    through the device in chunks, bit-identically to an unchunked run.
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    from . import memory_plan
+    if memory_plan.governance_active(execute=execute,
+                                     max_blocks=max_blocks, stream=stream):
+        return memory_plan.gbtrs_batch_governed(
+            trans, n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, device=device, stream=stream, method=method,
+            nb=nb, threads=threads, rhs_tile=rhs_tile,
+            vectorize=vectorize, resilient=resilient, policy=policy,
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint)
     if resilient:
         check_arg(execute and max_blocks is None, 15,
                   "resilient=True requires full functional execution "

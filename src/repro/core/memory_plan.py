@@ -1,0 +1,561 @@
+"""Device-memory governance: admission control and OOM-safe chunking.
+
+The paper runs batches that fit comfortably in HBM; a production library
+cannot assume that.  This module makes every batched driver OOM-safe:
+
+* :func:`plan_batch` estimates the resident device footprint of a call
+  from its actual operands, compares it against the device
+  :class:`~repro.gpusim.memory.MemoryPool` budget (optionally tightened by
+  ``max_resident_bytes``), and decides how many lanes fit at once;
+* the governed drivers (:func:`gbtrf_batch_governed`,
+  :func:`gbtrs_batch_governed`, :func:`gbsv_batch_governed`, reached
+  transparently through the plain drivers) lease each chunk's footprint
+  from the pool, stream it upload -> solve -> download, and release the
+  lease so the next chunk reuses the same residency — an oversized batch
+  completes bit-identically to an unchunked run because every lane's
+  result is independent of sub-batch composition (the same contract the
+  resilient quarantine path relies on);
+* a mid-run :class:`~repro.errors.DeviceMemoryError` — injected by the
+  fault harness or raised by a genuinely exhausted pool — walks a
+  degradation ladder under ``resilient=True``: halve the chunk size with
+  the policy's capped backoff, degrade to per-lane execution
+  (``chunk=1``), and finally finish the remaining lanes on the host
+  reference algorithm.  Every decision lands in
+  :attr:`~repro.core.resilience.BatchReport.chunk_events`.
+
+Governance applies only to outermost functional calls: timing-only
+(``execute=False``), sampled (``max_blocks``), and graph-capturing calls
+are exempt, and calls the governed executor makes on its own behalf are
+suppressed so a chunk is never re-chunked.
+
+Fault-injection semantics: allocation faults strike at chunk boundaries
+(the lease points), and the executor opens a
+:meth:`~repro.gpusim.faults.FaultInjector.lane_window` per chunk so a
+corruption plan targeting global lane *k* hits the same lane no matter
+how the batch is chunked — the determinism the fault-plan tests pin.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..band.layout import ldab_for_factor
+from ..errors import DeviceMemoryError, check_arg
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..gpusim.faults import active_injector
+from ..gpusim.memory import memory_pool
+from ..gpusim.transfer import TransferRecord, transfer_time
+from ..types import Trans
+from .batch_args import (
+    as_matrix_list,
+    as_rhs_list,
+    check_gb_args,
+    ensure_info,
+    ensure_pivots,
+)
+from .gbtf2 import gbtf2
+from .resilience import (
+    HOST_FALLBACK,
+    BatchReport,
+    ResiliencePolicy,
+    merge_reports,
+)
+from .solve_blocks import gbtrs_unblocked
+
+__all__ = [
+    "MemoryPlan",
+    "estimate_footprint",
+    "estimate_vbatch_footprint",
+    "plan_batch",
+    "governance_active",
+    "gbtrf_batch_governed",
+    "gbtrs_batch_governed",
+    "gbsv_batch_governed",
+]
+
+#: Bytes of one device pointer (pointer-array entries for each operand).
+POINTER_BYTES = 8
+#: Bytes of one ``info`` entry resident on the device.
+INFO_BYTES = 8
+
+# Governance re-entrancy depth.  The governed executor re-enters the plain
+# drivers to run each chunk; those inner calls (and everything they call —
+# resilience ladders, gbsv's two stages) must not plan/lease again.
+_DEPTH = 0
+
+
+@contextmanager
+def _suppress_governance():
+    global _DEPTH
+    _DEPTH += 1
+    try:
+        yield
+    finally:
+        _DEPTH -= 1
+
+
+def governance_active(*, execute: bool = True, max_blocks=None,
+                      stream=None) -> bool:
+    """Should a driver call entering now take the governed path?
+
+    False inside the governed executor itself (a chunk is never
+    re-chunked), for timing-only or sampled calls, and while a stream is
+    capturing a graph (replay must not re-plan).
+    """
+    if _DEPTH > 0 or not execute or max_blocks is not None:
+        return False
+    if stream is not None and getattr(stream, "_capturing", False):
+        return False
+    return True
+
+
+# --- footprint estimation --------------------------------------------------
+
+def estimate_footprint(op: str, *, batch: int, n: int, kl: int, ku: int,
+                       m: int | None = None, nrhs: int = 0,
+                       itemsize: int = 8) -> int:
+    """Estimated resident device footprint of one batched call, bytes.
+
+    Counts, per lane: the band matrix in factor layout (``ldab = 2*kl +
+    ku + 1`` rows), the pivot vector, the ``info`` entry, the right-hand
+    sides (``gbtrs``/``gbsv``), and one device pointer per operand array.
+    This is the shape-based mirror of what the governed drivers charge
+    from the actual operands.
+    """
+    check_arg(op in ("gbtrf", "gbtrs", "gbsv"), 1,
+              f"op must be one of ('gbtrf', 'gbtrs', 'gbsv'), got {op!r}")
+    m = n if m is None else m
+    lane = ldab_for_factor(kl, ku) * n * itemsize
+    lane += min(m, n) * 8 + INFO_BYTES      # pivots + info
+    pointers = 2 * POINTER_BYTES            # matrix + pivot arrays
+    if op in ("gbtrs", "gbsv"):
+        lane += n * nrhs * itemsize
+        pointers += POINTER_BYTES
+    return batch * (lane + pointers)
+
+
+def estimate_vbatch_footprint(op: str, ns, kls, kus, *, ms=None,
+                              nrhss=None, itemsize: int = 8) -> int:
+    """Footprint of a variable-size batch: the sum over its lanes."""
+    total = 0
+    for k, n in enumerate(ns):
+        total += estimate_footprint(
+            op, batch=1, n=int(n), kl=int(kls[k]), ku=int(kus[k]),
+            m=None if ms is None else int(ms[k]),
+            nrhs=0 if nrhss is None else int(nrhss[k]),
+            itemsize=itemsize)
+    return total
+
+
+def _lane_bytes(mat, piv=None, rhs=None) -> int:
+    """Exact per-lane residency from the call's actual operands."""
+    total = int(np.asarray(mat).nbytes) + INFO_BYTES + POINTER_BYTES
+    if piv is not None:
+        total += int(np.asarray(piv).nbytes) + POINTER_BYTES
+    if rhs is not None:
+        total += int(np.asarray(rhs).nbytes) + POINTER_BYTES
+    return total
+
+
+# --- the plan --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemoryPlan:
+    """Admission decision for one batched call.
+
+    ``chunk`` is the largest lane count whose footprint fits the budget
+    (at least 1 — a single unfit lane is caught by admission control, not
+    by the planner), further capped by ``chunk_hint``.
+    """
+
+    batch: int
+    lane_bytes: int
+    footprint: int
+    budget: int
+    chunk: int
+    admitted: bool
+
+    @property
+    def num_chunks(self) -> int:
+        """Chunks needed at the planned size (ceiling division)."""
+        if self.batch == 0:
+            return 0
+        return -(-self.batch // self.chunk)
+
+    @property
+    def chunked(self) -> bool:
+        """True when the batch will run as more than one chunk."""
+        return self.batch > 0 and self.chunk < self.batch
+
+
+def plan_batch(batch: int, lane_bytes: int, *,
+               device: DeviceSpec = H100_PCIE,
+               max_resident_bytes: int | None = None,
+               chunk_hint: int | None = None) -> MemoryPlan:
+    """Plan the chunking of ``batch`` lanes of ``lane_bytes`` each.
+
+    The budget is the device pool's remaining capacity, tightened by
+    ``max_resident_bytes`` when given.  ``chunk_hint`` can only shrink
+    the chunk (it forces chunked execution even when everything fits —
+    useful for staging pipelines and for the bit-identity tests); it
+    never admits more than the budget allows.
+    """
+    check_arg(max_resident_bytes is None or max_resident_bytes > 0, 3,
+              f"max_resident_bytes must be positive, "
+              f"got {max_resident_bytes}")
+    check_arg(chunk_hint is None or chunk_hint > 0, 4,
+              f"chunk_hint must be positive, got {chunk_hint}")
+    budget = memory_pool(device).available
+    if max_resident_bytes is not None:
+        budget = min(budget, int(max_resident_bytes))
+    footprint = batch * lane_bytes
+    fit = budget // lane_bytes if lane_bytes > 0 else batch
+    chunk = min(batch, max(1, fit)) if batch else 0
+    if chunk_hint is not None and batch:
+        chunk = max(1, min(chunk, int(chunk_hint)))
+    return MemoryPlan(batch=batch, lane_bytes=lane_bytes,
+                      footprint=footprint, budget=budget, chunk=chunk,
+                      admitted=footprint <= budget)
+
+
+# --- chunked execution -----------------------------------------------------
+
+def _stage(pool, device, stream, nbytes: int, direction: str) -> None:
+    """Model one staging copy of a chunk (charged traffic + stream time)."""
+    if direction == "h2d":
+        pool.traffic.write(nbytes)
+    else:
+        pool.traffic.read(nbytes)
+    if stream is not None:
+        stream.record(TransferRecord(
+            kernel_name=f"chunk_{direction}", nbytes=nbytes,
+            time=transfer_time(device, nbytes, direction=direction)))
+
+
+def _execute_governed(op: str, batch: int, plan: MemoryPlan,
+                      device: DeviceSpec, stream, resilient: bool,
+                      policy: ResiliencePolicy | None, run_chunk,
+                      run_host):
+    """Run the batch in leased chunks with the OOM degradation ladder.
+
+    ``run_chunk(start, stop)`` executes lanes ``[start, stop)`` through
+    the plain driver (under suppression) and returns the chunk's
+    :class:`BatchReport` when resilient, else None.  ``run_host(start,
+    stop)`` finishes lanes on the host net.  Returns ``(parts, chunks,
+    oom, events, backoff)``.
+    """
+    pool = memory_pool(device)
+    injector = active_injector(device)
+    policy = policy or ResiliencePolicy()
+    parts, chunks, events = [], [], []
+    oom = 0
+    backoff_total = 0.0
+    chunk = plan.chunk
+    if plan.chunked or not plan.admitted:
+        events.append({"action": "split", "chunk": int(chunk),
+                       "footprint": int(plan.footprint),
+                       "budget": int(plan.budget)})
+    start = 0
+    attempt = 0
+    while start < batch:
+        stop = min(start + chunk, batch)
+        nbytes = (stop - start) * plan.lane_bytes
+        try:
+            # The lease honours the planned budget, not just the pool: a
+            # caller-imposed max_resident_bytes below one lane must reach
+            # the ladder's host rung, not silently run on the device.
+            if nbytes > plan.budget:
+                raise DeviceMemoryError(nbytes, pool.in_use, plan.budget,
+                                        device=device.name)
+            pool.alloc(nbytes, label=f"{op}-chunk")
+        except DeviceMemoryError as exc:
+            if not resilient:
+                raise
+            oom += 1
+            if chunk > 1:
+                attempt += 1
+                delay = policy.backoff(attempt)
+                backoff_total += delay
+                new_chunk = max(1, chunk // 2)
+                events.append({"action": "halve", "from": int(chunk),
+                               "to": int(new_chunk),
+                               "requested": int(exc.requested),
+                               "budget": int(exc.capacity),
+                               "injected": bool(exc.injected)})
+                chunk = new_chunk
+                continue
+            # Final rung: even one lane cannot be leased — finish every
+            # remaining lane on the host reference algorithm.
+            events.append({"action": "host", "start": int(start),
+                           "stop": int(batch),
+                           "requested": int(exc.requested),
+                           "budget": int(exc.capacity),
+                           "injected": bool(exc.injected)})
+            rep = run_host(start, batch)
+            if rep is not None:
+                parts.append((list(range(start, batch)), rep))
+            break
+        staged = (stop - start) < batch
+        try:
+            if staged:
+                _stage(pool, device, stream, nbytes, "h2d")
+            if injector is not None:
+                with injector.lane_window(start):
+                    rep = run_chunk(start, stop)
+            else:
+                rep = run_chunk(start, stop)
+            if staged:
+                _stage(pool, device, stream, nbytes, "d2h")
+        finally:
+            pool.free(nbytes)
+        if rep is not None:
+            parts.append((list(range(start, stop)), rep))
+        chunks.append(stop - start)
+        start = stop
+    return parts, tuple(chunks), oom, events, backoff_total
+
+
+def _admit_or_raise(plan: MemoryPlan, resilient: bool,
+                    device: DeviceSpec) -> None:
+    """Admission control for the plain (non-resilient) path.
+
+    Without a recovery ladder there is nothing to degrade to: a call
+    whose single lane exceeds the budget fails structurally *before* any
+    work touches the operands.
+    """
+    if not resilient and plan.lane_bytes > plan.budget:
+        raise DeviceMemoryError(plan.lane_bytes,
+                                memory_pool(device).in_use, plan.budget,
+                                device=device.name)
+
+
+def _attach(report: BatchReport, plan: MemoryPlan, chunks, oom, events,
+            backoff) -> None:
+    report.footprint_bytes = plan.footprint
+    report.budget_bytes = plan.budget
+    report.chunks = tuple(chunks)
+    report.oom_failures += oom
+    report.chunk_events.extend(events)
+    report.backoff_total += backoff
+
+
+def _merge(op: str, batch: int, method: str, parts, info) -> BatchReport:
+    if parts:
+        report = merge_reports(op, batch, parts)
+    else:
+        report = BatchReport(op, batch)
+    report.method_requested = method
+    report.info = info
+    return report
+
+
+# --- governed drivers ------------------------------------------------------
+
+def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
+                         *, batch=None, device: DeviceSpec = H100_PCIE,
+                         stream=None, method: str = "auto", nb=None,
+                         threads=None, vectorize=None,
+                         resilient: bool = False, policy=None,
+                         max_resident_bytes: int | None = None,
+                         chunk_hint: int | None = None):
+    """Memory-governed :func:`~repro.core.gbtrf.gbtrf_batch`.
+
+    Same contract as the plain driver (``(pivots, info)``, plus the
+    report when resilient); the batch is leased from the device pool and
+    chunked when it does not fit (or when ``chunk_hint`` caps residency).
+    """
+    from .gbtrf import gbtrf_batch
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(m, n, kl, ku, mats, batch=batch)
+    mn = min(m, n)
+    pivots = ensure_pivots(pv_array, batch, mn, arg_pos=7, zero=True)
+    info = ensure_info(info, batch, arg_pos=8)
+    if batch == 0 or mn == 0:
+        if resilient:
+            return pivots, info, BatchReport("gbtrf", batch,
+                                             method_requested=method,
+                                             info=info)
+        return pivots, info
+    plan = plan_batch(batch, _lane_bytes(mats[0], pivots[0]),
+                      device=device, max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint)
+    _admit_or_raise(plan, resilient, device)
+
+    def run_chunk(start, stop):
+        with _suppress_governance():
+            res = gbtrf_batch(m, n, kl, ku, mats[start:stop],
+                              pivots[start:stop], info[start:stop],
+                              batch=stop - start, device=device,
+                              stream=stream, method=method, nb=nb,
+                              threads=threads, vectorize=vectorize,
+                              resilient=resilient, policy=policy)
+        return res[2] if resilient else None
+
+    def run_host(start, stop):
+        sub_info = np.zeros(stop - start, dtype=np.int64)
+        for j, k in enumerate(range(start, stop)):
+            _, inf = gbtf2(m, n, kl, ku, mats[k], pivots[k])
+            sub_info[j] = inf
+            info[k] = inf
+        if not resilient:
+            return None
+        rep = BatchReport("gbtrf", stop - start, method_requested=method,
+                          methods={"gbtrf": HOST_FALLBACK}, info=sub_info)
+        rep.fallbacks.append(("gbtrf", "chunked", HOST_FALLBACK))
+        bad = tuple(int(j) for j in np.flatnonzero(sub_info > 0))
+        rep.quarantined = rep.singular = bad
+        return rep
+
+    parts, chunks, oom, events, backoff = _execute_governed(
+        "gbtrf", batch, plan, device, stream, resilient, policy,
+        run_chunk, run_host)
+    if not resilient:
+        return pivots, info
+    report = _merge("gbtrf", batch, method, parts, info)
+    _attach(report, plan, chunks, oom, events, backoff)
+    return pivots, info, report
+
+
+def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
+                         b_array, info=None, *, batch=None,
+                         device: DeviceSpec = H100_PCIE, stream=None,
+                         method: str = "auto", nb=None, threads=None,
+                         rhs_tile=None, vectorize=None,
+                         resilient: bool = False, policy=None,
+                         max_resident_bytes: int | None = None,
+                         chunk_hint: int | None = None):
+    """Memory-governed :func:`~repro.core.gbtrs.gbtrs_batch`.
+
+    Returns ``info`` (plus the report when resilient), chunking the
+    factors + pivots + right-hand sides through the device pool.
+    """
+    from .gbtrs import gbtrs_batch
+    trans = Trans.from_any(trans)
+    check_arg(nrhs >= 0, 5, f"nrhs must be non-negative, got {nrhs}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=6)
+    check_gb_args(n, n, kl, ku, mats, batch=batch, ldab_pos=7)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=8)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=9)
+    info = ensure_info(info, batch, arg_pos=11)
+    if batch == 0 or n == 0 or nrhs == 0:
+        if resilient:
+            return info, BatchReport("gbtrs", batch,
+                                     method_requested=method, info=info)
+        return info
+    plan = plan_batch(batch, _lane_bytes(mats[0], pivots[0], rhs[0]),
+                      device=device, max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint)
+    _admit_or_raise(plan, resilient, device)
+
+    def run_chunk(start, stop):
+        with _suppress_governance():
+            res = gbtrs_batch(trans, n, kl, ku, nrhs, mats[start:stop],
+                              pivots[start:stop], rhs[start:stop],
+                              info[start:stop], batch=stop - start,
+                              device=device, stream=stream, method=method,
+                              nb=nb, threads=threads, rhs_tile=rhs_tile,
+                              vectorize=vectorize, resilient=resilient,
+                              policy=policy)
+        return res[1] if resilient else None
+
+    def run_host(start, stop):
+        for k in range(start, stop):
+            gbtrs_unblocked(trans, n, kl, ku, mats[k], pivots[k], rhs[k])
+        if not resilient:
+            return None
+        rep = BatchReport("gbtrs", stop - start, method_requested=method,
+                          methods={"gbtrs": HOST_FALLBACK},
+                          info=np.zeros(stop - start, dtype=np.int64))
+        rep.fallbacks.append(("gbtrs", "chunked", HOST_FALLBACK))
+        return rep
+
+    parts, chunks, oom, events, backoff = _execute_governed(
+        "gbtrs", batch, plan, device, stream, resilient, policy,
+        run_chunk, run_host)
+    if not resilient:
+        return info
+    report = _merge("gbtrs", batch, method, parts, info)
+    _attach(report, plan, chunks, oom, events, backoff)
+    return info, report
+
+
+def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
+                        info=None, *, batch=None,
+                        device: DeviceSpec = H100_PCIE, stream=None,
+                        method: str = "auto", vectorize=None,
+                        resilient: bool = False, policy=None,
+                        max_resident_bytes: int | None = None,
+                        chunk_hint: int | None = None):
+    """Memory-governed :func:`~repro.core.gbsv.gbsv_batch`.
+
+    Returns ``(pivots, info)`` (plus the report when resilient).  The
+    host net keeps LAPACK singularity semantics: factors and pivots are
+    written, ``info > 0``, and that lane's ``B`` is left unchanged.
+    """
+    from .gbsv import gbsv_batch
+    check_arg(nrhs >= 0, 4, f"nrhs must be non-negative, got {nrhs}")
+    if batch is None:
+        batch = len(a_array)
+    mats = as_matrix_list(a_array, batch, arg_pos=5)
+    check_gb_args(n, n, kl, ku, mats, batch=batch)
+    pivots = ensure_pivots(pv_array, batch, n, arg_pos=6, zero=True)
+    rhs = as_rhs_list(b_array, batch, n, nrhs, arg_pos=7)
+    info = ensure_info(info, batch, arg_pos=8)
+    if batch == 0 or n == 0:
+        if resilient:
+            return pivots, info, BatchReport("gbsv", batch,
+                                             method_requested=method,
+                                             info=info)
+        return pivots, info
+    plan = plan_batch(batch,
+                      _lane_bytes(mats[0], pivots[0],
+                                  rhs[0] if nrhs else None),
+                      device=device, max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint)
+    _admit_or_raise(plan, resilient, device)
+
+    def run_chunk(start, stop):
+        with _suppress_governance():
+            res = gbsv_batch(n, kl, ku, nrhs, mats[start:stop],
+                             pivots[start:stop], rhs[start:stop],
+                             info[start:stop], batch=stop - start,
+                             device=device, stream=stream, method=method,
+                             vectorize=vectorize, resilient=resilient,
+                             policy=policy)
+        return res[2] if resilient else None
+
+    def run_host(start, stop):
+        sub_info = np.zeros(stop - start, dtype=np.int64)
+        for j, k in enumerate(range(start, stop)):
+            _, inf = gbtf2(n, n, kl, ku, mats[k], pivots[k])
+            sub_info[j] = inf
+            info[k] = inf
+            if inf == 0 and nrhs:
+                gbtrs_unblocked(Trans.NO_TRANS, n, kl, ku, mats[k],
+                                pivots[k], rhs[k])
+        if not resilient:
+            return None
+        rep = BatchReport("gbsv", stop - start, method_requested=method,
+                          methods={"gbtrf": HOST_FALLBACK,
+                                   "gbtrs": HOST_FALLBACK},
+                          info=sub_info)
+        rep.fallbacks.append(("gbsv", "chunked", HOST_FALLBACK))
+        bad = tuple(int(j) for j in np.flatnonzero(sub_info > 0))
+        rep.quarantined = rep.singular = bad
+        return rep
+
+    parts, chunks, oom, events, backoff = _execute_governed(
+        "gbsv", batch, plan, device, stream, resilient, policy,
+        run_chunk, run_host)
+    if not resilient:
+        return pivots, info
+    report = _merge("gbsv", batch, method, parts, info)
+    _attach(report, plan, chunks, oom, events, backoff)
+    return pivots, info, report

@@ -52,7 +52,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..band.layout import ldab_for_factor
-from ..errors import DeviceError, SharedMemoryError, check_arg
+from ..errors import (
+    DeviceError,
+    DeviceMemoryError,
+    SharedMemoryError,
+    check_arg,
+)
 from ..gpusim.device import H100_PCIE, DeviceSpec
 from ..types import Trans
 from .batch_args import (
@@ -156,13 +161,30 @@ class BatchReport:
     #: Lanes that stayed non-finite even after the reference re-run
     #: (their *inputs* are non-finite; nothing recoverable).
     unrecovered: tuple = ()
+    #: Estimated resident device footprint of the call, bytes (0 when the
+    #: memory governor did not run, e.g. ``execute=False``).
+    footprint_bytes: int = 0
+    #: Device-memory budget the call was admitted against, bytes (None when
+    #: the governor did not run).
+    budget_bytes: int | None = None
+    #: Lane counts of the chunks that executed on the device, in order.  A
+    #: batch that fit whole records a single full-size chunk; lanes that
+    #: finished on the host net appear in :attr:`chunk_events`, not here.
+    chunks: tuple = ()
+    #: Injected/real :class:`~repro.errors.DeviceMemoryError` allocations
+    #: absorbed by the chunking ladder.
+    oom_failures: int = 0
+    #: Structured memory-governance decisions, in order: dicts with an
+    #: ``action`` key (``"split"``, ``"halve"``, ``"host"``) plus the
+    #: numbers behind the decision.
+    chunk_events: list = field(default_factory=list)
     info: np.ndarray | None = None
 
     @property
     def faults_tolerated(self) -> int:
         """Total faults this call absorbed without raising."""
         return (self.launch_failures + self.smem_rejections
-                + len(self.corrupted))
+                + len(self.corrupted) + self.oom_failures)
 
     @property
     def ok(self) -> bool:
@@ -187,9 +209,62 @@ class BatchReport:
                          f" corrupted={list(self.corrupted)})")
         if self.refined:
             parts.append(f"refined={list(self.refined)}")
+        if len(self.chunks) > 1 or self.oom_failures:
+            parts.append(f"chunks={list(self.chunks)}")
+            parts.append(f"oom_failures={self.oom_failures}")
+            parts.append(f"footprint={self.footprint_bytes}B"
+                         f"/budget={self.budget_bytes}B")
         if self.unrecovered:
             parts.append(f"UNRECOVERED={list(self.unrecovered)}")
         return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the full report (for structured logging).
+
+        Everything numpy becomes plain Python; tuples become lists.  The
+        derived ``ok`` / ``faults_tolerated`` properties are included for
+        log consumers; :meth:`from_dict` ignores them on the way back.
+        """
+        return {
+            "operation": self.operation,
+            "batch": int(self.batch),
+            "method_requested": self.method_requested,
+            "methods": {str(k): str(v) for k, v in self.methods.items()},
+            "retries": int(self.retries),
+            "launch_failures": int(self.launch_failures),
+            "smem_rejections": int(self.smem_rejections),
+            "backoff_total": float(self.backoff_total),
+            "fallbacks": [list(f) for f in self.fallbacks],
+            "quarantined": [int(k) for k in self.quarantined],
+            "singular": [int(k) for k in self.singular],
+            "corrupted": [int(k) for k in self.corrupted],
+            "refined": [int(k) for k in self.refined],
+            "unrecovered": [int(k) for k in self.unrecovered],
+            "footprint_bytes": int(self.footprint_bytes),
+            "budget_bytes": (None if self.budget_bytes is None
+                             else int(self.budget_bytes)),
+            "chunks": [int(c) for c in self.chunks],
+            "oom_failures": int(self.oom_failures),
+            "chunk_events": [dict(e) for e in self.chunk_events],
+            "info": (None if self.info is None
+                     else [int(i) for i in np.asarray(self.info)]),
+            "ok": bool(self.ok),
+            "faults_tolerated": int(self.faults_tolerated),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BatchReport":
+        """Rebuild a report from :meth:`to_dict` output (round-trip)."""
+        d = dict(data)
+        d.pop("ok", None)
+        d.pop("faults_tolerated", None)
+        for name in ("quarantined", "singular", "corrupted", "refined",
+                     "unrecovered", "chunks"):
+            d[name] = tuple(d.get(name, ()))
+        d["fallbacks"] = [tuple(f) for f in d.get("fallbacks", [])]
+        if d.get("info") is not None:
+            d["info"] = np.asarray(d["info"], dtype=np.int64)
+        return cls(**d)
 
 
 def merge_reports(operation: str, batch: int, parts) -> BatchReport:
@@ -207,6 +282,15 @@ def merge_reports(operation: str, batch: int, parts) -> BatchReport:
         merged.smem_rejections += rep.smem_rejections
         merged.backoff_total += rep.backoff_total
         merged.fallbacks.extend(rep.fallbacks)
+        merged.footprint_bytes += rep.footprint_bytes
+        if rep.budget_bytes is not None:
+            merged.budget_bytes = (rep.budget_bytes
+                                   if merged.budget_bytes is None
+                                   else min(merged.budget_bytes,
+                                            rep.budget_bytes))
+        merged.chunks += rep.chunks
+        merged.oom_failures += rep.oom_failures
+        merged.chunk_events.extend(rep.chunk_events)
         for stage, meth in rep.methods.items():
             prev = merged.methods.get(stage)
             if prev is None:
@@ -255,9 +339,15 @@ def _run_ladder(report: BatchReport, stage: str, ladder, call, restore,
                 call(meth)
                 report.methods[stage] = meth
                 return meth
-            except DeviceError as exc:
+            except (DeviceError, DeviceMemoryError) as exc:
                 last = exc
-                report.launch_failures += 1
+                # Allocation failures (injected or genuine pressure) are
+                # transient like launch failures: retry the rung, then
+                # fall down the ladder toward the host net.
+                if isinstance(exc, DeviceMemoryError):
+                    report.oom_failures += 1
+                else:
+                    report.launch_failures += 1
                 if attempt >= policy.max_retries:
                     break
                 attempt += 1
@@ -288,7 +378,7 @@ def _ladder_with_host(report: BatchReport, stage: str, ladder, call,
     """
     try:
         _run_ladder(report, stage, ladder, call, restore, policy)
-    except (DeviceError, SharedMemoryError):
+    except (DeviceError, DeviceMemoryError, SharedMemoryError):
         restore()
         host()
         report.fallbacks.append((stage, ladder[-1], HOST_FALLBACK))
@@ -458,6 +548,12 @@ def gbtrf_batch_resilient(m, n, kl, ku, a_array, pv_array=None, info=None, *,
         report.quarantined = tuple(bad)
         report.singular = tuple(singular)
         report.corrupted = tuple(corrupted)
+        # Rewind the quarantined lanes to their pristine inputs before the
+        # reference re-run (the gbsv/gbtrs drivers do the same); without
+        # this a poisoned lane would be re-factored from its NaNs.
+        for k in bad:
+            mats[k][...] = snap_a[k]
+            pivots[k][...] = 0
         sub_info = np.zeros(len(bad), dtype=np.int64)
         _reference_refactor(report, "quarantine:gbtrf", m, n, kl, ku,
                             [mats[k] for k in bad],
@@ -607,7 +703,7 @@ def gbsv_batch_resilient(n, kl, ku, nrhs, a_array, pv_array, b_array,
             _run_ladder(report, "gbsv", ("fused",), attempt_fused,
                         restore_all, policy)
             fused_done = True
-        except (DeviceError, SharedMemoryError):
+        except (DeviceError, DeviceMemoryError, SharedMemoryError):
             report.fallbacks.append(("gbsv", "fused", "standard"))
             restore_all()
 

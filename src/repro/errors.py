@@ -23,6 +23,7 @@ __all__ = [
     "ArgumentError",
     "SingularMatrixError",
     "SharedMemoryError",
+    "DeviceMemoryError",
     "DeviceError",
     "check_arg",
 ]
@@ -94,6 +95,37 @@ class SharedMemoryError(ReproError, MemoryError):
         self.requested = int(requested)
         self.limit = int(limit)
         self.kernel = str(kernel)
+        self.device = str(device)
+        self.injected = bool(injected)
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """A device global-memory allocation exceeds the remaining capacity.
+
+    The batched drivers assume whole batches are resident in device memory;
+    a request the :class:`~repro.gpusim.memory.MemoryPool` cannot satisfy
+    raises this error instead of silently "fitting".  Mirroring
+    :class:`SharedMemoryError`, the message states the requested, in-use and
+    capacity byte counts plus the device name, and all four are attributes
+    for programmatic handling (the memory-governed dispatcher keys its
+    chunking ladder off them).  ``injected`` is True for failures
+    manufactured by the fault-injection framework
+    (:mod:`repro.gpusim.faults`) — probabilistic allocation failures and
+    transient capacity squeezes.
+    """
+
+    def __init__(self, requested: int, in_use: int, capacity: int,
+                 device: str = "", injected: bool = False):
+        dev = f" on device {device!r}" if device else ""
+        verb = ("rejected by fault injection" if injected
+                else "exceeds the remaining capacity")
+        super().__init__(
+            f"global memory request of {requested} bytes {verb}: "
+            f"{in_use} bytes in use of {capacity} bytes total{dev}"
+        )
+        self.requested = int(requested)
+        self.in_use = int(in_use)
+        self.capacity = int(capacity)
         self.device = str(device)
         self.injected = bool(injected)
 

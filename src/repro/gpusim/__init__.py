@@ -14,7 +14,10 @@ from .faults import (
     active_injector, arm_faults, disarm_faults, fault_injection,
 )
 from .kernel import Kernel, LaunchRecord, SharedMemory, launch
-from .memory import DeviceBuffer, PointerArray, TrafficCounter, is_packable_batch
+from .memory import (
+    DeviceBuffer, MemoryPool, PointerArray, TrafficCounter,
+    is_packable_batch, memory_pool, reset_memory_pools,
+)
 from .multidevice import DevicePartition, MultiDeviceRun, run_multi_device, split_batch
 from .occupancy import Occupancy, occupancy, suggest_block_size, waves_for_grid
 from .stream import Event, Stream
@@ -28,8 +31,10 @@ __all__ = [
     "FaultEvent", "FaultInjector", "FaultPlan",
     "active_injector", "arm_faults", "disarm_faults", "fault_injection",
     "Kernel", "LaunchRecord", "SharedMemory", "launch",
-    "DeviceBuffer", "DevicePartition", "MultiDeviceRun", "PointerArray",
-    "TrafficCounter", "is_packable_batch", "run_multi_device", "split_batch",
+    "DeviceBuffer", "DevicePartition", "MemoryPool", "MultiDeviceRun",
+    "PointerArray",
+    "TrafficCounter", "is_packable_batch", "memory_pool",
+    "reset_memory_pools", "run_multi_device", "split_batch",
     "Occupancy", "occupancy", "suggest_block_size", "waves_for_grid",
     "Event", "ExecGraph", "GraphCapture", "Stream",
     "capture_graph",

@@ -70,6 +70,12 @@ class DeviceSpec:
     concurrent_kernels:
         Maximum number of kernels the device can run concurrently from
         different streams (hardware queue limit).
+    global_mem_bytes:
+        Device global-memory (HBM/DRAM) capacity in bytes.  Batched calls
+        charge their resident footprint against it through the device's
+        :class:`~repro.gpusim.memory.MemoryPool`; a batch that does not fit
+        must be chunked (:mod:`repro.core.memory_plan`) or it raises
+        :class:`~repro.errors.DeviceMemoryError`.
     """
 
     name: str
@@ -87,6 +93,9 @@ class DeviceSpec:
     launch_overhead: float
     thread_flop_rate: float
     concurrent_kernels: int = 16
+    # Device global-memory capacity (HBM/DRAM), bytes.  Default suits a
+    # mid-size accelerator; the shipped models use their datasheet values.
+    global_mem_bytes: int = 32 * 1024 ** 3
     # Host <-> device interconnect: sustained bandwidth (bytes/s) and the
     # fixed per-copy latency (driver + DMA setup).  H100-PCIe: PCIe Gen5
     # x16; MI250x: PCIe Gen4 x16 host link.
@@ -166,6 +175,7 @@ H100_PCIE = register_device(DeviceSpec(
     launch_overhead=4.0e-6,
     thread_flop_rate=1.5e9,
     concurrent_kernels=32,
+    global_mem_bytes=80 * 1024 ** 3,     # 80 GB HBM2e
     h2d_bandwidth=5.5e10,
     d2h_bandwidth=5.5e10,
 ))
@@ -186,6 +196,7 @@ MI250X_GCD = register_device(DeviceSpec(
     launch_overhead=6.0e-6,
     thread_flop_rate=1.2e9,
     concurrent_kernels=16,
+    global_mem_bytes=64 * 1024 ** 3,     # 64 GB HBM2e per GCD
     h2d_bandwidth=2.8e10,
     d2h_bandwidth=2.8e10,
     min_kernel_time=3.0e-6,

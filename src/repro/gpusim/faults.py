@@ -15,7 +15,19 @@ reproducible:
   kernel's dynamic shared-memory request;
 * **lane corruption** — designated batch lanes have their operands
   overwritten with NaN/Inf *after* a kernel stage executes, modelling a
-  memory fault that poisons one problem without touching its neighbours.
+  memory fault that poisons one problem without touching its neighbours;
+* **allocation failures** — :class:`~repro.errors.DeviceMemoryError`
+  raised from :meth:`repro.gpusim.memory.MemoryPool.alloc` with a
+  configurable per-allocation probability (a transient
+  ``cudaErrorMemoryAllocation``);
+* **capacity squeezes** — the next ``k`` allocations see the pool's
+  capacity transiently scaled down by ``squeeze_fraction``, modelling
+  fragmentation or a competing tenant grabbing memory mid-run.
+
+Corruption lanes are *global* batch indices: when the memory-governed
+drivers (:mod:`repro.core.memory_plan`) split a batch into chunks, they
+set :attr:`FaultInjector.lane_offset` (via :meth:`FaultInjector.lane_window`)
+so the same plan storms the same lanes regardless of chunk size.
 
 A :class:`FaultPlan` describes the storm; arming it on a device (via
 :func:`arm_faults` or the :func:`fault_injection` context manager) installs
@@ -37,10 +49,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeviceError, SharedMemoryError
+from ..errors import DeviceError, DeviceMemoryError, SharedMemoryError
 
 __all__ = [
     "LAUNCH_FAILURE", "SMEM_REJECTION", "LANE_CORRUPTION",
+    "ALLOC_FAILURE", "CAPACITY_SQUEEZE",
     "FaultEvent", "FaultPlan", "FaultInjector",
     "arm_faults", "disarm_faults", "active_injector", "fault_injection",
 ]
@@ -48,6 +61,8 @@ __all__ = [
 LAUNCH_FAILURE = "launch-failure"
 SMEM_REJECTION = "smem-rejection"
 LANE_CORRUPTION = "lane-corruption"
+ALLOC_FAILURE = "alloc-failure"
+CAPACITY_SQUEEZE = "capacity-squeeze"
 
 
 @dataclass(frozen=True)
@@ -100,6 +115,23 @@ class FaultPlan:
         Substring naming the stage after which corruption strikes
         (e.g. ``"gbtrf"``); ``""`` poisons after the first kernel that
         executes the lane.
+    alloc_failure_rate:
+        Per-allocation probability in ``[0, 1]`` of an injected
+        :class:`~repro.errors.DeviceMemoryError` from
+        :meth:`repro.gpusim.memory.MemoryPool.alloc`.
+    max_alloc_failures:
+        Cap on the number of injected allocation failures (``None`` =
+        unlimited).
+    alloc_labels:
+        Substring filter on the allocation label for allocation failures
+        (``""`` matches every allocation; the governed drivers label their
+        chunk leases ``"<op>-chunk"``).
+    capacity_squeezes:
+        Number of allocations that see the pool capacity transiently
+        multiplied by ``squeeze_fraction``; each squeeze is consumed once
+        (whether or not it makes the allocation fail).
+    squeeze_fraction:
+        Capacity multiplier in ``(0, 1]`` applied by a squeeze.
     """
 
     seed: int = 0
@@ -111,15 +143,32 @@ class FaultPlan:
     corrupt_lanes: tuple[int, ...] = ()
     corrupt_value: float = float("nan")
     corrupt_after: str = ""
+    alloc_failure_rate: float = 0.0
+    max_alloc_failures: int | None = None
+    alloc_labels: str = ""
+    capacity_squeezes: int = 0
+    squeeze_fraction: float = 0.5
 
     def __post_init__(self):
         if not 0.0 <= self.launch_failure_rate <= 1.0:
             raise ValueError(
                 f"launch_failure_rate must be in [0, 1], got "
                 f"{self.launch_failure_rate}")
+        if not 0.0 <= self.alloc_failure_rate <= 1.0:
+            raise ValueError(
+                f"alloc_failure_rate must be in [0, 1], got "
+                f"{self.alloc_failure_rate}")
         if self.smem_rejections < 0:
             raise ValueError(
                 f"smem_rejections must be >= 0, got {self.smem_rejections}")
+        if self.capacity_squeezes < 0:
+            raise ValueError(
+                f"capacity_squeezes must be >= 0, got "
+                f"{self.capacity_squeezes}")
+        if not 0.0 < self.squeeze_fraction <= 1.0:
+            raise ValueError(
+                f"squeeze_fraction must be in (0, 1], got "
+                f"{self.squeeze_fraction}")
         object.__setattr__(self, "corrupt_lanes",
                            tuple(int(k) for k in self.corrupt_lanes))
 
@@ -138,16 +187,31 @@ class FaultInjector:
         self.plan = plan
         self.log: list[FaultEvent] = []
         self._rng = np.random.default_rng(plan.seed)
+        # Allocation faults draw from their own seeded stream so injecting
+        # them does not perturb the launch-failure sequence (and vice
+        # versa) — chunked and unchunked runs of the same plan then agree
+        # on which faults strike which subsystem.
+        self._alloc_rng = np.random.default_rng(
+            np.random.SeedSequence(plan.seed).spawn(1)[0])
         self._smem_left = int(plan.smem_rejections)
         self._launch_left = (float("inf") if plan.max_launch_failures is None
                              else int(plan.max_launch_failures))
+        self._alloc_left = (float("inf") if plan.max_alloc_failures is None
+                            else int(plan.max_alloc_failures))
+        self._squeeze_left = int(plan.capacity_squeezes)
         self._pending_lanes = set(plan.corrupt_lanes)
+        #: Global index of batch lane 0 of the launches currently running —
+        #: the memory-governed drivers set this per chunk (see
+        #: :meth:`lane_window`) so ``corrupt_lanes`` stay *global* batch
+        #: indices regardless of how the batch was chunked.
+        self.lane_offset = 0
 
     # -- bookkeeping -------------------------------------------------------
 
     def counts(self) -> dict[str, int]:
         """Number of injected faults so far, keyed by kind."""
-        out = {LAUNCH_FAILURE: 0, SMEM_REJECTION: 0, LANE_CORRUPTION: 0}
+        out = {LAUNCH_FAILURE: 0, SMEM_REJECTION: 0, LANE_CORRUPTION: 0,
+               ALLOC_FAILURE: 0, CAPACITY_SQUEEZE: 0}
         for ev in self.log:
             out[ev.kind] = out.get(ev.kind, 0) + 1
         return out
@@ -160,8 +224,26 @@ class FaultInjector:
     def exhausted(self) -> bool:
         """True when the plan has no faults left to inject."""
         return (self._smem_left == 0 and not self._pending_lanes
+                and self._squeeze_left == 0
                 and (self.plan.launch_failure_rate == 0.0
-                     or self._launch_left == 0))
+                     or self._launch_left == 0)
+                and (self.plan.alloc_failure_rate == 0.0
+                     or self._alloc_left == 0))
+
+    @contextmanager
+    def lane_window(self, start: int):
+        """Scope in which executing lane ``j`` is global lane ``start + j``.
+
+        The chunked executors wrap each chunk's kernel launches in
+        ``lane_window(chunk_start)`` so that ``corrupt_lanes`` address the
+        original batch, making the storm independent of chunk size.
+        """
+        prev = self.lane_offset
+        self.lane_offset = int(start)
+        try:
+            yield self
+        finally:
+            self.lane_offset = prev
 
     # -- launcher hooks ----------------------------------------------------
 
@@ -197,9 +279,12 @@ class FaultInjector:
             return ()
         events = []
         for lane in sorted(self._pending_lanes):
-            if not 0 <= lane < executed:
+            # Pending lanes are global batch indices; the kernel only sees
+            # lanes [lane_offset, lane_offset + executed).
+            local = lane - self.lane_offset
+            if not 0 <= local < executed:
                 continue
-            if self._poison(kernel, lane):
+            if self._poison(kernel, local):
                 self._pending_lanes.discard(lane)
                 ev = FaultEvent(
                     LANE_CORRUPTION, kernel.name, device.name, lane=lane,
@@ -207,6 +292,35 @@ class FaultInjector:
                 self.log.append(ev)
                 events.append(ev)
         return tuple(events)
+
+    def on_alloc(self, pool, nbytes: int, label: str = "") -> int:
+        """Allocation hook; returns the capacity this request is held to.
+
+        Called by :meth:`repro.gpusim.memory.MemoryPool.alloc` before the
+        capacity check.  May raise an injected
+        :class:`~repro.errors.DeviceMemoryError`; a pending capacity
+        squeeze instead *returns* a transiently reduced capacity, letting
+        the pool's own check decide whether the squeezed request still
+        fits.
+        """
+        device = pool.device_name
+        capacity = pool.capacity
+        if self._squeeze_left > 0:
+            self._squeeze_left -= 1
+            capacity = int(capacity * self.plan.squeeze_fraction)
+            self.log.append(FaultEvent(
+                CAPACITY_SQUEEZE, label or "alloc", device,
+                detail=f"capacity={capacity} of {pool.capacity}"))
+        if (self.plan.alloc_failure_rate > 0.0 and self._alloc_left > 0
+                and self.plan.alloc_labels in label
+                and self._alloc_rng.random() < self.plan.alloc_failure_rate):
+            self._alloc_left -= 1
+            self.log.append(FaultEvent(
+                ALLOC_FAILURE, label or "alloc", device,
+                detail=f"requested={int(nbytes)}"))
+            raise DeviceMemoryError(int(nbytes), pool.in_use, capacity,
+                                    device=device, injected=True)
+        return capacity
 
     def _poison(self, kernel, lane: int) -> bool:
         """Overwrite the lane's first floating-point operand batch."""

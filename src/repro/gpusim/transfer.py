@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import DeviceError
 from .device import DeviceSpec
-from .memory import DeviceBuffer
+from .memory import DeviceBuffer, memory_pool
 from .stream import Stream
 
 __all__ = ["TransferRecord", "memcpy_h2d", "memcpy_d2h",
@@ -53,13 +53,21 @@ def transfer_time(device: DeviceSpec, nbytes: int, *,
 
 def memcpy_h2d(device: DeviceSpec, buf: DeviceBuffer, host: np.ndarray, *,
                stream: Stream | None = None) -> TransferRecord:
-    """Copy host data into a device buffer, timed on the stream."""
+    """Copy host data into a device buffer, timed on the stream.
+
+    The copied bytes are charged to the buffer's traffic counter (inside
+    :meth:`~repro.gpusim.memory.DeviceBuffer.upload`) and to the device
+    pool's counter, so per-device interconnect traffic stays reported.
+    """
     buf.upload(host)
+    nbytes = int(np.asarray(host).nbytes)
+    pool = memory_pool(device)
+    if buf.traffic is not pool.traffic:
+        pool.traffic.write(nbytes)
     rec = TransferRecord(
         kernel_name="memcpy_h2d",
-        nbytes=int(np.asarray(host).nbytes),
-        time=transfer_time(device, np.asarray(host).nbytes,
-                           direction="h2d"))
+        nbytes=nbytes,
+        time=transfer_time(device, nbytes, direction="h2d"))
     if stream is not None:
         stream.record(rec)
     return rec
@@ -69,11 +77,17 @@ def memcpy_d2h(device: DeviceSpec, buf: DeviceBuffer, *,
                stream: Stream | None = None,
                out: np.ndarray | None = None) -> tuple[np.ndarray,
                                                        TransferRecord]:
-    """Copy a device buffer back to the host, timed on the stream."""
+    """Copy a device buffer back to the host, timed on the stream.
+
+    Traffic is charged like :func:`memcpy_h2d`, on the read side.
+    """
     data = buf.download()
     if out is not None:
         out[...] = data
         data = out
+    pool = memory_pool(device)
+    if buf.traffic is not pool.traffic:
+        pool.traffic.read(int(data.nbytes))
     rec = TransferRecord(
         kernel_name="memcpy_d2h",
         nbytes=int(data.nbytes),

@@ -14,6 +14,20 @@ def rng():
     return np.random.default_rng(12345)
 
 
+@pytest.fixture(autouse=True)
+def _fresh_memory_pools():
+    """Each test sees fresh device memory pools (no cross-test residency).
+
+    Pools are keyed per device and pick up ``REPRO_GLOBAL_MEM_BYTES`` at
+    creation; resetting both before and after keeps tests order-independent
+    even when one monkeypatches the environment.
+    """
+    from repro.gpusim.memory import reset_memory_pools
+    reset_memory_pools()
+    yield
+    reset_memory_pools()
+
+
 def scipy_gbtrf(ab: np.ndarray, kl: int, ku: int, m: int, n: int):
     """Ground-truth LAPACK factorization via scipy (0-based pivots)."""
     from scipy.linalg import lapack
