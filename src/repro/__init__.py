@@ -56,6 +56,8 @@ from .core import (
     gbtrf_vbatch,
     gbtrs,
     gbtrs_batch,
+    last_pipeline_result,
+    PipelineResult,
     plan_batch,
 )
 from .errors import (
@@ -74,7 +76,7 @@ __version__ = "1.0.0"
 __all__ = [
     "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
     "DeviceError", "DeviceMemoryError", "H100_PCIE", "MI250X_GCD",
-    "MemoryPlan", "PointerArray", "Precision",
+    "MemoryPlan", "PipelineResult", "PointerArray", "Precision",
     "ReproError", "ResiliencePolicy", "SharedMemoryError",
     "SingularMatrixError", "Stream", "Trans",
     "alloc_band", "band_to_dense", "bandwidth_of_dense",
@@ -83,7 +85,8 @@ __all__ = [
     "diagonally_dominant_band", "estimate_footprint",
     "gbmm", "gbmv", "gbsv", "gbsv_batch",
     "gbsv_vbatch", "gbtrf", "gbtrf_batch", "gbtrf_vbatch", "gbtrs",
-    "gbtrs_batch", "get_device", "graded_condition_band", "plan_batch",
+    "gbtrs_batch", "get_device", "graded_condition_band",
+    "last_pipeline_result", "plan_batch",
     "random_band", "random_band_batch", "random_band_dense", "random_rhs",
     "solve_residual",
 ]

@@ -26,6 +26,7 @@ from .memory_plan import (
     estimate_vbatch_footprint,
     plan_batch,
 )
+from .pipeline import PipelineResult, last_pipeline_result
 from .resilience import (
     BatchReport,
     ResiliencePolicy,
@@ -50,7 +51,8 @@ __all__ = [
     "BandSpecialization", "BatchReport", "BlockedBackwardKernel",
     "BlockedForwardKernel", "MemoryPlan", "ResiliencePolicy",
     "estimate_footprint", "estimate_vbatch_footprint", "plan_batch",
-    "FusedGbsvKernel", "FusedGbtrfKernel", "SlidingWindowGbtrfKernel",
+    "FusedGbsvKernel", "FusedGbtrfKernel", "PipelineResult",
+    "SlidingWindowGbtrfKernel", "last_pipeline_result",
     "cgbsv_batch", "cgbtrf_batch", "cgbtrs_batch",
     "clear_specialization_cache", "create_specialization",
     "destroy_specialization", "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",

@@ -159,7 +159,9 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                  vectorize: bool | None = None,
                  resilient: bool = False, policy=None,
                  max_resident_bytes: int | None = None,
-                 chunk_hint: int | None = None):
+                 chunk_hint: int | None = None,
+                 streams: int | None = None, devices=None,
+                 overlap: bool | None = None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -187,6 +189,11 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     knobs of :mod:`repro.core.memory_plan`, applied per uniform group
     (each group plans against the shared device pool, so the caps bound
     every group's resident footprint).
+
+    ``streams`` / ``devices`` / ``overlap`` are the pipelined-execution
+    knobs (see :func:`repro.core.gbtrf.gbtrf_batch`), applied per
+    uniform group: each group's chunks stream through double-buffered
+    copy/compute streams and shard across devices, bit-identically.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -220,7 +227,8 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                 device=device, stream=stream, vectorize=vectorize,
                 resilient=True, policy=policy,
                 max_resident_bytes=max_resident_bytes,
-                chunk_hint=chunk_hint)
+                chunk_hint=chunk_hint, streams=streams, devices=devices,
+                overlap=overlap)
             parts.append((idxs, rep))
         else:
             gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
@@ -228,7 +236,8 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                         batch=len(idxs), device=device, stream=stream,
                         execute=execute, vectorize=vectorize,
                         max_resident_bytes=max_resident_bytes,
-                        chunk_hint=chunk_hint)
+                        chunk_hint=chunk_hint, streams=streams,
+                        devices=devices, overlap=overlap)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:
@@ -244,7 +253,9 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 execute: bool = True, vectorize: bool | None = None,
                 resilient: bool = False, policy=None,
                 max_resident_bytes: int | None = None,
-                chunk_hint: int | None = None):
+                chunk_hint: int | None = None,
+                streams: int | None = None, devices=None,
+                overlap: bool | None = None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
@@ -256,7 +267,9 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     ``(pivots, info, report)`` with a merged
     :class:`~repro.core.resilience.BatchReport`.
     ``max_resident_bytes`` / ``chunk_hint`` bound each uniform group's
-    resident device footprint (:mod:`repro.core.memory_plan`).
+    resident device footprint (:mod:`repro.core.memory_plan`);
+    ``streams`` / ``devices`` / ``overlap`` pipeline each group's chunks
+    (see :func:`repro.core.gbtrf.gbtrf_batch`).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -287,7 +300,8 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 sub_info, batch=len(idxs), device=device, stream=stream,
                 vectorize=vectorize, resilient=True, policy=policy,
                 max_resident_bytes=max_resident_bytes,
-                chunk_hint=chunk_hint)
+                chunk_hint=chunk_hint, streams=streams, devices=devices,
+                overlap=overlap)
             parts.append((idxs, rep))
         else:
             gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
@@ -295,7 +309,8 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                        sub_info, batch=len(idxs), device=device,
                        stream=stream, execute=execute, vectorize=vectorize,
                        max_resident_bytes=max_resident_bytes,
-                       chunk_hint=chunk_hint)
+                       chunk_hint=chunk_hint, streams=streams,
+                       devices=devices, overlap=overlap)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:

@@ -71,7 +71,9 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                vectorize: bool | None = None,
                resilient: bool = False, policy=None,
                max_resident_bytes: int | None = None,
-               chunk_hint: int | None = None):
+               chunk_hint: int | None = None,
+               streams: int | None = None, devices=None,
+               overlap: bool | None = None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
@@ -91,6 +93,11 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     knobs (:mod:`repro.core.memory_plan`): a batch whose resident
     footprint exceeds the device pool budget (or either cap) is streamed
     through the device in chunks, bit-identically to an unchunked run.
+
+    ``streams`` / ``devices`` / ``overlap`` are the pipelined-execution
+    knobs (see :func:`repro.core.gbtrf.gbtrf_batch`): chunks stream
+    through double-buffered copy/compute streams and shard across
+    devices, bit-identically to the sequential single-device path.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
@@ -101,7 +108,8 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
             n, kl, ku, nrhs, a_array, pv_array, b_array, info,
             batch=batch, device=device, stream=stream, method=method,
             vectorize=vectorize, resilient=resilient, policy=policy,
-            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint)
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+            streams=streams, devices=devices, overlap=overlap)
     if resilient:
         check_arg(execute and max_blocks is None, 13,
                   "resilient=True requires full functional execution "

@@ -68,7 +68,9 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 vectorize: bool | None = None,
                 resilient: bool = False, policy=None,
                 max_resident_bytes: int | None = None,
-                chunk_hint: int | None = None):
+                chunk_hint: int | None = None,
+                streams: int | None = None, devices=None,
+                overlap: bool | None = None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -120,6 +122,19 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         below the pool budget; ``chunk_hint`` caps the lanes per chunk.
         A batch over either cap is streamed through the device in chunks,
         bit-identically to an unchunked run.
+    streams, devices, overlap:
+        Pipelined-execution knobs (:mod:`repro.core.pipeline`).
+        ``streams`` (1–3) sets the per-device stream count — 3 gives the
+        full h2d/compute/d2h double-buffered pipeline, 2 a shared copy
+        stream, 1 sequential staging; ``overlap=True`` is shorthand for
+        ``streams=3`` and ``overlap=False`` forces sequential staging.
+        ``devices`` shards the batch across devices — an int replicates
+        ``device`` that many times, or pass a list of uniquely-named
+        :class:`~repro.gpusim.device.DeviceSpec`; shards are weighted by
+        modeled per-device throughput and each runs on its own host
+        worker thread.  Results stay bit-identical to the sequential
+        single-device path.  Ignored for non-governed calls
+        (``execute=False``, ``max_blocks``, graph capture).
 
     Returns
     -------
@@ -137,7 +152,8 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
             device=device, stream=stream, method=method, nb=nb,
             threads=threads, vectorize=vectorize, resilient=resilient,
             policy=policy, max_resident_bytes=max_resident_bytes,
-            chunk_hint=chunk_hint)
+            chunk_hint=chunk_hint, streams=streams, devices=devices,
+            overlap=overlap)
     if resilient:
         check_arg(execute and max_blocks is None, 15,
                   "resilient=True requires full functional execution "

@@ -60,7 +60,9 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
                 vectorize: bool | None = None,
                 resilient: bool = False, policy=None,
                 max_resident_bytes: int | None = None,
-                chunk_hint: int | None = None):
+                chunk_hint: int | None = None,
+                streams: int | None = None, devices=None,
+                overlap: bool | None = None):
     """Solve a uniform batch of factored band systems on the simulated GPU.
 
     Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
@@ -87,6 +89,11 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     knobs (:mod:`repro.core.memory_plan`): a batch whose resident
     footprint exceeds the device pool budget (or either cap) is streamed
     through the device in chunks, bit-identically to an unchunked run.
+
+    ``streams`` / ``devices`` / ``overlap`` are the pipelined-execution
+    knobs (see :func:`repro.core.gbtrf.gbtrf_batch`): chunks stream
+    through double-buffered copy/compute streams and shard across
+    devices, bit-identically to the sequential single-device path.
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,
@@ -99,7 +106,8 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
             batch=batch, device=device, stream=stream, method=method,
             nb=nb, threads=threads, rhs_tile=rhs_tile,
             vectorize=vectorize, resilient=resilient, policy=policy,
-            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint)
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+            streams=streams, devices=devices, overlap=overlap)
     if resilient:
         check_arg(execute and max_blocks is None, 15,
                   "resilient=True requires full functional execution "

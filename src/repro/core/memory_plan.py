@@ -37,6 +37,7 @@ how the batch is chunked — the determinism the fault-plan tests pin.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -47,7 +48,7 @@ from ..errors import DeviceMemoryError, check_arg
 from ..gpusim.device import H100_PCIE, DeviceSpec
 from ..gpusim.faults import active_injector
 from ..gpusim.memory import memory_pool
-from ..gpusim.transfer import TransferRecord, transfer_time
+from ..gpusim.transfer import stage_chunk
 from ..types import Trans
 from .batch_args import (
     as_matrix_list,
@@ -81,20 +82,23 @@ POINTER_BYTES = 8
 #: Bytes of one ``info`` entry resident on the device.
 INFO_BYTES = 8
 
-# Governance re-entrancy depth.  The governed executor re-enters the plain
-# drivers to run each chunk; those inner calls (and everything they call —
-# resilience ladders, gbsv's two stages) must not plan/lease again.
-_DEPTH = 0
+# Governance re-entrancy depth, tracked per host thread.  The governed
+# executor re-enters the plain drivers to run each chunk; those inner calls
+# (and everything they call — resilience ladders, gbsv's two stages) must
+# not plan/lease again.  Thread-local because the pipelined executor
+# (:mod:`repro.core.pipeline`) runs one worker thread per device shard,
+# each entering its own suppression scope.
+_GOVERNANCE = threading.local()
 
 
 @contextmanager
 def _suppress_governance():
-    global _DEPTH
-    _DEPTH += 1
+    depth = getattr(_GOVERNANCE, "depth", 0)
+    _GOVERNANCE.depth = depth + 1
     try:
         yield
     finally:
-        _DEPTH -= 1
+        _GOVERNANCE.depth = depth
 
 
 def governance_active(*, execute: bool = True, max_blocks=None,
@@ -105,7 +109,8 @@ def governance_active(*, execute: bool = True, max_blocks=None,
     re-chunked), for timing-only or sampled calls, and while a stream is
     capturing a graph (replay must not re-plan).
     """
-    if _DEPTH > 0 or not execute or max_blocks is not None:
+    if (getattr(_GOVERNANCE, "depth", 0) > 0 or not execute
+            or max_blocks is not None):
         return False
     if stream is not None and getattr(stream, "_capturing", False):
         return False
@@ -194,25 +199,33 @@ class MemoryPlan:
 def plan_batch(batch: int, lane_bytes: int, *,
                device: DeviceSpec = H100_PCIE,
                max_resident_bytes: int | None = None,
-               chunk_hint: int | None = None) -> MemoryPlan:
+               chunk_hint: int | None = None,
+               buffers: int = 1) -> MemoryPlan:
     """Plan the chunking of ``batch`` lanes of ``lane_bytes`` each.
 
     The budget is the device pool's remaining capacity, tightened by
     ``max_resident_bytes`` when given.  ``chunk_hint`` can only shrink
     the chunk (it forces chunked execution even when everything fits —
     useful for staging pipelines and for the bit-identity tests); it
-    never admits more than the budget allows.
+    never admits more than the budget allows.  ``buffers`` is the number
+    of chunk leases the executor keeps live simultaneously (double/triple
+    buffering in the pipelined executor): the chunk is sized against
+    ``budget // buffers`` so the whole in-flight set respects admission
+    control, while ``admitted`` still compares the full footprint against
+    the full budget.
     """
     check_arg(max_resident_bytes is None or max_resident_bytes > 0, 3,
               f"max_resident_bytes must be positive, "
               f"got {max_resident_bytes}")
     check_arg(chunk_hint is None or chunk_hint > 0, 4,
               f"chunk_hint must be positive, got {chunk_hint}")
+    check_arg(buffers >= 1, 5, f"buffers must be >= 1, got {buffers}")
     budget = memory_pool(device).available
     if max_resident_bytes is not None:
         budget = min(budget, int(max_resident_bytes))
     footprint = batch * lane_bytes
-    fit = budget // lane_bytes if lane_bytes > 0 else batch
+    fit = ((budget // int(buffers)) // lane_bytes if lane_bytes > 0
+           else batch)
     chunk = min(batch, max(1, fit)) if batch else 0
     if chunk_hint is not None and batch:
         chunk = max(1, min(chunk, int(chunk_hint)))
@@ -222,18 +235,6 @@ def plan_batch(batch: int, lane_bytes: int, *,
 
 
 # --- chunked execution -----------------------------------------------------
-
-def _stage(pool, device, stream, nbytes: int, direction: str) -> None:
-    """Model one staging copy of a chunk (charged traffic + stream time)."""
-    if direction == "h2d":
-        pool.traffic.write(nbytes)
-    else:
-        pool.traffic.read(nbytes)
-    if stream is not None:
-        stream.record(TransferRecord(
-            kernel_name=f"chunk_{direction}", nbytes=nbytes,
-            time=transfer_time(device, nbytes, direction=direction)))
-
 
 def _execute_governed(op: str, batch: int, plan: MemoryPlan,
                       device: DeviceSpec, stream, resilient: bool,
@@ -301,14 +302,14 @@ def _execute_governed(op: str, batch: int, plan: MemoryPlan,
         staged = (stop - start) < batch
         try:
             if staged:
-                _stage(pool, device, stream, nbytes, "h2d")
+                stage_chunk(device, nbytes, direction="h2d", stream=stream)
             if injector is not None:
                 with injector.lane_window(start):
                     rep = run_chunk(start, stop)
             else:
                 rep = run_chunk(start, stop)
             if staged:
-                _stage(pool, device, stream, nbytes, "d2h")
+                stage_chunk(device, nbytes, direction="d2h", stream=stream)
         finally:
             pool.free(nbytes)
         if rep is not None:
@@ -352,6 +353,112 @@ def _merge(op: str, batch: int, method: str, parts, info) -> BatchReport:
     return report
 
 
+# --- throughput probes (pipelined multi-device balancing) ------------------
+
+def _probe_triple(kernel) -> tuple:
+    return (kernel.block_cost(), kernel.threads(), kernel.smem_bytes())
+
+
+def _gbtrf_stages(dev, method, m, n, kl, ku, mats, pivots, info, nb,
+                  threads) -> list:
+    """Representative factorization stage(s) on ``dev``, as cost triples.
+
+    Builds a one-lane kernel with the design the dispatcher (or the
+    caller) would pick *on that device*, so per-device tuning tables
+    (window size, thread count) flow into the throughput weights.  The
+    reference design has no single representative kernel; an empty list
+    makes :func:`~repro.gpusim.multidevice.throughput_weights` fall back
+    to its bandwidth proxy.
+    """
+    from ..tuning.defaults import window_params
+    from .gbtrf import select_gbtrf_method
+    from .gbtrf_fused import FusedGbtrfKernel
+    from .gbtrf_window import SlidingWindowGbtrfKernel
+    meth = method
+    if meth == "auto":
+        meth = select_gbtrf_method(dev, m, n, kl, ku,
+                                   mats[0].dtype.itemsize)
+    if meth == "fused":
+        return [_probe_triple(FusedGbtrfKernel(
+            m, n, kl, ku, mats[:1], pivots[:1], info[:1],
+            threads=threads))]
+    if meth == "window":
+        nb_d, th_d = window_params(dev, kl, ku)
+        return [_probe_triple(SlidingWindowGbtrfKernel(
+            m, n, kl, ku, mats[:1], pivots[:1], info[:1],
+            nb=nb_d if nb is None else nb,
+            threads=th_d if threads is None else threads))]
+    return []
+
+
+def _gbtrs_stages(dev, method, trans, n, kl, ku, nrhs, mats, pivots, rhs,
+                  nb, threads, rhs_tile) -> list:
+    """Representative solve stages on ``dev`` (two kernels per solve)."""
+    from .gbtrs_blocked import (
+        BlockedBackwardKernel,
+        BlockedForwardKernel,
+        BlockedTransLKernel,
+        BlockedTransUKernel,
+    )
+    if method == "reference":
+        return []
+    if trans is not Trans.NO_TRANS:
+        conj = trans is Trans.CONJ_TRANS
+        kernels = [
+            BlockedTransUKernel(n, kl, ku, nrhs, mats[:1], pivots[:1],
+                                rhs[:1], nb=nb, threads=threads,
+                                conj=conj),
+            BlockedTransLKernel(n, kl, ku, nrhs, mats[:1], pivots[:1],
+                                rhs[:1], nb=nb, threads=threads,
+                                conj=conj),
+        ]
+    else:
+        kernels = [
+            BlockedForwardKernel(n, kl, ku, nrhs, mats[:1], pivots[:1],
+                                 rhs[:1], nb=nb, threads=threads,
+                                 rhs_tile=rhs_tile),
+            BlockedBackwardKernel(n, kl, ku, nrhs, mats[:1], pivots[:1],
+                                  rhs[:1], nb=nb, threads=threads,
+                                  rhs_tile=rhs_tile),
+        ]
+    return [_probe_triple(k) for k in kernels]
+
+
+# --- governed execution dispatch -------------------------------------------
+
+def _run_governed(op, batch, lane_bytes, *, device, stream, resilient,
+                  policy, run_chunk, run_host, max_resident_bytes,
+                  chunk_hint, streams, devices, overlap, probe_stages):
+    """Route one governed call to the sequential or pipelined executor.
+
+    Returns ``(parts, chunks, oom, events, backoff, plan, pipeline_result)``
+    — ``pipeline_result`` is None on the sequential path.
+    """
+    from .pipeline import execute_pipelined, pipeline_requested
+    if pipeline_requested(streams=streams, devices=devices,
+                          overlap=overlap):
+        return execute_pipelined(
+            op, batch, lane_bytes, device=device, stream=stream,
+            streams=streams, devices=devices, overlap=overlap,
+            resilient=resilient, policy=policy, run_chunk=run_chunk,
+            run_host=run_host, max_resident_bytes=max_resident_bytes,
+            chunk_hint=chunk_hint, probe_stages=probe_stages)
+    plan = plan_batch(batch, lane_bytes, device=device,
+                      max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint)
+    _admit_or_raise(plan, resilient, device)
+    parts, chunks, oom, events, backoff = _execute_governed(
+        op, batch, plan, device, stream, resilient, policy, run_chunk,
+        run_host)
+    return parts, chunks, oom, events, backoff, plan, None
+
+
+def _attach_pipeline(report: BatchReport, presult) -> None:
+    if presult is not None:
+        report.devices = presult.devices
+        report.makespan = presult.makespan
+
+
 # --- governed drivers ------------------------------------------------------
 
 def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
@@ -360,12 +467,16 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
                          threads=None, vectorize=None,
                          resilient: bool = False, policy=None,
                          max_resident_bytes: int | None = None,
-                         chunk_hint: int | None = None):
+                         chunk_hint: int | None = None,
+                         streams: int | None = None, devices=None,
+                         overlap: bool | None = None):
     """Memory-governed :func:`~repro.core.gbtrf.gbtrf_batch`.
 
     Same contract as the plain driver (``(pivots, info)``, plus the
     report when resilient); the batch is leased from the device pool and
     chunked when it does not fit (or when ``chunk_hint`` caps residency).
+    ``streams``/``devices``/``overlap`` route the chunks through the
+    pipelined executor (:mod:`repro.core.pipeline`), bit-identically.
     """
     from .gbtrf import gbtrf_batch
     if batch is None:
@@ -381,12 +492,8 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
                                              method_requested=method,
                                              info=info)
         return pivots, info
-    plan = plan_batch(batch, _lane_bytes(mats[0], pivots[0]),
-                      device=device, max_resident_bytes=max_resident_bytes,
-                      chunk_hint=chunk_hint)
-    _admit_or_raise(plan, resilient, device)
 
-    def run_chunk(start, stop):
+    def run_chunk(start, stop, device=device, stream=stream):
         with _suppress_governance():
             res = gbtrf_batch(m, n, kl, ku, mats[start:stop],
                               pivots[start:stop], info[start:stop],
@@ -395,6 +502,10 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
                               threads=threads, vectorize=vectorize,
                               resilient=resilient, policy=policy)
         return res[2] if resilient else None
+
+    def probe_stages(dev):
+        return _gbtrf_stages(dev, method, m, n, kl, ku, mats, pivots,
+                             info, nb, threads)
 
     def run_host(start, stop):
         sub_info = np.zeros(stop - start, dtype=np.int64)
@@ -411,13 +522,18 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
         rep.quarantined = rep.singular = bad
         return rep
 
-    parts, chunks, oom, events, backoff = _execute_governed(
-        "gbtrf", batch, plan, device, stream, resilient, policy,
-        run_chunk, run_host)
+    parts, chunks, oom, events, backoff, plan, presult = _run_governed(
+        "gbtrf", batch, _lane_bytes(mats[0], pivots[0]), device=device,
+        stream=stream, resilient=resilient, policy=policy,
+        run_chunk=run_chunk, run_host=run_host,
+        max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+        streams=streams, devices=devices, overlap=overlap,
+        probe_stages=probe_stages)
     if not resilient:
         return pivots, info
     report = _merge("gbtrf", batch, method, parts, info)
     _attach(report, plan, chunks, oom, events, backoff)
+    _attach_pipeline(report, presult)
     return pivots, info, report
 
 
@@ -428,11 +544,15 @@ def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
                          rhs_tile=None, vectorize=None,
                          resilient: bool = False, policy=None,
                          max_resident_bytes: int | None = None,
-                         chunk_hint: int | None = None):
+                         chunk_hint: int | None = None,
+                         streams: int | None = None, devices=None,
+                         overlap: bool | None = None):
     """Memory-governed :func:`~repro.core.gbtrs.gbtrs_batch`.
 
     Returns ``info`` (plus the report when resilient), chunking the
     factors + pivots + right-hand sides through the device pool.
+    ``streams``/``devices``/``overlap`` route the chunks through the
+    pipelined executor (:mod:`repro.core.pipeline`), bit-identically.
     """
     from .gbtrs import gbtrs_batch
     trans = Trans.from_any(trans)
@@ -449,12 +569,8 @@ def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
             return info, BatchReport("gbtrs", batch,
                                      method_requested=method, info=info)
         return info
-    plan = plan_batch(batch, _lane_bytes(mats[0], pivots[0], rhs[0]),
-                      device=device, max_resident_bytes=max_resident_bytes,
-                      chunk_hint=chunk_hint)
-    _admit_or_raise(plan, resilient, device)
 
-    def run_chunk(start, stop):
+    def run_chunk(start, stop, device=device, stream=stream):
         with _suppress_governance():
             res = gbtrs_batch(trans, n, kl, ku, nrhs, mats[start:stop],
                               pivots[start:stop], rhs[start:stop],
@@ -476,13 +592,22 @@ def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
         rep.fallbacks.append(("gbtrs", "chunked", HOST_FALLBACK))
         return rep
 
-    parts, chunks, oom, events, backoff = _execute_governed(
-        "gbtrs", batch, plan, device, stream, resilient, policy,
-        run_chunk, run_host)
+    def probe_stages(dev):
+        return _gbtrs_stages(dev, method, trans, n, kl, ku, nrhs, mats,
+                             pivots, rhs, nb, threads, rhs_tile)
+
+    parts, chunks, oom, events, backoff, plan, presult = _run_governed(
+        "gbtrs", batch, _lane_bytes(mats[0], pivots[0], rhs[0]),
+        device=device, stream=stream, resilient=resilient, policy=policy,
+        run_chunk=run_chunk, run_host=run_host,
+        max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+        streams=streams, devices=devices, overlap=overlap,
+        probe_stages=probe_stages)
     if not resilient:
         return info
     report = _merge("gbtrs", batch, method, parts, info)
     _attach(report, plan, chunks, oom, events, backoff)
+    _attach_pipeline(report, presult)
     return info, report
 
 
@@ -492,12 +617,16 @@ def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
                         method: str = "auto", vectorize=None,
                         resilient: bool = False, policy=None,
                         max_resident_bytes: int | None = None,
-                        chunk_hint: int | None = None):
+                        chunk_hint: int | None = None,
+                        streams: int | None = None, devices=None,
+                        overlap: bool | None = None):
     """Memory-governed :func:`~repro.core.gbsv.gbsv_batch`.
 
     Returns ``(pivots, info)`` (plus the report when resilient).  The
     host net keeps LAPACK singularity semantics: factors and pivots are
     written, ``info > 0``, and that lane's ``B`` is left unchanged.
+    ``streams``/``devices``/``overlap`` route the chunks through the
+    pipelined executor (:mod:`repro.core.pipeline`), bit-identically.
     """
     from .gbsv import gbsv_batch
     check_arg(nrhs >= 0, 4, f"nrhs must be non-negative, got {nrhs}")
@@ -514,14 +643,8 @@ def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
                                              method_requested=method,
                                              info=info)
         return pivots, info
-    plan = plan_batch(batch,
-                      _lane_bytes(mats[0], pivots[0],
-                                  rhs[0] if nrhs else None),
-                      device=device, max_resident_bytes=max_resident_bytes,
-                      chunk_hint=chunk_hint)
-    _admit_or_raise(plan, resilient, device)
 
-    def run_chunk(start, stop):
+    def run_chunk(start, stop, device=device, stream=stream):
         with _suppress_governance():
             res = gbsv_batch(n, kl, ku, nrhs, mats[start:stop],
                              pivots[start:stop], rhs[start:stop],
@@ -551,11 +674,36 @@ def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
         rep.quarantined = rep.singular = bad
         return rep
 
-    parts, chunks, oom, events, backoff = _execute_governed(
-        "gbsv", batch, plan, device, stream, resilient, policy,
-        run_chunk, run_host)
+    def probe_stages(dev):
+        from .gbsv import select_gbsv_method
+        from .gbsv_fused import FusedGbsvKernel
+        meth = method
+        if meth == "auto":
+            meth = select_gbsv_method(dev, n, kl, ku, nrhs,
+                                      mats[0].dtype.itemsize)
+        if meth == "fused" and nrhs >= 1:
+            return [_probe_triple(FusedGbsvKernel(
+                n, kl, ku, nrhs, mats[:1], pivots[:1], rhs[:1],
+                info[:1]))]
+        stages = _gbtrf_stages(dev, "auto", n, n, kl, ku, mats, pivots,
+                               info, None, None)
+        if nrhs:
+            stages += _gbtrs_stages(dev, "auto", Trans.NO_TRANS, n, kl,
+                                    ku, nrhs, mats, pivots, rhs, None,
+                                    None, None)
+        return stages
+
+    parts, chunks, oom, events, backoff, plan, presult = _run_governed(
+        "gbsv", batch,
+        _lane_bytes(mats[0], pivots[0], rhs[0] if nrhs else None),
+        device=device, stream=stream, resilient=resilient, policy=policy,
+        run_chunk=run_chunk, run_host=run_host,
+        max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+        streams=streams, devices=devices, overlap=overlap,
+        probe_stages=probe_stages)
     if not resilient:
         return pivots, info
     report = _merge("gbsv", batch, method, parts, info)
     _attach(report, plan, chunks, oom, events, backoff)
+    _attach_pipeline(report, presult)
     return pivots, info, report

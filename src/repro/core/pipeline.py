@@ -1,0 +1,422 @@
+"""Pipelined multi-stream, multi-device batch execution.
+
+The paper's batched API takes a stream argument precisely so host staging
+and device compute can overlap (paper Section 4); the chunked executor of
+:mod:`repro.core.memory_plan` gave us OOM-safe chunking but ran the chunks
+strictly sequentially — lease, upload, solve, download, release — on one
+device.  This module drives the *same* chunk protocol through a
+double-buffered pipeline:
+
+* each device shard runs up to three streams — an **h2d copy stream**, a
+  **compute stream** and a **d2h copy stream** — with cross-stream events
+  (:meth:`repro.gpusim.stream.Stream.wait_event`) ordering chunk *i*'s
+  compute after its upload and its download after its compute.  Because
+  the streams carry absolute timelines, chunk *i+1*'s upload overlaps
+  chunk *i*'s compute and chunk *i−1*'s download in the modeled makespan
+  (the per-stream tail maximum), exactly like a real double-buffered
+  ``cudaMemcpyAsync`` pipeline;
+* up to ``streams`` chunk leases stay live simultaneously (double/triple
+  buffering), every one charged to the device
+  :class:`~repro.gpusim.memory.MemoryPool` under a per-shard label, and
+  the chunk size is planned against ``budget // buffers`` so admission
+  control still holds with multiple buffers resident;
+* the batch is sharded across devices with
+  :func:`~repro.gpusim.multidevice.split_batch`, weighted by modeled
+  per-device throughput (:func:`~repro.gpusim.multidevice.throughput_weights`
+  fed from the kernels' own cost declarations and per-device tuning
+  tables), and each shard runs on its own host worker thread — NumPy
+  releases the GIL for the heavy vectorized operations, so multi-device
+  runs see real wall-clock parallelism, not just a better model;
+* ``resilient=True`` keeps its full contract: the OOM ladder (drain the
+  pipeline's live buffers, halve the chunk, finish on the host net) runs
+  per shard, fault-plan lane windows stay keyed to *global* lane indices,
+  and the per-chunk :class:`~repro.core.resilience.BatchReport` parts are
+  merged into one global report regardless of stream or device count.
+
+Per-lane results are independent of sub-batch composition (the contract
+the vectorized and chunked paths already pin), so the pipelined path is
+bit-identical to the sequential chunked path — and to an unchunked run —
+on every execution route.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import DeviceMemoryError, check_arg
+from ..gpusim.device import DeviceSpec
+from ..gpusim.faults import active_injector
+from ..gpusim.memory import memory_pool
+from ..gpusim.multidevice import (
+    DevicePartition,
+    replicate_device,
+    split_batch,
+    throughput_weights,
+)
+from ..gpusim.stream import Stream
+from ..gpusim.transfer import TransferRecord, stage_chunk
+
+__all__ = ["PipelineResult", "pipeline_requested", "execute_pipelined",
+           "last_pipeline_result"]
+
+
+def pipeline_requested(*, streams=None, devices=None,
+                       overlap=None) -> bool:
+    """Do these knob values ask for the pipelined executor?
+
+    ``streams=1`` alone (and ``overlap=False`` alone) keep the sequential
+    chunked path; any multi-stream, multi-device or explicit-overlap
+    request routes through the pipeline.
+    """
+    return (devices is not None or bool(overlap)
+            or (streams is not None and int(streams) > 1))
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """One device shard's slice of a pipelined run."""
+
+    partition: DevicePartition
+    streams: tuple          # (h2d, compute, d2h) — may alias each other
+    h2d_bytes: int
+    d2h_bytes: int
+
+    @property
+    def makespan(self) -> float:
+        """Absolute tail of the shard's slowest stream."""
+        return max(s.elapsed for s in set(self.streams))
+
+    @property
+    def busy_time(self) -> float:
+        """Engine-seconds the shard's streams actually executed."""
+        return sum(s.busy_time for s in set(self.streams))
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Timing/traffic account of one pipelined batched call."""
+
+    op: str
+    batch: int
+    #: Device names, in shard order.
+    devices: tuple
+    #: Streams per shard (1 = no overlap, 2 = shared copy stream,
+    #: 3 = separate h2d and d2h streams).
+    streams: int
+    overlap: bool
+    shards: tuple
+
+    @property
+    def makespan(self) -> float:
+        """Modeled wall time: shards run concurrently, the slowest wins."""
+        return max((s.makespan for s in self.shards), default=0.0)
+
+    @property
+    def device_busy_time(self) -> float:
+        """Aggregate engine-seconds across every shard's streams."""
+        return sum(s.busy_time for s in self.shards)
+
+    @property
+    def h2d_bytes(self) -> int:
+        return sum(s.h2d_bytes for s in self.shards)
+
+    @property
+    def d2h_bytes(self) -> int:
+        return sum(s.d2h_bytes for s in self.shards)
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary (for structured logging / benchmarks)."""
+        return {
+            "op": self.op,
+            "batch": int(self.batch),
+            "devices": [str(d) for d in self.devices],
+            "streams": int(self.streams),
+            "overlap": bool(self.overlap),
+            "makespan": float(self.makespan),
+            "device_busy_time": float(self.device_busy_time),
+            "h2d_bytes": int(self.h2d_bytes),
+            "d2h_bytes": int(self.d2h_bytes),
+            "partitions": [
+                {"device": s.partition.device.name,
+                 "start": int(s.partition.start),
+                 "stop": int(s.partition.stop),
+                 "makespan": float(s.makespan)}
+                for s in self.shards
+            ],
+        }
+
+
+_LAST: PipelineResult | None = None
+_LAST_LOCK = threading.Lock()
+
+
+def last_pipeline_result() -> PipelineResult | None:
+    """The :class:`PipelineResult` of the most recent pipelined call."""
+    return _LAST
+
+
+def _resolve_devices(device: DeviceSpec, devices) -> list[DeviceSpec]:
+    """Normalize the ``devices=`` knob to a list of uniquely-named specs."""
+    if devices is None:
+        return [device]
+    if isinstance(devices, int):
+        check_arg(devices >= 1, 0,
+                  f"devices must be >= 1, got {devices}")
+        if devices == 1:
+            return [device]
+        return replicate_device(device, devices)
+    devs = list(devices)
+    check_arg(len(devs) >= 1, 0, "devices must not be empty")
+    names = [d.name for d in devs]
+    check_arg(len(set(names)) == len(names), 0,
+              f"device names must be unique (pools and fault injectors "
+              f"key on them), got {names}")
+    return devs
+
+
+def _resolve_buffers(streams, overlap) -> int:
+    """Streams (= live chunk buffers) per shard from the knob pair.
+
+    ``overlap=False`` forces sequential staging inside each shard;
+    ``overlap=True`` (or any pipelining request with ``streams`` unset)
+    defaults to the full h2d/compute/d2h triple.  More than three streams
+    buys nothing in this model (there are only three engines to keep
+    busy), so the count is capped there.
+    """
+    if overlap is False:
+        return 1
+    if streams is None:
+        return 3
+    check_arg(int(streams) >= 1, 0,
+              f"streams must be >= 1, got {streams}")
+    return min(int(streams), 3)
+
+
+def _shard_streams(device: DeviceSpec, nbuf: int) -> tuple:
+    """(h2d, compute, d2h) streams for one shard; aliased when shared."""
+    cmp_s = Stream(device, name=f"pipe-compute@{device.name}")
+    if nbuf >= 3:
+        return (Stream(device, name=f"pipe-h2d@{device.name}"), cmp_s,
+                Stream(device, name=f"pipe-d2h@{device.name}"))
+    if nbuf == 2:
+        copy = Stream(device, name=f"pipe-copy@{device.name}")
+        return (copy, cmp_s, copy)
+    return (cmp_s, cmp_s, cmp_s)
+
+
+def _run_shard(op, part: DevicePartition, plan, total_batch, nbuf,
+               resilient, policy, run_chunk, run_host):
+    """Run one shard's chunks through the double-buffered stream triple.
+
+    Mirrors the sequential executor's OOM ladder with one extra rung in
+    front: an allocation failure first *drains* the pipeline (frees the
+    completed chunks' live buffers) and retries, because under double
+    buffering the squeeze may come from our own in-flight leases rather
+    than a genuinely too-large chunk.  Lane indices are global throughout
+    — ``run_chunk`` slices the caller's operand lists directly and the
+    fault injector's lane window is opened at the chunk's global start —
+    so results and fault placement cannot depend on the sharding.
+    """
+    dev = part.device
+    pool = memory_pool(dev)
+    injector = active_injector(dev)
+    s_h2d, s_cmp, s_d2h = _shard_streams(dev, nbuf)
+    label = f"{op}-chunk@{dev.name}"
+    parts, chunks, events = [], [], []
+    oom = 0
+    backoff_total = 0.0
+    h2d_bytes = d2h_bytes = 0
+    chunk = plan.chunk
+    if plan.chunked or not plan.admitted or part.count < total_batch:
+        events.append({"action": "split", "chunk": int(chunk),
+                       "footprint": int(plan.footprint),
+                       "budget": int(plan.budget),
+                       "device": dev.name, "start": int(part.start),
+                       "stop": int(part.stop)})
+    live: deque = deque()       # nbytes of completed chunks' live leases
+    start = part.start
+    attempt = 0
+    try:
+        while start < part.stop:
+            stop = min(start + chunk, part.stop)
+            nbytes = (stop - start) * plan.lane_bytes
+            try:
+                # Honour the planned budget, not just the pool (a caller
+                # cap below one lane must reach the host rung).
+                if nbytes > plan.budget:
+                    raise DeviceMemoryError(nbytes, pool.in_use,
+                                            plan.budget, device=dev.name)
+                while len(live) >= nbuf:
+                    pool.free(live.popleft(), label=label)
+                pool.alloc(nbytes, label=label)
+            except DeviceMemoryError as exc:
+                if not resilient:
+                    raise
+                oom += 1
+                if live:
+                    # Drain the pipeline and retry at the same size: the
+                    # pressure may be our own double buffers, not the
+                    # chunk.  ``live`` is empty on the retry, so a second
+                    # failure falls through to the ladder below.
+                    while live:
+                        pool.free(live.popleft(), label=label)
+                    events.append({"action": "drain",
+                                   "requested": int(exc.requested),
+                                   "budget": int(exc.capacity),
+                                   "injected": bool(exc.injected),
+                                   "device": dev.name})
+                    continue
+                if chunk > 1:
+                    attempt += 1
+                    delay = policy.backoff(attempt)
+                    backoff_total += delay
+                    new_chunk = max(1, chunk // 2)
+                    events.append({"action": "halve", "from": int(chunk),
+                                   "to": int(new_chunk),
+                                   "requested": int(exc.requested),
+                                   "budget": int(exc.capacity),
+                                   "injected": bool(exc.injected),
+                                   "device": dev.name})
+                    chunk = new_chunk
+                    continue
+                events.append({"action": "host", "start": int(start),
+                               "stop": int(part.stop),
+                               "requested": int(exc.requested),
+                               "budget": int(exc.capacity),
+                               "injected": bool(exc.injected),
+                               "device": dev.name})
+                rep = run_host(start, part.stop)
+                if rep is not None:
+                    parts.append((list(range(start, part.stop)), rep))
+                break
+            staged = (stop - start) < total_batch
+            try:
+                if staged:
+                    stage_chunk(dev, nbytes, direction="h2d",
+                                stream=s_h2d)
+                    h2d_bytes += nbytes
+                    s_cmp.wait_event(s_h2d.record_event())
+                if injector is not None:
+                    with injector.lane_window(start):
+                        rep = run_chunk(start, stop, device=dev,
+                                        stream=s_cmp)
+                else:
+                    rep = run_chunk(start, stop, device=dev, stream=s_cmp)
+                if staged:
+                    s_d2h.wait_event(s_cmp.record_event())
+                    stage_chunk(dev, nbytes, direction="d2h",
+                                stream=s_d2h)
+                    d2h_bytes += nbytes
+            except BaseException:
+                pool.free(nbytes, label=label)
+                raise
+            live.append(nbytes)
+            if rep is not None:
+                parts.append((list(range(start, stop)), rep))
+            chunks.append(stop - start)
+            start = stop
+    finally:
+        while live:
+            pool.free(live.popleft(), label=label)
+    shard = ShardResult(partition=part, streams=(s_h2d, s_cmp, s_d2h),
+                        h2d_bytes=h2d_bytes, d2h_bytes=d2h_bytes)
+    return parts, chunks, oom, events, backoff_total, shard
+
+
+def execute_pipelined(op, batch, lane_bytes, *, device, stream, streams,
+                      devices, overlap, resilient, policy, run_chunk,
+                      run_host, max_resident_bytes, chunk_hint,
+                      probe_stages):
+    """Run a governed batched call through the pipelined executor.
+
+    Same contract as the sequential ``_execute_governed``: returns
+    ``(parts, chunks, oom, events, backoff, plan, result)`` where
+    ``plan`` is an aggregate :class:`~repro.core.memory_plan.MemoryPlan`
+    for report attachment and ``result`` is the :class:`PipelineResult`
+    (also retrievable via :func:`last_pipeline_result`).  ``run_chunk``
+    and ``run_host`` take global lane ranges; ``run_chunk`` additionally
+    accepts ``device=`` / ``stream=`` overrides so a shard's chunks
+    execute on the shard's device and compute stream.
+    """
+    from .memory_plan import MemoryPlan, _admit_or_raise, plan_batch
+    from .resilience import ResiliencePolicy
+    global _LAST
+    policy = policy or ResiliencePolicy()
+    devs = _resolve_devices(device, devices)
+    nbuf = _resolve_buffers(streams, overlap)
+    weights = None
+    if len(devs) > 1:
+        weights = throughput_weights(devs, probe_stages, grid=batch)
+    shards = split_batch(batch, devs, weights=weights)
+
+    plans = []
+    for part in shards:
+        plan = plan_batch(part.count, lane_bytes, device=part.device,
+                          max_resident_bytes=max_resident_bytes,
+                          chunk_hint=chunk_hint, buffers=nbuf)
+        _admit_or_raise(plan, resilient, part.device)
+        plans.append(plan)
+
+    results = [None] * len(shards)
+    errors = [None] * len(shards)
+
+    def work(i, part, plan):
+        try:
+            results[i] = _run_shard(op, part, plan, batch, nbuf,
+                                    resilient, policy, run_chunk, run_host)
+        except BaseException as exc:  # re-raised on the caller thread
+            errors[i] = exc
+
+    if len(shards) > 1:
+        workers = [threading.Thread(target=work, args=(i, part, plan),
+                                    name=f"pipe-{op}-{part.device.name}")
+                   for i, (part, plan) in enumerate(zip(shards, plans))]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+    else:
+        for i, (part, plan) in enumerate(zip(shards, plans)):
+            work(i, part, plan)
+    for exc in errors:
+        if exc is not None:
+            raise exc
+
+    parts, chunks, events = [], [], []
+    oom = 0
+    backoff = 0.0
+    shard_results = []
+    for res in results:
+        s_parts, s_chunks, s_oom, s_events, s_backoff, shard = res
+        parts.extend(s_parts)
+        chunks.extend(s_chunks)
+        oom += s_oom
+        events.extend(s_events)
+        backoff += s_backoff
+        shard_results.append(shard)
+
+    result = PipelineResult(
+        op=op, batch=batch,
+        devices=tuple(d.name for d in devs),
+        streams=nbuf, overlap=nbuf > 1,
+        shards=tuple(shard_results))
+    with _LAST_LOCK:
+        _LAST = result
+    if stream is not None and batch:
+        # One summary record on the caller's stream: the pipeline occupied
+        # the device(s) for the modeled makespan.  Traffic was already
+        # charged by the per-chunk staging copies, so this carries time
+        # only.
+        stream.record(TransferRecord(
+            kernel_name=f"{op}_pipeline", nbytes=0,
+            time=result.makespan))
+
+    agg = MemoryPlan(
+        batch=batch, lane_bytes=lane_bytes,
+        footprint=batch * lane_bytes,
+        budget=min((p.budget for p in plans), default=0),
+        chunk=min((p.chunk for p in plans), default=batch or 1),
+        admitted=all(p.admitted for p in plans))
+    return parts, tuple(chunks), oom, events, backoff, agg, result

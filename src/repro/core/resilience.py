@@ -175,9 +175,16 @@ class BatchReport:
     #: absorbed by the chunking ladder.
     oom_failures: int = 0
     #: Structured memory-governance decisions, in order: dicts with an
-    #: ``action`` key (``"split"``, ``"halve"``, ``"host"``) plus the
-    #: numbers behind the decision.
+    #: ``action`` key (``"split"``, ``"halve"``, ``"host"``, and under
+    #: the pipelined executor ``"drain"``) plus the numbers behind the
+    #: decision; pipelined events also carry a ``"device"`` key.
     chunk_events: list = field(default_factory=list)
+    #: Device names the call's shards ran on (empty for a plain
+    #: single-device run outside the pipelined executor).
+    devices: tuple = ()
+    #: Modeled pipelined makespan, seconds (0 outside the pipelined
+    #: executor): the per-stream tail maximum across every shard.
+    makespan: float = 0.0
     info: np.ndarray | None = None
 
     @property
@@ -214,6 +221,9 @@ class BatchReport:
             parts.append(f"oom_failures={self.oom_failures}")
             parts.append(f"footprint={self.footprint_bytes}B"
                          f"/budget={self.budget_bytes}B")
+        if self.devices:
+            parts.append(f"devices={list(self.devices)}")
+            parts.append(f"makespan={self.makespan * 1e3:.3f}ms")
         if self.unrecovered:
             parts.append(f"UNRECOVERED={list(self.unrecovered)}")
         return " ".join(parts)
@@ -246,6 +256,8 @@ class BatchReport:
             "chunks": [int(c) for c in self.chunks],
             "oom_failures": int(self.oom_failures),
             "chunk_events": [dict(e) for e in self.chunk_events],
+            "devices": [str(d) for d in self.devices],
+            "makespan": float(self.makespan),
             "info": (None if self.info is None
                      else [int(i) for i in np.asarray(self.info)]),
             "ok": bool(self.ok),
@@ -259,7 +271,7 @@ class BatchReport:
         d.pop("ok", None)
         d.pop("faults_tolerated", None)
         for name in ("quarantined", "singular", "corrupted", "refined",
-                     "unrecovered", "chunks"):
+                     "unrecovered", "chunks", "devices"):
             d[name] = tuple(d.get(name, ()))
         d["fallbacks"] = [tuple(f) for f in d.get("fallbacks", [])]
         if d.get("info") is not None:
@@ -291,6 +303,9 @@ def merge_reports(operation: str, batch: int, parts) -> BatchReport:
         merged.chunks += rep.chunks
         merged.oom_failures += rep.oom_failures
         merged.chunk_events.extend(rep.chunk_events)
+        merged.devices += tuple(d for d in rep.devices
+                                if d not in merged.devices)
+        merged.makespan = max(merged.makespan, rep.makespan)
         for stage, meth in rep.methods.items():
             prev = merged.methods.get(stage)
             if prev is None:

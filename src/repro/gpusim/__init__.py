@@ -18,10 +18,16 @@ from .memory import (
     DeviceBuffer, MemoryPool, PointerArray, TrafficCounter,
     is_packable_batch, memory_pool, reset_memory_pools,
 )
-from .multidevice import DevicePartition, MultiDeviceRun, run_multi_device, split_batch
+from .multidevice import (
+    DevicePartition, MultiDeviceRun, replicate_device, run_multi_device,
+    split_batch, throughput_weights,
+)
 from .occupancy import Occupancy, occupancy, suggest_block_size, waves_for_grid
-from .stream import Event, Stream
-from .transfer import TransferRecord, batch_upload_time, memcpy_d2h, memcpy_h2d, transfer_time
+from .stream import Event, Stream, TimelineEntry
+from .transfer import (
+    TransferRecord, batch_upload_time, memcpy_d2h, memcpy_h2d,
+    stage_chunk, transfer_time,
+)
 from .trace import KernelSummary, chrome_trace, format_trace, save_chrome_trace, summarize
 
 __all__ = [
@@ -34,12 +40,13 @@ __all__ = [
     "DeviceBuffer", "DevicePartition", "MemoryPool", "MultiDeviceRun",
     "PointerArray",
     "TrafficCounter", "is_packable_batch", "memory_pool",
-    "reset_memory_pools", "run_multi_device", "split_batch",
+    "replicate_device", "reset_memory_pools", "run_multi_device",
+    "split_batch", "throughput_weights",
     "Occupancy", "occupancy", "suggest_block_size", "waves_for_grid",
-    "Event", "ExecGraph", "GraphCapture", "Stream",
+    "Event", "ExecGraph", "GraphCapture", "Stream", "TimelineEntry",
     "capture_graph",
     "TransferRecord", "batch_upload_time", "memcpy_d2h", "memcpy_h2d",
-    "transfer_time",
+    "stage_chunk", "transfer_time",
     "KernelSummary", "chrome_trace", "format_trace", "save_chrome_trace",
     "summarize",
 ]

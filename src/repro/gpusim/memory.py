@@ -131,6 +131,10 @@ class MemoryPool:
         self.peak = 0
         self.alloc_count = 0
         self.traffic = TrafficCounter()
+        #: Live charge per allocation label — the per-stream lease ledger
+        #: the pipelined executor audits (a drained pipeline must leave
+        #: every one of its labels at zero, even after a mid-run OOM).
+        self.in_use_by_label: dict[str, int] = {}
 
     @property
     def device_name(self) -> str:
@@ -167,11 +171,25 @@ class MemoryPool:
         self.in_use += nbytes
         self.alloc_count += 1
         self.peak = max(self.peak, self.in_use)
+        if label:
+            self.in_use_by_label[label] = (
+                self.in_use_by_label.get(label, 0) + nbytes)
         return nbytes
 
-    def free(self, nbytes: int) -> None:
-        """Release ``nbytes`` previously charged with :meth:`alloc`."""
+    def free(self, nbytes: int, *, label: str = "") -> None:
+        """Release ``nbytes`` previously charged with :meth:`alloc`.
+
+        Pass the same ``label`` the charge was taken under to keep the
+        per-label ledger balanced (labels whose charge reaches zero are
+        dropped from :attr:`in_use_by_label`).
+        """
         self.in_use = max(0, self.in_use - int(nbytes))
+        if label:
+            left = self.in_use_by_label.get(label, 0) - int(nbytes)
+            if left > 0:
+                self.in_use_by_label[label] = left
+            else:
+                self.in_use_by_label.pop(label, None)
 
     @contextmanager
     def lease(self, nbytes: int, *, label: str = ""):
@@ -180,13 +198,14 @@ class MemoryPool:
         try:
             yield charged
         finally:
-            self.free(charged)
+            self.free(charged, label=label)
 
     def reset(self) -> None:
         """Forget all charges and statistics (fresh accounting region)."""
         self.in_use = 0
         self.peak = 0
         self.alloc_count = 0
+        self.in_use_by_label.clear()
         self.traffic.reset()
 
     def __repr__(self) -> str:

@@ -11,14 +11,70 @@ their modeled throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from ..errors import check_arg
+from ..errors import SharedMemoryError, check_arg
+from .costmodel import estimate_kernel_time
 from .device import DeviceSpec
 from .stream import Stream
 
 __all__ = ["DevicePartition", "split_batch", "MultiDeviceRun",
-           "run_multi_device"]
+           "run_multi_device", "replicate_device", "throughput_weights"]
+
+
+def replicate_device(device: DeviceSpec, count: int) -> list[DeviceSpec]:
+    """``count`` independent instances of one device model.
+
+    Memory pools and fault injectors key on the device *name*, so a
+    multi-device run over one part number needs distinct names — each
+    replica is the same spec renamed ``"<name>:<i>"`` and owns its own
+    pool, injector slot and streams (two GCDs of an MI250x, several
+    H100s in a node).
+    """
+    check_arg(count >= 1, 2, f"count must be >= 1, got {count}")
+    return [replace(device, name=f"{device.name}:{i}")
+            for i in range(count)]
+
+
+def throughput_weights(devices: list[DeviceSpec], stages, *,
+                       grid: int) -> list[float]:
+    """Modeled per-device throughput for a batched call, as split weights.
+
+    ``stages`` is a sequence of ``(block_cost, threads_per_block,
+    smem_per_block)`` triples — one per kernel stage of the call (a
+    ``gbtrs`` runs two kernels, a standard ``gbsv`` four) — or a callable
+    ``stages(device) -> [triples]`` when the stage parameters themselves
+    come from per-device tuning tables (window sizes, thread counts).
+    Each device's weight is ``grid`` problems over the summed modeled
+    stage times, so :func:`split_batch` hands an H100 proportionally more
+    lanes than an MI250x GCD without the caller supplying weights.  A
+    device that cannot launch some stage at all (shared-memory rejection)
+    — or whose stage list is empty — falls back to a DRAM-bandwidth
+    proxy: it still gets a share, and the resilient ladder deals with any
+    rejection at run time.
+    """
+    check_arg(grid >= 1, 3, f"grid must be >= 1, got {grid}")
+    stages_for = stages if callable(stages) else (lambda dev: stages)
+    weights = []
+    for dev in devices:
+        total = 0.0
+        try:
+            for cost, threads, smem in stages_for(dev):
+                timing = estimate_kernel_time(
+                    dev, grid=grid, threads_per_block=threads,
+                    smem_per_block=smem, block_cost=cost,
+                    kernel_name="throughput-probe")
+                total += timing.total
+        except SharedMemoryError:
+            total = 0.0
+        if total > 0.0:
+            weights.append(grid / total)
+        else:
+            # Bandwidth proxy, scaled far below any launchable device so
+            # the unlaunchable one only takes lanes when every device is
+            # in the same boat.
+            weights.append(dev.dram_bandwidth * 1e-15)
+    return weights
 
 
 @dataclass(frozen=True)

@@ -3,21 +3,29 @@
 The paper's interface requires a user-provided stream/queue for every batched
 call (paper Section 4).  A :class:`Stream` is an in-order timeline: launches
 enqueued on it run back-to-back, and ``synchronize`` reports the accumulated
-simulated time.  Multiple streams on the same device can overlap up to the
-device's concurrent-kernel limit; the cross-stream concurrency model lives in
-:mod:`repro.bench.streams`, which replays per-stream timelines through an
-event-driven executor to reproduce Figure 1's streamed baseline.
+simulated time.
+
+Multiple streams on the same device can overlap, and the scheduler here is
+event-driven: every record lands on an *absolute* timeline (``start`` =
+the stream's tail, pushed later by any cross-stream dependency installed
+with :meth:`Stream.wait_event`).  This is what lets the pipelined chunk
+executor (:mod:`repro.core.pipeline`) model double-buffered staging
+honestly — while chunk *i* computes on the compute stream, chunk *i+1*
+uploads on a copy stream, and the modeled makespan is the per-stream tail
+maximum rather than the sum of every record.  The streamed one-kernel-
+per-problem baseline of Figure 1 (bounded device concurrency, shared DRAM)
+lives separately in :mod:`repro.bench.streams`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..errors import DeviceError
 from .device import DeviceSpec
 from .kernel import LaunchRecord
 
-__all__ = ["Stream", "Event"]
+__all__ = ["Stream", "Event", "TimelineEntry"]
 
 
 @dataclass
@@ -34,19 +42,58 @@ class Event:
         return self.time - earlier.time
 
 
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One record placed on a stream's absolute timeline."""
+
+    start: float
+    end: float
+    record: LaunchRecord
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
 class Stream:
-    """An in-order execution queue on one simulated device."""
+    """An in-order execution queue on one simulated device.
+
+    Records are placed on an absolute timeline: each starts at the
+    stream's current tail, or later when a :meth:`wait_event` dependency
+    from another stream has not resolved yet (the gap models the engine
+    sitting idle).  For a stream with no cross-stream waits the tail
+    equals the sum of its record times — the original sequential model.
+    """
 
     def __init__(self, device: DeviceSpec, name: str = "stream"):
         self.device = device
         self.name = name
         self.records: list[LaunchRecord] = []
-        self._time = 0.0
+        self.timeline: list[TimelineEntry] = []
+        self._time = 0.0        # absolute tail of the in-order queue
+        self._ready = 0.0       # earliest start allowed by pending waits
 
     def record(self, record: LaunchRecord) -> None:
         """Append a completed launch to this stream's timeline."""
+        start = max(self._time, self._ready)
+        end = start + record.time
         self.records.append(record)
-        self._time += record.time
+        self.timeline.append(TimelineEntry(start, end, record))
+        self._time = end
+
+    def wait_event(self, event: Event) -> None:
+        """Make all subsequent records wait for ``event`` (cross-stream).
+
+        The cudaStreamWaitEvent analogue: the event must come from a
+        stream on the same device (cross-device dependencies are host
+        joins, not stream waits).
+        """
+        if event.stream.device is not self.device:
+            raise DeviceError(
+                f"cannot wait on an event from device "
+                f"{event.stream.device.name!r} on a stream of "
+                f"{self.device.name!r}")
+        self._ready = max(self._ready, event.time)
 
     def record_event(self) -> Event:
         """Record an event at the stream's current tail."""
@@ -58,13 +105,24 @@ class Stream:
 
     @property
     def elapsed(self) -> float:
-        """Simulated seconds consumed so far."""
+        """Absolute tail of the stream's timeline, seconds.
+
+        Equals the sum of record times for a stream that never waited on
+        another stream; with cross-stream waits it includes idle gaps.
+        """
         return self._time
+
+    @property
+    def busy_time(self) -> float:
+        """Seconds this stream's engine actually spent executing records."""
+        return sum(e.duration for e in self.timeline)
 
     def reset(self) -> None:
         """Clear the timeline (fresh timing region)."""
         self.records.clear()
+        self.timeline.clear()
         self._time = 0.0
+        self._ready = 0.0
 
     def launch_count(self) -> int:
         return len(self.records)

@@ -20,7 +20,7 @@ from .memory import DeviceBuffer, memory_pool
 from .stream import Stream
 
 __all__ = ["TransferRecord", "memcpy_h2d", "memcpy_d2h",
-           "transfer_time", "batch_upload_time"]
+           "transfer_time", "batch_upload_time", "stage_chunk"]
 
 
 @dataclass(frozen=True)
@@ -95,6 +95,32 @@ def memcpy_d2h(device: DeviceSpec, buf: DeviceBuffer, *,
     if stream is not None:
         stream.record(rec)
     return data, rec
+
+
+def stage_chunk(device: DeviceSpec, nbytes: int, *, direction: str = "h2d",
+                stream: Stream | None = None,
+                label: str = "chunk") -> TransferRecord:
+    """Model one chunk-staging copy, charged to traffic *and* a stream.
+
+    The chunked batch executors (:mod:`repro.core.memory_plan`,
+    :mod:`repro.core.pipeline`) stage every chunk through this helper so
+    the copy lands on the device pool's :class:`TrafficCounter` and — when
+    a stream is given — on that stream's timeline.  Keeping both charges
+    in one place is what makes per-stream makespans and traffic totals
+    agree: the bytes a copy stream's records carry are exactly the bytes
+    the counter accumulated.
+    """
+    pool = memory_pool(device)
+    if direction == "h2d":
+        pool.traffic.write(nbytes)
+    else:
+        pool.traffic.read(nbytes)
+    rec = TransferRecord(
+        kernel_name=f"{label}_{direction}", nbytes=int(nbytes),
+        time=transfer_time(device, nbytes, direction=direction))
+    if stream is not None:
+        stream.record(rec)
+    return rec
 
 
 def batch_upload_time(device: DeviceSpec, *, batch: int, n: int, kl: int,

@@ -12,8 +12,11 @@ from repro.gpusim import (
     H100_PCIE,
     MI250X_GCD,
     Stream,
+    memory_pool,
+    replicate_device,
     run_multi_device,
     split_batch,
+    throughput_weights,
 )
 
 
@@ -47,6 +50,79 @@ class TestSplit:
             split_batch(10, [H100_PCIE], weights=[1.0, 2.0])
         with pytest.raises(ArgumentError):
             split_batch(10, [H100_PCIE], weights=[0.0])
+
+
+class TestReplicate:
+    def test_names_and_spec(self):
+        devs = replicate_device(MI250X_GCD, 2)
+        assert [d.name for d in devs] == ["mi250x-gcd:0", "mi250x-gcd:1"]
+        assert all(d.num_sms == MI250X_GCD.num_sms for d in devs)
+        assert all(d.dram_bandwidth == MI250X_GCD.dram_bandwidth
+                   for d in devs)
+
+    def test_replicas_own_independent_pools(self):
+        a, b = replicate_device(H100_PCIE, 2)
+        pa, pb = memory_pool(a), memory_pool(b)
+        assert pa is not pb
+        pa.alloc(1024, label="x")
+        assert pb.in_use == 0
+        pa.free(1024, label="x")
+
+    def test_count_validated(self):
+        with pytest.raises(ArgumentError):
+            replicate_device(H100_PCIE, 0)
+
+
+class TestThroughputWeights:
+    # One representative stage: unit block cost, one warp, no smem.
+    from repro.gpusim.costmodel import BlockCost
+    STAGE = (BlockCost(flops=2000, smem_traffic=1024, dram_traffic=4096,
+                       syncs=4, threads=64), 64, 8192)
+
+    def test_identical_devices_equal_weights(self):
+        w = throughput_weights([H100_PCIE, H100_PCIE], [self.STAGE],
+                               grid=1000)
+        assert w[0] == pytest.approx(w[1])
+
+    def test_heterogeneous_pair_favours_faster_device(self):
+        w = throughput_weights([H100_PCIE, MI250X_GCD], [self.STAGE],
+                               grid=8000)
+        assert w[0] > w[1]
+        parts = split_batch(8000, [H100_PCIE, MI250X_GCD], weights=w)
+        assert parts[0].count > parts[1].count
+
+    def test_callable_stages_per_device(self):
+        seen = []
+
+        def stages(dev):
+            seen.append(dev.name)
+            return [self.STAGE]
+
+        w = throughput_weights([H100_PCIE, MI250X_GCD], stages, grid=100)
+        assert seen == ["h100-pcie", "mi250x-gcd"]
+        assert len(w) == 2 and all(x > 0 for x in w)
+
+    def test_empty_stages_fall_back_to_bandwidth_proxy(self):
+        w = throughput_weights([H100_PCIE, MI250X_GCD], [], grid=100)
+        assert w[0] / w[1] == pytest.approx(
+            H100_PCIE.dram_bandwidth / MI250X_GCD.dram_bandwidth)
+        # The proxy is orders of magnitude below any launchable weight, so
+        # a device that cannot launch only takes lanes as a last resort.
+        launchable = throughput_weights([H100_PCIE], [self.STAGE],
+                                        grid=100)[0]
+        assert w[0] < launchable * 1e-3
+
+    def test_smem_rejection_falls_back(self):
+        # A stage that fits the H100's 227 KiB but not the GCD's 64 KiB.
+        big = (self.STAGE[0], 64, 128 * 1024)
+        w = throughput_weights([H100_PCIE, MI250X_GCD], [big], grid=100)
+        assert w[0] > w[1]
+        parts = split_batch(100, [H100_PCIE, MI250X_GCD], weights=w)
+        assert parts[0].count == 100        # proxy weight rounds to zero
+
+    def test_grid_validated(self):
+        with pytest.raises(ArgumentError):
+            throughput_weights([H100_PCIE], [], grid=0)
 
 
 class TestRun:
