@@ -60,6 +60,13 @@ from .core import (
     PipelineResult,
     plan_batch,
 )
+from .serve import (
+    BatchingPolicy,
+    FactorCache,
+    ServiceReport,
+    SolverService,
+    operand_digest,
+)
 from .errors import (
     ArgumentError,
     DeviceError,
@@ -75,10 +82,12 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
-    "DeviceError", "DeviceMemoryError", "H100_PCIE", "MI250X_GCD",
+    "BatchingPolicy", "DeviceError", "DeviceMemoryError", "FactorCache",
+    "H100_PCIE", "MI250X_GCD",
     "MemoryPlan", "PipelineResult", "PointerArray", "Precision",
-    "ReproError", "ResiliencePolicy", "SharedMemoryError",
-    "SingularMatrixError", "Stream", "Trans",
+    "ReproError", "ResiliencePolicy", "ServiceReport",
+    "SharedMemoryError",
+    "SingularMatrixError", "SolverService", "Stream", "Trans",
     "alloc_band", "band_to_dense", "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",
     "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",
@@ -86,7 +95,7 @@ __all__ = [
     "gbmm", "gbmv", "gbsv", "gbsv_batch",
     "gbsv_vbatch", "gbtrf", "gbtrf_batch", "gbtrf_vbatch", "gbtrs",
     "gbtrs_batch", "get_device", "graded_condition_band",
-    "last_pipeline_result", "plan_batch",
+    "last_pipeline_result", "operand_digest", "plan_batch",
     "random_band", "random_band_batch", "random_band_dense", "random_rhs",
     "solve_residual",
 ]

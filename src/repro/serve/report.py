@@ -1,0 +1,177 @@
+"""Structured account of a :class:`~repro.serve.SolverService` lifetime.
+
+:class:`ServiceReport` is to the service layer what
+:class:`~repro.core.resilience.BatchReport` is to one resilient batched
+call: a JSON-safe, round-trippable record of everything that happened —
+how requests coalesced into dispatch groups, why each flush fired, how
+the factorization cache performed, and (under ``resilient=True``) the
+merged fault accounting of every dispatched batch.  The
+``to_dict()/from_dict()`` pair follows the ``BatchReport`` idiom exactly
+so service logs and driver logs share one consumer shape — the
+report/stats surface a later online tuner can learn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceReport"]
+
+#: Flush reasons, in the order :meth:`ServiceReport.summary` prints them.
+FLUSH_REASONS = ("size", "age", "footprint", "manual", "close")
+
+
+@dataclass
+class ServiceReport:
+    """Counters for one :class:`~repro.serve.SolverService` so far.
+
+    A report is a snapshot: :meth:`~repro.serve.SolverService.report`
+    returns a detached copy, so two snapshots straddling more traffic
+    differ only by that traffic.
+    """
+
+    #: Requests accepted by ``submit``/``solve``.
+    requests: int = 0
+    #: Requests whose solve completed with ``info == 0``.
+    solved: int = 0
+    #: Requests that ended with ``info > 0`` (singular operator).
+    singular: int = 0
+    #: Flush reason -> count (``"size"``, ``"age"``, ``"footprint"``
+    #: = backpressure, ``"manual"``, ``"close"``).
+    flushes: dict = field(default_factory=dict)
+    #: Uniform dispatch groups sent to the batched drivers.
+    dispatch_groups: int = 0
+    #: Lanes dispatched across all groups (= requests dispatched).
+    dispatched_lanes: int = 0
+    #: Group size -> number of dispatch groups of that size.
+    group_sizes: dict = field(default_factory=dict)
+    #: ``gbtrf`` factorizations actually executed (cache misses, deduped).
+    factorizations: int = 0
+    #: Requests served from a cached factorization (skipped ``gbtrf``).
+    cache_hits: int = 0
+    #: Requests whose operator was not in the cache.
+    cache_misses: int = 0
+    #: Entries inserted into the cache.
+    cache_insertions: int = 0
+    #: Entries evicted (capacity or device-memory pressure).
+    cache_evictions: int = 0
+    #: Entries dropped by explicit invalidation.
+    cache_invalidations: int = 0
+    #: Factorizations that could not be cached (entry exceeds the budget).
+    cache_rejected: int = 0
+    #: Bytes currently charged to the device pool by the cache.
+    cache_bytes: int = 0
+    #: Entries currently resident in the cache.
+    cache_entries: int = 0
+    #: Submits that had to flush first to stay under the admission budget.
+    backpressure_flushes: int = 0
+    #: ``BatchReport.to_dict()`` payloads from resilient dispatches.
+    batch_reports: list = field(default_factory=list)
+    #: Faults absorbed across all resilient dispatches.
+    faults_tolerated: int = 0
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Requests accepted but not yet dispatched."""
+        return self.requests - self.dispatched_lanes
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits / looked-up requests (0.0 before any dispatch)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def mean_group_size(self) -> float:
+        """Average lanes per dispatch group (the coalescing win)."""
+        lanes = sum(int(s) * c for s, c in self.group_sizes.items())
+        groups = sum(self.group_sizes.values())
+        return lanes / groups if groups else 0.0
+
+    @property
+    def max_group_size(self) -> int:
+        return max((int(s) for s in self.group_sizes), default=0)
+
+    @property
+    def ok(self) -> bool:
+        """True when every dispatched request reached a defined state."""
+        return self.dispatched_lanes == self.solved + self.singular
+
+    # -- presentation -----------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line human-readable account (``BatchReport`` idiom)."""
+        parts = [f"serve requests={self.requests}"
+                 f" dispatched={self.dispatched_lanes}"
+                 f" groups={self.dispatch_groups}"
+                 f" mean_group={self.mean_group_size:.2f}"]
+        flushes = ",".join(f"{r}:{self.flushes[r]}" for r in FLUSH_REASONS
+                           if self.flushes.get(r))
+        if flushes:
+            parts.append(f"flushes={flushes}")
+        parts.append(f"cache hits={self.cache_hits}"
+                     f"/misses={self.cache_misses}"
+                     f" (rate={self.hit_rate:.2f},"
+                     f" evictions={self.cache_evictions},"
+                     f" {self.cache_bytes}B resident)")
+        if self.backpressure_flushes:
+            parts.append(f"backpressure={self.backpressure_flushes}")
+        if self.singular:
+            parts.append(f"singular={self.singular}")
+        if self.faults_tolerated:
+            parts.append(f"faults_tolerated={self.faults_tolerated}")
+        if self.pending:
+            parts.append(f"pending={self.pending}")
+        return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict of the full report (for structured logging).
+
+        Everything becomes plain Python scalars/containers; the derived
+        ``hit_rate`` / ``mean_group_size`` / ``ok`` properties are
+        included for log consumers and ignored by :meth:`from_dict`.
+        """
+        return {
+            "requests": int(self.requests),
+            "solved": int(self.solved),
+            "singular": int(self.singular),
+            "flushes": {str(k): int(v) for k, v in self.flushes.items()},
+            "dispatch_groups": int(self.dispatch_groups),
+            "dispatched_lanes": int(self.dispatched_lanes),
+            "group_sizes": {str(k): int(v)
+                            for k, v in sorted(self.group_sizes.items())},
+            "factorizations": int(self.factorizations),
+            "cache_hits": int(self.cache_hits),
+            "cache_misses": int(self.cache_misses),
+            "cache_insertions": int(self.cache_insertions),
+            "cache_evictions": int(self.cache_evictions),
+            "cache_invalidations": int(self.cache_invalidations),
+            "cache_rejected": int(self.cache_rejected),
+            "cache_bytes": int(self.cache_bytes),
+            "cache_entries": int(self.cache_entries),
+            "backpressure_flushes": int(self.backpressure_flushes),
+            "batch_reports": [dict(r) for r in self.batch_reports],
+            "faults_tolerated": int(self.faults_tolerated),
+            "hit_rate": float(self.hit_rate),
+            "mean_group_size": float(self.mean_group_size),
+            "ok": bool(self.ok),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceReport":
+        """Rebuild a report from :meth:`to_dict` output (round-trip)."""
+        d = dict(data)
+        for derived in ("hit_rate", "mean_group_size", "ok"):
+            d.pop(derived, None)
+        d["flushes"] = {str(k): int(v)
+                        for k, v in d.get("flushes", {}).items()}
+        d["group_sizes"] = {int(k): int(v)
+                            for k, v in d.get("group_sizes", {}).items()}
+        d["batch_reports"] = [dict(r) for r in d.get("batch_reports", [])]
+        return cls(**d)
+
+    def copy(self) -> "ServiceReport":
+        """Detached snapshot (mutating it never touches the live report)."""
+        return ServiceReport.from_dict(self.to_dict())

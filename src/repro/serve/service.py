@@ -1,0 +1,549 @@
+"""Solver-as-a-service ingress: request coalescing over the batched drivers.
+
+The execution stack below this module (vectorize -> pack -> govern ->
+chunk -> pipeline) is batch-in, batch-out; production traffic is millions
+of *independent* single-system solve requests.  :class:`SolverService` is
+the ingress layer between the two:
+
+* ``submit(kl, ku, ab, b)`` accepts one band system and returns a
+  :class:`SolveHandle` immediately (the request payload is snapshotted,
+  so the caller's arrays are never mutated);
+* pending requests coalesce under a deadline-aware micro-batching policy
+  (:class:`BatchingPolicy`): a flush fires when the group reaches
+  ``max_group`` lanes, when the oldest pending request ages past
+  ``max_delay``, or when the pending device footprint would exceed the
+  admission budget of :mod:`repro.core.memory_plan` (backpressure);
+* each flush looks every operator up in the :class:`~repro.serve.cache.
+  FactorCache`; misses are deduplicated and factored through
+  :func:`~repro.core.batched.gbtrf_vbatch` (one call — the vbatch driver
+  buckets configurations internally), then every request solves through
+  :func:`~repro.core.gbtrs.gbtrs_batch` groups against cached or
+  just-computed factors.  A cache hit therefore runs ``gbtrs`` against
+  byte-identical factors and is bit-identical to the cold path by the
+  same contract that makes every layer below bit-identical to the layer
+  beneath it;
+* the ``vectorize`` / ``resilient`` / ``streams`` / ``devices`` /
+  ``overlap`` / ``max_resident_bytes`` / ``chunk_hint`` knobs of the
+  batched drivers pass through unchanged.
+
+Everything observable lands in a :class:`~repro.serve.report.
+ServiceReport` (flush reasons, group-size histogram, cache hit/miss/
+eviction counters, backpressure count, merged resilient reports).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.batched import gbtrf_vbatch
+from ..core.gbtrs import gbtrs_batch
+from ..errors import (
+    DeviceMemoryError,
+    SingularMatrixError,
+    check_arg,
+)
+from ..gpusim.device import H100_PCIE, DeviceSpec
+from ..gpusim.memory import memory_pool
+from ..types import Trans
+from .cache import FactorCache, operand_digest
+from .report import ServiceReport
+
+__all__ = ["BatchingPolicy", "SolveHandle", "SolverService"]
+
+#: Device bytes of one ``info`` entry / one device pointer (mirrors
+#: :mod:`repro.core.memory_plan`).
+_INFO_BYTES = 8
+_POINTER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class BatchingPolicy:
+    """Deadline-aware micro-batching knobs.
+
+    Attributes
+    ----------
+    max_group:
+        Flush as soon as this many requests are pending.  ``1`` degrades
+        the service to one-request-per-dispatch (the benchmark baseline).
+    max_delay:
+        Seconds the *oldest* pending request may wait before an age flush
+        — the per-request latency deadline.  Age is checked on every
+        ``submit``/``poll`` (and by the optional background poller), so
+        the deadline holds to the polling granularity, not exactly.
+    max_pending_bytes:
+        Optional cap on the pending set's device footprint, tightening
+        the admission budget below what the device pool allows.
+    """
+
+    max_group: int = 64
+    max_delay: float = 0.002
+    max_pending_bytes: int | None = None
+
+    def __post_init__(self):
+        check_arg(self.max_group >= 1, 1,
+                  f"max_group must be >= 1, got {self.max_group}")
+        check_arg(self.max_delay >= 0.0, 2,
+                  f"max_delay must be >= 0, got {self.max_delay}")
+        check_arg(self.max_pending_bytes is None
+                  or self.max_pending_bytes > 0, 3,
+                  f"max_pending_bytes must be positive, "
+                  f"got {self.max_pending_bytes}")
+
+
+class SolveHandle:
+    """Future for one submitted request.
+
+    ``result()`` returns the solution (flushing the service first when
+    the request is still pending — a caller can never deadlock on its own
+    handle) and raises :class:`~repro.errors.SingularMatrixError` when
+    the operator turned out singular; ``solution``/``info`` give
+    non-raising access after completion.
+    """
+
+    __slots__ = ("seq", "submitted_at", "completed_at", "completion_index",
+                 "info", "_service", "_x", "_done")
+
+    def __init__(self, service: "SolverService", seq: int,
+                 submitted_at: float):
+        self.seq = seq
+        self.submitted_at = submitted_at
+        self.completed_at: float | None = None
+        self.completion_index: int | None = None
+        self.info = 0
+        self._service = service
+        self._x = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def solution(self):
+        """The solution array once done (``None`` while pending; the
+        snapshotted right-hand side when the operator is singular —
+        LAPACK leaves ``B`` untouched on ``info > 0``)."""
+        return self._x
+
+    @property
+    def latency(self) -> float | None:
+        """Seconds from submit to completion, on the service clock."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.submitted_at
+
+    def result(self) -> np.ndarray:
+        if not self._done:
+            self._service._flush_for_result()
+        if self.info > 0:
+            raise SingularMatrixError(self.seq, self.info)
+        return self._x
+
+    def _complete(self, x, info: int, completed_at: float,
+                  completion_index: int) -> None:
+        self._x = x
+        self.info = int(info)
+        self.completed_at = completed_at
+        self.completion_index = completion_index
+        self._done = True
+        self._service = None    # request is finished; drop the back-ref
+
+
+class _Pending:
+    """Internal per-request record (snapshot + routing state)."""
+
+    __slots__ = ("seq", "n", "kl", "ku", "nrhs", "ab", "b", "b_was_1d",
+                 "key", "handle", "factors", "pivots", "finfo")
+
+    def __init__(self, seq, n, kl, ku, nrhs, ab, b, b_was_1d, key, handle):
+        self.seq = seq
+        self.n = n
+        self.kl = kl
+        self.ku = ku
+        self.nrhs = nrhs
+        self.ab = ab                  # service-owned copy (factor layout)
+        self.b = b                    # service-owned (n, nrhs) copy
+        self.b_was_1d = b_was_1d
+        self.key = key
+        self.handle = handle
+        self.factors = None
+        self.pivots = None
+        self.finfo = 0
+
+    @property
+    def lane_bytes(self) -> int:
+        """Resident device footprint of this request when dispatched."""
+        return (self.ab.nbytes + self.n * 8 + self.b.nbytes
+                + _INFO_BYTES + 3 * _POINTER_BYTES)
+
+
+class SolverService:
+    """Micro-batching, factorization-caching front end for band solves.
+
+    Parameters
+    ----------
+    device, stream:
+        Where coalesced groups dispatch (same defaults as the drivers).
+    policy:
+        The :class:`BatchingPolicy`; ``None`` takes the defaults.
+    cache_entries, cache_bytes:
+        Bounds for the :class:`~repro.serve.cache.FactorCache`
+        (``cache_entries=0`` disables caching).
+    vectorize, resilient, resilience_policy, max_resident_bytes,
+    chunk_hint, streams, devices, overlap:
+        Passed through to every dispatched driver call unchanged — the
+        service inherits the whole execution stack below it.
+    auto_poll_interval:
+        When set, a daemon thread calls :meth:`poll` every that many
+        seconds so age flushes fire without caller cooperation.  All
+        public methods are thread-safe either way.
+    clock:
+        Time source for deadlines and latency stamps (injectable for
+        deterministic tests and virtual-time benchmarks).
+    """
+
+    def __init__(self, *, device: DeviceSpec = H100_PCIE, stream=None,
+                 policy: BatchingPolicy | None = None,
+                 cache_entries: int | None = None,
+                 cache_bytes: int | None = None,
+                 vectorize: bool | None = None,
+                 resilient: bool = False, resilience_policy=None,
+                 max_resident_bytes: int | None = None,
+                 chunk_hint: int | None = None,
+                 streams: int | None = None, devices=None,
+                 overlap: bool | None = None,
+                 auto_poll_interval: float | None = None,
+                 clock=time.monotonic):
+        self.device = device
+        self.stream = stream
+        self.policy = policy or BatchingPolicy()
+        self.cache = FactorCache(max_entries=cache_entries,
+                                 max_bytes=cache_bytes, device=device)
+        self.vectorize = vectorize
+        self.resilient = resilient
+        self.resilience_policy = resilience_policy
+        self.max_resident_bytes = max_resident_bytes
+        self.chunk_hint = chunk_hint
+        self.streams = streams
+        self.devices = devices
+        self.overlap = overlap
+        self._clock = clock
+        self._report = ServiceReport()
+        self._pending: list[_Pending] = []
+        self._seq = 0
+        self._completions = 0
+        self._lock = threading.RLock()
+        self._closed = False
+        self._poller = None
+        self._poll_stop = threading.Event()
+        if auto_poll_interval is not None:
+            check_arg(auto_poll_interval > 0, 14,
+                      f"auto_poll_interval must be positive, "
+                      f"got {auto_poll_interval}")
+            self._poller = threading.Thread(
+                target=self._poll_loop, args=(float(auto_poll_interval),),
+                name="SolverService-poller", daemon=True)
+            self._poller.start()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def __enter__(self) -> "SolverService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush pending work, release every cache charge, stop polling."""
+        self._poll_stop.set()
+        if self._poller is not None:
+            self._poller.join(timeout=5.0)
+            self._poller = None
+        with self._lock:
+            if self._pending:
+                self._flush_locked("close")
+            self.cache.close()
+            self._sync_cache_counters()
+            self._closed = True
+
+    def _poll_loop(self, interval: float) -> None:
+        while not self._poll_stop.wait(interval):
+            self.poll()
+
+    # -- ingress ----------------------------------------------------------
+
+    def submit(self, kl: int, ku: int, ab, b) -> SolveHandle:
+        """Accept one band system ``A x = b``; returns a handle.
+
+        ``ab`` is the operator in LAPACK factor layout (``ldab >= 2*kl +
+        ku + 1`` rows, diagonal on row ``kl + ku``); ``b`` is ``(n,)`` or
+        ``(n, nrhs)``.  Both are snapshotted — later mutation of the
+        caller's arrays does not affect the request, and the operator
+        digest identifies the snapshot for caching.
+        """
+        ab = np.asarray(ab)
+        check_arg(not self._closed, 0, "service is closed")
+        check_arg(kl >= 0, 1, f"kl must be non-negative, got {kl}")
+        check_arg(ku >= 0, 2, f"ku must be non-negative, got {ku}")
+        check_arg(ab.ndim == 2, 3,
+                  f"ab must be 2-D (ldab, n), got shape {ab.shape}")
+        n = ab.shape[1]
+        check_arg(ab.shape[0] >= 2 * kl + ku + 1, 3,
+                  f"ldab={ab.shape[0]} < 2*kl+ku+1={2 * kl + ku + 1} "
+                  f"(factor layout required)")
+        b = np.asarray(b)
+        b_was_1d = b.ndim == 1
+        if b_was_1d:
+            b = b[:, None]
+        check_arg(b.ndim == 2 and b.shape[0] == n, 4,
+                  f"b must be (n,) or (n, nrhs) with n={n}, "
+                  f"got shape {b.shape}")
+        check_arg(b.dtype == ab.dtype, 4,
+                  f"b has dtype {b.dtype}, expected {ab.dtype}")
+        ab = np.ascontiguousarray(ab).copy()
+        b = np.ascontiguousarray(b).copy()
+        key = operand_digest(kl, ku, ab)
+        with self._lock:
+            now = self._clock()
+            handle = SolveHandle(self, self._seq, now)
+            req = _Pending(self._seq, n, int(kl), int(ku), b.shape[1],
+                           ab, b, b_was_1d, key, handle)
+            self._seq += 1
+            self._admit_locked(req)
+            self._pending.append(req)
+            self._report.requests += 1
+            if len(self._pending) >= self.policy.max_group:
+                self._flush_locked("size")
+            else:
+                self._age_flush_locked()
+        return handle
+
+    def solve(self, kl: int, ku: int, ab, b) -> np.ndarray:
+        """Batch-of-one convenience: submit, dispatch, return the solution.
+
+        Dispatches immediately — anything already pending coalesces into
+        the same flush.  Raises :class:`~repro.errors.
+        SingularMatrixError` when the operator is singular.
+        """
+        return self.submit(kl, ku, ab, b).result()
+
+    def poll(self) -> int:
+        """Fire an age flush if the oldest pending request is past the
+        deadline; returns the number of requests dispatched."""
+        with self._lock:
+            return self._age_flush_locked()
+
+    def flush(self) -> int:
+        """Dispatch everything pending now; returns requests dispatched."""
+        with self._lock:
+            return self._flush_locked("manual")
+
+    def invalidate(self, kl: int | None = None, ku: int | None = None,
+                   ab=None) -> int:
+        """Explicitly invalidate cached factorizations.
+
+        With no arguments the whole cache is dropped; with ``(kl, ku,
+        ab)`` only that operator's entry.  Returns entries dropped.
+        """
+        with self._lock:
+            if ab is None:
+                dropped = self.cache.invalidate()
+            else:
+                check_arg(kl is not None and ku is not None, 1,
+                          "invalidate(kl, ku, ab) needs all three")
+                dropped = self.cache.invalidate(
+                    operand_digest(kl, ku, np.ascontiguousarray(ab)))
+            self._sync_cache_counters()
+            return dropped
+
+    def report(self) -> ServiceReport:
+        """Detached snapshot of the service counters."""
+        with self._lock:
+            self._sync_cache_counters()
+            return self._report.copy()
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._pending)
+
+    # -- admission control (backpressure) ---------------------------------
+
+    def _admission_budget(self) -> int:
+        # Cached factorizations are reclaimable (the flush evicts them
+        # for headroom), so they count toward what a dispatch could get.
+        budget = memory_pool(self.device).available + self.cache.nbytes
+        if self.max_resident_bytes is not None:
+            budget = min(budget, int(self.max_resident_bytes))
+        if self.policy.max_pending_bytes is not None:
+            budget = min(budget, int(self.policy.max_pending_bytes))
+        return budget
+
+    def _admit_locked(self, req: _Pending) -> None:
+        """Keep the pending footprint inside the admission budget.
+
+        When the new request would push the pending set past the budget,
+        the set is flushed first (backpressure: the submit call absorbs
+        the dispatch latency).  A request that cannot fit even alone is
+        rejected eagerly on the plain path — with ``resilient=True`` it
+        is admitted and the drivers' OOM degradation ladder handles it.
+        """
+        budget = self._admission_budget()
+        pending_bytes = sum(r.lane_bytes for r in self._pending)
+        if self._pending and pending_bytes + req.lane_bytes > budget:
+            self._report.backpressure_flushes += 1
+            self._flush_locked("footprint")
+            budget = self._admission_budget()
+        if req.lane_bytes > budget and not self.resilient:
+            pool = memory_pool(self.device)
+            raise DeviceMemoryError(req.lane_bytes, pool.in_use, budget,
+                                    device=self.device.name)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _age_flush_locked(self) -> int:
+        if not self._pending:
+            return 0
+        oldest = self._pending[0].handle.submitted_at
+        if self._clock() - oldest >= self.policy.max_delay:
+            return self._flush_locked("age")
+        return 0
+
+    def _flush_for_result(self) -> None:
+        with self._lock:
+            if self._pending:
+                self._flush_locked("manual")
+
+    def _driver_knobs(self) -> dict:
+        return dict(device=self.device, stream=self.stream,
+                    vectorize=self.vectorize,
+                    max_resident_bytes=self.max_resident_bytes,
+                    chunk_hint=self.chunk_hint, streams=self.streams,
+                    devices=self.devices, overlap=self.overlap)
+
+    def _absorb_batch_report(self, rep) -> None:
+        self._report.batch_reports.append(rep.to_dict())
+        self._report.faults_tolerated += rep.faults_tolerated
+
+    def _flush_locked(self, reason: str) -> int:
+        pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        self._report.flushes[reason] = (
+            self._report.flushes.get(reason, 0) + 1)
+        # The cache yields to in-flight work: make sure the flush's
+        # footprint could be admitted before the drivers plan against
+        # the pool (evicted entries stay alive on the host for any
+        # pending request already holding their factors).
+        self.cache.ensure_headroom(sum(r.lane_bytes for r in pending))
+
+        # 1. Cache lookup per request; deduplicate the misses by digest.
+        reps: dict[str, _Pending] = {}
+        for req in pending:
+            entry = self.cache.lookup(req.key)
+            if entry is not None:
+                self._report.cache_hits += 1
+                req.factors, req.pivots = entry.factors, entry.pivots
+            else:
+                self._report.cache_misses += 1
+                reps.setdefault(req.key, req)
+
+        # 2. Factor stage: one vbatch call over the unique misses (the
+        #    driver buckets identical configurations internally).
+        rep_list = list(reps.values())
+        if rep_list:
+            dims = ([r.n for r in rep_list], [r.kl for r in rep_list],
+                    [r.ku for r in rep_list])
+            mats = [r.ab for r in rep_list]
+            if self.resilient:
+                pivots, finfo, brep = gbtrf_vbatch(
+                    dims[0], *dims, mats, resilient=True,
+                    policy=self.resilience_policy, **self._driver_knobs())
+                self._absorb_batch_report(brep)
+            else:
+                pivots, finfo = gbtrf_vbatch(dims[0], *dims, mats,
+                                             **self._driver_knobs())
+            self._report.factorizations += len(rep_list)
+            for j, r in enumerate(rep_list):
+                r.factors, r.pivots = r.ab, np.asarray(pivots[j])
+                r.finfo = int(finfo[j])
+        for req in pending:
+            if req.factors is None or req.finfo:     # shared miss lanes
+                rep = reps[req.key]
+                req.factors, req.pivots = rep.factors, rep.pivots
+                req.finfo = rep.finfo
+
+        # 3. Solve stage: group solvable requests by configuration and
+        #    dispatch each group through gbtrs_batch against the factors.
+        groups: dict[tuple, list[_Pending]] = defaultdict(list)
+        for req in pending:
+            if req.finfo == 0:
+                groups[(req.n, req.kl, req.ku, req.nrhs,
+                        req.factors.shape)].append(req)
+        for (n, kl, ku, nrhs, _shape), reqs in groups.items():
+            mats, pivs, rhs, seen = [], [], [], set()
+            for req in reqs:
+                f = req.factors
+                # A digest shared by several lanes aliases one factor
+                # array; the pack stage needs disjoint storage, so give
+                # duplicates their own copy unless per-block execution
+                # was forced.
+                if id(f) in seen and self.vectorize is not False:
+                    f = np.array(f)
+                seen.add(id(f))
+                mats.append(f)
+                pivs.append(req.pivots)
+                rhs.append(req.b)
+            if self.resilient:
+                _, brep = gbtrs_batch(
+                    Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivs, rhs,
+                    batch=len(reqs), resilient=True,
+                    policy=self.resilience_policy, **self._driver_knobs())
+                self._absorb_batch_report(brep)
+            else:
+                gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivs,
+                            rhs, batch=len(reqs), **self._driver_knobs())
+            self._report.dispatch_groups += 1
+            self._report.group_sizes[len(reqs)] = (
+                self._report.group_sizes.get(len(reqs), 0) + 1)
+
+        # Cache the fresh factorizations only now that the solves have
+        # run: inserting earlier would re-consume the headroom this flush
+        # evicted for itself and starve the gbtrs dispatch.
+        for r in rep_list:
+            if r.finfo == 0:
+                self.cache.insert(r.key, r.n, r.kl, r.ku, r.factors,
+                                  r.pivots)
+
+        # 4. Complete every handle, in submission order.
+        now = self._clock()
+        for req in pending:
+            x = req.b[:, 0] if req.b_was_1d else req.b
+            if req.finfo == 0:
+                self._report.solved += 1
+            else:
+                self._report.singular += 1
+            req.handle._complete(x, req.finfo, now, self._completions)
+            self._completions += 1
+        self._report.dispatched_lanes += len(pending)
+        self._sync_cache_counters()
+        return len(pending)
+
+    def _sync_cache_counters(self) -> None:
+        stats = self.cache.stats
+        self._report.cache_insertions = stats.insertions
+        self._report.cache_evictions = stats.evictions
+        self._report.cache_invalidations = stats.invalidations
+        self._report.cache_rejected = stats.rejected
+        self._report.cache_bytes = self.cache.nbytes
+        self._report.cache_entries = len(self.cache)
+
+    def __repr__(self) -> str:
+        return (f"SolverService(pending={len(self._pending)}, "
+                f"cache={len(self.cache)} entries, "
+                f"policy={self.policy})")

@@ -51,3 +51,43 @@ def test_checker_skips_no_run_fences(tmp_path):
         capture_output=True, text=True, cwd=REPO, timeout=60)
     assert proc.returncode == 0
     assert "1 block(s) checked" in proc.stdout
+
+
+def _freshness(root):
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_docs.py"),
+         "--freshness", str(root)],
+        capture_output=True, text=True, cwd=REPO, timeout=60)
+
+
+def test_repo_has_no_unregistered_doctested_files():
+    """Every doctested markdown file in this repo is in the checked set."""
+    proc = _freshness(REPO)
+    assert proc.returncode == 0, proc.stdout
+    assert "none carry runnable python fences" in proc.stdout
+
+
+def test_freshness_flags_an_unregistered_doctested_file(tmp_path):
+    (tmp_path / "README.md").write_text("# readme\n")
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "GUIDE.md").write_text(
+        "```python\n>>> 1 + 1\n2\n```\n")          # registered: fine
+    (tmp_path / "NOTES.md").write_text(
+        "```python\nprint('never runs in CI')\n```\n")
+    proc = _freshness(tmp_path)
+    assert proc.returncode != 0
+    assert "unregistered doctested file: NOTES.md" in proc.stdout
+
+
+def test_freshness_ignores_no_run_and_exempt_files(tmp_path):
+    (tmp_path / "README.md").write_text("# readme\n")
+    (tmp_path / "NOTES.md").write_text(
+        "```python no-run\npseudo_signature(...)\n```\n")
+    (tmp_path / "SNIPPETS.md").write_text(
+        "```python\nexemplar code, not an example\n```\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "SKILL.md").write_text(
+        "```python\nraise SystemExit\n```\n")
+    proc = _freshness(tmp_path)
+    assert proc.returncode == 0
+    assert "none carry runnable python fences" in proc.stdout

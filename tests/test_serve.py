@@ -1,0 +1,475 @@
+"""Service layer: coalescing, factorization cache, backpressure, report.
+
+The contracts under test (docs/SERVING.md):
+
+* coalescing is *transparent* — a request's result is bit-identical to a
+  direct ``gbtrf_batch`` + ``gbtrs_batch`` on the same operands, no
+  matter how it was grouped, and a seeded arrival process dispatches
+  deterministically;
+* a cache hit solves against byte-identical factors, so hit == cold at
+  ``atol=0``; explicit invalidation forces a re-factor;
+* cached bytes are real device residency: the pool's ``factor-cache``
+  ledger tracks them, a ``REPRO_GLOBAL_MEM_BYTES`` squeeze evicts them,
+  and ``close()`` releases everything;
+* backpressure flushes keep the pending footprint inside the admission
+  budget; age flushes preserve submission order;
+* ``ServiceReport`` round-trips through ``to_dict()/from_dict()``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    ArgumentError,
+    BatchingPolicy,
+    DeviceMemoryError,
+    FactorCache,
+    ServiceReport,
+    SingularMatrixError,
+    SolverService,
+    operand_digest,
+)
+from repro.band.generate import random_band, random_rhs
+from repro.core import gbtrf_batch, gbtrs_batch
+from repro.gpusim import H100_PCIE
+from repro.gpusim.memory import memory_pool, reset_memory_pools
+from repro.serve.cache import CACHE_LABEL
+
+N, KL, KU = 32, 2, 3
+
+
+def _system(seed, n=N, kl=KL, ku=KU, nrhs=1):
+    ab = random_band(n, kl, ku, seed=seed)
+    b = random_rhs(n, nrhs, seed=seed + 1000)
+    return ab, b
+
+
+def _direct(ab, b, kl=KL, ku=KU):
+    """Cold-path reference: the two-stage drivers on copies."""
+    n = ab.shape[1]
+    abf, bf = ab.copy(), b.copy()
+    if bf.ndim == 1:
+        bf = bf[:, None]
+    piv, info = gbtrf_batch(n, n, kl, ku, [abf], batch=1)
+    assert int(info[0]) == 0
+    gbtrs_batch("N", n, kl, ku, bf.shape[1], [abf], piv, [bf], batch=1)
+    return bf
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+# --- correctness -----------------------------------------------------------
+
+
+def test_solve_matches_direct_two_stage():
+    ab, b = _system(0)
+    with SolverService() as svc:
+        x = svc.solve(KL, KU, ab, b[:, 0])
+    assert x.tobytes() == _direct(ab, b[:, 0])[:, 0].tobytes()
+
+
+def test_solve_multi_rhs_and_shape():
+    ab, b = _system(1, nrhs=3)
+    with SolverService() as svc:
+        x = svc.solve(KL, KU, ab, b)
+    assert x.shape == (N, 3)
+    assert x.tobytes() == _direct(ab, b).tobytes()
+
+
+def test_submitted_operands_are_snapshotted():
+    ab, b = _system(2)
+    ab_before, b_before = ab.copy(), b.copy()
+    with SolverService() as svc:
+        h = svc.submit(KL, KU, ab, b)
+        ab += 1.0                       # caller mutates after submit
+        b += 1.0
+        x = h.result()
+    assert x.tobytes() == _direct(ab_before, b_before).tobytes()
+    np.testing.assert_array_equal(ab, ab_before + 1.0)
+
+
+def test_coalesced_group_matches_per_request_solutions():
+    systems = [_system(seed) for seed in range(8)]
+    with SolverService(policy=BatchingPolicy(max_group=8)) as svc:
+        handles = [svc.submit(KL, KU, ab, b) for ab, b in systems]
+        assert all(h.done for h in handles)      # size flush fired
+    for h, (ab, b) in zip(handles, systems):
+        assert h.solution.tobytes() == _direct(ab, b).tobytes()
+
+
+def test_solve_accuracy_against_scipy():
+    scipy = pytest.importorskip("scipy.linalg")
+    ab, b = _system(3)
+    from repro.band.convert import band_to_dense
+    dense = band_to_dense(ab, N, KL, KU)
+    with SolverService() as svc:
+        x = svc.solve(KL, KU, ab, b)
+    np.testing.assert_allclose(dense @ x, b, atol=1e-10)
+
+
+def test_argument_validation():
+    ab, b = _system(4)
+    with SolverService() as svc:
+        with pytest.raises(ArgumentError):
+            svc.submit(-1, KU, ab, b)
+        with pytest.raises(ArgumentError):
+            svc.submit(KL, KU, ab[:KL + KU, :], b)      # band layout only
+        with pytest.raises(ArgumentError):
+            svc.submit(KL, KU, ab, b[:-1])
+        with pytest.raises(ArgumentError):
+            svc.submit(KL, KU, ab, b.astype(np.float32))
+
+
+def test_singular_operator_reports_info_and_leaves_rhs():
+    ab, b = _system(5)
+    ab[KL + KU, :] = 0.0                # exactly zero diagonal
+    ab[:KL + KU, :] = 0.0
+    ab[KL + KU + 1:, :] = 0.0
+    with SolverService() as svc:
+        h = svc.submit(KL, KU, ab, b)
+        with pytest.raises(SingularMatrixError):
+            h.result()
+        assert h.info > 0
+        assert h.solution.tobytes() == b.tobytes()      # B untouched
+        rep = svc.report()
+    assert rep.singular == 1 and rep.solved == 0
+    assert rep.cache_entries == 0       # singular factors are not cached
+
+
+# --- coalescing determinism ------------------------------------------------
+
+
+def _seeded_traffic(svc, *, requests=24, operators=5, seed=7):
+    """A seeded arrival mix of repeated operators and fresh right-hand
+    sides; returns the solution bytes in submission order."""
+    rng = np.random.default_rng(seed)
+    ops = [random_band(N, KL, KU, seed=100 + k) for k in range(operators)]
+    handles = []
+    for i in range(requests):
+        ab = ops[int(rng.integers(operators))]
+        b = random_rhs(N, 1, seed=int(rng.integers(1 << 30)))
+        handles.append(svc.submit(KL, KU, ab, b))
+    svc.flush()
+    return [h.solution.tobytes() for h in handles]
+
+
+def test_coalescing_is_deterministic_under_seeded_arrivals():
+    runs = []
+    for _ in range(2):
+        reset_memory_pools()
+        with SolverService(policy=BatchingPolicy(max_group=6)) as svc:
+            runs.append((_seeded_traffic(svc), svc.report().to_dict()))
+    (sols_a, rep_a), (sols_b, rep_b) = runs
+    assert sols_a == sols_b
+    assert rep_a == rep_b               # same flushes, groups, cache stats
+
+
+def test_group_size_never_changes_results():
+    systems = [_system(seed) for seed in range(10)]
+    baseline = [_direct(ab, b).tobytes() for ab, b in systems]
+    for max_group in (1, 3, 10):
+        reset_memory_pools()
+        with SolverService(
+                policy=BatchingPolicy(max_group=max_group)) as svc:
+            handles = [svc.submit(KL, KU, ab, b) for ab, b in systems]
+            svc.flush()
+            got = [h.solution.tobytes() for h in handles]
+        assert got == baseline, f"max_group={max_group} changed results"
+
+
+# --- factorization cache ---------------------------------------------------
+
+
+def test_cache_hit_is_bit_identical_to_cold_path():
+    ab, _ = _system(11)
+    with SolverService() as svc:
+        xs = [svc.solve(KL, KU, ab, random_rhs(N, 1, seed=s))
+              for s in range(4)]
+        rep = svc.report()
+    assert rep.cache_misses == 1 and rep.cache_hits == 3
+    assert rep.factorizations == 1      # gbtrf ran exactly once
+    for s, x in enumerate(xs):
+        cold = _direct(ab, random_rhs(N, 1, seed=s))
+        assert x.tobytes() == cold.tobytes()
+
+
+def test_duplicate_operators_in_one_flush_factor_once():
+    ab, _ = _system(12)
+    rhs = [random_rhs(N, 1, seed=s) for s in range(5)]
+    with SolverService(policy=BatchingPolicy(max_group=64)) as svc:
+        handles = [svc.submit(KL, KU, ab, b) for b in rhs]
+        svc.flush()
+        rep = svc.report()
+    assert rep.factorizations == 1
+    assert rep.cache_misses == 5        # all looked up before the factor
+    for h, b in zip(handles, rhs):
+        assert h.solution.tobytes() == _direct(ab, b).tobytes()
+
+
+def test_vectorize_true_handles_shared_factors():
+    ab, _ = _system(13)
+    rhs = [random_rhs(N, 1, seed=s) for s in range(4)]
+    with SolverService(vectorize=True,
+                       policy=BatchingPolicy(max_group=64)) as svc:
+        handles = [svc.submit(KL, KU, ab, b) for b in rhs]
+        svc.flush()
+    for h, b in zip(handles, rhs):
+        assert h.solution.tobytes() == _direct(ab, b).tobytes()
+
+
+def test_digest_separates_bandwidths_dtypes_and_content():
+    ab, _ = _system(14)
+    base = operand_digest(KL, KU, ab)
+    assert operand_digest(KL + 1, KU, ab) != base
+    assert operand_digest(KL, KU, ab.astype(np.complex128)) != base
+    bumped = ab.copy()
+    bumped[KL + KU, 0] += 1e-12
+    assert operand_digest(KL, KU, bumped) != base
+    assert operand_digest(KL, KU, ab.copy()) == base    # content, not id
+
+
+def test_explicit_invalidation_forces_refactor():
+    ab, b = _system(15)
+    with SolverService() as svc:
+        svc.solve(KL, KU, ab, b)
+        assert svc.invalidate(KL, KU, ab) == 1
+        assert svc.invalidate(KL, KU, ab) == 0          # already gone
+        svc.solve(KL, KU, ab, b)
+        rep = svc.report()
+    assert rep.factorizations == 2
+    assert rep.cache_invalidations == 1
+
+
+def test_invalidate_all_clears_cache_and_pool_charge():
+    with SolverService() as svc:
+        for seed in range(3):
+            ab, b = _system(20 + seed)
+            svc.solve(KL, KU, ab, b)
+        pool = memory_pool(H100_PCIE)
+        assert pool.in_use_by_label[CACHE_LABEL] == svc.report().cache_bytes
+        assert svc.invalidate() == 3
+        assert CACHE_LABEL not in pool.in_use_by_label
+        assert svc.report().cache_entries == 0
+
+
+def test_lru_eviction_under_entry_cap():
+    with SolverService(cache_entries=2) as svc:
+        systems = [_system(30 + k) for k in range(3)]
+        for ab, b in systems:
+            svc.solve(KL, KU, ab, b)
+        # 0 is LRU and evicted; 1 and 2 resident.
+        svc.solve(KL, KU, systems[1][0], systems[1][1])
+        svc.solve(KL, KU, systems[0][0], systems[0][1])
+        rep = svc.report()
+    assert rep.cache_evictions == 2     # first insert of 2, re-insert of 0
+    assert rep.cache_hits == 1          # only the re-solve of 1
+    assert rep.factorizations == 4
+
+
+def test_cache_disabled_baseline():
+    ab, b = _system(40)
+    with SolverService(cache_entries=0) as svc:
+        svc.solve(KL, KU, ab, b)
+        svc.solve(KL, KU, ab, b)
+        rep = svc.report()
+    assert rep.cache_hits == 0
+    assert rep.factorizations == 2
+    assert rep.cache_entries == 0 and rep.cache_rejected == 2
+
+
+def test_eviction_under_global_memory_squeeze(monkeypatch):
+    """A tiny device pool evicts the cache instead of breaking solves."""
+    monkeypatch.setenv("REPRO_GLOBAL_MEM_BYTES", str(64 * 1024))
+    reset_memory_pools()
+    n = 256                             # ~18 KiB per cached factorization
+    with SolverService() as svc:
+        handles, systems = [], [_system(50 + k, n=n) for k in range(8)]
+        for ab, b in systems:
+            handles.append(svc.submit(KL, KU, ab, b))
+            svc.flush()
+        rep = svc.report()
+        pool = memory_pool(H100_PCIE)
+        assert rep.cache_evictions > 0  # the squeeze displaced entries
+        assert rep.cache_entries < 8
+        assert pool.in_use_by_label.get(CACHE_LABEL, 0) == rep.cache_bytes
+        assert rep.cache_bytes <= 64 * 1024
+    for h, (ab, b) in zip(handles, systems):
+        assert h.solution.tobytes() == _direct(ab, b).tobytes()
+    assert memory_pool(H100_PCIE).in_use == 0           # close() released
+
+
+def test_close_releases_every_pool_charge():
+    svc = SolverService()
+    for seed in range(4):
+        ab, b = _system(60 + seed)
+        svc.solve(KL, KU, ab, b)
+    assert memory_pool(H100_PCIE).in_use > 0
+    svc.close()
+    assert memory_pool(H100_PCIE).in_use == 0
+    with pytest.raises(ArgumentError):
+        svc.submit(KL, KU, *_system(64))
+
+
+# --- backpressure and deadlines --------------------------------------------
+
+
+def test_backpressure_flushes_before_budget_overflow():
+    ab, b = _system(70)
+    lane = ab.nbytes + N * 8 + b.nbytes + 8 + 24
+    with SolverService(cache_entries=0, max_resident_bytes=3 * lane,
+                       policy=BatchingPolicy(max_group=1000,
+                                             max_delay=1e9)) as svc:
+        handles = [svc.submit(KL, KU, *_system(71 + k)) for k in range(7)]
+        rep = svc.report()
+        assert rep.backpressure_flushes >= 2
+        assert rep.flushes.get("footprint", 0) == rep.backpressure_flushes
+        assert svc.pending > 0          # tail still coalescing
+        svc.flush()
+    assert all(h.done for h in handles)
+
+
+def test_oversized_single_request_rejected_eagerly():
+    ab, b = _system(72)
+    with SolverService(max_resident_bytes=ab.nbytes // 2,
+                       cache_entries=0) as svc:
+        with pytest.raises(DeviceMemoryError):
+            svc.submit(KL, KU, ab, b)
+        assert svc.report().requests == 0
+
+
+def test_flush_on_age_fires_at_deadline_and_preserves_order():
+    clock = FakeClock()
+    with SolverService(policy=BatchingPolicy(max_group=1000,
+                                             max_delay=0.010),
+                       clock=clock) as svc:
+        h1 = svc.submit(KL, KU, *_system(80))
+        clock.advance(0.004)
+        h2 = svc.submit(KL, KU, *_system(81))
+        clock.advance(0.004)
+        assert svc.poll() == 0          # oldest is 8 ms old: below deadline
+        assert not h1.done
+        clock.advance(0.004)
+        assert svc.poll() == 2          # 12 ms: age flush takes both
+        rep = svc.report()
+        assert rep.flushes == {"age": 1}
+        # Completion follows submission order, and latency is clocked.
+        assert h1.completion_index < h2.completion_index
+        assert h1.latency == pytest.approx(0.012)
+        assert h2.latency == pytest.approx(0.008)
+
+
+def test_age_flush_via_submit_of_next_request():
+    clock = FakeClock()
+    with SolverService(policy=BatchingPolicy(max_group=1000,
+                                             max_delay=0.005),
+                       clock=clock) as svc:
+        h1 = svc.submit(KL, KU, *_system(82))
+        clock.advance(0.006)
+        h2 = svc.submit(KL, KU, *_system(83))   # trips the deadline check
+        # The aged request fires the flush; the fresh one rides along
+        # (coalescing never holds a dispatch back to wait for age).
+        assert h1.done and h2.done
+        assert svc.report().flushes == {"age": 1}
+
+
+def test_background_poller_flushes_by_age():
+    import time as _time
+    with SolverService(policy=BatchingPolicy(max_group=1000,
+                                             max_delay=0.01),
+                       auto_poll_interval=0.005) as svc:
+        h = svc.submit(KL, KU, *_system(84))
+        deadline = _time.monotonic() + 5.0
+        while not h.done and _time.monotonic() < deadline:
+            _time.sleep(0.005)
+        assert h.done
+        assert svc.report().flushes.get("age", 0) >= 1
+
+
+def test_close_flushes_pending():
+    svc = SolverService(policy=BatchingPolicy(max_group=1000,
+                                              max_delay=1e9))
+    h = svc.submit(KL, KU, *_system(85))
+    assert not h.done
+    svc.close()
+    assert h.done
+    ab, b = _system(85)
+    assert h.solution.tobytes() == _direct(ab, b).tobytes()
+
+
+# --- resilient dispatch ----------------------------------------------------
+
+
+def test_resilient_mode_attaches_batch_reports():
+    ab, b = _system(90)
+    with SolverService(resilient=True) as svc:
+        x = svc.solve(KL, KU, ab, b)
+        rep = svc.report()
+    assert x.tobytes() == _direct(ab, b).tobytes()
+    assert len(rep.batch_reports) == 2          # one gbtrf, one gbtrs
+    ops = {r["operation"] for r in rep.batch_reports}
+    assert ops == {"gbtrf", "gbtrs"}
+    assert rep.faults_tolerated == 0
+    assert rep.ok
+
+
+def test_resilient_mode_survives_a_fault_storm():
+    from repro.gpusim.faults import FaultPlan, fault_injection
+    ab, b = _system(91)
+    plan = FaultPlan(seed=5, launch_failure_rate=0.3)
+    with fault_injection(H100_PCIE, plan):
+        with SolverService(resilient=True) as svc:
+            x = svc.solve(KL, KU, ab, b)
+            rep = svc.report()
+    assert x.tobytes() == _direct(ab, b).tobytes()
+    assert rep.ok
+
+
+# --- the report ------------------------------------------------------------
+
+
+def test_report_round_trips_via_to_dict_from_dict():
+    with SolverService(policy=BatchingPolicy(max_group=3),
+                       resilient=True) as svc:
+        _seeded_traffic(svc, requests=9, operators=2, seed=3)
+        rep = svc.report()
+    data = rep.to_dict()
+    back = ServiceReport.from_dict(data)
+    assert back.to_dict() == data
+    assert back.hit_rate == rep.hit_rate
+    assert back.mean_group_size == rep.mean_group_size
+    import json
+    json.dumps(data)                    # JSON-safe by construction
+
+
+def test_report_snapshot_is_detached():
+    with SolverService() as svc:
+        before = svc.report()
+        svc.solve(KL, KU, *_system(95))
+        after = svc.report()
+    assert before.requests == 0 and after.requests == 1
+    before.requests = 123               # mutating a snapshot is harmless
+    assert svc._report.requests == 1
+
+
+def test_report_counts_flush_reasons_and_groups():
+    with SolverService(policy=BatchingPolicy(max_group=2)) as svc:
+        for seed in range(5):
+            svc.submit(KL, KU, *_system(200 + seed))
+        svc.flush()
+        rep = svc.report()
+    assert rep.flushes["size"] == 2 and rep.flushes["manual"] == 1
+    assert rep.dispatched_lanes == 5
+    assert sum(int(s) * c for s, c in rep.group_sizes.items()) == 5
+    assert rep.mean_group_size > 1.0
+    assert rep.summary().startswith("serve requests=5")

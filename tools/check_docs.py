@@ -12,10 +12,18 @@ namespace, in order, so a later fence may use names a former one defined
 Usage::
 
     python tools/check_docs.py [file.md ...]
+    python tools/check_docs.py --freshness [root]
 
 With no arguments the default set is checked: ``README.md`` and every
 ``docs/*.md``.  Exits non-zero on the first failing block, printing the
 file, fence number and error.
+
+``--freshness`` audits the registration itself: every markdown file in
+the tree that carries runnable ``python`` fences must be *in* the
+default set (or be one of the known repo-meta files in ``EXEMPT``, whose
+code blocks are reference material, not examples).  A doctested guide
+that never runs is worse than none — it rots silently — so CI fails
+when one appears outside the checked set.
 """
 
 from __future__ import annotations
@@ -27,6 +35,11 @@ import traceback
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
+
+#: Repo-meta markdown whose code blocks are reference material (paper
+#: excerpts, exemplar snippets, task logs) — never doc examples to run.
+EXEMPT = {"SNIPPETS.md", "PAPER.md", "PAPERS.md", "ISSUE.md",
+          "CHANGES.md", "ROADMAP.md"}
 
 FENCE_RE = re.compile(
     r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
@@ -80,11 +93,50 @@ def check_file(path: Path) -> int:
     return failed
 
 
+def default_set(root: Path) -> list[Path]:
+    """The registered docs: ``README.md`` plus every ``docs/*.md``."""
+    return [root / "README.md", *sorted((root / "docs").glob("*.md"))]
+
+
+def check_freshness(root: Path) -> int:
+    """Fail when a markdown file outside the default set has runnable
+    python fences (it would never be checked — silent rot)."""
+    registered = {p.resolve() for p in default_set(root)}
+    scanned = 0
+    stale: list[tuple[Path, int]] = []
+    for path in sorted(root.rglob("*.md")):
+        rel = path.relative_to(root)
+        if any(part.startswith(".") for part in rel.parts):
+            continue
+        if path.resolve() in registered or path.name in EXEMPT:
+            continue
+        scanned += 1
+        runnable = sum(1 for _, _, _, skipped
+                       in python_blocks(path.read_text())
+                       if not skipped)
+        if runnable:
+            stale.append((rel, runnable))
+    for rel, runnable in stale:
+        print(f"unregistered doctested file: {rel} "
+              f"({runnable} runnable python fence(s)) — move it under "
+              f"docs/, or fence the blocks as `python no-run`")
+    if not stale:
+        print(f"freshness: {scanned} unregistered file(s) scanned, "
+              f"none carry runnable python fences")
+    return 1 if stale else 0
+
+
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--freshness":
+        root = Path(argv[1]).resolve() if len(argv) > 1 else REPO
+        if not root.is_dir():
+            print(f"not a directory: {root}")
+            return 1
+        return check_freshness(root)
     if argv:
         paths = [Path(a) for a in argv]
     else:
-        paths = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+        paths = default_set(REPO)
     total = 0
     for path in paths:
         if not path.exists():
