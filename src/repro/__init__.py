@@ -24,6 +24,7 @@ Quick start::
 from .band import (
     BandLayout,
     alloc_band,
+    alloc_band_interleaved,
     band_to_dense,
     bandwidth_of_dense,
     dense_to_band,
@@ -31,11 +32,14 @@ from .band import (
     gbmm,
     gbmv,
     graded_condition_band,
+    is_interleaved,
     random_band,
     random_band_batch,
     random_band_dense,
     random_rhs,
     solve_residual,
+    to_interleaved,
+    to_lane_major,
 )
 from .core import (
     BandSpecialization,
@@ -88,14 +92,16 @@ __all__ = [
     "ReproError", "ResiliencePolicy", "ServiceReport",
     "SharedMemoryError",
     "SingularMatrixError", "SolverService", "Stream", "Trans",
-    "alloc_band", "band_to_dense", "bandwidth_of_dense",
+    "alloc_band", "alloc_band_interleaved", "band_to_dense",
+    "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",
     "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",
     "diagonally_dominant_band", "estimate_footprint",
     "gbmm", "gbmv", "gbsv", "gbsv_batch",
     "gbsv_vbatch", "gbtrf", "gbtrf_batch", "gbtrf_vbatch", "gbtrs",
     "gbtrs_batch", "get_device", "graded_condition_band",
+    "is_interleaved",
     "last_pipeline_result", "operand_digest", "plan_batch",
     "random_band", "random_band_batch", "random_band_dense", "random_rhs",
-    "solve_residual",
+    "solve_residual", "to_interleaved", "to_lane_major",
 ]

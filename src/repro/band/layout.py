@@ -28,6 +28,8 @@ from ..errors import check_arg
 
 __all__ = [
     "BandLayout",
+    "INTERLEAVED",
+    "LANE_MAJOR",
     "ldab_for_factor",
     "ldab_for_storage",
     "diag_row",
@@ -35,6 +37,11 @@ __all__ = [
     "in_band",
     "col_rows",
     "alloc_band",
+    "alloc_band_interleaved",
+    "normalize_layout",
+    "is_interleaved",
+    "to_interleaved",
+    "to_lane_major",
 ]
 
 
@@ -92,6 +99,103 @@ def alloc_band(n: int, kl: int, ku: int, dtype=np.float64, *,
               f"ldab={ldab} < 2*kl+ku+1={ldab_for_factor(kl, ku)}")
     shape = (ldab, n) if batch is None else (batch, ldab, n)
     return np.zeros(shape, dtype=dtype)
+
+
+# --- batch storage layouts -------------------------------------------------
+#
+# A *batch* of band matrices can be stored two ways (docs/LAYOUTS.md):
+#
+# * **lane-major** (array-of-structures): the classic ``(batch, ldab, n)``
+#   C-contiguous stack — each matrix occupies one contiguous slab, the
+#   lane index has the *largest* stride.
+# * **interleaved** (structure-of-arrays): the lane index is the
+#   *fastest-varying* axis — element ``(i, j)`` of every matrix in the
+#   batch sits contiguously, which is the coalesced-access layout of
+#   "Efficient Interleaved Batch Matrix Solvers for CUDA" (PAPERS.md).
+#   Physically the buffer is a C-contiguous ``(ldab, n, batch)`` array;
+#   logically it is always handled as a ``(batch, ldab, n)`` transposed
+#   view so every consumer keeps the one indexing convention.
+
+LANE_MAJOR = "lane-major"
+INTERLEAVED = "interleaved"
+
+_LAYOUT_ALIASES = {
+    "lane-major": LANE_MAJOR, "aos": LANE_MAJOR,
+    "interleaved": INTERLEAVED, "soa": INTERLEAVED,
+}
+
+
+def normalize_layout(layout: str | None) -> str | None:
+    """Canonicalise a ``layout=`` knob value.
+
+    ``None`` (auto: run each batch in the layout it arrives in) passes
+    through; ``'lane-major'``/``'aos'`` and ``'interleaved'``/``'soa'``
+    map to the two canonical names.  Anything else raises.
+    """
+    if layout is None:
+        return None
+    key = str(layout).lower()
+    check_arg(key in _LAYOUT_ALIASES, 0,
+              f"layout must be None, 'lane-major'/'aos' or "
+              f"'interleaved'/'soa', got {layout!r}")
+    return _LAYOUT_ALIASES[key]
+
+
+def alloc_band_interleaved(n: int, kl: int, ku: int, batch: int,
+                           dtype=np.float64, *,
+                           ldab: int | None = None) -> np.ndarray:
+    """Allocate a zeroed batch-interleaved band stack in factor layout.
+
+    Returns the canonical *logical* view: shape ``(batch, ldab, n)`` with
+    the lane index fastest-varying in memory (the underlying buffer is a
+    C-contiguous ``(ldab, n, batch)`` array).  Drop-in compatible with
+    :func:`alloc_band`'s ``batch=`` form — same indexing, different
+    element order.
+    """
+    check_arg(batch >= 0, 5, f"batch must be non-negative, got {batch}")
+    buf = alloc_band(n, kl, ku, dtype, batch=batch, ldab=ldab)
+    return np.zeros(buf.shape[1:] + (batch,), dtype=dtype).transpose(2, 0, 1)
+
+
+def is_interleaved(stack: np.ndarray) -> bool:
+    """True when a 3-D logical ``(batch, ...)`` stack is lane-fastest.
+
+    The canonical interleaved form keeps adjacent lanes one element
+    apart: the batch-axis stride equals the itemsize.  Lane-axis slices
+    (``stack[a:b]``) of an interleaved stack stay interleaved.
+    """
+    return (isinstance(stack, np.ndarray) and stack.ndim == 3
+            and stack.size > 0
+            and stack.strides[0] == stack.itemsize)
+
+
+def to_interleaved(stack: np.ndarray) -> np.ndarray:
+    """Copy a logical ``(batch, ...)`` stack into interleaved form.
+
+    The returned array compares equal element-wise (``np.array_equal``)
+    and indexes identically; only the memory order changes (the lane
+    axis becomes fastest-varying).  Already interleaved input is still
+    copied (fresh storage).
+    """
+    stack = np.asarray(stack)
+    check_arg(stack.ndim >= 2, 1,
+              f"expected a (batch, ...) stack, got ndim={stack.ndim}")
+    buf = np.zeros(stack.shape[1:] + (stack.shape[0],), dtype=stack.dtype)
+    out = np.moveaxis(buf, -1, 0)
+    out[...] = stack
+    return out
+
+
+def to_lane_major(stack: np.ndarray) -> np.ndarray:
+    """Copy a logical ``(batch, ...)`` stack into lane-major form.
+
+    Inverse of :func:`to_interleaved` up to memory order: the result is
+    a C-contiguous array with identical elements.
+    """
+    stack = np.asarray(stack)
+    check_arg(stack.ndim >= 2, 1,
+              f"expected a (batch, ...) stack, got ndim={stack.ndim}")
+    return np.ascontiguousarray(stack)
 
 
 @dataclass(frozen=True)

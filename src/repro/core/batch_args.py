@@ -15,9 +15,17 @@ LAPACK argument checking: the 1-based argument positions in raised
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
-from ..band.layout import ldab_for_factor
+from ..band.layout import (
+    INTERLEAVED,
+    LANE_MAJOR,
+    ldab_for_factor,
+    to_interleaved,
+    to_lane_major,
+)
 from ..errors import ArgumentError, check_arg
 from ..gpusim.memory import PointerArray, is_packable_batch
 
@@ -28,7 +36,12 @@ __all__ = [
     "ensure_info",
     "check_gb_args",
     "is_uniform_stack",
+    "is_interleaved_stack",
     "is_packable_batch",
+    "stack_view",
+    "stage_stack",
+    "soa_stageable",
+    "convert_batch_layout",
 ]
 
 
@@ -67,6 +80,178 @@ def is_uniform_stack(mats) -> bool:
         if mk.__array_interface__["data"][0] != ptr0 + k * extent:
             return False
     return True
+
+
+def is_interleaved_stack(mats) -> bool:
+    """True when ``mats`` are lanes of one batch-interleaved (SoA) stack.
+
+    This is the eligibility gate for the SoA-native execution path
+    (``[vec+soa]`` in traces): every per-problem view must share the same
+    base array, shape, dtype and strides, with data pointers at a
+    constant positive delta ``d`` — lane ``k`` starts ``k*d`` bytes after
+    lane 0, the lane-fastest layout of
+    :func:`repro.band.layout.alloc_band_interleaved`.  Disjointness of
+    the lanes is proven from the strides: every in-view stride is a
+    multiple of some ``g`` with ``g >= nlanes * d``, so two lanes can
+    never address the same element.  Consecutive sub-slices of an
+    interleaved batch (as the chunked executor takes) stay detectable,
+    which is what keeps governance, pipelining and resilience
+    layout-native with zero extra conversions.
+    """
+    nlanes = len(mats)
+    if nlanes < 2:
+        return False
+    first = mats[0]
+    if not isinstance(first, np.ndarray) or first.base is None:
+        return False
+    base = first.base
+    shape, dtype, strides = first.shape, first.dtype, first.strides
+    ptr0 = first.__array_interface__["data"][0]
+    prev = ptr0
+    d = None
+    for mk in mats[1:]:
+        if (not isinstance(mk, np.ndarray) or mk.base is not base
+                or mk.shape != shape or mk.dtype != dtype
+                or mk.strides != strides):
+            return False
+        ptr = mk.__array_interface__["data"][0]
+        if d is None:
+            d = ptr - prev
+            if d <= 0:
+                return False
+        elif ptr - prev != d:
+            return False
+        prev = ptr
+    # Lane disjointness: strides along extents > 1 must share a common
+    # divisor g that is a multiple of d and covers all nlanes offsets.
+    live = [abs(s) for s, e in zip(strides, shape) if e > 1]
+    if not live:
+        return d >= dtype.itemsize
+    g = math.gcd(*live)
+    return g % d == 0 and g // d >= nlanes
+
+
+def stack_view(mats) -> np.ndarray:
+    """Writable ``(batch, ...)`` view over an interleaved lane list.
+
+    Only valid when :func:`is_interleaved_stack` returned True: the view
+    aliases exactly the union of the per-lane views (lane ``k`` of the
+    result *is* ``mats[k]``'s memory), so kernels can execute on it in
+    place — no gather, no scatter.
+    """
+    first = mats[0]
+    d = (mats[1].__array_interface__["data"][0]
+         - first.__array_interface__["data"][0])
+    return np.lib.stride_tricks.as_strided(
+        first, shape=(len(mats),) + first.shape,
+        strides=(d,) + first.strides)
+
+
+def stage_stack(seq, nblocks: int, *, rows: int | None = None):
+    """Stage the first ``nblocks`` operands as a ``(nblocks, ...)`` stack.
+
+    Returns ``(stack, inplace)``.  An interleaved lane list stages as a
+    writable zero-copy view (``inplace=True`` — mutations land directly
+    in the caller's storage, no write-back needed); anything else is
+    gathered with :func:`numpy.stack` (``inplace=False`` — the kernel
+    must scatter results back).  ``rows`` optionally trims each operand
+    to its first ``rows`` rows (the factor-layout ``ldab`` slice).
+    """
+    sub = list(seq[:nblocks])
+    if is_interleaved_stack(sub):
+        view = stack_view(sub)
+        if rows is not None:
+            view = view[:, :rows, :]
+        return view, True
+    if rows is not None:
+        sub = [a[:rows, :] for a in sub]
+    return np.stack(sub), False
+
+
+def soa_stageable(*seqs) -> bool:
+    """SoA-route eligibility across several operand lists.
+
+    True when every operand batch can be staged for the batch-interleaved
+    body — interleaved lanes stage as zero-copy views, uniform lane-major
+    stacks gather as before — and at least one of them is actually
+    interleaved (otherwise the classic ``[vec]`` route already applies).
+    """
+    any_soa = False
+    for seq in seqs:
+        if is_interleaved_stack(seq):
+            any_soa = True
+        elif not is_uniform_stack(seq):
+            return False
+    return any_soa
+
+
+def convert_batch_layout(layout: str, operands, *, batch: int,
+                         outputs=None):
+    """Stage batched operands into ``layout`` at the batch boundary.
+
+    ``operands`` is a sequence of batched arguments (each a 3-D logical
+    stack or a list of per-problem 2-D arrays); ``layout`` is a
+    canonical name from :func:`repro.band.layout.normalize_layout`.
+    Returns ``None`` when nothing needs converting (every operand is
+    already in the requested layout), else ``(converted, writeback,
+    nbytes)``: ``converted`` mirrors ``operands`` with working copies in
+    the target layout, ``writeback()`` copies results back into the
+    caller's storage, and ``nbytes`` is the total traffic of the
+    round-trip (in + out, ``pack_bytes``-style) for trace attribution.
+
+    ``outputs`` is an optional per-operand boolean mask: ``False`` marks
+    a pure input (``gbtrs`` factors, for example) — it is staged into the
+    working layout but never written back, so read-only inputs convert
+    fine and the return copy is skipped (its traffic is counted one-way).
+
+    This is the *one conversion per batch* of the layout contract
+    (docs/LAYOUTS.md): drivers call it once, before governance splits
+    the batch into chunks, so every downstream stage runs natively.
+    """
+    if outputs is None:
+        outputs = (True,) * len(operands)
+    originals, converted, moved = [], [], 0
+    for op, is_output in zip(operands, outputs):
+        if op is None:
+            converted.append(None)
+            continue
+        if isinstance(op, np.ndarray) and op.ndim >= 2:
+            mats = list(op)
+        else:
+            mats = [np.asarray(m) for m in op]
+        check_arg(len(mats) == batch, 0,
+                  f"operand has {len(mats)} entries, expected {batch}")
+        if batch == 0:
+            converted.append(op)
+            continue
+        shape = mats[0].shape
+        if layout == INTERLEAVED and is_interleaved_stack(mats):
+            converted.append(op)
+            continue
+        if layout == LANE_MAJOR and not is_interleaved_stack(mats):
+            # Lane-major (or scattered/packable) input already runs the
+            # classic path; nothing to stage.
+            converted.append(op)
+            continue
+        check_arg(all(m.shape == shape for m in mats), 0,
+                  "layout conversion requires uniform per-problem shapes "
+                  f"(got {sorted({m.shape for m in mats})})")
+        gathered = np.stack(mats)
+        work = (to_interleaved(gathered) if layout == INTERLEAVED
+                else to_lane_major(gathered))
+        if is_output:
+            originals.append((mats, work))
+        converted.append(work)
+        moved += (2 if is_output else 1) * int(gathered.nbytes)
+    if not originals and moved == 0:
+        return None
+
+    def writeback() -> None:
+        for mats, work in originals:
+            for k, m in enumerate(mats):
+                m[...] = work[k]
+
+    return converted, writeback, moved
 
 
 def as_matrix_list(a_array, batch: int, *, arg_pos: int) -> list[np.ndarray]:

@@ -161,7 +161,8 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                  max_resident_bytes: int | None = None,
                  chunk_hint: int | None = None,
                  streams: int | None = None, devices=None,
-                 overlap: bool | None = None):
+                 overlap: bool | None = None,
+                 layout: str | None = None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -194,6 +195,12 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     knobs (see :func:`repro.core.gbtrf.gbtrf_batch`), applied per
     uniform group: each group's chunks stream through double-buffered
     copy/compute streams and shard across devices, bit-identically.
+
+    ``layout`` is the storage-layout selector (docs/LAYOUTS.md), applied
+    per uniform group: ``None`` runs each group in the layout it arrives
+    in (consecutive slices of an interleaved stack stay zero-copy),
+    ``'interleaved'``/``'soa'`` or ``'lane-major'``/``'aos'`` stage each
+    group into that layout once before it executes.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -228,7 +235,7 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                 resilient=True, policy=policy,
                 max_resident_bytes=max_resident_bytes,
                 chunk_hint=chunk_hint, streams=streams, devices=devices,
-                overlap=overlap)
+                overlap=overlap, layout=layout)
             parts.append((idxs, rep))
         else:
             gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
@@ -237,7 +244,7 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                         execute=execute, vectorize=vectorize,
                         max_resident_bytes=max_resident_bytes,
                         chunk_hint=chunk_hint, streams=streams,
-                        devices=devices, overlap=overlap)
+                        devices=devices, overlap=overlap, layout=layout)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:
@@ -255,7 +262,8 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 max_resident_bytes: int | None = None,
                 chunk_hint: int | None = None,
                 streams: int | None = None, devices=None,
-                overlap: bool | None = None):
+                overlap: bool | None = None,
+                layout: str | None = None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
@@ -269,7 +277,9 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     ``max_resident_bytes`` / ``chunk_hint`` bound each uniform group's
     resident device footprint (:mod:`repro.core.memory_plan`);
     ``streams`` / ``devices`` / ``overlap`` pipeline each group's chunks
-    (see :func:`repro.core.gbtrf.gbtrf_batch`).
+    (see :func:`repro.core.gbtrf.gbtrf_batch`); ``layout`` stages each
+    uniform group into the requested storage layout once before it
+    executes (see :func:`gbtrf_vbatch` and docs/LAYOUTS.md).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -301,7 +311,7 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 vectorize=vectorize, resilient=True, policy=policy,
                 max_resident_bytes=max_resident_bytes,
                 chunk_hint=chunk_hint, streams=streams, devices=devices,
-                overlap=overlap)
+                overlap=overlap, layout=layout)
             parts.append((idxs, rep))
         else:
             gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
@@ -310,7 +320,7 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                        stream=stream, execute=execute, vectorize=vectorize,
                        max_resident_bytes=max_resident_bytes,
                        chunk_hint=chunk_hint, streams=streams,
-                       devices=devices, overlap=overlap)
+                       devices=devices, overlap=overlap, layout=layout)
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
     if resilient:

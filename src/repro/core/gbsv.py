@@ -15,15 +15,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..band.layout import normalize_layout
 from ..errors import check_arg
 from ..gpusim.device import H100_PCIE, DeviceSpec
-from ..gpusim.kernel import launch
+from ..gpusim.kernel import launch, note_layout_conversion
 from ..tuning.defaults import FUSED_GBSV_CUTOFF
 from ..types import Trans
 from .batch_args import (
     as_matrix_list,
     as_rhs_list,
     check_gb_args,
+    convert_batch_layout,
     ensure_info,
     ensure_pivots,
 )
@@ -73,7 +75,8 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                max_resident_bytes: int | None = None,
                chunk_hint: int | None = None,
                streams: int | None = None, devices=None,
-               overlap: bool | None = None):
+               overlap: bool | None = None,
+               layout: str | None = None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
@@ -98,9 +101,34 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     knobs (see :func:`repro.core.gbtrf.gbtrf_batch`): chunks stream
     through double-buffered copy/compute streams and shard across
     devices, bit-identically to the sequential single-device path.
+
+    ``layout`` selects the batch storage layout (docs/LAYOUTS.md, same
+    semantics as :func:`repro.core.gbtrf.gbtrf_batch`): ``None`` runs
+    matrices and right-hand sides in the layout they arrive in,
+    ``'interleaved'``/``'soa'`` or ``'lane-major'``/``'aos'`` stage both
+    operand batches into that layout exactly once at the batch
+    boundary — the internal factorize and solve stages then run in that
+    layout with no further conversion.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
+    if normalize_layout(layout) is not None:
+        conv = convert_batch_layout(
+            normalize_layout(layout), (a_array, b_array),
+            batch=len(a_array) if batch is None else batch)
+        if conv is not None:
+            (a_conv, b_conv), writeback, moved = conv
+            note_layout_conversion(moved)
+            res = gbsv_batch(
+                n, kl, ku, nrhs, a_conv, pv_array, b_conv, info,
+                batch=batch, device=device, stream=stream, method=method,
+                execute=execute, max_blocks=max_blocks,
+                vectorize=vectorize, resilient=resilient, policy=policy,
+                max_resident_bytes=max_resident_bytes,
+                chunk_hint=chunk_hint, streams=streams, devices=devices,
+                overlap=overlap)
+            writeback()
+            return res
     from . import memory_plan
     if memory_plan.governance_active(execute=execute,
                                      max_blocks=max_blocks, stream=stream):

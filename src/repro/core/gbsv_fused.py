@@ -28,7 +28,7 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
-from .batch_args import is_uniform_stack
+from .batch_args import is_uniform_stack, soa_stageable, stage_stack
 from .costs import gbsv_fused_cost
 from .gbtf2 import (
     init_fillin,
@@ -135,6 +135,9 @@ class FusedGbsvKernel(Kernel):
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
 
+    def can_soa_vectorize(self) -> bool:
+        return soa_stageable(self.mats, self.rhs)
+
     def pack_operands(self) -> tuple:
         return (self.mats, self.rhs)
 
@@ -144,11 +147,26 @@ class FusedGbsvKernel(Kernel):
         ldab = self.layout.ldab_factor
         dtype = self.mats[0].dtype
 
-        tiles = smem.alloc((nblocks, ldab, n), dtype=dtype)
-        bts = smem.alloc((nblocks, n, self.nrhs), dtype=self.rhs[0].dtype)
-        for k in range(nblocks):
-            tiles[k] = self.mats[k][:ldab, :]
-            bts[k] = self.rhs[k]
+        # Interleaved operands stage whole-stack (lane-contiguous copy);
+        # lane-major batches keep the per-lane staging loop.
+        abst, a_inplace = stage_stack(self.mats, nblocks, rows=ldab)
+        btst, b_inplace = stage_stack(self.rhs, nblocks)
+        soa = a_inplace or b_inplace
+        if soa:
+            tiles = np.moveaxis(
+                smem.alloc((ldab, n, nblocks), dtype=dtype), 2, 0)
+            bts = np.moveaxis(
+                smem.alloc((n, self.nrhs, nblocks),
+                           dtype=self.rhs[0].dtype), 2, 0)
+            tiles[...] = abst
+            bts[...] = btst
+        else:
+            tiles = smem.alloc((nblocks, ldab, n), dtype=dtype)
+            bts = smem.alloc((nblocks, n, self.nrhs),
+                             dtype=self.rhs[0].dtype)
+            for k in range(nblocks):
+                tiles[k] = self.mats[k][:ldab, :]
+                bts[k] = self.rhs[k]
 
         bidx = np.arange(nblocks)
         pivs = np.zeros((nblocks, n), dtype=np.int64)
@@ -168,8 +186,11 @@ class FusedGbsvKernel(Kernel):
             forward_update_batched(tiles, n, kl, ku, j, bts, active=active)
             info[...] = np.where(~active & (info == 0), j + 1, info)
 
+        if soa and a_inplace:
+            abst[...] = tiles
         for k in range(nblocks):
-            self.mats[k][:ldab, :] = tiles[k]
+            if not (soa and a_inplace):
+                self.mats[k][:ldab, :] = tiles[k]
             self.pivots[k][:] = pivs[k]
         self.info[:nblocks] = info
         ok = info == 0
@@ -181,5 +202,8 @@ class FusedGbsvKernel(Kernel):
         sub_b = bts[ok]
         for j in range(n - 1, -1, -1):
             backward_step_batched(sub_t, n, kl, ku, j, sub_b)
+        if soa and b_inplace and bool(ok.all()):
+            btst[...] = sub_b
+            return
         for i, k in enumerate(np.flatnonzero(ok)):
             self.rhs[k][...] = sub_b[i]

@@ -18,11 +18,18 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..band.layout import normalize_layout
 from ..errors import SharedMemoryError, check_arg
 from ..gpusim.device import H100_PCIE, DeviceSpec
-from ..gpusim.kernel import launch
+from ..gpusim.kernel import launch, note_layout_conversion
 from ..tuning.defaults import FUSED_CUTOFF, window_params
-from .batch_args import as_matrix_list, check_gb_args, ensure_info, ensure_pivots
+from .batch_args import (
+    as_matrix_list,
+    check_gb_args,
+    convert_batch_layout,
+    ensure_info,
+    ensure_pivots,
+)
 from .gbtf2 import gbtf2
 from .gbtrf_fused import FusedGbtrfKernel
 from .gbtrf_reference import gbtrf_reference_batch
@@ -70,7 +77,8 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 max_resident_bytes: int | None = None,
                 chunk_hint: int | None = None,
                 streams: int | None = None, devices=None,
-                overlap: bool | None = None):
+                overlap: bool | None = None,
+                layout: str | None = None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -136,6 +144,21 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         single-device path.  Ignored for non-governed calls
         (``execute=False``, ``max_blocks``, graph capture).
 
+    layout:
+        Batch storage-layout selector (docs/LAYOUTS.md).  ``None``
+        (default) runs the batch in the layout it arrives in:
+        batch-interleaved (SoA, lane index fastest-varying) stacks run
+        natively as ``[vec+soa]`` launches with zero-copy staging,
+        lane-major stacks keep the classic ``[vec]`` path.
+        ``'interleaved'``/``'soa'`` stages a uniform batch into the
+        interleaved layout first; ``'lane-major'``/``'aos'`` stages an
+        interleaved batch into the classic layout first.  The conversion
+        happens exactly once at the batch boundary — before governance,
+        chunking and pipelining split the batch — and its round-trip
+        traffic is attributed to the first launch's ``soa_bytes``.
+        Results always land back in the caller's arrays, bit-identical
+        across layouts.
+
     Returns
     -------
     (pivots, info):
@@ -144,6 +167,23 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
     """
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    if normalize_layout(layout) is not None:
+        conv = convert_batch_layout(
+            normalize_layout(layout), (a_array,),
+            batch=len(a_array) if batch is None else batch)
+        if conv is not None:
+            (a_conv,), writeback, moved = conv
+            note_layout_conversion(moved)
+            res = gbtrf_batch(
+                m, n, kl, ku, a_conv, pv_array, info, batch=batch,
+                device=device, stream=stream, method=method, nb=nb,
+                threads=threads, execute=execute, max_blocks=max_blocks,
+                vectorize=vectorize, resilient=resilient, policy=policy,
+                max_resident_bytes=max_resident_bytes,
+                chunk_hint=chunk_hint, streams=streams, devices=devices,
+                overlap=overlap)
+            writeback()
+            return res
     from . import memory_plan
     if memory_plan.governance_active(execute=execute,
                                      max_blocks=max_blocks, stream=stream):

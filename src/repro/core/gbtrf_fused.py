@@ -17,7 +17,7 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
-from .batch_args import is_uniform_stack
+from .batch_args import is_interleaved_stack, is_uniform_stack, stage_stack
 from .costs import gbtrf_fused_cost
 from .gbtf2 import gbtf2, gbtf2_batched
 
@@ -83,17 +83,34 @@ class FusedGbtrfKernel(Kernel):
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats)
 
+    def can_soa_vectorize(self) -> bool:
+        return is_interleaved_stack(self.mats)
+
     def pack_operands(self) -> tuple:
         return (self.mats,)
 
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         ldab = self.layout.ldab_factor
-        tiles = smem.alloc((nblocks, ldab, self.n), dtype=self.itemdtype)
-        for k in range(nblocks):
-            tiles[k] = self.mats[k][:ldab, :]         # global -> shared
+        abst, inplace = stage_stack(self.mats, nblocks, rows=ldab)
+        if inplace:
+            # Interleaved (SoA) batch: stage the shared tile batch-minor
+            # so the global<->shared copies stay lane-contiguous, and
+            # move them as single whole-stack assignments.
+            tiles = np.moveaxis(
+                smem.alloc((ldab, self.n, nblocks), dtype=self.itemdtype),
+                2, 0)
+            tiles[...] = abst                         # global -> shared
+        else:
+            tiles = smem.alloc((nblocks, ldab, self.n),
+                               dtype=self.itemdtype)
+            for k in range(nblocks):
+                tiles[k] = self.mats[k][:ldab, :]     # global -> shared
         pivs = np.zeros((nblocks, min(self.m, self.n)), dtype=np.int64)
         gbtf2_batched(self.m, self.n, self.kl, self.ku, tiles, pivs,
                       self.info[:nblocks])
+        if inplace:
+            abst[...] = tiles                         # shared -> global
         for k in range(nblocks):
-            self.mats[k][:ldab, :] = tiles[k]         # shared -> global
+            if not inplace:
+                self.mats[k][:ldab, :] = tiles[k]     # shared -> global
             self.pivots[k][:] = pivs[k]

@@ -23,7 +23,7 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
-from .batch_args import is_uniform_stack
+from .batch_args import is_interleaved_stack, is_uniform_stack, stage_stack
 from .costs import gbtrf_window_cost
 from .gbtf2 import (
     init_fillin,
@@ -229,16 +229,23 @@ class SlidingWindowGbtrfKernel(Kernel):
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats)
 
+    def can_soa_vectorize(self) -> bool:
+        return is_interleaved_stack(self.mats)
+
     def pack_operands(self) -> tuple:
         return (self.mats,)
 
     def run_batch_vectorized(self, nblocks: int, smem: SharedMemory) -> None:
         ldab = self.layout.ldab_factor
-        abst = np.stack([mat[:ldab, :] for mat in self.mats[:nblocks]])
+        # Interleaved (SoA) batches stage as a zero-copy in-place view:
+        # no gather/scatter, and the global<->window copies below run
+        # lane-contiguous against the batch-minor window.
+        abst, inplace = stage_stack(self.mats, nblocks, rows=ldab)
         pivs = np.zeros((nblocks, min(self.m, self.n)), dtype=np.int64)
         sliding_window_factor_batched(
             abst, pivs, self.info[:nblocks],
             self.m, self.n, self.kl, self.ku, self.nb, smem)
         for k in range(nblocks):
-            self.mats[k][:ldab, :] = abst[k]
+            if not inplace:
+                self.mats[k][:ldab, :] = abst[k]
             self.pivots[k][:] = pivs[k]

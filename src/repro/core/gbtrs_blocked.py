@@ -35,7 +35,7 @@ import numpy as np
 from ..band.layout import BandLayout
 from ..gpusim.costmodel import BlockCost
 from ..gpusim.kernel import Kernel, SharedMemory
-from .batch_args import is_uniform_stack
+from .batch_args import is_uniform_stack, soa_stageable, stage_stack
 from .costs import gbtrs_backward_cost, gbtrs_forward_cost
 from .solve_blocks import (
     backward_step,
@@ -107,19 +107,30 @@ class _BlockedSolveBase(Kernel):
 
     def _stage_batch(self, nblocks: int):
         """Stage factors, pivots and RHS of the first ``nblocks`` problems
-        as ``(batch, ...)`` stacks for the batch-interleaved path."""
-        abst = np.stack(self.mats[:nblocks])
+        as ``(batch, ...)`` stacks for the batch-interleaved path.
+
+        Interleaved (SoA) operands stage as zero-copy in-place views —
+        the factors are read straight from the caller's storage and
+        solved RHS rows land there directly, so :meth:`_writeback_rhs`
+        becomes a no-op for them.
+        """
+        abst, _ = stage_stack(self.mats, nblocks)
         pivs = (np.stack([np.asarray(p) for p in self.pivots[:nblocks]])
                 if self.pivots is not None else None)
-        btall = np.stack(self.rhs[:nblocks])
+        btall, self._rhs_inplace = stage_stack(self.rhs, nblocks)
         return abst, pivs, btall
 
     def _writeback_rhs(self, btall: np.ndarray, nblocks: int) -> None:
+        if getattr(self, "_rhs_inplace", False):
+            return                      # solved in place on the SoA view
         for k in range(nblocks):
             self.rhs[k][...] = btall[k]
 
     def can_batch_vectorize(self) -> bool:
         return is_uniform_stack(self.mats) and is_uniform_stack(self.rhs)
+
+    def can_soa_vectorize(self) -> bool:
+        return soa_stageable(self.mats, self.rhs)
 
     def pack_operands(self) -> tuple:
         # Factors are read-only in the solves, but staging keeps one rule

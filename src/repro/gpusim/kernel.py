@@ -24,7 +24,23 @@ from ..errors import DeviceError, SharedMemoryError
 from .costmodel import BlockCost, KernelTiming, estimate_kernel_time
 from .device import DeviceSpec
 
-__all__ = ["SharedMemory", "Kernel", "LaunchRecord", "launch"]
+__all__ = ["SharedMemory", "Kernel", "LaunchRecord", "launch",
+           "note_layout_conversion"]
+
+# Bytes moved by a pending batch-boundary layout conversion (see
+# repro.core.batch_args.convert_batch_layout).  The driver notes the
+# round-trip traffic once, before its launches; the *first* launch that
+# follows absorbs it into its record (``soa_bytes``), mirroring how
+# ``pack_bytes`` attributes the gather/pack staging — and proving the
+# one-conversion-per-batch contract in traces: later launches of the
+# same call (and every chunk of a governed run) carry zero.
+_pending_convert_bytes = 0
+
+
+def note_layout_conversion(nbytes: int) -> None:
+    """Register layout-conversion traffic for the next launch record."""
+    global _pending_convert_bytes
+    _pending_convert_bytes += int(nbytes)
 
 
 class SharedMemory:
@@ -117,6 +133,22 @@ class Kernel(abc.ABC):
             f"{type(self).__name__} does not implement the "
             "batch-interleaved path")
 
+    def can_soa_vectorize(self) -> bool:
+        """Whether the inputs are a batch-interleaved (SoA) stack.
+
+        Kernels whose operand lists are lanes of one lane-fastest
+        interleaved stack (:func:`repro.core.batch_args.
+        is_interleaved_stack`) return True: the batch-interleaved body
+        then runs *natively* on a zero-copy ``(batch, ...)`` view — no
+        gather, no scatter — and the launch is attributed ``[vec+soa]``
+        in traces.  Checked after :meth:`can_batch_vectorize` (uniform
+        lane-major stacks keep the classic ``[vec]`` attribution) and
+        before :meth:`can_pack_vectorize` (interleaved lanes interleave
+        their byte ranges, so the pack stage would reject them as
+        overlapping).  The default is False.
+        """
+        return False
+
     # -- pack/scatter stage ------------------------------------------------
 
     def pack_operands(self) -> tuple:
@@ -185,6 +217,14 @@ class LaunchRecord:
     vectorized: bool = False
     packed: bool = False
     pack_bytes: int = 0
+    # Batch-interleaved (SoA) execution: the kernel ran natively on a
+    # lane-fastest interleaved stack (zero-copy staging).  ``soa_bytes``
+    # carries the round-trip traffic of a batch-boundary layout
+    # conversion when the driver performed one (``layout=`` knob) — it
+    # lands on the first launch after the conversion only, so summing it
+    # over a trace counts conversions, not stages.
+    soa: bool = False
+    soa_bytes: int = 0
     # Fault-injection events (repro.gpusim.faults.FaultEvent) that struck
     # this launch — lane corruptions applied after the blocks executed.
     # Launch-level faults abort the launch and never produce a record; they
@@ -199,7 +239,11 @@ class LaunchRecord:
     def display_name(self) -> str:
         """Kernel name with a ``[vec]`` suffix for batch-interleaved runs
         (``[vec+pack]`` when a gather/pack stage staged non-uniform
-        inputs), so vectorized launches stay attributable in traces."""
+        inputs, ``[vec+soa]`` when the kernel ran natively on a
+        batch-interleaved stack), so vectorized launches stay
+        attributable in traces (label table: docs/ARCHITECTURE.md)."""
+        if self.soa:
+            return f"{self.kernel_name}[vec+soa]"
         if self.packed:
             return f"{self.kernel_name}[vec+pack]"
         if self.vectorized:
@@ -269,6 +313,7 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     if capturing:
         execute = False
     if vectorize and not (kernel.can_batch_vectorize()
+                          or kernel.can_soa_vectorize()
                           or kernel.can_pack_vectorize()):
         raise DeviceError(
             f"kernel {kernel.name!r} cannot batch-vectorize its current "
@@ -277,19 +322,21 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     executed = 0
     vectorized = False
     packed = False
+    soa = False
     pack_bytes = 0
     faults: tuple = ()
     if execute:
         limit = timing.occupancy.smem_per_block
         n_exec = grid if max_blocks is None else min(grid, max_blocks)
         if vectorize is False:
-            use_vec = direct = False
+            use_vec = direct = soa = False
         else:
             direct = kernel.can_batch_vectorize()
+            soa = not direct and kernel.can_soa_vectorize()
             if vectorize:
                 use_vec = True
             else:
-                use_vec = n_exec > 1 and (direct
+                use_vec = n_exec > 1 and (direct or soa
                                           or kernel.can_pack_vectorize())
         smem_ctx = dict(kernel=kernel.name, device=device.name)
         if use_vec and n_exec > 0:
@@ -297,15 +344,18 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
                 n_exec, SharedMemory(limit * n_exec, **smem_ctx))
             executed = n_exec
             vectorized = True
-            packed = not direct
+            packed = not direct and not soa
             if packed:
                 pack_bytes = kernel.pack_bytes(n_exec)
         else:
+            soa = False
             for bid in range(n_exec):
                 kernel.run_block(bid, SharedMemory(limit, **smem_ctx))
                 executed += 1
         if injector is not None and executed:
             faults = injector.after_execution(device, kernel, executed)
+    global _pending_convert_bytes
+    soa_bytes, _pending_convert_bytes = _pending_convert_bytes, 0
     record = LaunchRecord(
         kernel_name=kernel.name,
         grid=grid,
@@ -316,6 +366,8 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         vectorized=vectorized,
         packed=packed,
         pack_bytes=pack_bytes,
+        soa=soa and vectorized,
+        soa_bytes=soa_bytes,
         faults=faults,
     )
     if stream is not None:

@@ -52,9 +52,11 @@ def summarize(records) -> list[KernelSummary]:
     groups: dict[str, list[LaunchRecord]] = defaultdict(list)
     for rec in flat:
         # Batch-interleaved launches group under "<name>[vec]" (or
-        # "<name>[vec+pack]" when the gather/pack stage staged the batch)
-        # so the execution paths of the same kernel stay separately
-        # attributable.  (TransferRecords etc. have no display_name.)
+        # "<name>[vec+pack]" when the gather/pack stage staged the batch,
+        # "<name>[vec+soa]" when the kernel ran natively on an
+        # interleaved stack) so the execution paths of the same kernel
+        # stay separately attributable — the full label table lives in
+        # docs/ARCHITECTURE.md.  (TransferRecords have no display_name.)
         groups[getattr(rec, "display_name", rec.kernel_name)].append(rec)
     out = []
     for name, recs in groups.items():
@@ -102,6 +104,8 @@ def chrome_trace(streams) -> list[dict]:
                     "vectorized": getattr(rec, "vectorized", False),
                     "packed": getattr(rec, "packed", False),
                     "pack_bytes": getattr(rec, "pack_bytes", 0),
+                    "soa": getattr(rec, "soa", False),
+                    "soa_bytes": getattr(rec, "soa_bytes", 0),
                     "faults": [f"{ev.kind}:lane{ev.lane}"
                                for ev in getattr(rec, "faults", ())],
                 },

@@ -195,9 +195,11 @@ class SolverService:
         Bounds for the :class:`~repro.serve.cache.FactorCache`
         (``cache_entries=0`` disables caching).
     vectorize, resilient, resilience_policy, max_resident_bytes,
-    chunk_hint, streams, devices, overlap:
+    chunk_hint, streams, devices, overlap, layout:
         Passed through to every dispatched driver call unchanged — the
-        service inherits the whole execution stack below it.
+        service inherits the whole execution stack below it (``layout``
+        is the storage-layout selector of docs/LAYOUTS.md; cache keys
+        are layout-independent, so hits stay bit-identical either way).
     auto_poll_interval:
         When set, a daemon thread calls :meth:`poll` every that many
         seconds so age flushes fire without caller cooperation.  All
@@ -217,6 +219,7 @@ class SolverService:
                  chunk_hint: int | None = None,
                  streams: int | None = None, devices=None,
                  overlap: bool | None = None,
+                 layout: str | None = None,
                  auto_poll_interval: float | None = None,
                  clock=time.monotonic):
         self.device = device
@@ -232,6 +235,7 @@ class SolverService:
         self.streams = streams
         self.devices = devices
         self.overlap = overlap
+        self.layout = layout
         self._clock = clock
         self._report = ServiceReport()
         self._pending: list[_Pending] = []
@@ -424,7 +428,8 @@ class SolverService:
                     vectorize=self.vectorize,
                     max_resident_bytes=self.max_resident_bytes,
                     chunk_hint=self.chunk_hint, streams=self.streams,
-                    devices=self.devices, overlap=self.overlap)
+                    devices=self.devices, overlap=self.overlap,
+                    layout=self.layout)
 
     def _absorb_batch_report(self, rep) -> None:
         self._report.batch_reports.append(rep.to_dict())

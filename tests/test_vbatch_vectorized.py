@@ -155,23 +155,29 @@ class TestPointerArrayDispatch:
                          (piv[k], piv2[k]))
         _bytes_equal((info, info2))
 
-    def test_overlapping_views_fall_back(self):
-        """Interleaved views of one buffer overlap byte-wise: auto dispatch
-        must fall back per-block, vectorize=True must raise."""
+    def test_interleaved_views_take_soa_route(self):
+        """Lane-interleaved views of one buffer are unpackable (their byte
+        spans interleave) but disjoint: since the SoA layout became
+        first-class (docs/LAYOUTS.md) auto dispatch runs them natively as
+        ``[vec+soa]``, bit-identical to per-block execution."""
         n, kl, ku = 16, 1, 2
         ldab = 2 * kl + ku + 1
         rng = np.random.default_rng(17)
         buf = np.asfortranarray(rng.standard_normal((2 * ldab, n)))
         views = [buf[0::2, :], buf[1::2, :]]   # interleaved rows, one buffer
+        ref = [v.copy() for v in views]
+        piv_ref, i_ref = gbtrf_batch(n, n, kl, ku, ref, batch=2,
+                                     method="window", vectorize=False)
         stream = Stream(H100_PCIE)
-        gbtrf_batch(n, n, kl, ku, views, batch=2, method="window",
-                    stream=stream)
+        piv, info = gbtrf_batch(n, n, kl, ku, views, batch=2,
+                                method="window", stream=stream,
+                                vectorize=True)
         rec = stream.records[-1]
-        assert not rec.vectorized and not rec.packed
-        with pytest.raises(DeviceError, match="batch-vectorize"):
-            gbtrf_batch(n, n, kl, ku,
-                        [buf[0::2, :], buf[1::2, :]], batch=2,
-                        method="window", vectorize=True)
+        assert rec.vectorized and rec.soa and not rec.packed
+        assert rec.display_name == "gbtrf_window[vec+soa]"
+        for k in range(2):
+            _bytes_equal((views[k], ref[k]), (piv[k], piv_ref[k]))
+        _bytes_equal((info, i_ref))
 
 
 class TestVectorizeErrorPaths:
