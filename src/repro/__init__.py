@@ -74,24 +74,39 @@ from .serve import (
 from .errors import (
     ArgumentError,
     DeviceError,
+    DeviceLostError,
     DeviceMemoryError,
+    KernelHangError,
     ReproError,
+    RequestShedError,
     SharedMemoryError,
     SingularMatrixError,
 )
-from .gpusim import H100_PCIE, MI250X_GCD, PointerArray, Stream, get_device
+from .gpusim import (
+    H100_PCIE,
+    MI250X_GCD,
+    CircuitBreaker,
+    DeviceHealth,
+    PointerArray,
+    Stream,
+    device_health,
+    get_device,
+    reset_device_health,
+)
 from .types import Precision, Trans
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
-    "BatchingPolicy", "DeviceError", "DeviceMemoryError", "FactorCache",
-    "H100_PCIE", "MI250X_GCD",
+    "BatchingPolicy", "CircuitBreaker", "DeviceError", "DeviceHealth",
+    "DeviceLostError", "DeviceMemoryError", "FactorCache",
+    "H100_PCIE", "KernelHangError", "MI250X_GCD",
     "MemoryPlan", "PipelineResult", "PointerArray", "Precision",
-    "ReproError", "ResiliencePolicy", "ServiceReport",
+    "ReproError", "RequestShedError", "ResiliencePolicy", "ServiceReport",
     "SharedMemoryError",
     "SingularMatrixError", "SolverService", "Stream", "Trans",
+    "device_health", "reset_device_health",
     "alloc_band", "alloc_band_interleaved", "band_to_dense",
     "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",

@@ -428,11 +428,16 @@ def _gbtrs_stages(dev, method, trans, n, kl, ku, nrhs, mats, pivots, rhs,
 
 def _run_governed(op, batch, lane_bytes, *, device, stream, resilient,
                   policy, run_chunk, run_host, max_resident_bytes,
-                  chunk_hint, streams, devices, overlap, probe_stages):
+                  chunk_hint, streams, devices, overlap, probe_stages,
+                  snapshot=None, restore=None):
     """Route one governed call to the sequential or pipelined executor.
 
     Returns ``(parts, chunks, oom, events, backoff, plan, pipeline_result)``
-    — ``pipeline_result`` is None on the sequential path.
+    — ``pipeline_result`` is None on the sequential path.  ``snapshot`` /
+    ``restore`` capture and rewind a lane range's operand slices; the
+    pipelined executor uses them to recover chunks orphaned by a device
+    outage or watchdog hang (the device fault domain) and to hedge
+    straggler chunks.
     """
     from .pipeline import execute_pipelined, pipeline_requested
     if pipeline_requested(streams=streams, devices=devices,
@@ -442,7 +447,8 @@ def _run_governed(op, batch, lane_bytes, *, device, stream, resilient,
             streams=streams, devices=devices, overlap=overlap,
             resilient=resilient, policy=policy, run_chunk=run_chunk,
             run_host=run_host, max_resident_bytes=max_resident_bytes,
-            chunk_hint=chunk_hint, probe_stages=probe_stages)
+            chunk_hint=chunk_hint, probe_stages=probe_stages,
+            snapshot=snapshot, restore=restore)
     plan = plan_batch(batch, lane_bytes, device=device,
                       max_resident_bytes=max_resident_bytes,
                       chunk_hint=chunk_hint)
@@ -457,6 +463,9 @@ def _attach_pipeline(report: BatchReport, presult) -> None:
     if presult is not None:
         report.devices = presult.devices
         report.makespan = presult.makespan
+        report.device_events.extend(dict(e) for e in presult.device_events)
+        report.failovers += presult.failovers
+        report.hedges += presult.hedges
 
 
 # --- governed drivers ------------------------------------------------------
@@ -507,6 +516,20 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
         return _gbtrf_stages(dev, method, m, n, kl, ku, mats, pivots,
                              info, nb, threads)
 
+    def snapshot(start, stop):
+        # Factorization mutates the band, pivots and info in place — all
+        # three must rewind for a failed chunk to replay cleanly.
+        return ([mats[k].copy() for k in range(start, stop)],
+                [pivots[k].copy() for k in range(start, stop)],
+                np.array(info[start:stop], copy=True))
+
+    def restore(start, stop, snap):
+        s_m, s_p, s_i = snap
+        for j, k in enumerate(range(start, stop)):
+            mats[k][...] = s_m[j]
+            pivots[k][...] = s_p[j]
+        info[start:stop] = s_i
+
     def run_host(start, stop):
         sub_info = np.zeros(stop - start, dtype=np.int64)
         for j, k in enumerate(range(start, stop)):
@@ -528,7 +551,7 @@ def gbtrf_batch_governed(m, n, kl, ku, a_array, pv_array=None, info=None,
         run_chunk=run_chunk, run_host=run_host,
         max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
         streams=streams, devices=devices, overlap=overlap,
-        probe_stages=probe_stages)
+        probe_stages=probe_stages, snapshot=snapshot, restore=restore)
     if not resilient:
         return pivots, info
     report = _merge("gbtrf", batch, method, parts, info)
@@ -581,6 +604,17 @@ def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
                               policy=policy)
         return res[1] if resilient else None
 
+    def snapshot(start, stop):
+        # A solve mutates only the right-hand sides and info.
+        return ([rhs[k].copy() for k in range(start, stop)],
+                np.array(info[start:stop], copy=True))
+
+    def restore(start, stop, snap):
+        s_r, s_i = snap
+        for j, k in enumerate(range(start, stop)):
+            rhs[k][...] = s_r[j]
+        info[start:stop] = s_i
+
     def run_host(start, stop):
         for k in range(start, stop):
             gbtrs_unblocked(trans, n, kl, ku, mats[k], pivots[k], rhs[k])
@@ -602,7 +636,7 @@ def gbtrs_batch_governed(trans, n, kl, ku, nrhs, a_array, pv_array,
         run_chunk=run_chunk, run_host=run_host,
         max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
         streams=streams, devices=devices, overlap=overlap,
-        probe_stages=probe_stages)
+        probe_stages=probe_stages, snapshot=snapshot, restore=restore)
     if not resilient:
         return info
     report = _merge("gbtrs", batch, method, parts, info)
@@ -654,6 +688,23 @@ def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
                              policy=policy)
         return res[2] if resilient else None
 
+    def snapshot(start, stop):
+        # A combined factor+solve mutates everything it touches.
+        return ([mats[k].copy() for k in range(start, stop)],
+                [pivots[k].copy() for k in range(start, stop)],
+                [rhs[k].copy() for k in range(start, stop)] if nrhs
+                else None,
+                np.array(info[start:stop], copy=True))
+
+    def restore(start, stop, snap):
+        s_m, s_p, s_r, s_i = snap
+        for j, k in enumerate(range(start, stop)):
+            mats[k][...] = s_m[j]
+            pivots[k][...] = s_p[j]
+            if s_r is not None:
+                rhs[k][...] = s_r[j]
+        info[start:stop] = s_i
+
     def run_host(start, stop):
         sub_info = np.zeros(stop - start, dtype=np.int64)
         for j, k in enumerate(range(start, stop)):
@@ -700,7 +751,7 @@ def gbsv_batch_governed(n, kl, ku, nrhs, a_array, pv_array, b_array,
         run_chunk=run_chunk, run_host=run_host,
         max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
         streams=streams, devices=devices, overlap=overlap,
-        probe_stages=probe_stages)
+        probe_stages=probe_stages, snapshot=snapshot, restore=restore)
     if not resilient:
         return pivots, info
     report = _merge("gbsv", batch, method, parts, info)

@@ -31,25 +31,47 @@ double-buffered pipeline:
   pipeline's live buffers, halve the chunk, finish on the host net) runs
   per shard, fault-plan lane windows stay keyed to *global* lane indices,
   and the per-chunk :class:`~repro.core.resilience.BatchReport` parts are
-  merged into one global report regardless of stream or device count.
+  merged into one global report regardless of stream or device count;
+* with more than one device, ``resilient=True`` additionally arms the
+  **device fault domain**: execution becomes a sequence of dispatch
+  *rounds* governed by a per-device circuit breaker
+  (:class:`~repro.gpusim.multidevice.CircuitBreaker`).  A chunk that dies
+  with :class:`~repro.errors.DeviceLostError` (whole-device outage) or
+  :class:`~repro.errors.KernelHangError` (stream watchdog) is restored
+  from its pre-dispatch snapshot and **re-sharded** onto the surviving
+  devices in the next round; tripped devices re-enter through single-lane
+  probe launches (closed → open → half-open → recovered/dead), straggler
+  chunks can be **hedged** onto the fastest other healthy device
+  (first-finisher wins, the loser's traffic is attributed), and every
+  decision lands in ``BatchReport.device_events``.
 
 Per-lane results are independent of sub-batch composition (the contract
 the vectorized and chunked paths already pin), so the pipelined path is
 bit-identical to the sequential chunked path — and to an unchunked run —
-on every execution route.
+on every execution route, *including* runs recovered from mid-flight
+device loss: snapshot-restore re-dispatch replays the exact same lanes
+through the exact same kernels.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass
 
-from ..errors import DeviceMemoryError, check_arg
+from ..errors import (
+    DeviceError,
+    DeviceLostError,
+    DeviceMemoryError,
+    KernelHangError,
+    check_arg,
+)
 from ..gpusim.device import DeviceSpec
 from ..gpusim.faults import active_injector
 from ..gpusim.memory import memory_pool
 from ..gpusim.multidevice import (
+    CircuitBreaker,
     DevicePartition,
     replicate_device,
     split_batch,
@@ -76,12 +98,20 @@ def pipeline_requested(*, streams=None, devices=None,
 
 @dataclass(frozen=True)
 class ShardResult:
-    """One device shard's slice of a pipelined run."""
+    """One device shard's slice of a pipelined run.
+
+    ``partition`` spans the shard's lane hull; failover rounds may leave
+    holes inside it (lanes another device completed earlier).  ``role``
+    is ``"full"`` for a throughput-weighted share, ``"probe"`` for a
+    circuit-breaker probe launch, and ``"hedge"`` for a straggler's
+    duplicate dispatch.
+    """
 
     partition: DevicePartition
     streams: tuple          # (h2d, compute, d2h) — may alias each other
     h2d_bytes: int
     d2h_bytes: int
+    role: str = "full"
 
     @property
     def makespan(self) -> float:
@@ -107,10 +137,30 @@ class PipelineResult:
     streams: int
     overlap: bool
     shards: tuple
+    #: Dispatch rounds the batch took (1 = no failover re-sharding).
+    rounds: int = 1
+    #: Modeled wall time of each round; rounds are sequential (a
+    #: re-shard decision needs the failed round's outcome), so the total
+    #: makespan is their sum.  Hedge savings are already subtracted.
+    round_makespans: tuple = ()
+    #: Failure-domain decisions, in order: circuit-breaker transitions,
+    #: chunk failovers, hedges (JSON-safe dicts).
+    device_events: tuple = ()
+    #: Chunks re-dispatched onto surviving devices.
+    failovers: int = 0
+    #: Straggler chunks hedged onto a second device.
+    hedges: int = 0
 
     @property
     def makespan(self) -> float:
-        """Modeled wall time: shards run concurrently, the slowest wins."""
+        """Modeled wall time.
+
+        Within a round, shards run concurrently and the slowest wins;
+        failover rounds run sequentially, so the total is the sum of the
+        per-round maxima.
+        """
+        if self.round_makespans:
+            return sum(self.round_makespans)
         return max((s.makespan for s in self.shards), default=0.0)
 
     @property
@@ -138,10 +188,16 @@ class PipelineResult:
             "device_busy_time": float(self.device_busy_time),
             "h2d_bytes": int(self.h2d_bytes),
             "d2h_bytes": int(self.d2h_bytes),
+            "rounds": int(self.rounds),
+            "round_makespans": [float(m) for m in self.round_makespans],
+            "device_events": [dict(e) for e in self.device_events],
+            "failovers": int(self.failovers),
+            "hedges": int(self.hedges),
             "partitions": [
                 {"device": s.partition.device.name,
                  "start": int(s.partition.start),
                  "stop": int(s.partition.stop),
+                 "role": s.role,
                  "makespan": float(s.makespan)}
                 for s in self.shards
             ],
@@ -194,9 +250,16 @@ def _resolve_buffers(streams, overlap) -> int:
     return min(int(streams), 3)
 
 
-def _shard_streams(device: DeviceSpec, nbuf: int) -> tuple:
-    """(h2d, compute, d2h) streams for one shard; aliased when shared."""
-    cmp_s = Stream(device, name=f"pipe-compute@{device.name}")
+def _shard_streams(device: DeviceSpec, nbuf: int,
+                   watchdog: float | None = None) -> tuple:
+    """(h2d, compute, d2h) streams for one shard; aliased when shared.
+
+    The watchdog deadline arms the *compute* stream only — staging copies
+    cannot hang in this model, and a shared copy/compute stream (1 or 2
+    buffers) inherits the deadline because it *is* the compute stream.
+    """
+    cmp_s = Stream(device, name=f"pipe-compute@{device.name}",
+                   watchdog=watchdog)
     if nbuf >= 3:
         return (Stream(device, name=f"pipe-h2d@{device.name}"), cmp_s,
                 Stream(device, name=f"pipe-d2h@{device.name}"))
@@ -206,9 +269,58 @@ def _shard_streams(device: DeviceSpec, nbuf: int) -> tuple:
     return (cmp_s, cmp_s, cmp_s)
 
 
-def _run_shard(op, part: DevicePartition, plan, total_batch, nbuf,
-               resilient, policy, run_chunk, run_host):
-    """Run one shard's chunks through the double-buffered stream triple.
+def _take_lanes(ranges: list, count: int) -> list:
+    """Pop ``count`` lanes off the front of a range worklist (mutates)."""
+    taken = []
+    while count > 0 and ranges:
+        start, stop = ranges[0]
+        n = min(count, stop - start)
+        taken.append((start, start + n))
+        if start + n == stop:
+            ranges.pop(0)
+        else:
+            ranges[0] = (start + n, stop)
+        count -= n
+    return taken
+
+
+def _share_counts(total: int, weights: list) -> list:
+    """Split ``total`` lanes by ``weights`` (split_batch's rounding)."""
+    counts = []
+    remaining = total
+    wsum = sum(weights)
+    for i, w in enumerate(weights):
+        if i == len(weights) - 1:
+            c = remaining
+        else:
+            c = min(remaining, round(total * w / wsum))
+        counts.append(c)
+        remaining -= c
+    return counts
+
+
+class _ShardOutcome:
+    """Everything one shard worker produced — or left behind."""
+
+    __slots__ = ("parts", "chunks", "oom", "events", "backoff", "shard",
+                 "spans", "orphans", "failure")
+
+    def __init__(self):
+        self.parts = []      # (lane_list, BatchReport) pairs
+        self.chunks = []     # completed chunk sizes
+        self.oom = 0
+        self.events = []     # OOM-ladder events
+        self.backoff = 0.0
+        self.shard = None    # ShardResult
+        self.spans = []      # per-chunk dispatch spans (hedging input)
+        self.orphans = []    # lane ranges never started (device died)
+        self.failure = None  # {"kind", "device", "start", "stop", ...}
+
+
+def _run_shard(op, dev, ranges, plan, total_batch, nbuf, resilient, policy,
+               run_chunk, run_host, *, watchdog=None, failover=False,
+               snapshot=None, restore=None, keep_snaps=False, role="full"):
+    """Run one shard's lane ranges through the double-buffered triple.
 
     Mirrors the sequential executor's OOM ladder with one extra rung in
     front: an allocation failure first *drains* the pipeline (frees the
@@ -218,117 +330,227 @@ def _run_shard(op, part: DevicePartition, plan, total_batch, nbuf,
     — ``run_chunk`` slices the caller's operand lists directly and the
     fault injector's lane window is opened at the chunk's global start —
     so results and fault placement cannot depend on the sharding.
+
+    With ``failover`` armed, every chunk is snapshotted before dispatch
+    and a :class:`~repro.errors.DeviceLostError` or
+    :class:`~repro.errors.KernelHangError` does not propagate: the chunk's
+    operands are restored from the snapshot (a hung kernel has already
+    mutated them — in-place factorization is not idempotent), the failure
+    is described in :attr:`_ShardOutcome.failure`, and every lane not yet
+    completed is returned as an orphan range for the coordinator to
+    re-shard.  Breaker bookkeeping happens on the coordinator thread, not
+    here, which keeps failover decisions deterministic.
     """
-    dev = part.device
+    out = _ShardOutcome()
     pool = memory_pool(dev)
     injector = active_injector(dev)
-    s_h2d, s_cmp, s_d2h = _shard_streams(dev, nbuf)
+    s_h2d, s_cmp, s_d2h = _shard_streams(dev, nbuf, watchdog=watchdog)
     label = f"{op}-chunk@{dev.name}"
-    parts, chunks, events = [], [], []
-    oom = 0
-    backoff_total = 0.0
     h2d_bytes = d2h_bytes = 0
     chunk = plan.chunk
-    if plan.chunked or not plan.admitted or part.count < total_batch:
-        events.append({"action": "split", "chunk": int(chunk),
-                       "footprint": int(plan.footprint),
-                       "budget": int(plan.budget),
-                       "device": dev.name, "start": int(part.start),
-                       "stop": int(part.stop)})
+    shard_count = sum(stop - start for start, stop in ranges)
+    if plan.chunked or not plan.admitted or shard_count < total_batch:
+        out.events.append({"action": "split", "chunk": int(chunk),
+                           "footprint": int(plan.footprint),
+                           "budget": int(plan.budget),
+                           "device": dev.name,
+                           "start": int(ranges[0][0]),
+                           "stop": int(ranges[-1][1])})
+    guard = nullcontext
+    if failover:
+        from .resilience import escalate_device_faults
+        guard = escalate_device_faults
     live: deque = deque()       # nbytes of completed chunks' live leases
-    start = part.start
+    pending = deque(ranges)
     attempt = 0
     try:
-        while start < part.stop:
-            stop = min(start + chunk, part.stop)
-            nbytes = (stop - start) * plan.lane_bytes
-            try:
-                # Honour the planned budget, not just the pool (a caller
-                # cap below one lane must reach the host rung).
-                if nbytes > plan.budget:
-                    raise DeviceMemoryError(nbytes, pool.in_use,
-                                            plan.budget, device=dev.name)
-                while len(live) >= nbuf:
-                    pool.free(live.popleft(), label=label)
-                pool.alloc(nbytes, label=label)
-            except DeviceMemoryError as exc:
-                if not resilient:
-                    raise
-                oom += 1
-                if live:
-                    # Drain the pipeline and retry at the same size: the
-                    # pressure may be our own double buffers, not the
-                    # chunk.  ``live`` is empty on the retry, so a second
-                    # failure falls through to the ladder below.
-                    while live:
+        while pending:
+            start, rstop = pending.popleft()
+            while start < rstop:
+                stop = min(start + chunk, rstop)
+                nbytes = (stop - start) * plan.lane_bytes
+                try:
+                    # Honour the planned budget, not just the pool (a
+                    # caller cap below one lane must reach the host rung).
+                    if nbytes > plan.budget:
+                        raise DeviceMemoryError(nbytes, pool.in_use,
+                                                plan.budget,
+                                                device=dev.name)
+                    while len(live) >= nbuf:
                         pool.free(live.popleft(), label=label)
-                    events.append({"action": "drain",
-                                   "requested": int(exc.requested),
-                                   "budget": int(exc.capacity),
-                                   "injected": bool(exc.injected),
-                                   "device": dev.name})
-                    continue
-                if chunk > 1:
-                    attempt += 1
-                    delay = policy.backoff(attempt)
-                    backoff_total += delay
-                    new_chunk = max(1, chunk // 2)
-                    events.append({"action": "halve", "from": int(chunk),
-                                   "to": int(new_chunk),
-                                   "requested": int(exc.requested),
-                                   "budget": int(exc.capacity),
-                                   "injected": bool(exc.injected),
-                                   "device": dev.name})
-                    chunk = new_chunk
-                    continue
-                events.append({"action": "host", "start": int(start),
-                               "stop": int(part.stop),
-                               "requested": int(exc.requested),
-                               "budget": int(exc.capacity),
-                               "injected": bool(exc.injected),
-                               "device": dev.name})
-                rep = run_host(start, part.stop)
+                    pool.alloc(nbytes, label=label)
+                except DeviceMemoryError as exc:
+                    if not resilient:
+                        raise
+                    out.oom += 1
+                    if live:
+                        # Drain the pipeline and retry at the same size:
+                        # the pressure may be our own double buffers, not
+                        # the chunk.  ``live`` is empty on the retry, so a
+                        # second failure falls through to the ladder.
+                        while live:
+                            pool.free(live.popleft(), label=label)
+                        out.events.append({"action": "drain",
+                                           "requested": int(exc.requested),
+                                           "budget": int(exc.capacity),
+                                           "injected": bool(exc.injected),
+                                           "device": dev.name})
+                        continue
+                    if chunk > 1:
+                        attempt += 1
+                        delay = policy.backoff(attempt)
+                        out.backoff += delay
+                        new_chunk = max(1, chunk // 2)
+                        out.events.append({"action": "halve",
+                                           "from": int(chunk),
+                                           "to": int(new_chunk),
+                                           "requested": int(exc.requested),
+                                           "budget": int(exc.capacity),
+                                           "injected": bool(exc.injected),
+                                           "device": dev.name})
+                        chunk = new_chunk
+                        continue
+                    # Host rung: this range's tail plus every range not
+                    # yet started — the device cannot fit a single lane.
+                    host_ranges = [(start, rstop)] + list(pending)
+                    pending.clear()
+                    for h_start, h_stop in host_ranges:
+                        out.events.append({"action": "host",
+                                           "start": int(h_start),
+                                           "stop": int(h_stop),
+                                           "requested": int(exc.requested),
+                                           "budget": int(exc.capacity),
+                                           "injected": bool(exc.injected),
+                                           "device": dev.name})
+                        rep = run_host(h_start, h_stop)
+                        if rep is not None:
+                            out.parts.append(
+                                (list(range(h_start, h_stop)), rep))
+                    start = rstop
+                    break
+                snap = None
+                if failover and snapshot is not None:
+                    snap = snapshot(start, stop)
+                staged = (stop - start) < total_batch
+                t0 = s_cmp.elapsed
+                try:
+                    if staged:
+                        stage_chunk(dev, nbytes, direction="h2d",
+                                    stream=s_h2d)
+                        h2d_bytes += nbytes
+                        s_cmp.wait_event(s_h2d.record_event())
+                    with guard():
+                        if injector is not None:
+                            with injector.lane_window(start):
+                                rep = run_chunk(start, stop, device=dev,
+                                                stream=s_cmp)
+                        else:
+                            rep = run_chunk(start, stop, device=dev,
+                                            stream=s_cmp)
+                    if staged:
+                        s_d2h.wait_event(s_cmp.record_event())
+                        stage_chunk(dev, nbytes, direction="d2h",
+                                    stream=s_d2h)
+                        d2h_bytes += nbytes
+                except (DeviceLostError, KernelHangError) as exc:
+                    pool.free(nbytes, label=label)
+                    if not failover:
+                        raise
+                    if snap is not None and restore is not None:
+                        restore(start, stop, snap)
+                    kind = ("device-lost"
+                            if isinstance(exc, DeviceLostError) else "hang")
+                    out.failure = {
+                        "kind": kind, "device": dev.name,
+                        "start": int(start), "stop": int(stop),
+                        "injected": bool(getattr(exc, "injected", False))}
+                    out.orphans = [(start, rstop)] + list(pending)
+                    pending.clear()
+                    start = rstop
+                    break
+                except BaseException:
+                    pool.free(nbytes, label=label)
+                    raise
+                live.append(nbytes)
                 if rep is not None:
-                    parts.append((list(range(start, part.stop)), rep))
-                break
-            staged = (stop - start) < total_batch
-            try:
-                if staged:
-                    stage_chunk(dev, nbytes, direction="h2d",
-                                stream=s_h2d)
-                    h2d_bytes += nbytes
-                    s_cmp.wait_event(s_h2d.record_event())
-                if injector is not None:
-                    with injector.lane_window(start):
-                        rep = run_chunk(start, stop, device=dev,
-                                        stream=s_cmp)
-                else:
-                    rep = run_chunk(start, stop, device=dev, stream=s_cmp)
-                if staged:
-                    s_d2h.wait_event(s_cmp.record_event())
-                    stage_chunk(dev, nbytes, direction="d2h",
-                                stream=s_d2h)
-                    d2h_bytes += nbytes
-            except BaseException:
-                pool.free(nbytes, label=label)
-                raise
-            live.append(nbytes)
-            if rep is not None:
-                parts.append((list(range(start, stop)), rep))
-            chunks.append(stop - start)
-            start = stop
+                    out.parts.append((list(range(start, stop)), rep))
+                out.chunks.append(stop - start)
+                out.spans.append({"start": int(start), "stop": int(stop),
+                                  "duration": s_cmp.elapsed - t0,
+                                  "nbytes": int(nbytes),
+                                  "staged": bool(staged),
+                                  "snap": snap if keep_snaps else None})
+                start = stop
     finally:
         while live:
             pool.free(live.popleft(), label=label)
-    shard = ShardResult(partition=part, streams=(s_h2d, s_cmp, s_d2h),
-                        h2d_bytes=h2d_bytes, d2h_bytes=d2h_bytes)
-    return parts, chunks, oom, events, backoff_total, shard
+    hull_start = min(r[0] for r in ranges)
+    hull_stop = max(r[1] for r in ranges)
+    out.shard = ShardResult(
+        partition=DevicePartition(dev, hull_start, hull_stop),
+        streams=(s_h2d, s_cmp, s_d2h),
+        h2d_bytes=h2d_bytes, d2h_bytes=d2h_bytes, role=role)
+    return out
+
+
+def _run_hedge(op, dev, span, nbuf, run_chunk, snapshot, restore,
+               watchdog):
+    """Duplicate one completed chunk onto ``dev`` (straggler hedging).
+
+    The primary's outputs are snapshotted first, the chunk's operands are
+    rewound to the pre-dispatch input snapshot, and the chunk replays on a
+    fresh stream triple.  A successful hedge leaves bit-identical outputs
+    (the per-lane determinism contract), so only timing attribution and
+    the loser's traffic differ; a failed hedge restores the primary's
+    outputs and stands down.  Returns ``(ShardResult | None, seconds,
+    ok)``.
+    """
+    start, stop = span["start"], span["stop"]
+    nbytes = span["nbytes"]
+    out_snap = snapshot(start, stop)
+    pool = memory_pool(dev)
+    injector = active_injector(dev)
+    s_h2d, s_cmp, s_d2h = _shard_streams(dev, nbuf, watchdog=watchdog)
+    label = f"{op}-hedge@{dev.name}"
+    h2d = d2h = 0
+    try:
+        pool.alloc(nbytes, label=label)
+    except DeviceMemoryError:
+        return None, 0.0, False     # no room to hedge: not an error
+    restore(start, stop, span["snap"])
+    ok = True
+    try:
+        from .resilience import escalate_device_faults
+        with escalate_device_faults():
+            if span["staged"]:
+                stage_chunk(dev, nbytes, direction="h2d", stream=s_h2d)
+                h2d = nbytes
+                s_cmp.wait_event(s_h2d.record_event())
+            if injector is not None:
+                with injector.lane_window(start):
+                    run_chunk(start, stop, device=dev, stream=s_cmp)
+            else:
+                run_chunk(start, stop, device=dev, stream=s_cmp)
+            if span["staged"]:
+                s_d2h.wait_event(s_cmp.record_event())
+                stage_chunk(dev, nbytes, direction="d2h", stream=s_d2h)
+                d2h = nbytes
+    except (DeviceError, DeviceMemoryError):
+        restore(start, stop, out_snap)   # primary's results stand
+        ok = False
+    finally:
+        pool.free(nbytes, label=label)
+    shard = ShardResult(partition=DevicePartition(dev, start, stop),
+                        streams=(s_h2d, s_cmp, s_d2h),
+                        h2d_bytes=h2d, d2h_bytes=d2h, role="hedge")
+    dur = max(s.elapsed for s in {s_h2d, s_cmp, s_d2h}) if ok else 0.0
+    return shard, dur, ok
 
 
 def execute_pipelined(op, batch, lane_bytes, *, device, stream, streams,
                       devices, overlap, resilient, policy, run_chunk,
                       run_host, max_resident_bytes, chunk_hint,
-                      probe_stages):
+                      probe_stages, snapshot=None, restore=None):
     """Run a governed batched call through the pipelined executor.
 
     Same contract as the sequential ``_execute_governed``: returns
@@ -339,6 +561,19 @@ def execute_pipelined(op, batch, lane_bytes, *, device, stream, streams,
     and ``run_host`` take global lane ranges; ``run_chunk`` additionally
     accepts ``device=`` / ``stream=`` overrides so a shard's chunks
     execute on the shard's device and compute stream.
+
+    ``snapshot(start, stop)`` / ``restore(start, stop, snap)`` capture and
+    rewind the operand slices of a lane range.  When both are supplied,
+    ``resilient=True`` and more than one device is in play, the **device
+    fault domain** arms: execution becomes a sequence of dispatch rounds
+    governed by a per-device :class:`~repro.gpusim.multidevice.
+    CircuitBreaker` (``policy.breaker`` or a fresh one), chunks orphaned
+    by a device outage or watchdog hang are restored and re-sharded onto
+    the surviving devices, tripped devices re-enter through single-lane
+    probes, and — with ``policy.hedge_ratio`` set — straggler chunks are
+    hedged onto the fastest other closed device.  All decisions land in
+    ``PipelineResult.device_events``; if every device dies, the leftover
+    lanes finish on the host net.
     """
     from .memory_plan import MemoryPlan, _admit_or_raise, plan_batch
     from .resilience import ResiliencePolicy
@@ -346,62 +581,216 @@ def execute_pipelined(op, batch, lane_bytes, *, device, stream, streams,
     policy = policy or ResiliencePolicy()
     devs = _resolve_devices(device, devices)
     nbuf = _resolve_buffers(streams, overlap)
+    watchdog = getattr(policy, "watchdog", None)
+    hedge_ratio = getattr(policy, "hedge_ratio", None)
+    failover = (bool(resilient) and len(devs) > 1
+                and snapshot is not None and restore is not None)
+    hedge_on = failover and hedge_ratio is not None
+    breaker = None
+    if failover:
+        breaker = getattr(policy, "breaker", None) or CircuitBreaker()
     weights = None
     if len(devs) > 1:
-        weights = throughput_weights(devs, probe_stages, grid=batch)
-    shards = split_batch(batch, devs, weights=weights)
-
-    plans = []
-    for part in shards:
-        plan = plan_batch(part.count, lane_bytes, device=part.device,
-                          max_resident_bytes=max_resident_bytes,
-                          chunk_hint=chunk_hint, buffers=nbuf)
-        _admit_or_raise(plan, resilient, part.device)
-        plans.append(plan)
-
-    results = [None] * len(shards)
-    errors = [None] * len(shards)
-
-    def work(i, part, plan):
-        try:
-            results[i] = _run_shard(op, part, plan, batch, nbuf,
-                                    resilient, policy, run_chunk, run_host)
-        except BaseException as exc:  # re-raised on the caller thread
-            errors[i] = exc
-
-    if len(shards) > 1:
-        workers = [threading.Thread(target=work, args=(i, part, plan),
-                                    name=f"pipe-{op}-{part.device.name}")
-                   for i, (part, plan) in enumerate(zip(shards, plans))]
-        for w in workers:
-            w.start()
-        for w in workers:
-            w.join()
-    else:
-        for i, (part, plan) in enumerate(zip(shards, plans)):
-            work(i, part, plan)
-    for exc in errors:
-        if exc is not None:
-            raise exc
+        weights = throughput_weights(devs, probe_stages,
+                                     grid=max(batch, 1))
 
     parts, chunks, events = [], [], []
     oom = 0
     backoff = 0.0
     shard_results = []
-    for res in results:
-        s_parts, s_chunks, s_oom, s_events, s_backoff, shard = res
-        parts.extend(s_parts)
-        chunks.extend(s_chunks)
-        oom += s_oom
-        events.extend(s_events)
-        backoff += s_backoff
-        shard_results.append(shard)
+    plans = []
+    device_events = []
+    round_makespans = []
+    failovers = hedges = 0
+    rounds = 0
+
+    def plan_for(dev, count):
+        plan = plan_batch(count, lane_bytes, device=dev,
+                          max_resident_bytes=max_resident_bytes,
+                          chunk_hint=chunk_hint, buffers=nbuf)
+        _admit_or_raise(plan, resilient, dev)
+        plans.append(plan)
+        return plan
+
+    def absorb(out):
+        nonlocal oom, backoff
+        parts.extend(out.parts)
+        chunks.extend(out.chunks)
+        oom += out.oom
+        events.extend(out.events)
+        backoff += out.backoff
+        shard_results.append(out.shard)
+
+    def launch(assignments):
+        """Run one round's shard assignments on worker threads."""
+        outs = [None] * len(assignments)
+        errs = [None] * len(assignments)
+
+        def work(i, dev, ranges, plan, role):
+            try:
+                outs[i] = _run_shard(
+                    op, dev, ranges, plan, batch, nbuf, resilient, policy,
+                    run_chunk, run_host, watchdog=watchdog,
+                    failover=failover, snapshot=snapshot, restore=restore,
+                    keep_snaps=hedge_on, role=role)
+            except BaseException as exc:  # re-raised on the coordinator
+                errs[i] = exc
+
+        if len(assignments) > 1:
+            workers = [threading.Thread(
+                target=work, args=(i, dev, ranges, plan, role),
+                name=f"pipe-{op}-{dev.name}")
+                for i, (dev, ranges, plan, role) in enumerate(assignments)]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join()
+        else:
+            for i, (dev, ranges, plan, role) in enumerate(assignments):
+                work(i, dev, ranges, plan, role)
+        for exc in errs:
+            if exc is not None:
+                raise exc
+        return outs
+
+    if not failover:
+        # Single dispatch round: the pre-fault-domain behavior, byte for
+        # byte (rounds=1, empty round_makespans, shard-max makespan).
+        shards = split_batch(batch, devs, weights=weights)
+        assignments = [(part.device, [(part.start, part.stop)],
+                        plan_for(part.device, part.count), "full")
+                       for part in shards]
+        for out in launch(assignments):
+            absorb(out)
+        rounds = 1
+    else:
+        pending = [(0, batch)] if batch else []
+        ev_cursor = len(breaker.events)
+
+        def drain_breaker():
+            nonlocal ev_cursor
+            device_events.extend(breaker.events[ev_cursor:])
+            ev_cursor = len(breaker.events)
+
+        # Generous upper bound: every device can trip, probe and die.
+        max_rounds = 4 + 2 * len(devs) * breaker.max_probes
+        while pending:
+            rounds += 1
+            all_dead = all(breaker.state(d.name) == CircuitBreaker.DEAD
+                           for d in devs)
+            if rounds > max_rounds or all_dead:
+                # No device pool left: finish the leftovers on the host
+                # net — the same last rung the OOM ladder bottoms out on.
+                for h_start, h_stop in pending:
+                    events.append({"action": "host",
+                                   "start": int(h_start),
+                                   "stop": int(h_stop),
+                                   "reason": "no-healthy-devices"})
+                    rep = run_host(h_start, h_stop)
+                    if rep is not None:
+                        parts.append((list(range(h_start, h_stop)), rep))
+                pending = []
+                break
+            roles = [(d, breaker.poll(d.name)) for d in devs]
+            drain_breaker()
+            probes = [d for d, r in roles if r == "probe"]
+            fulls = [d for d, r in roles if r == "full"]
+            if not probes and not fulls:
+                continue    # open devices are counting denied polls
+            assignments = []
+            for d in probes:
+                taken = _take_lanes(pending, 1)
+                if taken:
+                    assignments.append((d, taken, plan_for(d, 1), "probe"))
+            if fulls and pending:
+                w = [weights[devs.index(d)] for d in fulls]
+                total = sum(stop - start for start, stop in pending)
+                for d, count in zip(fulls, _share_counts(total, w)):
+                    taken = _take_lanes(pending, count)
+                    if taken:
+                        n = sum(s2 - s1 for s1, s2 in taken)
+                        assignments.append(
+                            (d, taken, plan_for(d, n), "full"))
+            if not assignments:
+                continue
+            outs = launch(assignments)
+            savings = [0.0] * len(outs)
+            for (dev, ranges, plan, role), out in zip(assignments, outs):
+                absorb(out)
+                if out.failure is not None:
+                    fail = dict(out.failure)
+                    orphan_lanes = sum(s2 - s1 for s1, s2 in out.orphans)
+                    device_events.append(
+                        {"event": "failover", **fail,
+                         "orphan_lanes": int(orphan_lanes)})
+                    failovers += len(out.orphans)
+                    breaker.record_failure(
+                        dev.name, kind=fail["kind"],
+                        fatal=fail["kind"] == "device-lost")
+                    pending.extend(out.orphans)
+                else:
+                    breaker.record_success(dev.name)
+                drain_breaker()
+            if hedge_on and len(outs) > 1:
+                # Straggler hedging, decided on the coordinator after the
+                # round joins: a chunk that took longer than hedge_ratio
+                # times the round's median replays on the fastest other
+                # closed device; the first finisher wins and the loser's
+                # traffic stays attributed.
+                all_spans = [(i, sp) for i, out in enumerate(outs)
+                             for sp in out.spans]
+                durs = sorted(sp["duration"] for _, sp in all_spans
+                              if sp["duration"] > 0.0)
+                median = durs[len(durs) // 2] if durs else 0.0
+                for i, sp in all_spans:
+                    if median <= 0.0 or sp["snap"] is None:
+                        continue
+                    if sp["duration"] <= hedge_ratio * median:
+                        continue
+                    primary = assignments[i][0]
+                    cands = [d for d in devs
+                             if d.name != primary.name
+                             and breaker.state(d.name)
+                             == CircuitBreaker.CLOSED]
+                    if not cands:
+                        continue
+                    target = max(cands,
+                                 key=lambda d: weights[devs.index(d)])
+                    hshard, hdur, ok = _run_hedge(
+                        op, target, sp, nbuf, run_chunk, snapshot,
+                        restore, watchdog)
+                    if hshard is None:
+                        continue
+                    hedges += 1
+                    shard_results.append(hshard)
+                    won = ok and hdur < sp["duration"]
+                    if won:
+                        savings[i] += sp["duration"] - hdur
+                    device_events.append({
+                        "event": "hedge",
+                        "start": int(sp["start"]),
+                        "stop": int(sp["stop"]),
+                        "primary": primary.name,
+                        "hedge": target.name,
+                        "primary_seconds": float(sp["duration"]),
+                        "hedge_seconds": float(hdur),
+                        "winner": target.name if won else primary.name,
+                        "loser_bytes": int(sp["nbytes"] if won
+                                           else hshard.h2d_bytes
+                                           + hshard.d2h_bytes)})
+            effective = [max(out.shard.makespan - sv, 0.0)
+                         for out, sv in zip(outs, savings)]
+            round_makespans.append(max(effective, default=0.0))
 
     result = PipelineResult(
         op=op, batch=batch,
         devices=tuple(d.name for d in devs),
         streams=nbuf, overlap=nbuf > 1,
-        shards=tuple(shard_results))
+        shards=tuple(shard_results),
+        rounds=max(rounds, 1),
+        round_makespans=tuple(round_makespans),
+        device_events=tuple(device_events),
+        failovers=failovers, hedges=hedges)
     with _LAST_LOCK:
         _LAST = result
     if stream is not None and batch:

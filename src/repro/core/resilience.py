@@ -46,15 +46,19 @@ re-raises the last device error.
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass, field
+from contextlib import contextmanager
+from dataclasses import dataclass, field, fields as _dataclass_fields
 
 import numpy as np
 
 from ..band.layout import ldab_for_factor
 from ..errors import (
     DeviceError,
+    DeviceLostError,
     DeviceMemoryError,
+    KernelHangError,
     SharedMemoryError,
     check_arg,
 )
@@ -78,6 +82,8 @@ __all__ = [
     "ResiliencePolicy",
     "BatchReport",
     "merge_reports",
+    "escalate_device_faults",
+    "device_fault_escalation_active",
     "gbtrf_batch_resilient",
     "gbtrs_batch_resilient",
     "gbsv_batch_resilient",
@@ -89,6 +95,39 @@ _GBTRS_LADDER = ("blocked", "reference")
 #: Marker used in :attr:`BatchReport.fallbacks` when a quarantine re-run
 #: abandoned the reference *kernels* for the host reference *algorithm*.
 HOST_FALLBACK = "host"
+
+# Thread-local escalation switch for the pipelined executor's fault
+# domains.  Inside an `escalate_device_faults()` scope, the retry ladder
+# re-raises whole-device failures (DeviceLostError) and watchdog hangs
+# (KernelHangError) immediately instead of retrying or absorbing them
+# into the host net — the pipeline coordinator owns those errors: it
+# trips the circuit breaker and re-shards the chunk onto a surviving
+# device.  Outside the scope (a plain sequential resilient call with no
+# other device to fail over to) the old absorb-into-host behaviour
+# stands.
+_ESCALATE = threading.local()
+
+
+def device_fault_escalation_active() -> bool:
+    """True inside an :func:`escalate_device_faults` scope (this thread)."""
+    return getattr(_ESCALATE, "depth", 0) > 0
+
+
+@contextmanager
+def escalate_device_faults():
+    """Scope in which device-lost and kernel-hang errors escalate.
+
+    The pipelined executor wraps each chunk's kernel work in this scope so
+    :class:`~repro.errors.DeviceLostError` and
+    :class:`~repro.errors.KernelHangError` propagate to the coordinator
+    (which owns failover) rather than being retried on the dying device or
+    silently finished on the host.
+    """
+    _ESCALATE.depth = getattr(_ESCALATE, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _ESCALATE.depth -= 1
 
 
 @dataclass(frozen=True)
@@ -112,6 +151,24 @@ class ResiliencePolicy:
     refine:
         Master switch for the single :func:`~repro.core.gbrfs.gbrfs`
         pass on recovered ``gbsv`` lanes.
+    watchdog:
+        Watchdog deadline (modeled seconds) armed on the pipelined
+        executor's compute streams; a launch exceeding it raises
+        :class:`~repro.errors.KernelHangError` and the chunk fails over.
+        ``None`` disables hang detection.
+    hedge_ratio:
+        Straggler hedging threshold for the pipelined executor: after
+        each dispatch round, any chunk whose modeled duration exceeded
+        ``hedge_ratio`` times the round's median chunk duration is
+        duplicated onto the fastest other healthy device; the first
+        finisher wins (results are bit-identical either way) and the
+        loser's traffic is attributed in ``BatchReport.device_events``.
+        ``None`` disables hedging.
+    breaker:
+        A :class:`~repro.gpusim.multidevice.CircuitBreaker` shared with
+        the pipelined executor; ``None`` gives each pipelined call a
+        private breaker.  Pass a long-lived breaker (the serving layer
+        does) so device state survives across calls.
     """
 
     max_retries: int = 4
@@ -119,6 +176,16 @@ class ResiliencePolicy:
     backoff_cap: float = 0.05
     growth_threshold: float = 1e8
     refine: bool = True
+    watchdog: float | None = None
+    hedge_ratio: float | None = None
+    breaker: object = None
+
+    def __post_init__(self):
+        if self.watchdog is not None and self.watchdog <= 0.0:
+            raise ValueError(f"watchdog must be > 0, got {self.watchdog}")
+        if self.hedge_ratio is not None and self.hedge_ratio < 1.0:
+            raise ValueError(
+                f"hedge_ratio must be >= 1, got {self.hedge_ratio}")
 
     def backoff(self, attempt: int) -> float:
         """Backoff before retry number ``attempt`` (1-based), in seconds."""
@@ -185,13 +252,24 @@ class BatchReport:
     #: Modeled pipelined makespan, seconds (0 outside the pipelined
     #: executor): the per-stream tail maximum across every shard.
     makespan: float = 0.0
+    #: Failure-domain decisions from the pipelined executor, in order:
+    #: circuit-breaker transitions (``trip`` / ``probe`` / ``reopen`` /
+    #: ``recover`` / ``dead``), chunk ``failover`` re-shards, and
+    #: ``hedge`` duplicate dispatches (winner, loser, attributed bytes).
+    device_events: list = field(default_factory=list)
+    #: Chunks re-dispatched onto a surviving device after a device-lost
+    #: or kernel-hang failure.
+    failovers: int = 0
+    #: Straggler chunks duplicated onto a second device (first-finisher
+    #: wins; results are bit-identical either way).
+    hedges: int = 0
     info: np.ndarray | None = None
 
     @property
     def faults_tolerated(self) -> int:
         """Total faults this call absorbed without raising."""
         return (self.launch_failures + self.smem_rejections
-                + len(self.corrupted) + self.oom_failures)
+                + len(self.corrupted) + self.oom_failures + self.failovers)
 
     @property
     def ok(self) -> bool:
@@ -224,6 +302,12 @@ class BatchReport:
         if self.devices:
             parts.append(f"devices={list(self.devices)}")
             parts.append(f"makespan={self.makespan * 1e3:.3f}ms")
+        if self.failovers:
+            parts.append(f"failovers={self.failovers}")
+        if self.hedges:
+            parts.append(f"hedges={self.hedges}")
+        if self.device_events:
+            parts.append(f"device_events={len(self.device_events)}")
         if self.unrecovered:
             parts.append(f"UNRECOVERED={list(self.unrecovered)}")
         return " ".join(parts)
@@ -258,6 +342,9 @@ class BatchReport:
             "chunk_events": [dict(e) for e in self.chunk_events],
             "devices": [str(d) for d in self.devices],
             "makespan": float(self.makespan),
+            "device_events": [dict(e) for e in self.device_events],
+            "failovers": int(self.failovers),
+            "hedges": int(self.hedges),
             "info": (None if self.info is None
                      else [int(i) for i in np.asarray(self.info)]),
             "ok": bool(self.ok),
@@ -266,14 +353,19 @@ class BatchReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "BatchReport":
-        """Rebuild a report from :meth:`to_dict` output (round-trip)."""
-        d = dict(data)
-        d.pop("ok", None)
-        d.pop("faults_tolerated", None)
+        """Rebuild a report from :meth:`to_dict` output (round-trip).
+
+        Unknown keys are ignored (forward compatibility: a log written by
+        a newer version still loads), as are the derived properties
+        :meth:`to_dict` includes for log consumers.
+        """
+        known = {f.name for f in _dataclass_fields(cls)}
+        d = {k: v for k, v in data.items() if k in known}
         for name in ("quarantined", "singular", "corrupted", "refined",
                      "unrecovered", "chunks", "devices"):
             d[name] = tuple(d.get(name, ()))
         d["fallbacks"] = [tuple(f) for f in d.get("fallbacks", [])]
+        d["device_events"] = [dict(e) for e in d.get("device_events", [])]
         if d.get("info") is not None:
             d["info"] = np.asarray(d["info"], dtype=np.int64)
         return cls(**d)
@@ -306,6 +398,9 @@ def merge_reports(operation: str, batch: int, parts) -> BatchReport:
         merged.devices += tuple(d for d in rep.devices
                                 if d not in merged.devices)
         merged.makespan = max(merged.makespan, rep.makespan)
+        merged.device_events.extend(rep.device_events)
+        merged.failovers += rep.failovers
+        merged.hedges += rep.hedges
         for stage, meth in rep.methods.items():
             prev = merged.methods.get(stage)
             if prev is None:
@@ -355,6 +450,12 @@ def _run_ladder(report: BatchReport, stage: str, ladder, call, restore,
                 report.methods[stage] = meth
                 return meth
             except (DeviceError, DeviceMemoryError) as exc:
+                # Whole-device failures and watchdog hangs escalate to the
+                # pipeline coordinator (which owns failover) instead of
+                # being retried on a device that just died.
+                if (isinstance(exc, (DeviceLostError, KernelHangError))
+                        and device_fault_escalation_active()):
+                    raise
                 last = exc
                 # Allocation failures (injected or genuine pressure) are
                 # transient like launch failures: retry the rung, then
@@ -393,7 +494,10 @@ def _ladder_with_host(report: BatchReport, stage: str, ladder, call,
     """
     try:
         _run_ladder(report, stage, ladder, call, restore, policy)
-    except (DeviceError, DeviceMemoryError, SharedMemoryError):
+    except (DeviceError, DeviceMemoryError, SharedMemoryError) as exc:
+        if (isinstance(exc, (DeviceLostError, KernelHangError))
+                and device_fault_escalation_active()):
+            raise
         restore()
         host()
         report.fallbacks.append((stage, ladder[-1], HOST_FALLBACK))
@@ -718,7 +822,10 @@ def gbsv_batch_resilient(n, kl, ku, nrhs, a_array, pv_array, b_array,
             _run_ladder(report, "gbsv", ("fused",), attempt_fused,
                         restore_all, policy)
             fused_done = True
-        except (DeviceError, DeviceMemoryError, SharedMemoryError):
+        except (DeviceError, DeviceMemoryError, SharedMemoryError) as exc:
+            if (isinstance(exc, (DeviceLostError, KernelHangError))
+                    and device_fault_escalation_active()):
+                raise
             report.fallbacks.append(("gbsv", "fused", "standard"))
             restore_all()
 

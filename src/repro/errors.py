@@ -25,6 +25,9 @@ __all__ = [
     "SharedMemoryError",
     "DeviceMemoryError",
     "DeviceError",
+    "DeviceLostError",
+    "KernelHangError",
+    "RequestShedError",
     "check_arg",
 ]
 
@@ -152,6 +155,61 @@ class DeviceError(ReproError, RuntimeError):
         self.kernel = str(kernel)
         self.device = str(device)
         self.injected = bool(injected)
+
+
+class DeviceLostError(DeviceError):
+    """The whole device fell over: every launch on it fails until recovery.
+
+    Raised by the fault-injection framework's device-outage mode
+    (:mod:`repro.gpusim.faults`) and treated as *fatal* by the
+    multi-device circuit breaker: one sighting trips the device out of
+    the shard pool immediately, rather than waiting for an error-rate
+    threshold.  Distinct from :class:`DeviceError` (one launch failed)
+    because the correct reaction is failover, not retry-on-device.
+    """
+
+    def __init__(self, device: str = "", injected: bool = False):
+        super().__init__("device lost: all launches fail until recovery",
+                         device=device, injected=injected)
+
+
+class KernelHangError(DeviceError):
+    """A kernel exceeded the stream watchdog deadline (a hang).
+
+    Raised by :meth:`~repro.gpusim.stream.Stream.record` when a launch's
+    modeled duration (including injected hang time) exceeds the stream's
+    ``watchdog`` deadline.  ``elapsed`` and ``deadline`` are modeled
+    seconds; the hung launch is *not* appended to the stream timeline, so
+    a recovered re-run replays on a clean timeline.
+    """
+
+    def __init__(self, *, kernel: str = "", device: str = "",
+                 elapsed: float = 0.0, deadline: float = 0.0,
+                 injected: bool = False):
+        super().__init__(
+            f"kernel hang: launch ran {elapsed:.6f}s against a watchdog "
+            f"deadline of {deadline:.6f}s",
+            kernel=kernel, device=device, injected=injected)
+        self.elapsed = float(elapsed)
+        self.deadline = float(deadline)
+
+
+class RequestShedError(ReproError, RuntimeError):
+    """A service request was shed before dispatch (deadline or overload).
+
+    Raised by :meth:`~repro.serve.SolveHandle.result` when deadline-aware
+    load shedding dropped the request instead of solving it.  ``reason``
+    is ``"deadline"`` (the request's deadline passed while queued) or
+    ``"overload"`` (the healthy-device pool shrank and low-priority work
+    was shed to protect higher-priority deadlines).
+    """
+
+    def __init__(self, seq: int, priority: int, reason: str):
+        super().__init__(
+            f"request {seq} (priority {priority}) shed: {reason}")
+        self.seq = int(seq)
+        self.priority = int(priority)
+        self.reason = str(reason)
 
 
 def check_arg(condition: bool, position: int, message: str) -> None:

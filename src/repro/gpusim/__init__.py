@@ -8,7 +8,10 @@ latency, with a DRAM-bandwidth floor) supplies the clock.
 
 from .graph import ExecGraph, GraphCapture, capture_graph
 from .costmodel import BlockCost, KernelTiming, estimate_block_time, estimate_kernel_time
-from .device import H100_PCIE, MI250X_GCD, DeviceSpec, get_device, list_devices, register_device
+from .device import (
+    H100_PCIE, MI250X_GCD, DeviceHealth, DeviceSpec, device_health,
+    get_device, list_devices, register_device, reset_device_health,
+)
 from .faults import (
     FaultEvent, FaultInjector, FaultPlan,
     active_injector, arm_faults, disarm_faults, fault_injection,
@@ -19,8 +22,8 @@ from .memory import (
     is_packable_batch, memory_pool, reset_memory_pools,
 )
 from .multidevice import (
-    DevicePartition, MultiDeviceRun, replicate_device, run_multi_device,
-    split_batch, throughput_weights,
+    CircuitBreaker, DevicePartition, MultiDeviceRun, replicate_device,
+    run_multi_device, split_batch, throughput_weights,
 )
 from .occupancy import Occupancy, occupancy, suggest_block_size, waves_for_grid
 from .stream import Event, Stream, TimelineEntry
@@ -32,13 +35,14 @@ from .trace import KernelSummary, chrome_trace, format_trace, save_chrome_trace,
 
 __all__ = [
     "BlockCost", "KernelTiming", "estimate_block_time", "estimate_kernel_time",
-    "H100_PCIE", "MI250X_GCD", "DeviceSpec", "get_device", "list_devices",
-    "register_device",
+    "H100_PCIE", "MI250X_GCD", "DeviceHealth", "DeviceSpec",
+    "device_health", "get_device", "list_devices", "register_device",
+    "reset_device_health",
     "FaultEvent", "FaultInjector", "FaultPlan",
     "active_injector", "arm_faults", "disarm_faults", "fault_injection",
     "Kernel", "LaunchRecord", "SharedMemory", "launch",
-    "DeviceBuffer", "DevicePartition", "MemoryPool", "MultiDeviceRun",
-    "PointerArray",
+    "CircuitBreaker", "DeviceBuffer", "DevicePartition", "MemoryPool",
+    "MultiDeviceRun", "PointerArray",
     "TrafficCounter", "is_packable_batch", "memory_pool",
     "replicate_device", "reset_memory_pools", "run_multi_device",
     "split_batch", "throughput_weights",

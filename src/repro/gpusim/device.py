@@ -21,12 +21,14 @@ EXPERIMENTS.md.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from ..errors import DeviceError
 
-__all__ = ["DeviceSpec", "H100_PCIE", "MI250X_GCD", "get_device",
-           "register_device", "list_devices"]
+__all__ = ["DeviceSpec", "DeviceHealth", "H100_PCIE", "MI250X_GCD",
+           "get_device", "register_device", "list_devices",
+           "device_health", "reset_device_health"]
 
 
 @dataclass(frozen=True)
@@ -150,6 +152,118 @@ def get_device(name: str) -> DeviceSpec:
 def list_devices() -> list[str]:
     """Names of all registered devices, sorted."""
     return sorted(_REGISTRY)
+
+
+# --- Per-device health tracking --------------------------------------------
+
+
+class DeviceHealth:
+    """Rolling health window for one device: launch outcomes and latencies.
+
+    Every completed launch records a success (with its modeled duration)
+    or a failure (with a fault kind such as ``"device-lost"`` or
+    ``"hang"``) into a bounded window of the most recent ``window``
+    outcomes.  The multi-device circuit breaker
+    (:class:`~repro.gpusim.multidevice.CircuitBreaker`) and operators
+    read ``error_rate`` / ``mean_latency`` off this tracker; the
+    per-kind totals (``failure_kinds``) are cumulative, not windowed, so
+    a long-running service can still attribute historical faults.
+    """
+
+    __slots__ = ("name", "window", "_outcomes", "_latencies",
+                 "successes", "failures", "failure_kinds")
+
+    def __init__(self, name: str, window: int = 64):
+        if window < 1:
+            raise DeviceError("health window must be >= 1")
+        self.name = str(name)
+        self.window = int(window)
+        #: Rolling outcome window: True = success, False = failure.
+        self._outcomes: deque = deque(maxlen=self.window)
+        #: Rolling modeled durations of recent *successful* launches.
+        self._latencies: deque = deque(maxlen=self.window)
+        #: Cumulative totals (not windowed).
+        self.successes = 0
+        self.failures = 0
+        #: Fault kind -> cumulative count.
+        self.failure_kinds: dict = {}
+
+    def record_success(self, latency: float = 0.0) -> None:
+        """Log one successful launch with its modeled duration."""
+        self._outcomes.append(True)
+        self._latencies.append(float(latency))
+        self.successes += 1
+
+    def record_failure(self, kind: str = "error") -> None:
+        """Log one failed launch attributed to fault ``kind``."""
+        self._outcomes.append(False)
+        self.failures += 1
+        self.failure_kinds[kind] = self.failure_kinds.get(kind, 0) + 1
+
+    @property
+    def error_rate(self) -> float:
+        """Failures / outcomes over the rolling window (0.0 when empty)."""
+        if not self._outcomes:
+            return 0.0
+        bad = sum(1 for ok in self._outcomes if not ok)
+        return bad / len(self._outcomes)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean modeled duration of recent successful launches."""
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) / len(self._latencies)
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of the tracker (for reports and logs)."""
+        return {
+            "device": self.name,
+            "window": int(self.window),
+            "successes": int(self.successes),
+            "failures": int(self.failures),
+            "failure_kinds": {str(k): int(v)
+                              for k, v in sorted(self.failure_kinds.items())},
+            "error_rate": float(self.error_rate),
+            "mean_latency": float(self.mean_latency),
+        }
+
+    def reset(self) -> None:
+        """Clear the window and all cumulative totals."""
+        self._outcomes.clear()
+        self._latencies.clear()
+        self.successes = 0
+        self.failures = 0
+        self.failure_kinds.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DeviceHealth({self.name!r}, rate={self.error_rate:.2f}, "
+                f"n={self.successes + self.failures})")
+
+
+_HEALTH: dict[str, DeviceHealth] = {}
+
+
+def device_health(device: "DeviceSpec | str") -> DeviceHealth:
+    """The health tracker for ``device`` (created on first use).
+
+    Trackers are keyed by device *name*, so replicated shard devices
+    (``"h100-pcie:0"``, ``"h100-pcie:1"``) each get their own tracker.
+    """
+    name = device if isinstance(device, str) else device.name
+    tracker = _HEALTH.get(name)
+    if tracker is None:
+        tracker = _HEALTH[name] = DeviceHealth(name)
+    return tracker
+
+
+def reset_device_health(device: "DeviceSpec | str | None" = None) -> None:
+    """Reset one device's tracker, or every tracker when ``device=None``."""
+    if device is None:
+        _HEALTH.clear()
+        return
+    name = device if isinstance(device, str) else device.name
+    _HEALTH.pop(name, None)
 
 
 # --- Shipped device models -------------------------------------------------

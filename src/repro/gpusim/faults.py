@@ -22,7 +22,15 @@ reproducible:
   ``cudaErrorMemoryAllocation``);
 * **capacity squeezes** — the next ``k`` allocations see the pool's
   capacity transiently scaled down by ``squeeze_fraction``, modelling
-  fragmentation or a competing tenant grabbing memory mid-run.
+  fragmentation or a competing tenant grabbing memory mid-run;
+* **device outages** — after ``outage_after`` launch attempts the whole
+  device raises :class:`~repro.errors.DeviceLostError` on every launch,
+  either permanently or until ``outage_failures`` attempts have bounced
+  off it (an Xid-style fallen-off-the-bus event followed by a reset);
+* **kernel hangs** — the next ``k`` matching launches have their modeled
+  duration inflated by ``hang_seconds``; a stream watchdog
+  (:class:`~repro.gpusim.stream.Stream`) converts the stall into
+  :class:`~repro.errors.KernelHangError`.
 
 Corruption lanes are *global* batch indices: when the memory-governed
 drivers (:mod:`repro.core.memory_plan`) split a batch into chunks, they
@@ -49,11 +57,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeviceError, DeviceMemoryError, SharedMemoryError
+from ..errors import (DeviceError, DeviceLostError, DeviceMemoryError,
+                      SharedMemoryError)
 
 __all__ = [
     "LAUNCH_FAILURE", "SMEM_REJECTION", "LANE_CORRUPTION",
-    "ALLOC_FAILURE", "CAPACITY_SQUEEZE",
+    "ALLOC_FAILURE", "CAPACITY_SQUEEZE", "DEVICE_OUTAGE", "KERNEL_HANG",
     "FaultEvent", "FaultPlan", "FaultInjector",
     "arm_faults", "disarm_faults", "active_injector", "fault_injection",
 ]
@@ -63,6 +72,8 @@ SMEM_REJECTION = "smem-rejection"
 LANE_CORRUPTION = "lane-corruption"
 ALLOC_FAILURE = "alloc-failure"
 CAPACITY_SQUEEZE = "capacity-squeeze"
+DEVICE_OUTAGE = "device-outage"
+KERNEL_HANG = "kernel-hang"
 
 
 @dataclass(frozen=True)
@@ -132,6 +143,26 @@ class FaultPlan:
         (whether or not it makes the allocation fail).
     squeeze_fraction:
         Capacity multiplier in ``(0, 1]`` applied by a squeeze.
+    outage_after:
+        When set, the device falls over after this many launch attempts:
+        attempt ``outage_after + 1`` and every attempt thereafter raises
+        :class:`~repro.errors.DeviceLostError` until ``outage_failures``
+        failed attempts have been consumed.  ``0`` means the device is
+        down from the first launch.
+    outage_failures:
+        Number of failed launch attempts the outage absorbs before the
+        device recovers; ``None`` makes the outage permanent.
+    hang_kernels:
+        Substring filter on the kernel name for injected hangs (``""``
+        matches every kernel once ``hang_launches`` is positive).
+    hang_launches:
+        Number of matching launches whose modeled duration is inflated by
+        ``hang_seconds``; each hang is consumed once.  A stream armed with
+        a ``watchdog`` deadline converts the inflated duration into a
+        :class:`~repro.errors.KernelHangError`; without a watchdog the
+        hang silently stretches the timeline (an undetected straggler).
+    hang_seconds:
+        Modeled seconds added to a hung launch's duration.
     """
 
     seed: int = 0
@@ -148,6 +179,11 @@ class FaultPlan:
     alloc_labels: str = ""
     capacity_squeezes: int = 0
     squeeze_fraction: float = 0.5
+    outage_after: int | None = None
+    outage_failures: int | None = None
+    hang_kernels: str = ""
+    hang_launches: int = 0
+    hang_seconds: float = 1.0
 
     def __post_init__(self):
         if not 0.0 <= self.launch_failure_rate <= 1.0:
@@ -169,6 +205,18 @@ class FaultPlan:
             raise ValueError(
                 f"squeeze_fraction must be in (0, 1], got "
                 f"{self.squeeze_fraction}")
+        if self.outage_after is not None and self.outage_after < 0:
+            raise ValueError(
+                f"outage_after must be >= 0, got {self.outage_after}")
+        if self.outage_failures is not None and self.outage_failures < 1:
+            raise ValueError(
+                f"outage_failures must be >= 1, got {self.outage_failures}")
+        if self.hang_launches < 0:
+            raise ValueError(
+                f"hang_launches must be >= 0, got {self.hang_launches}")
+        if self.hang_seconds < 0.0:
+            raise ValueError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}")
         object.__setattr__(self, "corrupt_lanes",
                            tuple(int(k) for k in self.corrupt_lanes))
 
@@ -200,6 +248,13 @@ class FaultInjector:
                             else int(plan.max_alloc_failures))
         self._squeeze_left = int(plan.capacity_squeezes)
         self._pending_lanes = set(plan.corrupt_lanes)
+        #: Launch attempts seen so far (drives the outage trigger).
+        self._launch_attempts = 0
+        self._outage_left = 0
+        if plan.outage_after is not None:
+            self._outage_left = (float("inf") if plan.outage_failures is None
+                                 else int(plan.outage_failures))
+        self._hang_left = int(plan.hang_launches)
         #: Global index of batch lane 0 of the launches currently running —
         #: the memory-governed drivers set this per chunk (see
         #: :meth:`lane_window`) so ``corrupt_lanes`` stay *global* batch
@@ -211,7 +266,8 @@ class FaultInjector:
     def counts(self) -> dict[str, int]:
         """Number of injected faults so far, keyed by kind."""
         out = {LAUNCH_FAILURE: 0, SMEM_REJECTION: 0, LANE_CORRUPTION: 0,
-               ALLOC_FAILURE: 0, CAPACITY_SQUEEZE: 0}
+               ALLOC_FAILURE: 0, CAPACITY_SQUEEZE: 0, DEVICE_OUTAGE: 0,
+               KERNEL_HANG: 0}
         for ev in self.log:
             out[ev.kind] = out.get(ev.kind, 0) + 1
         return out
@@ -222,9 +278,14 @@ class FaultInjector:
 
     @property
     def exhausted(self) -> bool:
-        """True when the plan has no faults left to inject."""
+        """True when the plan has no faults left to inject.
+
+        A permanent outage (``outage_failures=None``) never exhausts.
+        """
         return (self._smem_left == 0 and not self._pending_lanes
                 and self._squeeze_left == 0
+                and self._outage_left == 0
+                and self._hang_left == 0
                 and (self.plan.launch_failure_rate == 0.0
                      or self._launch_left == 0)
                 and (self.plan.alloc_failure_rate == 0.0
@@ -248,8 +309,26 @@ class FaultInjector:
     # -- launcher hooks ----------------------------------------------------
 
     def on_launch(self, device, kernel) -> None:
-        """Pre-execution hook; raises the injected launch-level faults."""
+        """Pre-execution hook; raises the injected launch-level faults.
+
+        The outage check runs first and counts every launch attempt: once
+        ``outage_after`` attempts have gone by, each further attempt
+        consumes one of the ``outage_failures`` budget and raises
+        :class:`~repro.errors.DeviceLostError` — a whole-device failure
+        the circuit breaker treats as fatal — until the budget drains
+        (the device "comes back") or forever (``outage_failures=None``).
+        """
         name = kernel.name
+        self._launch_attempts += 1
+        if (self.plan.outage_after is not None and self._outage_left > 0
+                and self._launch_attempts > self.plan.outage_after):
+            if self._outage_left != float("inf"):
+                self._outage_left -= 1
+            self.log.append(FaultEvent(
+                DEVICE_OUTAGE, name, device.name,
+                detail=f"attempt={self._launch_attempts} "
+                       f"remaining={self._outage_left}"))
+            raise DeviceLostError(device=device.name, injected=True)
         if (self.plan.launch_failure_rate > 0.0 and self._launch_left > 0
                 and self.plan.fail_kernels in name
                 and self._rng.random() < self.plan.launch_failure_rate):
@@ -292,6 +371,25 @@ class FaultInjector:
                 self.log.append(ev)
                 events.append(ev)
         return tuple(events)
+
+    def injected_hang(self, device, kernel) -> tuple[float, tuple]:
+        """Hang hook; returns ``(extra_seconds, events)`` for this launch.
+
+        Consumed once per matching launch while the ``hang_launches``
+        budget lasts.  The launcher adds ``extra_seconds`` to the launch's
+        modeled duration and attaches the events to the resulting
+        :class:`~repro.gpusim.kernel.LaunchRecord`, so hangs stay
+        trace-attributed whether or not a stream watchdog converts them
+        into :class:`~repro.errors.KernelHangError`.
+        """
+        if self._hang_left <= 0 or self.plan.hang_kernels not in kernel.name:
+            return 0.0, ()
+        self._hang_left -= 1
+        ev = FaultEvent(
+            KERNEL_HANG, kernel.name, device.name,
+            detail=f"hang_seconds={self.plan.hang_seconds}")
+        self.log.append(ev)
+        return float(self.plan.hang_seconds), (ev,)
 
     def on_alloc(self, pool, nbytes: int, label: str = "") -> int:
         """Allocation hook; returns the capacity this request is held to.

@@ -20,9 +20,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeviceError, SharedMemoryError
+from ..errors import DeviceError, DeviceLostError, SharedMemoryError
 from .costmodel import BlockCost, KernelTiming, estimate_kernel_time
-from .device import DeviceSpec
+from .device import DeviceSpec, device_health
 
 __all__ = ["SharedMemory", "Kernel", "LaunchRecord", "launch",
            "note_layout_conversion"]
@@ -226,14 +226,19 @@ class LaunchRecord:
     soa: bool = False
     soa_bytes: int = 0
     # Fault-injection events (repro.gpusim.faults.FaultEvent) that struck
-    # this launch — lane corruptions applied after the blocks executed.
+    # this launch — lane corruptions applied after the blocks executed,
+    # and injected kernel hangs (which also set ``hang_time``).
     # Launch-level faults abort the launch and never produce a record; they
     # live on the injector's log instead.
     faults: tuple = ()
+    # Extra modeled seconds from an injected kernel hang; a stream armed
+    # with a watchdog deadline converts the inflated ``time`` into a
+    # KernelHangError instead of recording it.
+    hang_time: float = 0.0
 
     @property
     def time(self) -> float:
-        return self.timing.total
+        return self.timing.total + self.hang_time
 
     @property
     def display_name(self) -> str:
@@ -300,13 +305,30 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
     if grid < 0:
         raise DeviceError(f"negative grid size {grid}",
                           kernel=kernel.name, device=device.name)
-    timing = kernel.timing(device)  # raises SharedMemoryError if unlaunchable
+    health = device_health(device)
+    try:
+        timing = kernel.timing(device)  # raises SharedMemoryError if unlaunchable
+    except SharedMemoryError:
+        health.record_failure("smem")
+        raise
     injector = active_injector(device)
     if injector is not None:
-        # May raise an injected DeviceError / SharedMemoryError.  Runs
-        # after the genuine resource checks so a kernel that truly cannot
-        # launch reports its real failure, not an injected one.
-        injector.on_launch(device, kernel)
+        # May raise an injected DeviceLostError / DeviceError /
+        # SharedMemoryError.  Runs after the genuine resource checks so a
+        # kernel that truly cannot launch reports its real failure, not an
+        # injected one.  Every failure mode lands on the device's rolling
+        # health window, keyed by kind, for the circuit breaker to read.
+        try:
+            injector.on_launch(device, kernel)
+        except DeviceLostError:
+            health.record_failure("device-lost")
+            raise
+        except SharedMemoryError:
+            health.record_failure("smem")
+            raise
+        except DeviceError:
+            health.record_failure("launch")
+            raise
     # A capturing stream (see repro.gpusim.graph) records the kernel as a
     # graph node instead of executing it; work happens at replay.
     capturing = bool(getattr(stream, "_capturing", False))
@@ -354,6 +376,14 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
                 executed += 1
         if injector is not None and executed:
             faults = injector.after_execution(device, kernel, executed)
+    hang_time = 0.0
+    if injector is not None:
+        # Injected hangs inflate the launch's modeled duration; the events
+        # travel on the record so traces attribute the stall even when no
+        # watchdog converts it into an error.
+        hang_time, hang_events = injector.injected_hang(device, kernel)
+        if hang_events:
+            faults = tuple(faults) + tuple(hang_events)
     global _pending_convert_bytes
     soa_bytes, _pending_convert_bytes = _pending_convert_bytes, 0
     record = LaunchRecord(
@@ -369,9 +399,13 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
         soa=soa and vectorized,
         soa_bytes=soa_bytes,
         faults=faults,
+        hang_time=hang_time,
     )
     if stream is not None:
+        # May raise KernelHangError when the stream's watchdog deadline
+        # fires; Stream.record logs the hang on the health tracker itself.
         stream.record(record)
         if capturing:
             stream.add_node(kernel)
+    health.record_success(record.time)
     return record

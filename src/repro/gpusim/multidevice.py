@@ -15,11 +15,12 @@ from dataclasses import dataclass, replace
 
 from ..errors import SharedMemoryError, check_arg
 from .costmodel import estimate_kernel_time
-from .device import DeviceSpec
+from .device import DeviceSpec, device_health
 from .stream import Stream
 
-__all__ = ["DevicePartition", "split_batch", "MultiDeviceRun",
-           "run_multi_device", "replicate_device", "throughput_weights"]
+__all__ = ["CircuitBreaker", "DevicePartition", "split_batch",
+           "MultiDeviceRun", "run_multi_device", "replicate_device",
+           "throughput_weights"]
 
 
 def replicate_device(device: DeviceSpec, count: int) -> list[DeviceSpec]:
@@ -75,6 +76,153 @@ def throughput_weights(devices: list[DeviceSpec], stages, *,
             # in the same boat.
             weights.append(dev.dram_bandwidth * 1e-15)
     return weights
+
+
+class CircuitBreaker:
+    """Per-device circuit breaker over the shard pool (closed→open→half-open).
+
+    The pipeline coordinator consults the breaker before every dispatch
+    round and reports every launch outcome back into it:
+
+    * **closed** — the device takes its full throughput-weighted share.
+      ``failure_threshold`` consecutive failures (or a single *fatal*
+      failure such as :class:`~repro.errors.DeviceLostError`, or a rolling
+      :class:`~repro.gpusim.device.DeviceHealth` error rate at or above
+      ``error_rate_threshold``) trip it **open**.
+    * **open** — the device is out of the pool.  After ``probe_after``
+      denied polls it transitions to **half-open**.
+    * **half-open** — the next poll grants a single *probe* launch.  A
+      probe success **recovers** the device (closed again); a probe
+      failure **reopens** it, and after ``max_probes`` consecutive failed
+      probes the device is declared **dead** (no further probes).
+
+    All transitions append JSON-safe dicts to :attr:`events`
+    (``trip`` / ``probe`` / ``reopen`` / ``recover`` / ``dead``), which the
+    pipeline copies into ``BatchReport.device_events``.  The breaker is
+    *not* thread-safe by design: the pipeline mutates it only from the
+    coordinator thread, which is also what keeps failover decisions
+    deterministic for a given fault seed.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+    DEAD = "dead"
+
+    def __init__(self, *, failure_threshold: int = 2, probe_after: int = 1,
+                 max_probes: int = 4,
+                 error_rate_threshold: float | None = None):
+        check_arg(failure_threshold >= 1, 1,
+                  f"failure_threshold must be >= 1, got {failure_threshold}")
+        check_arg(probe_after >= 1, 2,
+                  f"probe_after must be >= 1, got {probe_after}")
+        check_arg(max_probes >= 1, 3,
+                  f"max_probes must be >= 1, got {max_probes}")
+        check_arg(error_rate_threshold is None
+                  or 0.0 < error_rate_threshold <= 1.0, 4,
+                  "error_rate_threshold must be in (0, 1] or None")
+        self.failure_threshold = int(failure_threshold)
+        self.probe_after = int(probe_after)
+        self.max_probes = int(max_probes)
+        self.error_rate_threshold = error_rate_threshold
+        self._state: dict[str, str] = {}
+        self._failures: dict[str, int] = {}      # consecutive, while closed
+        self._denied: dict[str, int] = {}        # polls denied while open
+        self._probes_failed: dict[str, int] = {}  # consecutive failed probes
+        #: JSON-safe transition log, in decision order.
+        self.events: list[dict] = []
+
+    # -- inspection --------------------------------------------------------
+
+    def state(self, name: str) -> str:
+        """Current state of device ``name`` (``"closed"`` by default)."""
+        return self._state.get(name, self.CLOSED)
+
+    def healthy(self, name: str) -> bool:
+        """True when the device may receive work (closed or probing)."""
+        return self.state(name) in (self.CLOSED, self.HALF_OPEN)
+
+    def healthy_fraction(self, names) -> float:
+        """Fraction of ``names`` currently in the pool (1.0 when empty)."""
+        names = list(names)
+        if not names:
+            return 1.0
+        return sum(1 for n in names if self.healthy(n)) / len(names)
+
+    # -- coordinator protocol ---------------------------------------------
+
+    def poll(self, name: str) -> str | None:
+        """Ask for the device's role this round.
+
+        Returns ``"full"`` (closed: full share), ``"probe"`` (half-open:
+        one probe chunk), or ``None`` (open or dead: no work).  An open
+        device counts denied polls and moves to half-open once
+        ``probe_after`` of them have gone by.
+        """
+        state = self.state(name)
+        if state == self.CLOSED:
+            return "full"
+        if state == self.DEAD:
+            return None
+        if state == self.OPEN:
+            self._denied[name] = self._denied.get(name, 0) + 1
+            if self._denied[name] < self.probe_after:
+                return None
+            self._state[name] = self.HALF_OPEN
+            self._denied[name] = 0
+            self.events.append({"event": "probe", "device": name})
+            return "probe"
+        return "probe"   # already half-open: retry the probe
+
+    def record_failure(self, name: str, *, kind: str = "error",
+                       fatal: bool = False) -> None:
+        """Report a failed launch/chunk on ``name`` (coordinator thread)."""
+        state = self.state(name)
+        if state == self.DEAD:
+            return
+        if state == self.HALF_OPEN:
+            self._probes_failed[name] = self._probes_failed.get(name, 0) + 1
+            if self._probes_failed[name] >= self.max_probes:
+                self._state[name] = self.DEAD
+                self.events.append(
+                    {"event": "dead", "device": name, "kind": kind,
+                     "probes": self._probes_failed[name]})
+            else:
+                self._state[name] = self.OPEN
+                self.events.append(
+                    {"event": "reopen", "device": name, "kind": kind})
+            return
+        if state == self.OPEN:
+            return
+        # closed
+        self._failures[name] = self._failures.get(name, 0) + 1
+        rate_trip = (self.error_rate_threshold is not None
+                     and device_health(name).error_rate
+                     >= self.error_rate_threshold)
+        if fatal or rate_trip or self._failures[name] >= self.failure_threshold:
+            self._state[name] = self.OPEN
+            self._denied[name] = 0
+            self.events.append(
+                {"event": "trip", "device": name, "kind": kind,
+                 "fatal": bool(fatal),
+                 "failures": self._failures[name]})
+            self._failures[name] = 0
+
+    def record_success(self, name: str) -> None:
+        """Report a successful launch/chunk on ``name``."""
+        state = self.state(name)
+        if state == self.HALF_OPEN:
+            self._state[name] = self.CLOSED
+            self._probes_failed[name] = 0
+            self._failures[name] = 0
+            self.events.append({"event": "recover", "device": name})
+        elif state == self.CLOSED:
+            self._failures[name] = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        states = {n: s for n, s in sorted(self._state.items())
+                  if s != self.CLOSED}
+        return f"CircuitBreaker({states or 'all closed'})"
 
 
 @dataclass(frozen=True)

@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import DeviceError
-from .device import DeviceSpec
+from ..errors import DeviceError, KernelHangError
+from .device import DeviceSpec, device_health
 from .kernel import LaunchRecord
 
 __all__ = ["Stream", "Event", "TimelineEntry"]
@@ -65,16 +65,38 @@ class Stream:
     equals the sum of its record times — the original sequential model.
     """
 
-    def __init__(self, device: DeviceSpec, name: str = "stream"):
+    def __init__(self, device: DeviceSpec, name: str = "stream",
+                 watchdog: float | None = None):
         self.device = device
         self.name = name
+        #: Watchdog deadline in modeled seconds: a record whose duration
+        #: exceeds it raises :class:`~repro.errors.KernelHangError`
+        #: instead of landing on the timeline (a TDR-style reset).
+        #: ``None`` disables hang detection.
+        if watchdog is not None and watchdog <= 0.0:
+            raise DeviceError(f"watchdog must be > 0, got {watchdog}")
+        self.watchdog = watchdog
         self.records: list[LaunchRecord] = []
         self.timeline: list[TimelineEntry] = []
         self._time = 0.0        # absolute tail of the in-order queue
         self._ready = 0.0       # earliest start allowed by pending waits
 
     def record(self, record: LaunchRecord) -> None:
-        """Append a completed launch to this stream's timeline."""
+        """Append a completed launch to this stream's timeline.
+
+        When a :attr:`watchdog` deadline is armed and the record's modeled
+        duration exceeds it, the launch is treated as hung: the record is
+        *not* appended (a recovered re-run replays on a clean timeline),
+        the hang is logged on the device's health tracker, and
+        :class:`~repro.errors.KernelHangError` propagates to the caller.
+        """
+        if self.watchdog is not None and record.time > self.watchdog:
+            device_health(self.device).record_failure("hang")
+            raise KernelHangError(
+                kernel=record.kernel_name, device=self.device.name,
+                elapsed=record.time, deadline=self.watchdog,
+                injected=any(getattr(ev, "kind", "") == "kernel-hang"
+                             for ev in record.faults))
         start = max(self._time, self._ready)
         end = start + record.time
         self.records.append(record)

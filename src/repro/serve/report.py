@@ -14,6 +14,7 @@ report/stats surface a later online tuner can learn from.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import fields as _dataclass_fields
 
 __all__ = ["ServiceReport"]
 
@@ -69,13 +70,33 @@ class ServiceReport:
     batch_reports: list = field(default_factory=list)
     #: Faults absorbed across all resilient dispatches.
     faults_tolerated: int = 0
+    #: Requests rejected by load shedding (never dispatched).
+    shed: int = 0
+    #: Shed reason -> count (``"deadline"``, ``"overload"``).
+    shed_reasons: dict = field(default_factory=dict)
+    #: Priority class -> requests shed from it.
+    shed_priorities: dict = field(default_factory=dict)
+    #: Requests that missed their deadline (shed past it, or completed
+    #: after it).
+    deadlines_missed: int = 0
+    #: Failure-domain decisions merged from every dispatched batch
+    #: (circuit-breaker transitions, failovers, hedges — JSON-safe dicts).
+    device_events: list = field(default_factory=list)
+    #: Chunks re-sharded onto surviving devices across all dispatches.
+    failovers: int = 0
+    #: Straggler chunks hedged onto a second device across all dispatches.
+    hedges: int = 0
+    #: True when :meth:`~repro.serve.SolverService.close` could not join
+    #: the background poller within its timeout (the thread is stuck; the
+    #: close proceeded anyway and said so).
+    poller_stuck: bool = False
 
     # -- derived ----------------------------------------------------------
 
     @property
     def pending(self) -> int:
-        """Requests accepted but not yet dispatched."""
-        return self.requests - self.dispatched_lanes
+        """Requests accepted but neither dispatched nor shed."""
+        return self.requests - self.dispatched_lanes - self.shed
 
     @property
     def hit_rate(self) -> float:
@@ -122,6 +143,19 @@ class ServiceReport:
             parts.append(f"singular={self.singular}")
         if self.faults_tolerated:
             parts.append(f"faults_tolerated={self.faults_tolerated}")
+        if self.shed:
+            reasons = ",".join(f"{r}:{c}"
+                               for r, c in sorted(self.shed_reasons.items()))
+            parts.append(f"shed={self.shed}" + (f" ({reasons})"
+                                                if reasons else ""))
+        if self.deadlines_missed:
+            parts.append(f"deadlines_missed={self.deadlines_missed}")
+        if self.failovers:
+            parts.append(f"failovers={self.failovers}")
+        if self.hedges:
+            parts.append(f"hedges={self.hedges}")
+        if self.poller_stuck:
+            parts.append("poller_stuck")
         if self.pending:
             parts.append(f"pending={self.pending}")
         return " ".join(parts)
@@ -154,6 +188,16 @@ class ServiceReport:
             "backpressure_flushes": int(self.backpressure_flushes),
             "batch_reports": [dict(r) for r in self.batch_reports],
             "faults_tolerated": int(self.faults_tolerated),
+            "shed": int(self.shed),
+            "shed_reasons": {str(k): int(v)
+                             for k, v in sorted(self.shed_reasons.items())},
+            "shed_priorities": {str(k): int(v) for k, v
+                                in sorted(self.shed_priorities.items())},
+            "deadlines_missed": int(self.deadlines_missed),
+            "device_events": [dict(e) for e in self.device_events],
+            "failovers": int(self.failovers),
+            "hedges": int(self.hedges),
+            "poller_stuck": bool(self.poller_stuck),
             "hit_rate": float(self.hit_rate),
             "mean_group_size": float(self.mean_group_size),
             "ok": bool(self.ok),
@@ -161,15 +205,24 @@ class ServiceReport:
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServiceReport":
-        """Rebuild a report from :meth:`to_dict` output (round-trip)."""
-        d = dict(data)
-        for derived in ("hit_rate", "mean_group_size", "ok"):
-            d.pop(derived, None)
+        """Rebuild a report from :meth:`to_dict` output (round-trip).
+
+        Unknown keys are ignored, so a report serialized by a *newer*
+        version of this module (more counters) still loads here —
+        forward compatibility for long-lived service logs.
+        """
+        known = {f.name for f in _dataclass_fields(cls)}
+        d = {k: v for k, v in data.items() if k in known}
         d["flushes"] = {str(k): int(v)
                         for k, v in d.get("flushes", {}).items()}
         d["group_sizes"] = {int(k): int(v)
                             for k, v in d.get("group_sizes", {}).items()}
         d["batch_reports"] = [dict(r) for r in d.get("batch_reports", [])]
+        d["shed_reasons"] = {str(k): int(v)
+                             for k, v in d.get("shed_reasons", {}).items()}
+        d["shed_priorities"] = {int(k): int(v) for k, v
+                                in d.get("shed_priorities", {}).items()}
+        d["device_events"] = [dict(e) for e in d.get("device_events", [])]
         return cls(**d)
 
     def copy(self) -> "ServiceReport":

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from collections import defaultdict
 from dataclasses import dataclass
 
@@ -44,6 +45,7 @@ from ..core.batched import gbtrf_vbatch
 from ..core.gbtrs import gbtrs_batch
 from ..errors import (
     DeviceMemoryError,
+    RequestShedError,
     SingularMatrixError,
     check_arg,
 )
@@ -100,21 +102,31 @@ class SolveHandle:
 
     ``result()`` returns the solution (flushing the service first when
     the request is still pending — a caller can never deadlock on its own
-    handle) and raises :class:`~repro.errors.SingularMatrixError` when
-    the operator turned out singular; ``solution``/``info`` give
-    non-raising access after completion.
+    handle), raises :class:`~repro.errors.SingularMatrixError` when the
+    operator turned out singular, and raises
+    :class:`~repro.errors.RequestShedError` when load shedding rejected
+    the request (structured rejection: the error carries the sequence
+    number, priority class and shed reason); ``solution``/``info``/
+    ``shed_reason`` give non-raising access after completion.
     """
 
     __slots__ = ("seq", "submitted_at", "completed_at", "completion_index",
-                 "info", "_service", "_x", "_done")
+                 "info", "priority", "deadline_at", "shed_reason",
+                 "_service", "_x", "_done")
 
     def __init__(self, service: "SolverService", seq: int,
-                 submitted_at: float):
+                 submitted_at: float, priority: int = 0,
+                 deadline_at: float | None = None):
         self.seq = seq
         self.submitted_at = submitted_at
         self.completed_at: float | None = None
         self.completion_index: int | None = None
         self.info = 0
+        self.priority = int(priority)
+        #: Absolute deadline on the service clock (``None`` = no deadline).
+        self.deadline_at = deadline_at
+        #: Why load shedding rejected the request (``None`` = not shed).
+        self.shed_reason: str | None = None
         self._service = service
         self._x = None
         self._done = False
@@ -122,6 +134,10 @@ class SolveHandle:
     @property
     def done(self) -> bool:
         return self._done
+
+    @property
+    def shed(self) -> bool:
+        return self.shed_reason is not None
 
     @property
     def solution(self):
@@ -140,6 +156,9 @@ class SolveHandle:
     def result(self) -> np.ndarray:
         if not self._done:
             self._service._flush_for_result()
+        if self.shed_reason is not None:
+            raise RequestShedError(self.seq, self.priority,
+                                   self.shed_reason)
         if self.info > 0:
             raise SingularMatrixError(self.seq, self.info)
         return self._x
@@ -152,6 +171,12 @@ class SolveHandle:
         self.completion_index = completion_index
         self._done = True
         self._service = None    # request is finished; drop the back-ref
+
+    def _shed(self, reason: str, at: float) -> None:
+        self.shed_reason = str(reason)
+        self.completed_at = at
+        self._done = True
+        self._service = None
 
 
 class _Pending:
@@ -244,6 +269,7 @@ class SolverService:
         self._lock = threading.RLock()
         self._closed = False
         self._poller = None
+        self._poller_join_timeout = 5.0
         self._poll_stop = threading.Event()
         if auto_poll_interval is not None:
             check_arg(auto_poll_interval > 0, 14,
@@ -263,10 +289,25 @@ class SolverService:
         self.close()
 
     def close(self) -> None:
-        """Flush pending work, release every cache charge, stop polling."""
+        """Flush pending work, release every cache charge, stop polling.
+
+        A background poller that fails to join within 5 seconds is stuck
+        (a wedged flush, a deadlocked driver): the close warns, marks
+        ``poller_stuck`` in the :class:`~repro.serve.report.ServiceReport`
+        and proceeds — silently abandoning the thread would hide exactly
+        the failure a report consumer needs to see.
+        """
         self._poll_stop.set()
         if self._poller is not None:
-            self._poller.join(timeout=5.0)
+            self._poller.join(timeout=self._poller_join_timeout)
+            if self._poller.is_alive():
+                with self._lock:
+                    self._report.poller_stuck = True
+                warnings.warn(
+                    f"SolverService poller failed to join within "
+                    f"{self._poller_join_timeout:g}s; closing anyway with "
+                    f"the thread still running (poller_stuck=True in the "
+                    f"service report)", RuntimeWarning, stacklevel=2)
             self._poller = None
         with self._lock:
             if self._pending:
@@ -281,7 +322,8 @@ class SolverService:
 
     # -- ingress ----------------------------------------------------------
 
-    def submit(self, kl: int, ku: int, ab, b) -> SolveHandle:
+    def submit(self, kl: int, ku: int, ab, b, *, priority: int = 0,
+               deadline: float | None = None) -> SolveHandle:
         """Accept one band system ``A x = b``; returns a handle.
 
         ``ab`` is the operator in LAPACK factor layout (``ldab >= 2*kl +
@@ -289,11 +331,23 @@ class SolverService:
         ``(n, nrhs)``.  Both are snapshotted — later mutation of the
         caller's arrays does not affect the request, and the operator
         digest identifies the snapshot for caching.
+
+        ``priority`` is the request's class (higher = more important);
+        ``deadline`` is a relative latency budget in seconds on the
+        service clock.  Both feed load shedding: when a flush finds the
+        healthy-device pool shrunk (the resilience policy's circuit
+        breaker has devices open or dead), the lowest-priority requests
+        beyond the shrunk capacity are rejected with a structured
+        :class:`~repro.errors.RequestShedError`, and a request whose
+        deadline has already expired at flush time is shed rather than
+        dispatched late.
         """
         ab = np.asarray(ab)
         check_arg(not self._closed, 0, "service is closed")
         check_arg(kl >= 0, 1, f"kl must be non-negative, got {kl}")
         check_arg(ku >= 0, 2, f"ku must be non-negative, got {ku}")
+        check_arg(deadline is None or deadline > 0.0, 6,
+                  f"deadline must be positive seconds, got {deadline}")
         check_arg(ab.ndim == 2, 3,
                   f"ab must be 2-D (ldab, n), got shape {ab.shape}")
         n = ab.shape[1]
@@ -314,7 +368,9 @@ class SolverService:
         key = operand_digest(kl, ku, ab)
         with self._lock:
             now = self._clock()
-            handle = SolveHandle(self, self._seq, now)
+            handle = SolveHandle(
+                self, self._seq, now, priority=priority,
+                deadline_at=None if deadline is None else now + deadline)
             req = _Pending(self._seq, n, int(kl), int(ku), b.shape[1],
                            ab, b, b_was_1d, key, handle)
             self._seq += 1
@@ -434,9 +490,86 @@ class SolverService:
     def _absorb_batch_report(self, rep) -> None:
         self._report.batch_reports.append(rep.to_dict())
         self._report.faults_tolerated += rep.faults_tolerated
+        self._report.device_events.extend(
+            dict(e) for e in getattr(rep, "device_events", ()))
+        self._report.failovers += getattr(rep, "failovers", 0)
+        self._report.hedges += getattr(rep, "hedges", 0)
+
+    # -- load shedding -----------------------------------------------------
+
+    def _healthy_fraction(self) -> float:
+        """Fraction of the dispatch device pool the breaker still trusts."""
+        breaker = getattr(self.resilience_policy, "breaker", None)
+        if breaker is None:
+            return 1.0
+        devs = self.devices
+        if devs is None:
+            names = [self.device.name]
+        elif isinstance(devs, int):
+            if devs <= 1:
+                names = [self.device.name]
+            else:
+                from ..gpusim.multidevice import replicate_device
+                names = [d.name
+                         for d in replicate_device(self.device, devs)]
+        else:
+            names = [d.name for d in devs]
+        return breaker.healthy_fraction(names)
+
+    def _shed_one(self, req: _Pending, reason: str, now: float) -> None:
+        self._report.shed += 1
+        self._report.shed_reasons[reason] = (
+            self._report.shed_reasons.get(reason, 0) + 1)
+        prio = req.handle.priority
+        self._report.shed_priorities[prio] = (
+            self._report.shed_priorities.get(prio, 0) + 1)
+        if reason == "deadline":
+            self._report.deadlines_missed += 1
+        req.handle._shed(reason, now)
+
+    def _shed_locked(self, pending: list) -> list:
+        """Deadline- and health-aware load shedding at flush time.
+
+        Two rules, both structured rejections via
+        :class:`~repro.errors.RequestShedError`:
+
+        * a request whose deadline has already expired is shed rather
+          than dispatched late (``"deadline"``);
+        * when the healthy-device pool has shrunk (circuit breaker holds
+          devices open or dead), capacity drops proportionally and the
+          excess is shed lowest priority first — newest first within a
+          class, so the oldest high-priority work survives
+          (``"overload"``).
+        """
+        now = self._clock()
+        kept = []
+        for req in pending:
+            dl = req.handle.deadline_at
+            if dl is not None and now > dl:
+                self._shed_one(req, "deadline", now)
+            else:
+                kept.append(req)
+        frac = self._healthy_fraction()
+        if frac < 1.0 and kept:
+            capacity = max(1, int(len(kept) * frac))
+            if len(kept) > capacity:
+                order = sorted(kept,
+                               key=lambda r: (r.handle.priority, -r.seq))
+                doomed = {id(r) for r in order[:len(kept) - capacity]}
+                survivors = []
+                for req in kept:
+                    if id(req) in doomed:
+                        self._shed_one(req, "overload", now)
+                    else:
+                        survivors.append(req)
+                kept = survivors
+        return kept
 
     def _flush_locked(self, reason: str) -> int:
         pending, self._pending = self._pending, []
+        if not pending:
+            return 0
+        pending = self._shed_locked(pending)
         if not pending:
             return 0
         self._report.flushes[reason] = (
@@ -533,6 +666,9 @@ class SolverService:
                 self._report.solved += 1
             else:
                 self._report.singular += 1
+            dl = req.handle.deadline_at
+            if dl is not None and now > dl:
+                self._report.deadlines_missed += 1
             req.handle._complete(x, req.finfo, now, self._completions)
             self._completions += 1
         self._report.dispatched_lanes += len(pending)

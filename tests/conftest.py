@@ -28,6 +28,15 @@ def _fresh_memory_pools():
     reset_memory_pools()
 
 
+@pytest.fixture(autouse=True)
+def _fresh_device_health():
+    """Each test sees empty per-device health trackers."""
+    from repro.gpusim.device import reset_device_health
+    reset_device_health()
+    yield
+    reset_device_health()
+
+
 def scipy_gbtrf(ab: np.ndarray, kl: int, ku: int, m: int, n: int):
     """Ground-truth LAPACK factorization via scipy (0-based pivots)."""
     from scipy.linalg import lapack

@@ -6,7 +6,12 @@ import pytest
 from repro.band.generate import random_band_batch, random_rhs
 from repro.core.gbsv import gbsv_batch
 from repro.core.gbtrf import gbtrf_batch
-from repro.errors import DeviceError, SharedMemoryError
+from repro.errors import (
+    DeviceError,
+    DeviceLostError,
+    KernelHangError,
+    SharedMemoryError,
+)
 from repro.gpusim import (
     H100_PCIE,
     MI250X_GCD,
@@ -17,7 +22,13 @@ from repro.gpusim import (
     disarm_faults,
     fault_injection,
 )
-from repro.gpusim.faults import LANE_CORRUPTION, LAUNCH_FAILURE, SMEM_REJECTION
+from repro.gpusim.faults import (
+    DEVICE_OUTAGE,
+    KERNEL_HANG,
+    LANE_CORRUPTION,
+    LAUNCH_FAILURE,
+    SMEM_REJECTION,
+)
 from repro.gpusim.trace import format_trace, summarize
 
 
@@ -258,3 +269,117 @@ class TestSeededSweep:
 
         assert run(21) == run(21)
         assert run(21) != run(22)
+
+
+class TestDeviceOutage:
+    """Whole-device outage: every launch fails until the window closes."""
+
+    def test_outage_raises_device_lost(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(outage_after=0))
+        a = _batch()
+        with pytest.raises(DeviceLostError) as exc:
+            gbtrf_batch(32, 32, 2, 3, a)
+        assert exc.value.injected
+        assert exc.value.device == H100_PCIE.name
+        assert DEVICE_OUTAGE in [ev.kind for ev in inj.log]
+
+    def test_outage_opens_after_n_launches(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(outage_after=1,
+                                              outage_failures=2))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a.copy())          # launch 1: healthy
+        for _ in range(2):                           # launches 2-3: dead
+            with pytest.raises(DeviceLostError):
+                gbtrf_batch(32, 32, 2, 3, a.copy())
+        assert inj.exhausted
+        piv, info = gbtrf_batch(32, 32, 2, 3, a.copy())   # recovered
+        assert (np.asarray(info) == 0).all()
+        assert inj.counts()[DEVICE_OUTAGE] == 2
+
+    def test_permanent_outage_never_exhausts(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(outage_after=0))
+        a = _batch()
+        for _ in range(3):
+            with pytest.raises(DeviceLostError):
+                gbtrf_batch(32, 32, 2, 3, a.copy())
+        assert not inj.exhausted
+
+    def test_outage_is_per_device(self):
+        arm_faults(MI250X_GCD, FaultPlan(outage_after=0))
+        a = _batch()
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)     # H100 unaffected
+        assert (np.asarray(info) == 0).all()
+
+    def test_outage_storm_deterministic(self):
+        """Same seed => identical outage event sequence (trace-attributed)."""
+        def run(seed):
+            plan = FaultPlan(seed=seed, outage_after=2, outage_failures=3,
+                             launch_failure_rate=0.2,
+                             max_launch_failures=2)
+            with fault_injection(H100_PCIE, plan) as inj:
+                a = _batch()
+                for _ in range(10):
+                    try:
+                        gbtrf_batch(32, 32, 2, 3, a.copy())
+                    except (DeviceError, SharedMemoryError):
+                        pass
+                return [(ev.kind, ev.kernel, ev.detail) for ev in inj.log]
+
+        assert run(5) == run(5)
+
+    def test_plan_validation(self):
+        with pytest.raises(Exception):
+            FaultPlan(outage_after=-1)
+        with pytest.raises(Exception):
+            FaultPlan(outage_failures=0)
+        with pytest.raises(Exception):
+            FaultPlan(hang_launches=-1)
+        with pytest.raises(Exception):
+            FaultPlan(hang_seconds=-1.0)
+
+
+class TestKernelHang:
+    """Injected hangs: inflated timelines, watchdog conversion."""
+
+    def test_hang_inflates_stream_time(self):
+        arm_faults(H100_PCIE, FaultPlan(hang_launches=1, hang_seconds=0.75))
+        stream = Stream(H100_PCIE)
+        a = _batch(batch=4)
+        piv, info = gbtrf_batch(32, 32, 2, 3, a, stream=stream)
+        assert (np.asarray(info) == 0).all()         # results unharmed
+        assert stream.elapsed > 0.75
+        inj = active_injector(H100_PCIE)
+        assert inj.counts()[KERNEL_HANG] == 1
+
+    def test_hang_budget_consumed_once(self):
+        arm_faults(H100_PCIE, FaultPlan(hang_launches=1, hang_seconds=0.5))
+        s1, s2 = Stream(H100_PCIE), Stream(H100_PCIE)
+        gbtrf_batch(32, 32, 2, 3, _batch(batch=2), stream=s1)
+        gbtrf_batch(32, 32, 2, 3, _batch(batch=2), stream=s2)
+        assert s1.elapsed > 0.5
+        assert s2.elapsed < 0.5
+
+    def test_watchdog_converts_hang_to_error(self):
+        arm_faults(H100_PCIE, FaultPlan(hang_launches=1, hang_seconds=2.0))
+        stream = Stream(H100_PCIE, watchdog=0.5)
+        with pytest.raises(KernelHangError) as exc:
+            gbtrf_batch(32, 32, 2, 3, _batch(batch=4), stream=stream)
+        assert exc.value.injected
+        assert exc.value.elapsed > exc.value.deadline == 0.5
+        # The hung record never lands on the timeline (clean replay).
+        assert stream.launch_count() == 0
+
+    def test_watchdog_ignores_healthy_launches(self):
+        stream = Stream(H100_PCIE, watchdog=10.0)
+        piv, info = gbtrf_batch(32, 32, 2, 3, _batch(batch=4),
+                                stream=stream)
+        assert (np.asarray(info) == 0).all()
+
+    def test_hang_filters_by_kernel_name(self):
+        arm_faults(H100_PCIE, FaultPlan(hang_launches=5, hang_seconds=1.0,
+                                        hang_kernels="no-such-kernel"))
+        stream = Stream(H100_PCIE, watchdog=0.5)
+        piv, info = gbtrf_batch(32, 32, 2, 3, _batch(batch=4),
+                                stream=stream)
+        assert (np.asarray(info) == 0).all()
+        assert stream.elapsed < 0.5

@@ -188,3 +188,196 @@ class TestRun:
         weighted = run_multi_device(body, batch, devices,
                                     weights=[1.0 / t_h, 1.0 / t_m])
         assert weighted.makespan < even.makespan
+
+
+# ---------------------------------------------------------------------------
+# Device health tracking
+# ---------------------------------------------------------------------------
+
+class TestDeviceHealth:
+    """Rolling per-device health windows behind the circuit breaker."""
+
+    def test_registry_keyed_by_name(self):
+        from repro.gpusim import device_health
+        by_spec = device_health(H100_PCIE)
+        by_name = device_health("h100-pcie")
+        assert by_spec is by_name
+        assert device_health(MI250X_GCD) is not by_spec
+
+    def test_replicated_shards_get_separate_trackers(self):
+        from repro.gpusim import device_health
+        d0, d1 = replicate_device(H100_PCIE, 2)
+        device_health(d0).record_failure("device-lost")
+        assert device_health(d1).error_rate == 0.0
+        assert device_health(d0).error_rate == 1.0
+
+    def test_error_rate_and_mean_latency(self):
+        from repro.gpusim import DeviceHealth
+        h = DeviceHealth("dev", window=8)
+        assert h.error_rate == 0.0 and h.mean_latency == 0.0
+        for lat in (1.0, 2.0, 3.0):
+            h.record_success(lat)
+        h.record_failure("hang")
+        assert h.error_rate == pytest.approx(0.25)
+        assert h.mean_latency == pytest.approx(2.0)
+
+    def test_window_bounds_error_rate(self):
+        from repro.gpusim import DeviceHealth
+        h = DeviceHealth("dev", window=4)
+        for _ in range(4):
+            h.record_failure("device-lost")
+        assert h.error_rate == 1.0
+        for _ in range(4):
+            h.record_success(0.5)
+        # window holds only the 4 most recent outcomes (all successes)
+        assert h.error_rate == 0.0
+        # cumulative totals survive the window
+        assert h.failures == 4 and h.successes == 4
+        assert h.failure_kinds == {"device-lost": 4}
+
+    def test_snapshot_json_safe_and_reset(self):
+        import json
+        from repro.gpusim import DeviceHealth
+        h = DeviceHealth("dev")
+        h.record_success(0.25)
+        h.record_failure("hang")
+        snap = h.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["device"] == "dev"
+        assert snap["failure_kinds"] == {"hang": 1}
+        h.reset()
+        assert h.error_rate == 0.0 and h.failures == 0
+        assert h.failure_kinds == {}
+
+    def test_reset_device_health_scoped_and_global(self):
+        from repro.gpusim import device_health, reset_device_health
+        device_health("a").record_failure()
+        device_health("b").record_failure()
+        reset_device_health("a")
+        assert device_health("a").failures == 0
+        assert device_health("b").failures == 1
+        reset_device_health()
+        assert device_health("b").failures == 0
+
+    def test_window_validation(self):
+        from repro.errors import DeviceError
+        from repro.gpusim import DeviceHealth
+        with pytest.raises(DeviceError):
+            DeviceHealth("dev", window=0)
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+class TestCircuitBreaker:
+    """closed -> open -> half-open -> recovered/dead state machine."""
+
+    def _breaker(self, **kw):
+        from repro.gpusim import CircuitBreaker
+        kw.setdefault("failure_threshold", 2)
+        kw.setdefault("probe_after", 1)
+        kw.setdefault("max_probes", 2)
+        return CircuitBreaker(**kw)
+
+    def test_closed_by_default(self):
+        br = self._breaker()
+        assert br.state("d0") == br.CLOSED
+        assert br.healthy("d0")
+        assert br.poll("d0") == "full"
+
+    def test_consecutive_failures_trip(self):
+        br = self._breaker(failure_threshold=3)
+        br.record_failure("d0")
+        br.record_failure("d0")
+        assert br.state("d0") == br.CLOSED
+        br.record_failure("d0")
+        assert br.state("d0") == br.OPEN
+        assert [e["event"] for e in br.events] == ["trip"]
+
+    def test_success_resets_consecutive_count(self):
+        br = self._breaker(failure_threshold=2)
+        br.record_failure("d0")
+        br.record_success("d0")
+        br.record_failure("d0")
+        assert br.state("d0") == br.CLOSED
+
+    def test_fatal_failure_trips_immediately(self):
+        br = self._breaker(failure_threshold=99)
+        br.record_failure("d0", kind="device-lost", fatal=True)
+        assert br.state("d0") == br.OPEN
+        assert br.events[0]["fatal"] is True
+
+    def test_error_rate_threshold_trips(self):
+        from repro.gpusim import device_health
+        br = self._breaker(failure_threshold=99, error_rate_threshold=0.5)
+        device_health("d0").record_failure("hang")
+        br.record_failure("d0", kind="hang")
+        assert br.state("d0") == br.OPEN
+
+    def test_open_denies_then_probes(self):
+        br = self._breaker(probe_after=2)
+        br.record_failure("d0", fatal=True)
+        assert br.poll("d0") is None          # first denied poll
+        assert br.poll("d0") == "probe"       # second: half-open probe
+        assert br.state("d0") == br.HALF_OPEN
+        assert br.poll("d0") == "probe"       # half-open keeps probing
+
+    def test_probe_success_recovers(self):
+        br = self._breaker()
+        br.record_failure("d0", fatal=True)
+        assert br.poll("d0") == "probe"
+        br.record_success("d0")
+        assert br.state("d0") == br.CLOSED
+        assert [e["event"] for e in br.events] == \
+            ["trip", "probe", "recover"]
+
+    def test_probe_failure_reopens_then_dead(self):
+        br = self._breaker(max_probes=2)
+        br.record_failure("d0", fatal=True)
+        assert br.poll("d0") == "probe"
+        br.record_failure("d0", kind="device-lost")
+        assert br.state("d0") == br.OPEN      # reopened after failed probe
+        assert br.poll("d0") == "probe"
+        br.record_failure("d0", kind="device-lost")
+        assert br.state("d0") == br.DEAD      # max_probes exhausted
+        assert br.poll("d0") is None          # dead devices never probe
+        br.record_failure("d0")               # and further reports no-op
+        assert br.state("d0") == br.DEAD
+        assert [e["event"] for e in br.events] == \
+            ["trip", "probe", "reopen", "probe", "dead"]
+
+    def test_healthy_fraction(self):
+        br = self._breaker()
+        names = ["d0", "d1", "d2", "d3"]
+        assert br.healthy_fraction(names) == 1.0
+        br.record_failure("d1", fatal=True)
+        br.record_failure("d3", fatal=True)
+        assert br.healthy_fraction(names) == 0.5
+        assert br.healthy_fraction([]) == 1.0
+
+    def test_events_json_safe(self):
+        import json
+        br = self._breaker()
+        br.record_failure("d0", kind="hang", fatal=True)
+        br.poll("d0")
+        br.record_success("d0")
+        assert json.loads(json.dumps(br.events)) == br.events
+
+    def test_per_device_isolation(self):
+        br = self._breaker()
+        br.record_failure("d0", fatal=True)
+        assert br.state("d0") == br.OPEN
+        assert br.state("d1") == br.CLOSED
+        assert br.poll("d1") == "full"
+
+    def test_validation(self):
+        from repro.gpusim import CircuitBreaker
+        with pytest.raises(ArgumentError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ArgumentError):
+            CircuitBreaker(probe_after=0)
+        with pytest.raises(ArgumentError):
+            CircuitBreaker(max_probes=0)
+        with pytest.raises(ArgumentError):
+            CircuitBreaker(error_rate_threshold=1.5)

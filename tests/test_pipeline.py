@@ -482,3 +482,152 @@ class TestTrafficAgreement:
                        for e in s_cmp.timeline)
         assert sum(e.record.nbytes for e in s_h2d.timeline) == shard.h2d_bytes
         assert sum(e.record.nbytes for e in s_d2h.timeline) == shard.d2h_bytes
+
+
+class TestDeviceFaultDomain:
+    """Failover, circuit breaking, watchdog, and hedging on the pipeline.
+
+    The PR 8 acceptance contract: a seeded mid-run device outage on one
+    of two shard devices completes every lane bit-identically to the
+    healthy single-device run, with the trip/probe/recovery arc recorded
+    in ``BatchReport.device_events``.
+    """
+
+    n, kl, ku, batch = 24, 3, 2, 24
+
+    def _problem(self, seed=9):
+        a = random_band_batch(self.batch, self.n, self.kl, self.ku,
+                              seed=seed)
+        b = random_rhs(self.n, 1, batch=self.batch, seed=seed + 1)
+        return a, b
+
+    def _healthy(self, *, vectorize=None, layout=None):
+        """Fault-free single-device reference bytes for one route."""
+        a, b = self._problem()
+        if layout == "soa":
+            from repro.band.layout import to_interleaved
+            a, b = to_interleaved(a), to_interleaved(b)
+        piv, info, _ = gbsv_batch(self.n, self.kl, self.ku, 1, a, None, b,
+                                  resilient=True, chunk_hint=4,
+                                  vectorize=vectorize, layout=layout)
+        return (np.asarray(a).tobytes(), np.asarray(b).tobytes(),
+                np.asarray(piv).tobytes(), np.asarray(info).tobytes())
+
+    def _outage_run(self, plan, *, vectorize=None, layout=None, policy=None,
+                    ndev=2):
+        """Seeded outage on shard device 0 of ``ndev``; returns bytes+rep."""
+        devs = replicate_device(H100_PCIE, ndev)
+        a, b = self._problem()
+        if layout == "soa":
+            from repro.band.layout import to_interleaved
+            a, b = to_interleaved(a), to_interleaved(b)
+        with fault_injection(devs[0], plan):
+            piv, info, rep = gbsv_batch(
+                self.n, self.kl, self.ku, 1, a, None, b,
+                resilient=True, chunk_hint=4, devices=devs,
+                vectorize=vectorize, layout=layout, policy=policy)
+        return (np.asarray(a).tobytes(), np.asarray(b).tobytes(),
+                np.asarray(piv).tobytes(), np.asarray(info).tobytes()), rep
+
+    OUTAGE = dict(seed=7, outage_after=1, outage_failures=4)
+
+    @pytest.mark.parametrize("route", [
+        dict(vectorize=False),            # per-block
+        dict(vectorize=True),             # [vec]
+        dict(vectorize=True, layout="soa"),  # [vec+soa]
+    ], ids=["per-block", "vec", "vec+soa"])
+    def test_outage_recovery_bit_identical(self, route):
+        ref = self._healthy(**route)
+        out, rep = self._outage_run(FaultPlan(**self.OUTAGE), **route)
+        assert out == ref
+        assert rep.failovers > 0
+        kinds = [e["event"] for e in rep.device_events]
+        assert "failover" in kinds
+        assert "trip" in kinds and "probe" in kinds
+        assert "recover" in kinds or "reopen" in kinds
+
+    def test_outage_decisions_deterministic(self):
+        _, rep1 = self._outage_run(FaultPlan(**self.OUTAGE))
+        _, rep2 = self._outage_run(FaultPlan(**self.OUTAGE))
+        strip = lambda evs: [
+            {k: v for k, v in e.items()} for e in evs]
+        assert strip(rep1.device_events) == strip(rep2.device_events)
+        assert rep1.failovers == rep2.failovers
+
+    def test_permanent_outage_survivor_completes(self):
+        """outage_failures=None never heals: device dies, lanes survive."""
+        ref = self._healthy()
+        out, rep = self._outage_run(
+            FaultPlan(seed=3, outage_after=0))
+        assert out == ref
+        kinds = [e["event"] for e in rep.device_events]
+        assert "trip" in kinds
+        assert rep.failovers > 0
+
+    def test_all_devices_dead_falls_to_host(self):
+        """Both shard devices out -> host leftover still completes."""
+        import contextlib as _ctx
+        devs = replicate_device(H100_PCIE, 2)
+        ref = self._healthy()
+        a, b = self._problem()
+        with _ctx.ExitStack() as stack:
+            for d in devs:
+                stack.enter_context(
+                    fault_injection(d, FaultPlan(seed=1, outage_after=0)))
+            piv, info, rep = gbsv_batch(
+                self.n, self.kl, self.ku, 1, a, None, b,
+                resilient=True, chunk_hint=4, devices=devs)
+        out = (a.tobytes(), b.tobytes(), np.asarray(piv).tobytes(),
+               np.asarray(info).tobytes())
+        assert out == ref
+        assert any(e.get("action") == "host" and
+                   e.get("reason") == "no-healthy-devices"
+                   for e in rep.chunk_events)
+        assert any(e.get("event") == "dead" for e in rep.device_events)
+
+    def test_watchdog_hang_fails_over(self):
+        from repro.core.resilience import ResiliencePolicy
+        ref = self._healthy()
+        plan = FaultPlan(seed=5, hang_launches=1, hang_seconds=5.0)
+        out, rep = self._outage_run(
+            plan, policy=ResiliencePolicy(watchdog=0.5))
+        assert out == ref
+        assert rep.failovers > 0
+        assert any(e.get("kind") == "hang" for e in rep.device_events
+                   if e.get("event") == "failover")
+
+    def test_hedging_duplicates_stragglers(self):
+        from repro.core.resilience import ResiliencePolicy
+        ref = self._healthy()
+        # An un-watched hang inflates one chunk far past the median.
+        plan = FaultPlan(seed=5, hang_launches=1, hang_seconds=10.0)
+        out, rep = self._outage_run(
+            plan, policy=ResiliencePolicy(hedge_ratio=1.5))
+        assert out == ref
+        assert rep.hedges >= 1
+        assert any(e.get("event") == "hedge" for e in rep.device_events)
+
+    def test_pools_clean_after_failover(self):
+        devs = replicate_device(H100_PCIE, 2)
+        a, b = self._problem()
+        with fault_injection(devs[0], FaultPlan(**self.OUTAGE)):
+            gbsv_batch(self.n, self.kl, self.ku, 1, a, None, b,
+                       resilient=True, chunk_hint=4, devices=devs)
+        for d in devs:
+            assert memory_pool(d).in_use == 0
+
+    def test_pipeline_result_reports_rounds(self):
+        devs = replicate_device(H100_PCIE, 2)
+        a, b = self._problem()
+        with fault_injection(devs[0], FaultPlan(**self.OUTAGE)):
+            gbsv_batch(self.n, self.kl, self.ku, 1, a, None, b,
+                       resilient=True, chunk_hint=4, devices=devs)
+        pres = last_pipeline_result()
+        assert pres.rounds > 1
+        assert len(pres.round_makespans) == pres.rounds
+        assert pres.makespan == pytest.approx(sum(pres.round_makespans))
+        d = pres.to_dict()
+        for key in ("rounds", "round_makespans", "device_events",
+                    "failovers", "hedges"):
+            assert key in d
+        assert any(p["role"] == "full" for p in d["partitions"])

@@ -376,3 +376,61 @@ class TestAcceptanceStorm:
         assert first[7].summary() == second[7].summary()
         assert np.array_equal(first[6], second[6])
         assert np.array_equal(first[1], second[1])
+
+
+class TestBatchReportFaultDomainRoundTrip:
+    """device_events / failovers / hedges survive the wire format."""
+
+    def _report(self):
+        rep = BatchReport("gbtrf", 16)
+        rep.device_events = [
+            {"event": "failover", "kind": "device-lost",
+             "device": "h100-pcie:0", "start": 0, "stop": 4,
+             "injected": True, "orphan_lanes": 12},
+            {"event": "trip", "device": "h100-pcie:0",
+             "kind": "device-lost", "fatal": True, "failures": 1},
+            {"event": "probe", "device": "h100-pcie:0"},
+            {"event": "recover", "device": "h100-pcie:0"},
+            {"event": "hedge", "device": "h100-pcie:1",
+             "source": "h100-pcie:0", "start": 4, "stop": 8, "won": True},
+        ]
+        rep.failovers = 1
+        rep.hedges = 1
+        return rep
+
+    def test_round_trip_is_lossless(self):
+        rep = self._report()
+        back = BatchReport.from_dict(rep.to_dict())
+        assert back.device_events == rep.device_events
+        assert back.failovers == 1 and back.hedges == 1
+        assert back.to_dict() == rep.to_dict()
+
+    def test_json_safe(self):
+        import json
+        d = self._report().to_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_failovers_count_as_faults_tolerated(self):
+        rep = self._report()
+        assert rep.faults_tolerated >= rep.failovers
+
+    def test_summary_mentions_fault_domain(self):
+        s = self._report().summary()
+        assert "failovers=1" in s
+        assert "hedges=1" in s
+
+    def test_unknown_keys_ignored(self):
+        d = self._report().to_dict()
+        d["brand_new_counter"] = 7
+        d["another_future_list"] = [1, 2, 3]
+        back = BatchReport.from_dict(d)
+        assert back.to_dict() == self._report().to_dict()
+
+    def test_defaults_absent_keys(self):
+        """A report serialized before PR 8 (no fault-domain keys) loads."""
+        d = BatchReport("gbsv", 4).to_dict()
+        for key in ("device_events", "failovers", "hedges"):
+            d.pop(key)
+        back = BatchReport.from_dict(d)
+        assert back.device_events == []
+        assert back.failovers == 0 and back.hedges == 0

@@ -473,3 +473,180 @@ def test_report_counts_flush_reasons_and_groups():
     assert sum(int(s) * c for s, c in rep.group_sizes.items()) == 5
     assert rep.mean_group_size > 1.0
     assert rep.summary().startswith("serve requests=5")
+
+
+# --- deadline-aware load shedding ------------------------------------------
+
+
+def _never_policy():
+    """A batching policy that only flushes when told to."""
+    return BatchingPolicy(max_group=1000, max_delay=1e9)
+
+
+def _half_dead_policy():
+    """A resilience policy whose breaker holds one of two shards open."""
+    from repro import CircuitBreaker, ResiliencePolicy
+    br = CircuitBreaker()
+    br.record_failure("h100-pcie:0", kind="device-lost", fatal=True)
+    return ResiliencePolicy(breaker=br)
+
+
+def test_overload_sheds_lowest_priority_newest_first():
+    clock = FakeClock()
+    with SolverService(policy=_never_policy(), clock=clock, devices=2,
+                       resilient=True,
+                       resilience_policy=_half_dead_policy()) as svc:
+        # 4 low-priority then 4 high-priority requests.
+        lows = [svc.submit(KL, KU, *_system(200 + i)) for i in range(4)]
+        highs = [svc.submit(KL, KU, *_system(210 + i), priority=1)
+                 for i in range(4)]
+        svc.flush()
+        rep = svc.report()
+    # Half the pool is open -> capacity 4 of 8: all priority-0 work shed.
+    assert rep.shed == 4
+    assert rep.shed_reasons == {"overload": 4}
+    assert rep.shed_priorities == {0: 4}
+    assert all(h.shed for h in lows)
+    assert all(not h.shed and h.done for h in highs)
+    assert rep.pending == 0 and rep.ok
+
+
+def test_overload_sheds_newest_first_within_class():
+    clock = FakeClock()
+    with SolverService(policy=_never_policy(), clock=clock, devices=2,
+                       resilient=True,
+                       resilience_policy=_half_dead_policy()) as svc:
+        handles = [svc.submit(KL, KU, *_system(220 + i)) for i in range(4)]
+        svc.flush()
+    # capacity = 2 of 4; within one priority class the newest go first.
+    assert [h.shed for h in handles] == [False, False, True, True]
+
+
+def test_shed_raises_structured_rejection():
+    from repro import RequestShedError
+    clock = FakeClock()
+    with SolverService(policy=_never_policy(), clock=clock, devices=2,
+                       resilient=True,
+                       resilience_policy=_half_dead_policy()) as svc:
+        doomed = [svc.submit(KL, KU, *_system(230 + i)) for i in range(2)]
+        svc.submit(KL, KU, *_system(233), priority=5)
+        svc.flush()
+        with pytest.raises(RequestShedError) as exc:
+            doomed[-1].result()
+    assert exc.value.seq == doomed[-1].seq
+    assert exc.value.priority == 0
+    assert exc.value.reason == "overload"
+    assert "overload" in str(exc.value)
+
+
+def test_healthy_pool_never_sheds():
+    clock = FakeClock()
+    from repro import CircuitBreaker, ResiliencePolicy
+    with SolverService(policy=_never_policy(), clock=clock, devices=2,
+                       resilient=True,
+                       resilience_policy=ResiliencePolicy(
+                           breaker=CircuitBreaker())) as svc:
+        handles = [svc.submit(KL, KU, *_system(240 + i)) for i in range(6)]
+        svc.flush()
+        rep = svc.report()
+    assert rep.shed == 0
+    assert all(h.done and not h.shed for h in handles)
+
+
+def test_expired_deadline_sheds_instead_of_dispatching_late():
+    from repro import RequestShedError
+    clock = FakeClock()
+    with SolverService(policy=_never_policy(), clock=clock) as svc:
+        doomed = svc.submit(KL, KU, *_system(250), deadline=0.010)
+        kept = svc.submit(KL, KU, *_system(251), deadline=10.0)
+        clock.advance(0.020)                    # doomed is now past due
+        svc.flush()
+        rep = svc.report()
+        assert kept.done and not kept.shed
+        assert doomed.shed and doomed.shed_reason == "deadline"
+        with pytest.raises(RequestShedError):
+            doomed.result()
+    assert rep.shed == 1
+    assert rep.shed_reasons == {"deadline": 1}
+    assert rep.deadlines_missed == 1
+
+
+def test_late_completion_counts_deadline_missed():
+    clock = FakeClock()
+    with SolverService(policy=_never_policy(), clock=clock) as svc:
+        h = svc.submit(KL, KU, *_system(252), deadline=0.5)
+        clock.advance(1.0)          # past due already at flush time
+        # Deadline passed while queued -> shed, missed counted once.
+        svc.flush()
+        rep = svc.report()
+    assert h.shed
+    assert rep.deadlines_missed == 1
+
+
+def test_submit_validates_deadline_and_shed_handle_state():
+    with SolverService() as svc:
+        with pytest.raises(ArgumentError):
+            svc.submit(KL, KU, *_system(260), deadline=0.0)
+        with pytest.raises(ArgumentError):
+            svc.submit(KL, KU, *_system(260), deadline=-1.0)
+        h = svc.submit(KL, KU, *_system(261), priority=3, deadline=5.0)
+        assert h.priority == 3
+        assert h.deadline_at is not None
+        assert not h.shed
+        x = h.result()
+        assert x is not None
+
+
+# --- stuck poller ----------------------------------------------------------
+
+
+def test_close_warns_when_poller_cannot_join():
+    import threading
+    svc = SolverService()
+    gate = threading.Event()
+    stuck = threading.Thread(target=gate.wait, daemon=True)
+    stuck.start()
+    svc._poller = stuck
+    svc._poller_join_timeout = 0.05
+    try:
+        with pytest.warns(RuntimeWarning, match="poller failed to join"):
+            svc.close()
+        rep = svc.report()
+        assert rep.poller_stuck
+        assert "poller_stuck" in rep.summary()
+        assert ServiceReport.from_dict(rep.to_dict()).poller_stuck
+    finally:
+        gate.set()
+        stuck.join(timeout=5.0)
+
+
+def test_clean_close_reports_poller_ok():
+    with SolverService(auto_poll_interval=0.005) as svc:
+        svc.solve(KL, KU, *_system(262))
+    assert not svc.report().poller_stuck
+
+
+# --- report round-trip for the fault-domain fields -------------------------
+
+
+def test_service_report_round_trips_fault_domain_fields():
+    rep = ServiceReport()
+    rep.shed = 3
+    rep.shed_reasons = {"deadline": 1, "overload": 2}
+    rep.shed_priorities = {0: 2, 5: 1}
+    rep.deadlines_missed = 1
+    rep.device_events = [{"event": "trip", "device": "d0", "fatal": True}]
+    rep.failovers = 4
+    rep.hedges = 2
+    rep.poller_stuck = True
+    back = ServiceReport.from_dict(rep.to_dict())
+    assert back.to_dict() == rep.to_dict()
+    assert back.shed_priorities == {0: 2, 5: 1}       # int keys restored
+    assert back.device_events == rep.device_events
+
+
+def test_service_report_ignores_unknown_keys():
+    d = ServiceReport().to_dict()
+    d["totally_new_counter"] = 42
+    back = ServiceReport.from_dict(d)
+    assert back.to_dict() == ServiceReport().to_dict()
