@@ -1,0 +1,177 @@
+"""Verified-solve overhead: ``verify='cheap'`` with zero faults.
+
+The integrity layer (``core/verify.py``) buys its silent-data-corruption
+defense with pristine operand snapshots plus one O(n*k)-per-lane
+residual gate against the O(n*k^2) factorization it guards.  This
+benchmark times a paper-scale ``gbsv_batch`` workload (batch 1000,
+n=256, kl=ku=8, fp64) on the plain path versus ``verify=True`` (cheap
+mode) with no fault plan armed, checks the two produce bit-identical
+factors/solutions (the healthy-lane contract of docs/ROBUSTNESS.md
+Section 6), and asserts the fault-free overhead stays under 10%.
+
+Alongside the text exhibit, ``benchmarks/results/BENCH_verify.json``
+archives every number machine-readably for future perf tracking.
+
+Runnable standalone (``python benchmarks/bench_verify.py [--quick]``)
+for the CI integrity job; ``--quick`` shrinks the workload and checks
+bit-identity plus seeded SDC detection/recovery only, since timing
+ratios at small scale are noise.
+"""
+
+import json
+import os
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.band.generate import random_band_batch, random_rhs
+from repro.core import VerifyPolicy, gbsv_batch
+from repro.gpusim import H100_PCIE, FaultPlan, fault_injection
+
+from _util import RESULTS_DIR, emit, run_once
+
+N, KL, KU, BATCH, NRHS = 256, 8, 8, 1000, 1
+
+# Acceptance ceiling is 10%: one operand snapshot plus a banded
+# residual gate vectorized across all lanes, against ~0.5 s of
+# factorization work.
+CEILING = 1.10
+
+
+def _run(verify, a, b, n, kl, ku, batch):
+    mats, rhs = a.copy(), b.copy()
+    t0 = perf_counter()
+    out = gbsv_batch(n, kl, ku, NRHS, mats, None, rhs, batch=batch,
+                     verify=verify)
+    dt = perf_counter() - t0
+    if verify:
+        piv, info, report = out
+        assert report.verified_lanes == batch
+        assert not report.sdc_detected and not report.unrecovered
+    else:
+        piv, info = out
+        report = None
+    assert (np.asarray(info) == 0).all()
+    return dt, report, mats, rhs, np.stack(piv)
+
+
+def measure(*, n=N, kl=KL, ku=KU, batch=BATCH, repeats=2):
+    """Best-of-``repeats`` wall-clock for both paths, plus their outputs."""
+    a = random_band_batch(batch, n, kl, ku, seed=31)
+    b = random_rhs(n, NRHS, batch=batch, seed=32)
+    seconds, reports, outputs = {}, {}, {}
+    for label, verify in (("plain", False), ("verified", True)):
+        _run(verify, a[:min(8, batch)], b[:min(8, batch)],
+             n, kl, ku, min(8, batch))            # warmup
+        best = None
+        for _ in range(max(1, repeats)):
+            dt, report, mats, rhs, piv = _run(verify, a, b, n, kl, ku,
+                                              batch)
+            best = dt if best is None else min(best, dt)
+        seconds[label] = best
+        reports[label] = report
+        outputs[label] = (mats, rhs, piv)
+    return seconds, reports, outputs
+
+
+def _check_bit_identity(outputs):
+    """Zero faults => the verified path never touches a healthy lane."""
+    for part, name in zip(range(3), ("factors", "solution", "pivots")):
+        plain = outputs["plain"][part]
+        ver = outputs["verified"][part]
+        assert plain.tobytes() == ver.tobytes(), (
+            f"verified path changed {name} with no faults armed")
+
+
+def _check_detection(*, n, kl, ku, batch):
+    """A seeded SDC storm is detected and recovered bit-identically.
+
+    Runs at ``n<=48`` so the fused ``gbsv`` kernel fires and the
+    ``sdc_after="gbsv"`` filter matches the launched kernel name.
+    """
+    a = random_band_batch(batch, n, kl, ku, seed=31)
+    b = random_rhs(n, NRHS, batch=batch, seed=32)
+    clean_a, clean_b = a.copy(), b.copy()
+    gbsv_batch(n, kl, ku, NRHS, clean_a, None, clean_b, batch=batch)
+    lanes = (1, batch // 2)
+    plan = FaultPlan(seed=5, sdc_lanes=lanes, sdc_after="gbsv",
+                     sdc_operand=1)
+    with fault_injection(H100_PCIE, plan):
+        _, info, report = gbsv_batch(n, kl, ku, NRHS, a, None, b,
+                                     batch=batch, verify=True)
+    assert (np.asarray(info) == 0).all()
+    assert report.sdc_detected == lanes, (
+        f"storm on lanes {lanes} detected as {report.sdc_detected}")
+    assert report.sdc_recovered == lanes
+    assert b.tobytes() == clean_b.tobytes(), (
+        "SDC recovery is not bit-identical to the clean run")
+
+
+def _render(seconds, report, *, n, batch):
+    ratio = seconds["verified"] / seconds["plain"]
+    return ratio, "\n".join([
+        "Verified-solve overhead, zero faults "
+        f"(gbsv_batch, batch={batch}, n={n}, kl=ku={KL}, fp64, "
+        "verify='cheap')",
+        f"  plain path:        {seconds['plain']:8.3f} s",
+        f"  verified path:     {seconds['verified']:8.3f} s",
+        f"  overhead:          {(ratio - 1) * 100:8.1f} %   (ceiling 10%)",
+        f"  lanes gated={report.verified_lanes} "
+        f"residual_max={report.residual_max:.3e} "
+        f"(tol {VerifyPolicy().tol_for(n, np.float64):.3e})",
+    ])
+
+
+def _emit_json(seconds, report, *, n, batch, ratio):
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "workload": {"n": n, "kl": KL, "ku": KU, "batch": batch,
+                     "nrhs": NRHS, "verify": "cheap"},
+        "gates": {"overhead_ceiling": round(CEILING - 1.0, 9)},
+        "wallclock_s": dict(seconds),
+        "overhead_verified_vs_plain": ratio - 1.0,
+        "verified_lanes": report.verified_lanes,
+        "residual_max": report.residual_max,
+        "residual_tol": VerifyPolicy().tol_for(n, np.float64),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_verify.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_verify_overhead(benchmark):
+    seconds, reports, outputs = run_once(benchmark, measure)
+    _check_bit_identity(outputs)
+    ratio, text = _render(seconds, reports["verified"], n=N, batch=BATCH)
+    emit("verify_overhead", text)
+    _emit_json(seconds, reports["verified"], n=N, batch=BATCH, ratio=ratio)
+    assert ratio <= CEILING, (
+        f"fault-free verified path {(ratio - 1) * 100:.1f}% slower "
+        f"than plain (ceiling {(CEILING - 1) * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv[1:]
+    if quick:
+        seconds, reports, outputs = measure(n=96, batch=64, repeats=1)
+        _check_bit_identity(outputs)
+        _check_detection(n=48, kl=KL, ku=KU, batch=64)
+        _, text = _render(seconds, reports["verified"], n=96, batch=64)
+        print(text)
+        print("bit-identity + SDC detection OK "
+              "(quick mode: ratio not asserted)")
+    else:
+        seconds, reports, outputs = measure()
+        _check_bit_identity(outputs)
+        _check_detection(n=48, kl=KL, ku=KU, batch=64)
+        ratio, text = _render(seconds, reports["verified"], n=N,
+                              batch=BATCH)
+        emit("verify_overhead", text)
+        _emit_json(seconds, reports["verified"], n=N, batch=BATCH,
+                   ratio=ratio)
+        if ratio > CEILING:
+            sys.exit(f"overhead {(ratio - 1) * 100:.1f}% exceeds ceiling")

@@ -46,12 +46,19 @@ from .core import (
     BatchReport,
     MemoryPlan,
     ResiliencePolicy,
+    VerifyPolicy,
     create_specialization,
     destroy_specialization,
     estimate_footprint,
     dgbsv_batch,
     dgbtrf_batch,
     dgbtrs_batch,
+    gbcon,
+    gbcon_batch,
+    gbequ,
+    gbequ_batch,
+    gbrfs,
+    gbrfs_batch,
     gbsv,
     gbsv_batch,
     gbsv_vbatch,
@@ -73,6 +80,7 @@ from .serve import (
 )
 from .errors import (
     ArgumentError,
+    DataCorruptionError,
     DeviceError,
     DeviceLostError,
     DeviceMemoryError,
@@ -99,19 +107,22 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArgumentError", "BandLayout", "BandSpecialization", "BatchReport",
-    "BatchingPolicy", "CircuitBreaker", "DeviceError", "DeviceHealth",
+    "BatchingPolicy", "CircuitBreaker", "DataCorruptionError",
+    "DeviceError", "DeviceHealth",
     "DeviceLostError", "DeviceMemoryError", "FactorCache",
     "H100_PCIE", "KernelHangError", "MI250X_GCD",
     "MemoryPlan", "PipelineResult", "PointerArray", "Precision",
     "ReproError", "RequestShedError", "ResiliencePolicy", "ServiceReport",
     "SharedMemoryError",
     "SingularMatrixError", "SolverService", "Stream", "Trans",
+    "VerifyPolicy",
     "device_health", "reset_device_health",
     "alloc_band", "alloc_band_interleaved", "band_to_dense",
     "bandwidth_of_dense",
     "create_specialization", "dense_to_band", "destroy_specialization",
     "dgbsv_batch", "dgbtrf_batch", "dgbtrs_batch",
     "diagonally_dominant_band", "estimate_footprint",
+    "gbcon", "gbcon_batch", "gbequ", "gbequ_batch", "gbrfs", "gbrfs_batch",
     "gbmm", "gbmv", "gbsv", "gbsv_batch",
     "gbsv_vbatch", "gbtrf", "gbtrf_batch", "gbtrf_vbatch", "gbtrs",
     "gbtrs_batch", "get_device", "graded_condition_band",

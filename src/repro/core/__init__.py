@@ -39,6 +39,13 @@ from .opcount import OpCount, gbtrf_gflops, gbtrf_opcount, gbtrf_opcount_batch, 
 from .gbtrs_blocked import BlockedBackwardKernel, BlockedForwardKernel
 from .gbtrs_reference import gbtrs_reference_batch
 from .solve_blocks import gbtrs_unblocked
+from .verify import (
+    VerifyPolicy,
+    as_verify_policy,
+    verified_gbsv_batch,
+    verified_gbtrf_batch,
+    verified_gbtrs_batch,
+)
 from .specialize import (
     BandSpecialization,
     clear_specialization_cache,
@@ -71,5 +78,7 @@ __all__ = [
     "select_gbsv_method", "select_gbtrf_method",
     "sgbsv_batch", "sgbtrf_batch", "sgbtrs_batch",
     "specialization_cache_info",
+    "VerifyPolicy", "as_verify_policy", "verified_gbsv_batch",
+    "verified_gbtrf_batch", "verified_gbtrs_batch",
     "zgbsv_batch", "zgbtrf_batch", "zgbtrs_batch",
 ]

@@ -162,7 +162,8 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
                  chunk_hint: int | None = None,
                  streams: int | None = None, devices=None,
                  overlap: bool | None = None,
-                 layout: str | None = None):
+                 layout: str | None = None,
+                 verify=None):
     """Non-uniform batch band LU: per-problem ``(m, n, kl, ku)``.
 
     Problems with identical configuration are grouped into uniform
@@ -201,6 +202,12 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     in (consecutive slices of an interleaved stack stay zero-copy),
     ``'interleaved'``/``'soa'`` or ``'lane-major'``/``'aos'`` stage each
     group into that layout once before it executes.
+
+    ``verify`` turns on the silent-data-corruption defense per uniform
+    group (:mod:`repro.core.verify`; same values as the uniform drivers)
+    and makes the call return ``(pivots, info, report)`` with the
+    per-group verification fields merged back to global lane indices.
+    Requires square problems (``ms[k] == ns[k]``).
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -224,30 +231,28 @@ def gbtrf_vbatch(ms, ns, kls, kus, a_array, pv_array=None, info=None, *,
     groups = _group_indices(
         (int(ms[k]), int(ns[k]), int(kls[k]), int(kus[k]), mats[k].shape)
         for k in range(batch))
+    verified = verify is not None and verify is not False
     parts = []
     for (m, n, kl, ku, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
+        kwargs = dict(batch=len(idxs), device=device, stream=stream,
+                      vectorize=vectorize,
+                      max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint, streams=streams,
+                      devices=devices, overlap=overlap, layout=layout)
         if resilient:
-            _, _, rep = gbtrf_batch(
-                m, n, kl, ku, [mats[i] for i in idxs],
-                [pivots[i] for i in idxs], sub_info, batch=len(idxs),
-                device=device, stream=stream, vectorize=vectorize,
-                resilient=True, policy=policy,
-                max_resident_bytes=max_resident_bytes,
-                chunk_hint=chunk_hint, streams=streams, devices=devices,
-                overlap=overlap, layout=layout)
-            parts.append((idxs, rep))
+            kwargs.update(resilient=True, policy=policy)
         else:
-            gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
-                        [pivots[i] for i in idxs], sub_info,
-                        batch=len(idxs), device=device, stream=stream,
-                        execute=execute, vectorize=vectorize,
-                        max_resident_bytes=max_resident_bytes,
-                        chunk_hint=chunk_hint, streams=streams,
-                        devices=devices, overlap=overlap, layout=layout)
+            kwargs.update(execute=execute)
+        if verified:
+            kwargs.update(verify=verify)
+        out = gbtrf_batch(m, n, kl, ku, [mats[i] for i in idxs],
+                          [pivots[i] for i in idxs], sub_info, **kwargs)
+        if resilient or verified:
+            parts.append((idxs, out[-1]))
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
-    if resilient:
+    if resilient or verified:
         from .resilience import merge_reports
         report = merge_reports("gbtrf", batch, parts)
         report.info = info
@@ -263,7 +268,8 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
                 chunk_hint: int | None = None,
                 streams: int | None = None, devices=None,
                 overlap: bool | None = None,
-                layout: str | None = None):
+                layout: str | None = None,
+                verify=None):
     """Non-uniform batch factorize-and-solve: per-problem ``(n, kl, ku, nrhs)``.
 
     Returns ``(pivots, info)``; each problem's ``B`` is overwritten with its
@@ -279,7 +285,10 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     ``streams`` / ``devices`` / ``overlap`` pipeline each group's chunks
     (see :func:`repro.core.gbtrf.gbtrf_batch`); ``layout`` stages each
     uniform group into the requested storage layout once before it
-    executes (see :func:`gbtrf_vbatch` and docs/LAYOUTS.md).
+    executes (see :func:`gbtrf_vbatch` and docs/LAYOUTS.md); ``verify``
+    runs each group behind the silent-data-corruption defense
+    (:mod:`repro.core.verify`) and returns ``(pivots, info, report)``
+    with the merged verification fields.
     """
     from ..gpusim.device import H100_PCIE
     device = device or (stream.device if stream is not None else H100_PCIE)
@@ -300,30 +309,29 @@ def gbsv_vbatch(ns, kls, kus, nrhss, a_array, b_array, pv_array=None,
     groups = _group_indices(
         (int(ns[k]), int(kls[k]), int(kus[k]), int(nrhss[k]), mats[k].shape)
         for k in range(batch))
+    verified = verify is not None and verify is not False
     parts = []
     for (n, kl, ku, nrhs, _shape), idxs in groups.items():
         sub_info = np.zeros(len(idxs), dtype=np.int64)
+        kwargs = dict(batch=len(idxs), device=device, stream=stream,
+                      vectorize=vectorize,
+                      max_resident_bytes=max_resident_bytes,
+                      chunk_hint=chunk_hint, streams=streams,
+                      devices=devices, overlap=overlap, layout=layout)
         if resilient:
-            _, _, rep = gbsv_batch(
-                n, kl, ku, nrhs, [mats[i] for i in idxs],
-                [pivots[i] for i in idxs], [rhs[i] for i in idxs],
-                sub_info, batch=len(idxs), device=device, stream=stream,
-                vectorize=vectorize, resilient=True, policy=policy,
-                max_resident_bytes=max_resident_bytes,
-                chunk_hint=chunk_hint, streams=streams, devices=devices,
-                overlap=overlap, layout=layout)
-            parts.append((idxs, rep))
+            kwargs.update(resilient=True, policy=policy)
         else:
-            gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
-                       [pivots[i] for i in idxs], [rhs[i] for i in idxs],
-                       sub_info, batch=len(idxs), device=device,
-                       stream=stream, execute=execute, vectorize=vectorize,
-                       max_resident_bytes=max_resident_bytes,
-                       chunk_hint=chunk_hint, streams=streams,
-                       devices=devices, overlap=overlap, layout=layout)
+            kwargs.update(execute=execute)
+        if verified:
+            kwargs.update(verify=verify)
+        out = gbsv_batch(n, kl, ku, nrhs, [mats[i] for i in idxs],
+                         [pivots[i] for i in idxs], [rhs[i] for i in idxs],
+                         sub_info, **kwargs)
+        if resilient or verified:
+            parts.append((idxs, out[-1]))
         for j, i in enumerate(idxs):
             info[i] = sub_info[j]
-    if resilient:
+    if resilient or verified:
         from .resilience import merge_reports
         report = merge_reports("gbsv", batch, parts)
         report.info = info

@@ -76,7 +76,8 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
                chunk_hint: int | None = None,
                streams: int | None = None, devices=None,
                overlap: bool | None = None,
-               layout: str | None = None):
+               layout: str | None = None,
+               verify=None):
     """Factor and solve a uniform batch of band systems (paper's top API).
 
     Returns ``(pivots, info)``.  ``a_array`` is overwritten with factors,
@@ -109,9 +110,29 @@ def gbsv_batch(n: int, kl: int, ku: int, nrhs: int, a_array, pv_array,
     operand batches into that layout exactly once at the batch
     boundary — the internal factorize and solve stages then run in that
     layout with no further conversion.
+
+    ``verify`` turns on the silent-data-corruption defense
+    (:mod:`repro.core.verify`): ``True``, ``'cheap'``, ``'full'`` or a
+    :class:`~repro.core.verify.VerifyPolicy`.  Every healthy lane's
+    solution is checked against a pristine snapshot of ``A`` and ``b``
+    with a scaled residual gate; failing lanes escalate through recompute
+    → reference path → equilibrated refactor → iterative refinement, and
+    the call returns ``(pivots, info, report)`` with the verification
+    fields stamped on the :class:`~repro.core.resilience.BatchReport`.
+    Lanes that pass are bit-identical to an unverified call.
     """
     check_arg(method in _METHODS, 12,
               f"method must be one of {_METHODS}, got {method!r}")
+    if verify is not None and verify is not False:
+        from .verify import verified_gbsv_batch
+        return verified_gbsv_batch(
+            n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, verify=verify, device=device, stream=stream,
+            method=method, execute=execute, max_blocks=max_blocks,
+            vectorize=vectorize, resilient=resilient, policy=policy,
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+            streams=streams, devices=devices, overlap=overlap,
+            layout=layout)
     if normalize_layout(layout) is not None:
         conv = convert_batch_layout(
             normalize_layout(layout), (a_array, b_array),

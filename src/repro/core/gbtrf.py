@@ -78,7 +78,8 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
                 chunk_hint: int | None = None,
                 streams: int | None = None, devices=None,
                 overlap: bool | None = None,
-                layout: str | None = None):
+                layout: str | None = None,
+                verify=None):
     """LU-factorize a uniform batch of band matrices on the simulated GPU.
 
     Parameters
@@ -159,6 +160,18 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
         Results always land back in the caller's arrays, bit-identical
         across layouts.
 
+    verify:
+        Silent-data-corruption defense (:mod:`repro.core.verify`):
+        ``True``, ``'cheap'``, ``'full'`` or a
+        :class:`~repro.core.verify.VerifyPolicy`.  The factors of every
+        healthy lane are checked by applying the reconstructed ``P L U``
+        to a deterministic probe vector and comparing against ``A``
+        applied to the same vector (snapshotted before the call);
+        failing lanes escalate through recompute → reference path, and
+        the call returns ``(pivots, info, report)``.  Requires square
+        matrices (``m == n``).  Lanes that pass are bit-identical to an
+        unverified call.
+
     Returns
     -------
     (pivots, info):
@@ -167,6 +180,17 @@ def gbtrf_batch(m: int, n: int, kl: int, ku: int, a_array,
     """
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    if verify is not None and verify is not False:
+        from .verify import verified_gbtrf_batch
+        return verified_gbtrf_batch(
+            m, n, kl, ku, a_array, pv_array, info, batch=batch,
+            verify=verify, device=device, stream=stream, method=method,
+            nb=nb, threads=threads, execute=execute,
+            max_blocks=max_blocks, vectorize=vectorize,
+            resilient=resilient, policy=policy,
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+            streams=streams, devices=devices, overlap=overlap,
+            layout=layout)
     if normalize_layout(layout) is not None:
         conv = convert_batch_layout(
             normalize_layout(layout), (a_array,),

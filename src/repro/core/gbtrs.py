@@ -65,7 +65,8 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
                 chunk_hint: int | None = None,
                 streams: int | None = None, devices=None,
                 overlap: bool | None = None,
-                layout: str | None = None):
+                layout: str | None = None,
+                verify=None):
     """Solve a uniform batch of factored band systems on the simulated GPU.
 
     Arguments follow the paper's ``dgbtrs_batch``; ``b_array`` (``(batch,
@@ -104,10 +105,30 @@ def gbtrs_batch(trans: Trans | str, n: int, kl: int, ku: int, nrhs: int,
     (interleaved stacks natively, as ``[vec+soa]``),
     ``'interleaved'``/``'soa'`` or ``'lane-major'``/``'aos'`` stage both
     operand batches into that layout exactly once at the batch boundary.
+
+    ``verify`` turns on the silent-data-corruption defense
+    (:mod:`repro.core.verify`): ``True``, ``'cheap'``, ``'full'`` or a
+    :class:`~repro.core.verify.VerifyPolicy`.  Each solution is checked
+    by replaying ``P L U x`` from pristine factor snapshots against the
+    pristine right-hand side; in ``'full'`` mode the read-only factors
+    and pivots are also digest-checked across the stage boundary.
+    Failing lanes escalate through recompute → reference path, and the
+    call returns ``(info, report)``.  No-transpose solves only.
     """
     trans = Trans.from_any(trans)
     check_arg(method in _METHODS, 14,
               f"method must be one of {_METHODS}, got {method!r}")
+    if verify is not None and verify is not False:
+        from .verify import verified_gbtrs_batch
+        return verified_gbtrs_batch(
+            trans, n, kl, ku, nrhs, a_array, pv_array, b_array, info,
+            batch=batch, verify=verify, device=device, stream=stream,
+            method=method, nb=nb, threads=threads, rhs_tile=rhs_tile,
+            execute=execute, max_blocks=max_blocks, vectorize=vectorize,
+            resilient=resilient, policy=policy,
+            max_resident_bytes=max_resident_bytes, chunk_hint=chunk_hint,
+            streams=streams, devices=devices, overlap=overlap,
+            layout=layout)
     if normalize_layout(layout) is not None:
         conv = convert_batch_layout(
             normalize_layout(layout), (a_array, b_array),

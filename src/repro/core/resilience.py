@@ -263,6 +263,38 @@ class BatchReport:
     #: Straggler chunks duplicated onto a second device (first-finisher
     #: wins; results are bit-identical either way).
     hedges: int = 0
+    #: Verification mode that ran (``"cheap"`` / ``"full"``, empty when
+    #: the call was not verified).  All ``verify_``/SDC fields below are
+    #: stamped by :mod:`repro.core.verify`.
+    verify_mode: str = ""
+    #: Lanes whose residual gate was evaluated.
+    verified_lanes: int = 0
+    #: Lanes that failed a residual gate or digest check (silent data
+    #: corruption detected).
+    sdc_detected: tuple = ()
+    #: Detected lanes the recovery ladder brought back under tolerance.
+    sdc_recovered: tuple = ()
+    #: Lanes whose read-only operands changed fingerprints across the
+    #: stage boundary (restored from snapshots).
+    digest_mismatches: tuple = ()
+    #: Lanes that still fail their gate but are *expected*-inaccurate:
+    #: condition estimate below the policy floor or pivot growth past the
+    #: threshold.  Accepted, never raised.
+    ill_conditioned: tuple = ()
+    #: Lane-recompute events the escalation ladder performed (device
+    #: recompute, host reference, equilibrated refactor).
+    recomputes: int = 0
+    #: Worst scaled residual observed across verified lanes.
+    residual_max: float = 0.0
+    #: Worst pivot-growth ratio ``max|U| / max|A|`` across verified lanes.
+    growth_max: float = 0.0
+    #: Worst gbrfs component-wise backward error across refined lanes.
+    berr_max: float = 0.0
+    #: Worst forward-error bound ``berr / rcond`` across refined lanes.
+    ferr_max: float = 0.0
+    #: Smallest gbcon condition estimate stamped (None when no estimate
+    #: ran; ``'full'`` mode stamps every healthy lane).
+    rcond_min: float | None = None
     info: np.ndarray | None = None
 
     @property
@@ -308,6 +340,22 @@ class BatchReport:
             parts.append(f"hedges={self.hedges}")
         if self.device_events:
             parts.append(f"device_events={len(self.device_events)}")
+        if self.verify_mode:
+            parts.append(f"verify={self.verify_mode}"
+                         f" lanes={self.verified_lanes}"
+                         f" residual_max={self.residual_max:.3e}")
+            if self.sdc_detected:
+                parts.append(f"sdc_detected={list(self.sdc_detected)}"
+                             f" recovered={list(self.sdc_recovered)}"
+                             f" recomputes={self.recomputes}")
+            if self.digest_mismatches:
+                parts.append(
+                    f"digest_mismatches={list(self.digest_mismatches)}")
+            if self.ill_conditioned:
+                parts.append(
+                    f"ill_conditioned={list(self.ill_conditioned)}")
+            if self.rcond_min is not None:
+                parts.append(f"rcond_min={self.rcond_min:.3e}")
         if self.unrecovered:
             parts.append(f"UNRECOVERED={list(self.unrecovered)}")
         return " ".join(parts)
@@ -345,6 +393,19 @@ class BatchReport:
             "device_events": [dict(e) for e in self.device_events],
             "failovers": int(self.failovers),
             "hedges": int(self.hedges),
+            "verify_mode": self.verify_mode,
+            "verified_lanes": int(self.verified_lanes),
+            "sdc_detected": [int(k) for k in self.sdc_detected],
+            "sdc_recovered": [int(k) for k in self.sdc_recovered],
+            "digest_mismatches": [int(k) for k in self.digest_mismatches],
+            "ill_conditioned": [int(k) for k in self.ill_conditioned],
+            "recomputes": int(self.recomputes),
+            "residual_max": float(self.residual_max),
+            "growth_max": float(self.growth_max),
+            "berr_max": float(self.berr_max),
+            "ferr_max": float(self.ferr_max),
+            "rcond_min": (None if self.rcond_min is None
+                          else float(self.rcond_min)),
             "info": (None if self.info is None
                      else [int(i) for i in np.asarray(self.info)]),
             "ok": bool(self.ok),
@@ -362,7 +423,9 @@ class BatchReport:
         known = {f.name for f in _dataclass_fields(cls)}
         d = {k: v for k, v in data.items() if k in known}
         for name in ("quarantined", "singular", "corrupted", "refined",
-                     "unrecovered", "chunks", "devices"):
+                     "unrecovered", "chunks", "devices", "sdc_detected",
+                     "sdc_recovered", "digest_mismatches",
+                     "ill_conditioned"):
             d[name] = tuple(d.get(name, ()))
         d["fallbacks"] = [tuple(f) for f in d.get("fallbacks", [])]
         d["device_events"] = [dict(e) for e in d.get("device_events", [])]
@@ -401,6 +464,18 @@ def merge_reports(operation: str, batch: int, parts) -> BatchReport:
         merged.device_events.extend(rep.device_events)
         merged.failovers += rep.failovers
         merged.hedges += rep.hedges
+        if rep.verify_mode:
+            merged.verify_mode = rep.verify_mode
+        merged.verified_lanes += rep.verified_lanes
+        merged.recomputes += rep.recomputes
+        merged.residual_max = max(merged.residual_max, rep.residual_max)
+        merged.growth_max = max(merged.growth_max, rep.growth_max)
+        merged.berr_max = max(merged.berr_max, rep.berr_max)
+        merged.ferr_max = max(merged.ferr_max, rep.ferr_max)
+        if rep.rcond_min is not None:
+            merged.rcond_min = (rep.rcond_min
+                                if merged.rcond_min is None
+                                else min(merged.rcond_min, rep.rcond_min))
         for stage, meth in rep.methods.items():
             prev = merged.methods.get(stage)
             if prev is None:
@@ -413,11 +488,16 @@ def merge_reports(operation: str, batch: int, parts) -> BatchReport:
         merged.corrupted += remap(rep.corrupted)
         merged.refined += remap(rep.refined)
         merged.unrecovered += remap(rep.unrecovered)
+        merged.sdc_detected += remap(rep.sdc_detected)
+        merged.sdc_recovered += remap(rep.sdc_recovered)
+        merged.digest_mismatches += remap(rep.digest_mismatches)
+        merged.ill_conditioned += remap(rep.ill_conditioned)
         if rep.info is not None:
             for j, i in enumerate(idxs):
                 info[i] = rep.info[j]
     for name in ("quarantined", "singular", "corrupted", "refined",
-                 "unrecovered"):
+                 "unrecovered", "sdc_detected", "sdc_recovered",
+                 "digest_mismatches", "ill_conditioned"):
         setattr(merged, name, tuple(sorted(getattr(merged, name))))
     merged.info = info
     return merged

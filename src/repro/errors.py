@@ -22,6 +22,7 @@ __all__ = [
     "ReproError",
     "ArgumentError",
     "SingularMatrixError",
+    "DataCorruptionError",
     "SharedMemoryError",
     "DeviceMemoryError",
     "DeviceError",
@@ -67,6 +68,38 @@ class SingularMatrixError(ReproError, ArithmeticError):
         )
         self.index = int(index)
         self.info = int(info)
+
+
+class DataCorruptionError(ReproError, ArithmeticError):
+    """Verified solve detected silent data corruption it could not repair.
+
+    Raised by the verification layer (:mod:`repro.core.verify`) when a
+    lane fails its residual gate and every rung of the recovery ladder —
+    snapshot recompute, reference path, equilibrated refactor, iterative
+    refinement — still leaves the residual above tolerance, while the
+    condition estimate says the operator is *well*-conditioned (an
+    ill-conditioned lane is flagged expected-inaccurate instead, never
+    raised).  ``operation`` names the verified driver, ``lanes`` holds
+    the 0-based global batch indices of the unrecovered lanes, ``device``
+    names where the batch dispatched, and ``residual`` is the worst
+    scaled residual observed across those lanes — all four are attributes
+    for programmatic handling, mirroring the other error classes here.
+    """
+
+    def __init__(self, operation: str, lanes, device: str = "",
+                 residual: float = 0.0):
+        lanes = tuple(int(k) for k in lanes)
+        dev = f" on device {device!r}" if device else ""
+        super().__init__(
+            f"silent data corruption in {operation}: lane(s) "
+            f"{list(lanes)} failed residual verification after every "
+            f"recovery rung (worst scaled residual {residual:.3e})"
+            f"{dev}"
+        )
+        self.operation = str(operation)
+        self.lanes = lanes
+        self.device = str(device)
+        self.residual = float(residual)
 
 
 class SharedMemoryError(ReproError, MemoryError):

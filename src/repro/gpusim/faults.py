@@ -30,7 +30,17 @@ reproducible:
 * **kernel hangs** — the next ``k`` matching launches have their modeled
   duration inflated by ``hang_seconds``; a stream watchdog
   (:class:`~repro.gpusim.stream.Stream`) converts the stall into
-  :class:`~repro.errors.KernelHangError`.
+  :class:`~repro.errors.KernelHangError`;
+* **silent data corruption (compute)** — designated lanes have one
+  element of their operands perturbed by a *finite* scale-relative delta
+  after a kernel stage executes, invisible to the NaN/Inf scans that
+  catch :data:`LANE_CORRUPTION` — only the residual gates of
+  :mod:`repro.core.verify` see it;
+* **silent data corruption (transfer)** — designated lanes are flipped
+  *before* a matching kernel stage consumes them (corrupted staging),
+  and real host<->device copies through :mod:`repro.gpusim.transfer`
+  can have one payload element flipped in flight, attributed on the
+  resulting :class:`~repro.gpusim.transfer.TransferRecord`.
 
 Corruption lanes are *global* batch indices: when the memory-governed
 drivers (:mod:`repro.core.memory_plan`) split a batch into chunks, they
@@ -63,6 +73,7 @@ from ..errors import (DeviceError, DeviceLostError, DeviceMemoryError,
 __all__ = [
     "LAUNCH_FAILURE", "SMEM_REJECTION", "LANE_CORRUPTION",
     "ALLOC_FAILURE", "CAPACITY_SQUEEZE", "DEVICE_OUTAGE", "KERNEL_HANG",
+    "SDC_FLIP", "TRANSFER_CORRUPTION",
     "FaultEvent", "FaultPlan", "FaultInjector",
     "arm_faults", "disarm_faults", "active_injector", "fault_injection",
 ]
@@ -74,6 +85,8 @@ ALLOC_FAILURE = "alloc-failure"
 CAPACITY_SQUEEZE = "capacity-squeeze"
 DEVICE_OUTAGE = "device-outage"
 KERNEL_HANG = "kernel-hang"
+SDC_FLIP = "sdc-flip"
+TRANSFER_CORRUPTION = "transfer-corruption"
 
 
 @dataclass(frozen=True)
@@ -163,6 +176,45 @@ class FaultPlan:
         hang silently stretches the timeline (an undetected straggler).
     hang_seconds:
         Modeled seconds added to a hung launch's duration.
+    sdc_lanes:
+        Batch lanes struck by a silent *compute* flip once each, after a
+        kernel matching ``sdc_after`` executes them: one element of the
+        lane's floating-point operands is perturbed by a finite delta of
+        ``sdc_scale * max(1, max|operand|)``.  The result stays finite —
+        NaN/Inf scans cannot see it; only residual verification can.
+    sdc_after:
+        Substring naming the stage after which the compute flip strikes
+        (e.g. ``"gbtrf"``); ``""`` flips after the first kernel that
+        executes the lane.
+    sdc_scale:
+        Relative magnitude of every silent flip (compute and transfer),
+        as a multiple of ``max(1, max|operand|)``.  Must be positive and
+        finite; the default ``1.0`` is far above any residual tolerance.
+    sdc_operand:
+        Which operand sequence the lane flips strike: ``0`` (default)
+        is the first floating-point operand batch (the matrices for
+        every band kernel), ``1`` the second (the right-hand sides of a
+        solve stage, i.e. the computed solutions when striking
+        post-stage).  Out-of-range values clamp to the last sequence the
+        kernel holds.
+    transfer_sdc_lanes:
+        Batch lanes struck by a silent *staging* flip once each, applied
+        to the lane's operands immediately *before* a kernel matching
+        ``transfer_before`` consumes them — modelling corruption during
+        the host-to-device transfer of that stage's inputs.
+    transfer_before:
+        Substring naming the stage whose staged inputs are corrupted;
+        ``""`` corrupts before the first kernel that executes the lane.
+    transfer_copies:
+        Number of explicit host<->device copies
+        (:func:`repro.gpusim.transfer.memcpy_h2d` /
+        :func:`~repro.gpusim.transfer.memcpy_d2h`) whose payload has one
+        element flipped in flight; each is consumed once, and the event
+        is attributed on the returned
+        :class:`~repro.gpusim.transfer.TransferRecord`.
+    transfer_kernels:
+        Substring filter on the copy name for in-flight copy corruption
+        (``"memcpy_h2d"``, ``"memcpy_d2h"``, or ``""`` for both).
     """
 
     seed: int = 0
@@ -184,6 +236,14 @@ class FaultPlan:
     hang_kernels: str = ""
     hang_launches: int = 0
     hang_seconds: float = 1.0
+    sdc_lanes: tuple[int, ...] = ()
+    sdc_after: str = ""
+    sdc_scale: float = 1.0
+    sdc_operand: int = 0
+    transfer_sdc_lanes: tuple[int, ...] = ()
+    transfer_before: str = ""
+    transfer_copies: int = 0
+    transfer_kernels: str = ""
 
     def __post_init__(self):
         if not 0.0 <= self.launch_failure_rate <= 1.0:
@@ -217,8 +277,22 @@ class FaultPlan:
         if self.hang_seconds < 0.0:
             raise ValueError(
                 f"hang_seconds must be >= 0, got {self.hang_seconds}")
+        if not 0.0 < self.sdc_scale < float("inf"):
+            raise ValueError(
+                f"sdc_scale must be positive and finite, got "
+                f"{self.sdc_scale}")
+        if self.transfer_copies < 0:
+            raise ValueError(
+                f"transfer_copies must be >= 0, got {self.transfer_copies}")
+        if self.sdc_operand < 0:
+            raise ValueError(
+                f"sdc_operand must be >= 0, got {self.sdc_operand}")
         object.__setattr__(self, "corrupt_lanes",
                            tuple(int(k) for k in self.corrupt_lanes))
+        object.__setattr__(self, "sdc_lanes",
+                           tuple(int(k) for k in self.sdc_lanes))
+        object.__setattr__(self, "transfer_sdc_lanes",
+                           tuple(int(k) for k in self.transfer_sdc_lanes))
 
 
 class FaultInjector:
@@ -255,6 +329,9 @@ class FaultInjector:
             self._outage_left = (float("inf") if plan.outage_failures is None
                                  else int(plan.outage_failures))
         self._hang_left = int(plan.hang_launches)
+        self._sdc_pending = set(plan.sdc_lanes)
+        self._transfer_pending = set(plan.transfer_sdc_lanes)
+        self._copy_left = int(plan.transfer_copies)
         #: Global index of batch lane 0 of the launches currently running —
         #: the memory-governed drivers set this per chunk (see
         #: :meth:`lane_window`) so ``corrupt_lanes`` stay *global* batch
@@ -267,7 +344,7 @@ class FaultInjector:
         """Number of injected faults so far, keyed by kind."""
         out = {LAUNCH_FAILURE: 0, SMEM_REJECTION: 0, LANE_CORRUPTION: 0,
                ALLOC_FAILURE: 0, CAPACITY_SQUEEZE: 0, DEVICE_OUTAGE: 0,
-               KERNEL_HANG: 0}
+               KERNEL_HANG: 0, SDC_FLIP: 0, TRANSFER_CORRUPTION: 0}
         for ev in self.log:
             out[ev.kind] = out.get(ev.kind, 0) + 1
         return out
@@ -283,6 +360,9 @@ class FaultInjector:
         A permanent outage (``outage_failures=None``) never exhausts.
         """
         return (self._smem_left == 0 and not self._pending_lanes
+                and not self._sdc_pending
+                and not self._transfer_pending
+                and self._copy_left == 0
                 and self._squeeze_left == 0
                 and self._outage_left == 0
                 and self._hang_left == 0
@@ -347,30 +427,94 @@ class FaultInjector:
             raise SharedMemoryError(requested, device.max_smem_per_block,
                                     name, device=device.name, injected=True)
 
+    def before_execution(self, device, kernel,
+                         executing: int) -> tuple[FaultEvent, ...]:
+        """Pre-execution hook; flips lanes whose staged inputs were
+        corrupted in flight (the transfer-SDC mode).
+
+        Called by the launcher after the launch-level checks pass and
+        immediately before the blocks run, so the flip lands on the
+        operands the kernel is about to consume — exactly what a
+        corrupted host-to-device staging copy would produce.  Returns the
+        injected events for the :class:`~repro.gpusim.kernel.
+        LaunchRecord`.
+        """
+        if (not self._transfer_pending
+                or self.plan.transfer_before not in kernel.name):
+            return ()
+        return self._strike_lanes(
+            self._transfer_pending, device, kernel, executing,
+            TRANSFER_CORRUPTION, "staged-input")
+
     def after_execution(self, device, kernel,
                         executed: int) -> tuple[FaultEvent, ...]:
-        """Post-execution hook; poisons pending lanes the kernel executed.
+        """Post-execution hook; poisons and silently flips pending lanes.
 
-        Returns the corruption events injected by *this* launch, which the
-        launcher attaches to the :class:`~repro.gpusim.kernel.LaunchRecord`.
+        NaN/Inf lane corruption (``corrupt_lanes``) and finite SDC flips
+        (``sdc_lanes``) both strike here, after the kernel's blocks have
+        written their outputs.  Returns the events injected by *this*
+        launch, which the launcher attaches to the
+        :class:`~repro.gpusim.kernel.LaunchRecord`.
         """
-        if not self._pending_lanes or self.plan.corrupt_after not in kernel.name:
-            return ()
         events = []
-        for lane in sorted(self._pending_lanes):
-            # Pending lanes are global batch indices; the kernel only sees
-            # lanes [lane_offset, lane_offset + executed).
+        if self._pending_lanes and self.plan.corrupt_after in kernel.name:
+            for lane in sorted(self._pending_lanes):
+                # Pending lanes are global batch indices; the kernel only
+                # sees lanes [lane_offset, lane_offset + executed).
+                local = lane - self.lane_offset
+                if not 0 <= local < executed:
+                    continue
+                if self._poison(kernel, local):
+                    self._pending_lanes.discard(lane)
+                    ev = FaultEvent(
+                        LANE_CORRUPTION, kernel.name, device.name, lane=lane,
+                        detail=f"value={self.plan.corrupt_value!r}")
+                    self.log.append(ev)
+                    events.append(ev)
+        if self._sdc_pending and self.plan.sdc_after in kernel.name:
+            events.extend(self._strike_lanes(
+                self._sdc_pending, device, kernel, executed,
+                SDC_FLIP, "post-stage"))
+        return tuple(events)
+
+    def _strike_lanes(self, pending: set, device, kernel, window: int,
+                      kind: str, where: str) -> list[FaultEvent]:
+        """Apply one finite flip to each pending lane inside the window."""
+        events = []
+        for lane in sorted(pending):
             local = lane - self.lane_offset
-            if not 0 <= local < executed:
+            if not 0 <= local < window:
                 continue
-            if self._poison(kernel, local):
-                self._pending_lanes.discard(lane)
-                ev = FaultEvent(
-                    LANE_CORRUPTION, kernel.name, device.name, lane=lane,
-                    detail=f"value={self.plan.corrupt_value!r}")
+            detail = self._flip(kernel, local)
+            if detail is not None:
+                pending.discard(lane)
+                ev = FaultEvent(kind, kernel.name, device.name, lane=lane,
+                                detail=f"{where} {detail}")
                 self.log.append(ev)
                 events.append(ev)
-        return tuple(events)
+        return events
+
+    def on_transfer(self, device, name: str,
+                    data: np.ndarray) -> tuple[FaultEvent, ...]:
+        """Copy hook; flips one element of an in-flight transfer payload.
+
+        Called by :func:`repro.gpusim.transfer.memcpy_h2d` (on the
+        device-side copy, after the upload) and :func:`~repro.gpusim.
+        transfer.memcpy_d2h` (on the downloaded host array) while the
+        ``transfer_copies`` budget lasts.  The flip is finite and
+        scale-relative, like every SDC mode; the events land on the
+        returned :class:`~repro.gpusim.transfer.TransferRecord` so copy
+        corruption stays trace-attributed.
+        """
+        if (self._copy_left <= 0 or self.plan.transfer_kernels not in name
+                or data.dtype.kind not in "fc" or not data.size):
+            return ()
+        self._copy_left -= 1
+        detail = self._flip_array(data)
+        ev = FaultEvent(TRANSFER_CORRUPTION, name, device.name,
+                        detail=f"in-flight {detail}")
+        self.log.append(ev)
+        return (ev,)
 
     def injected_hang(self, device, kernel) -> tuple[float, tuple]:
         """Hang hook; returns ``(extra_seconds, events)`` for this launch.
@@ -420,8 +564,8 @@ class FaultInjector:
                                     device=device, injected=True)
         return capacity
 
-    def _poison(self, kernel, lane: int) -> bool:
-        """Overwrite the lane's first floating-point operand batch."""
+    def _lane_operands(self, kernel, lane: int) -> list[np.ndarray]:
+        """The lane's floating-point operand arrays, in sequence order."""
         seqs = kernel.pack_operands()
         if not seqs:
             # Fork-join kernels keep operands on a shared state object
@@ -431,6 +575,7 @@ class FaultInjector:
                          for s in (getattr(h, "mats", None),
                                    getattr(h, "rhs", None))
                          if s is not None)
+        out = []
         for seq in seqs:
             try:
                 arr = seq[lane]
@@ -438,9 +583,41 @@ class FaultInjector:
                 continue
             arr = np.asarray(arr)
             if arr.dtype.kind in "fc" and arr.size:
-                arr[...] = self.plan.corrupt_value
-                return True
-        return False
+                out.append(arr)
+        return out
+
+    def _poison(self, kernel, lane: int) -> bool:
+        """Overwrite the lane's first floating-point operand batch."""
+        arrs = self._lane_operands(kernel, lane)
+        if not arrs:
+            return False
+        arrs[0][...] = self.plan.corrupt_value
+        return True
+
+    def _flip(self, kernel, lane: int) -> str | None:
+        """Silently flip one element of the lane's operands (finite)."""
+        arrs = self._lane_operands(kernel, lane)
+        if not arrs:
+            return None
+        return self._flip_array(arrs[min(self.plan.sdc_operand,
+                                         len(arrs) - 1)])
+
+    def _flip_array(self, arr: np.ndarray) -> str:
+        """Add a finite, scale-relative delta to one seeded element.
+
+        The delta is ``sdc_scale * max(1, max|arr|)`` — the result stays
+        finite (invisible to NaN/Inf scans) yet is far outside rounding
+        error for any ``sdc_scale`` above the residual tolerance.
+        """
+        idx = int(self._rng.integers(arr.size))
+        scale = float(np.max(np.abs(arr)))
+        if not np.isfinite(scale):
+            scale = 0.0
+        delta = self.plan.sdc_scale * max(1.0, scale)
+        # ``.flat`` assigns through views (an interleaved lane is strided;
+        # ``reshape(-1)`` would flip a copy and lose the fault).
+        arr.flat[idx] += delta
+        return f"idx={idx} delta={delta!r}"
 
 
 # -- arming ----------------------------------------------------------------

@@ -361,6 +361,11 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
                 use_vec = n_exec > 1 and (direct or soa
                                           or kernel.can_pack_vectorize())
         smem_ctx = dict(kernel=kernel.name, device=device.name)
+        if injector is not None and n_exec > 0:
+            # Transfer-SDC strikes the staged inputs the blocks are about
+            # to consume (a corrupted host-to-device copy); the events
+            # ride the same record as post-execution corruption.
+            faults = injector.before_execution(device, kernel, n_exec)
         if use_vec and n_exec > 0:
             kernel.run_batch_vectorized(
                 n_exec, SharedMemory(limit * n_exec, **smem_ctx))
@@ -375,7 +380,8 @@ def launch(device: DeviceSpec, kernel: Kernel, *, stream=None,
                 kernel.run_block(bid, SharedMemory(limit, **smem_ctx))
                 executed += 1
         if injector is not None and executed:
-            faults = injector.after_execution(device, kernel, executed)
+            faults = tuple(faults) + injector.after_execution(
+                device, kernel, executed)
     hang_time = 0.0
     if injector is not None:
         # Injected hangs inflate the launch's modeled duration; the events

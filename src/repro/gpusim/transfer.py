@@ -32,6 +32,10 @@ class TransferRecord:
     nbytes: int
     time: float
     grid: int = 1
+    # Fault-injection events (repro.gpusim.faults.FaultEvent) that struck
+    # this copy — in-flight payload corruption stays trace-attributed, the
+    # same way lane corruption rides a LaunchRecord.
+    faults: tuple = ()
 
     @property
     def bandwidth(self) -> float:
@@ -59,15 +63,25 @@ def memcpy_h2d(device: DeviceSpec, buf: DeviceBuffer, host: np.ndarray, *,
     :meth:`~repro.gpusim.memory.DeviceBuffer.upload`) and to the device
     pool's counter, so per-device interconnect traffic stays reported.
     """
+    from .faults import active_injector
+
     buf.upload(host)
     nbytes = int(np.asarray(host).nbytes)
     pool = memory_pool(device)
     if buf.traffic is not pool.traffic:
         pool.traffic.write(nbytes)
+    injector = active_injector(device)
+    faults = ()
+    if injector is not None:
+        # In-flight corruption lands on the device-side copy (the host
+        # array is untouched — exactly what a flipped bit on the wire
+        # produces), attributed on this record.
+        faults = injector.on_transfer(device, "memcpy_h2d", buf.array)
     rec = TransferRecord(
         kernel_name="memcpy_h2d",
         nbytes=nbytes,
-        time=transfer_time(device, nbytes, direction="h2d"))
+        time=transfer_time(device, nbytes, direction="h2d"),
+        faults=faults)
     if stream is not None:
         stream.record(rec)
     return rec
@@ -81,6 +95,8 @@ def memcpy_d2h(device: DeviceSpec, buf: DeviceBuffer, *,
 
     Traffic is charged like :func:`memcpy_h2d`, on the read side.
     """
+    from .faults import active_injector
+
     data = buf.download()
     if out is not None:
         out[...] = data
@@ -88,10 +104,17 @@ def memcpy_d2h(device: DeviceSpec, buf: DeviceBuffer, *,
     pool = memory_pool(device)
     if buf.traffic is not pool.traffic:
         pool.traffic.read(int(data.nbytes))
+    injector = active_injector(device)
+    faults = ()
+    if injector is not None:
+        # Corruption strikes the downloaded host copy; the device-side
+        # buffer stays clean, so a retry re-downloads good data.
+        faults = injector.on_transfer(device, "memcpy_d2h", data)
     rec = TransferRecord(
         kernel_name="memcpy_d2h",
         nbytes=int(data.nbytes),
-        time=transfer_time(device, data.nbytes, direction="d2h"))
+        time=transfer_time(device, data.nbytes, direction="d2h"),
+        faults=faults)
     if stream is not None:
         stream.record(rec)
     return data, rec

@@ -28,7 +28,7 @@ from ..errors import DeviceMemoryError, check_arg
 from ..gpusim.device import H100_PCIE, DeviceSpec
 from ..gpusim.memory import memory_pool
 
-__all__ = ["operand_digest", "CacheEntry", "FactorCache"]
+__all__ = ["operand_digest", "factor_digest", "CacheEntry", "FactorCache"]
 
 #: Pool-ledger label every cache charge is taken under.
 CACHE_LABEL = "factor-cache"
@@ -49,6 +49,24 @@ def operand_digest(kl: int, ku: int, ab: np.ndarray) -> str:
     return h.hexdigest()
 
 
+def factor_digest(factors: np.ndarray, pivots: np.ndarray) -> str:
+    """Content fingerprint of a cached factorization (blake2b-128).
+
+    Computed over the factors *and* pivots at insertion time and
+    re-checked by :meth:`CacheEntry.verify_integrity` before a verified
+    service reuses the entry — the staging-boundary digest of
+    :mod:`repro.core.verify` applied to the cache's resident payload, so
+    silent corruption of a cached factor is caught before it contaminates
+    every future hit.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for a in (factors, pivots):
+        a = np.asarray(a)
+        h.update(f"{a.shape}:{a.dtype.str};".encode())
+        h.update(np.ascontiguousarray(a).tobytes())
+    return h.hexdigest()
+
+
 @dataclass
 class CacheEntry:
     """One cached factorization (factors + pivots, read-only by contract)."""
@@ -61,6 +79,14 @@ class CacheEntry:
     pivots: np.ndarray
     nbytes: int
     hits: int = 0
+    #: Content fingerprint of ``(factors, pivots)`` stamped at insertion.
+    digest: str = ""
+
+    def verify_integrity(self) -> bool:
+        """True when the resident payload still matches its digest."""
+        if not self.digest:
+            return True
+        return factor_digest(self.factors, self.pivots) == self.digest
 
 
 @dataclass
@@ -73,6 +99,9 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     rejected: int = 0
+    #: Entries whose payload failed :func:`factor_digest` re-verification
+    #: at reuse time (dropped and refactored by the verified service).
+    digest_failures: int = 0
 
 
 class FactorCache:
@@ -176,7 +205,9 @@ class FactorCache:
         pivots = pivots.copy()
         pivots.setflags(write=False)
         self._entries[key] = CacheEntry(key, int(n), int(kl), int(ku),
-                                        factors, pivots, nbytes)
+                                        factors, pivots, nbytes,
+                                        digest=factor_digest(factors,
+                                                             pivots))
         self.stats.insertions += 1
         return True
 

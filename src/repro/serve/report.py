@@ -86,6 +86,21 @@ class ServiceReport:
     failovers: int = 0
     #: Straggler chunks hedged onto a second device across all dispatches.
     hedges: int = 0
+    #: Lanes whose residual gate was evaluated across all verified
+    #: dispatches (``verify=`` enabled on the service).
+    verified_lanes: int = 0
+    #: Lanes that failed a residual gate or digest check (silent data
+    #: corruption detected), summed across dispatches.
+    sdc_detected: int = 0
+    #: Detected lanes the recovery ladder brought back under tolerance.
+    sdc_recovered: int = 0
+    #: Lane-recompute events the verification ladder performed.
+    recomputes: int = 0
+    #: Worst scaled residual observed across all verified dispatches.
+    residual_max: float = 0.0
+    #: Cache entries whose resident payload failed digest re-verification
+    #: at reuse time (dropped and refactored instead of served).
+    cache_digest_failures: int = 0
     #: True when :meth:`~repro.serve.SolverService.close` could not join
     #: the background poller within its timeout (the thread is stuck; the
     #: close proceeded anyway and said so).
@@ -154,6 +169,15 @@ class ServiceReport:
             parts.append(f"failovers={self.failovers}")
         if self.hedges:
             parts.append(f"hedges={self.hedges}")
+        if self.verified_lanes or self.sdc_detected:
+            parts.append(f"verify lanes={self.verified_lanes}"
+                         f" sdc={self.sdc_detected}"
+                         f"/recovered={self.sdc_recovered}"
+                         f" recomputes={self.recomputes}"
+                         f" residual_max={self.residual_max:.3e}")
+        if self.cache_digest_failures:
+            parts.append(f"cache_digest_failures="
+                         f"{self.cache_digest_failures}")
         if self.poller_stuck:
             parts.append("poller_stuck")
         if self.pending:
@@ -197,6 +221,12 @@ class ServiceReport:
             "device_events": [dict(e) for e in self.device_events],
             "failovers": int(self.failovers),
             "hedges": int(self.hedges),
+            "verified_lanes": int(self.verified_lanes),
+            "sdc_detected": int(self.sdc_detected),
+            "sdc_recovered": int(self.sdc_recovered),
+            "recomputes": int(self.recomputes),
+            "residual_max": float(self.residual_max),
+            "cache_digest_failures": int(self.cache_digest_failures),
             "poller_stuck": bool(self.poller_stuck),
             "hit_rate": float(self.hit_rate),
             "mean_group_size": float(self.mean_group_size),

@@ -225,6 +225,17 @@ class SolverService:
         service inherits the whole execution stack below it (``layout``
         is the storage-layout selector of docs/LAYOUTS.md; cache keys
         are layout-independent, so hits stay bit-identical either way).
+    verify:
+        Silent-data-corruption defense (:mod:`repro.core.verify`):
+        ``True``, ``'cheap'``, ``'full'`` or a
+        :class:`~repro.core.verify.VerifyPolicy`.  Every dispatched
+        factorization and solve runs behind its residual gate, the
+        verification fields of every batch report are folded into the
+        :class:`~repro.serve.report.ServiceReport`, and cached
+        factorizations are digest-checked before reuse — a cache entry
+        whose resident payload no longer matches its insertion-time
+        fingerprint is dropped and refactored instead of contaminating
+        the hit path.
     auto_poll_interval:
         When set, a daemon thread calls :meth:`poll` every that many
         seconds so age flushes fire without caller cooperation.  All
@@ -245,6 +256,7 @@ class SolverService:
                  streams: int | None = None, devices=None,
                  overlap: bool | None = None,
                  layout: str | None = None,
+                 verify=None,
                  auto_poll_interval: float | None = None,
                  clock=time.monotonic):
         self.device = device
@@ -261,6 +273,7 @@ class SolverService:
         self.devices = devices
         self.overlap = overlap
         self.layout = layout
+        self.verify = verify
         self._clock = clock
         self._report = ServiceReport()
         self._pending: list[_Pending] = []
@@ -494,6 +507,13 @@ class SolverService:
             dict(e) for e in getattr(rep, "device_events", ()))
         self._report.failovers += getattr(rep, "failovers", 0)
         self._report.hedges += getattr(rep, "hedges", 0)
+        self._report.verified_lanes += getattr(rep, "verified_lanes", 0)
+        self._report.sdc_detected += len(getattr(rep, "sdc_detected", ()))
+        self._report.sdc_recovered += len(
+            getattr(rep, "sdc_recovered", ()))
+        self._report.recomputes += getattr(rep, "recomputes", 0)
+        self._report.residual_max = max(
+            self._report.residual_max, getattr(rep, "residual_max", 0.0))
 
     # -- load shedding -----------------------------------------------------
 
@@ -580,10 +600,21 @@ class SolverService:
         # pending request already holding their factors).
         self.cache.ensure_headroom(sum(r.lane_bytes for r in pending))
 
+        verified = self.verify is not None and self.verify is not False
+
         # 1. Cache lookup per request; deduplicate the misses by digest.
+        #    A verified service re-checks each hit's content fingerprint
+        #    before trusting it: a cached factor corrupted in residence
+        #    is dropped and refactored, never reused.
         reps: dict[str, _Pending] = {}
         for req in pending:
             entry = self.cache.lookup(req.key)
+            if entry is not None and verified \
+                    and not entry.verify_integrity():
+                self.cache.stats.digest_failures += 1
+                self._report.cache_digest_failures += 1
+                self.cache.invalidate(req.key)
+                entry = None
             if entry is not None:
                 self._report.cache_hits += 1
                 req.factors, req.pivots = entry.factors, entry.pivots
@@ -598,14 +629,19 @@ class SolverService:
             dims = ([r.n for r in rep_list], [r.kl for r in rep_list],
                     [r.ku for r in rep_list])
             mats = [r.ab for r in rep_list]
+            kwargs = self._driver_knobs()
             if self.resilient:
-                pivots, finfo, brep = gbtrf_vbatch(
-                    dims[0], *dims, mats, resilient=True,
-                    policy=self.resilience_policy, **self._driver_knobs())
+                kwargs.update(resilient=True,
+                              policy=self.resilience_policy)
+            if verified:
+                kwargs.update(verify=self.verify)
+            if self.resilient or verified:
+                pivots, finfo, brep = gbtrf_vbatch(dims[0], *dims, mats,
+                                                   **kwargs)
                 self._absorb_batch_report(brep)
             else:
                 pivots, finfo = gbtrf_vbatch(dims[0], *dims, mats,
-                                             **self._driver_knobs())
+                                             **kwargs)
             self._report.factorizations += len(rep_list)
             for j, r in enumerate(rep_list):
                 r.factors, r.pivots = r.ab, np.asarray(pivots[j])
@@ -637,15 +673,20 @@ class SolverService:
                 mats.append(f)
                 pivs.append(req.pivots)
                 rhs.append(req.b)
+            kwargs = self._driver_knobs()
             if self.resilient:
+                kwargs.update(resilient=True,
+                              policy=self.resilience_policy)
+            if verified:
+                kwargs.update(verify=self.verify)
+            if self.resilient or verified:
                 _, brep = gbtrs_batch(
                     Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivs, rhs,
-                    batch=len(reqs), resilient=True,
-                    policy=self.resilience_policy, **self._driver_knobs())
+                    batch=len(reqs), **kwargs)
                 self._absorb_batch_report(brep)
             else:
                 gbtrs_batch(Trans.NO_TRANS, n, kl, ku, nrhs, mats, pivs,
-                            rhs, batch=len(reqs), **self._driver_knobs())
+                            rhs, batch=len(reqs), **kwargs)
             self._report.dispatch_groups += 1
             self._report.group_sizes[len(reqs)] = (
                 self._report.group_sizes.get(len(reqs), 0) + 1)

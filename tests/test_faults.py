@@ -27,7 +27,9 @@ from repro.gpusim.faults import (
     KERNEL_HANG,
     LANE_CORRUPTION,
     LAUNCH_FAILURE,
+    SDC_FLIP,
     SMEM_REJECTION,
+    TRANSFER_CORRUPTION,
 )
 from repro.gpusim.trace import format_trace, summarize
 
@@ -383,3 +385,77 @@ class TestKernelHang:
                                 stream=stream)
         assert (np.asarray(info) == 0).all()
         assert stream.elapsed < 0.5
+
+
+class TestSilentDataCorruption:
+    """Finite SDC flips: post-stage, staged-input, and in-flight copies."""
+
+    def test_sdc_lanes_flipped_once_and_finite(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(sdc_lanes=(2, 6)))
+        a = _batch()
+        clean = _batch()
+        gbtrf_batch(32, 32, 2, 3, clean)
+        gbtrf_batch(32, 32, 2, 3, a)
+        # The flip is silent: everything stays finite, but the flipped
+        # lanes differ from a clean factorization.
+        assert np.isfinite(a).all()
+        for k in range(8):
+            same = np.array_equal(a[k], clean[k])
+            assert same == (k not in (2, 6)), k
+        assert {ev.lane for ev in inj.events(SDC_FLIP)} == {2, 6}
+        assert inj.exhausted
+        # Budget consumed: a second launch is untouched.
+        a2 = _batch(seed=1)
+        clean2 = _batch(seed=1)
+        gbtrf_batch(32, 32, 2, 3, a2)
+        gbtrf_batch(32, 32, 2, 3, clean2)
+        assert np.array_equal(a2, clean2)
+
+    def test_sdc_after_filter_and_scale(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(sdc_lanes=(0,),
+                                              sdc_after="gbtrs"))
+        a = _batch()
+        gbtrf_batch(32, 32, 2, 3, a)
+        assert inj.log == [] and not inj.exhausted
+
+    def test_out_of_range_sdc_lane_stays_pending(self):
+        inj = arm_faults(H100_PCIE, FaultPlan(sdc_lanes=(100,)))
+        gbtrf_batch(32, 32, 2, 3, _batch())
+        assert inj.log == [] and not inj.exhausted
+
+    def test_transfer_sdc_strikes_before_execution(self):
+        """Staged-input corruption lands on the operands the kernel is
+        about to consume: the factorization is *of* the corrupted matrix,
+        self-consistently — invisible without an outside residual gate."""
+        inj = arm_faults(H100_PCIE, FaultPlan(transfer_sdc_lanes=(3,),
+                                              transfer_before="gbtrf"))
+        a = _batch()
+        clean = _batch()
+        piv, info = gbtrf_batch(32, 32, 2, 3, a)
+        gbtrf_batch(32, 32, 2, 3, clean)
+        assert np.isfinite(a).all()
+        assert not np.array_equal(a[3], clean[3])
+        (ev,) = inj.events(TRANSFER_CORRUPTION)
+        assert ev.lane == 3 and "staged-input" in ev.detail
+
+    def test_sdc_determinism(self):
+        def run(seed):
+            with fault_injection(
+                    H100_PCIE,
+                    FaultPlan(seed=seed, sdc_lanes=(1, 4))) as inj:
+                a = _batch(seed=2)
+                gbtrf_batch(32, 32, 2, 3, a)
+                return a.tobytes(), [(e.kind, e.lane, e.detail)
+                                     for e in inj.log]
+
+        assert run(33) == run(33)
+        assert run(33) != run(34)
+
+    def test_sdc_events_recorded_on_trace(self):
+        arm_faults(H100_PCIE, FaultPlan(sdc_lanes=(1,)))
+        stream = Stream(H100_PCIE)
+        gbtrf_batch(32, 32, 2, 3, _batch(), stream=stream)
+        (rec,) = [r for r in stream.records if r.faults]
+        assert rec.faults[0].kind == SDC_FLIP
+        assert rec.faults[0].lane == 1
+        assert summarize(stream.records)

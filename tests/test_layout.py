@@ -29,6 +29,8 @@ from hypothesis import strategies as st
 from repro import (
     SolverService,
     alloc_band_interleaved,
+    gbcon_batch,
+    gbrfs_batch,
     gbsv_batch,
     gbsv_vbatch,
     gbtrf_batch,
@@ -476,3 +478,80 @@ class TestServeLayout:
         assert rep.cache_hits == 1 and rep.factorizations == 1
         _bytes_equal((x1, self._direct(ab, b1)),
                      (x2, self._direct(ab, b2)))
+
+
+# ---------------------------------------------------------------------------
+# Refinement and condition estimation: SoA parity + the layout= knob
+# ---------------------------------------------------------------------------
+
+
+class TestRefineConditionLayout:
+    """``gbrfs_batch``/``gbcon_batch`` accept interleaved stacks natively
+    and stage through the ``layout=`` knob with bit-identical results."""
+
+    BATCH, N, KL, KU, NRHS = 7, 28, 2, 3, 2
+
+    def _problem(self):
+        a = random_band_batch(self.BATCH, self.N, self.KL, self.KU, seed=50)
+        b = random_rhs(self.N, self.NRHS, batch=self.BATCH, seed=51)
+        fact = a.copy()
+        piv, info = gbtrf_batch(self.N, self.N, self.KL, self.KU, fact)
+        assert (info == 0).all()
+        x = b.copy()
+        gbtrs_batch("N", self.N, self.KL, self.KU, self.NRHS, fact, piv, x)
+        # Knock the solution off by a deterministic perturbation so the
+        # refinement loop has real work to do in every lane.
+        rng = np.random.default_rng(52)
+        x += 1e-3 * rng.standard_normal(x.shape)
+        return a, fact, piv, b, x
+
+    def _refine(self, a, fact, piv, b, x, **kw):
+        res = gbrfs_batch(self.N, self.KL, self.KU, self.NRHS, a, fact,
+                          piv, b, x, **kw)
+        return res
+
+    @pytest.mark.parametrize("knob", [None, "soa", "interleaved"])
+    def test_gbrfs_soa_parity(self, knob):
+        a, fact, piv, b, x = self._problem()
+        x_ref = x.copy()
+        ref = self._refine(a, fact, piv, b, x_ref)
+        a_soa, fact_soa = to_interleaved(a), to_interleaved(fact)
+        b_soa, x_soa = to_interleaved(b), to_interleaved(x)
+        got = self._refine(a_soa, fact_soa, piv, b_soa, x_soa,
+                           layout=knob)
+        _bytes_equal((_materialize(x_soa), x_ref))
+        for r_ref, r_got in zip(ref, got):
+            assert r_got.iterations == r_ref.iterations
+            assert r_got.converged == r_ref.converged
+            _bytes_equal((r_got.berr, r_ref.berr))
+
+    def test_gbrfs_layout_knob_on_lane_major(self):
+        a, fact, piv, b, x = self._problem()
+        x_ref = x.copy()
+        ref = self._refine(a, fact, piv, b, x_ref)
+        x_knob = x.copy()
+        got = self._refine(a.copy(), fact.copy(), piv, b.copy(), x_knob,
+                           layout="soa")
+        _bytes_equal((x_knob, x_ref))
+        for r_ref, r_got in zip(ref, got):
+            _bytes_equal((r_got.berr, r_ref.berr))
+
+    @pytest.mark.parametrize("knob", [None, "soa", "aos"])
+    def test_gbcon_soa_parity(self, knob):
+        from repro.band.ops import band_norm_1
+        a, fact, piv, _b, _x = self._problem()
+        anorms = [band_norm_1(a[k], self.N, self.KL, self.KU)
+                  for k in range(self.BATCH)]
+        ref = gbcon_batch("1", self.N, self.KL, self.KU, fact, piv, anorms)
+        fact_soa = to_interleaved(fact)
+        got = gbcon_batch("1", self.N, self.KL, self.KU, fact_soa, piv,
+                          anorms, layout=knob)
+        _bytes_equal((got, ref))
+
+    def test_invalid_layout_rejected(self):
+        a, fact, piv, b, x = self._problem()
+        with pytest.raises(ArgumentError, match="layout"):
+            self._refine(a, fact, piv, b, x, layout="diagonal")
+        with pytest.raises(ArgumentError, match="layout"):
+            gbcon_batch("1", self.N, self.KL, self.KU, fact, piv,
+                        [1.0] * self.BATCH, layout="diagonal")

@@ -650,3 +650,87 @@ def test_service_report_ignores_unknown_keys():
     d["totally_new_counter"] = 42
     back = ServiceReport.from_dict(d)
     assert back.to_dict() == ServiceReport().to_dict()
+
+
+# --- verified serving ------------------------------------------------------
+
+
+def test_verified_service_is_transparent_and_counts_lanes():
+    ab, b = _system(96)
+    with SolverService(verify=True) as svc:
+        x = svc.solve(KL, KU, ab, b)
+        rep = svc.report()
+    assert x.tobytes() == _direct(ab, b).tobytes()
+    # Factor stage (1 lane) + solve stage (1 lane) both ran the gate.
+    assert rep.verified_lanes == 2
+    assert rep.sdc_detected == 0 and rep.recomputes == 0
+    assert 0 < rep.residual_max <= 1e-12
+
+
+def test_verified_cache_hit_checks_digest_and_recovers():
+    """In-place corruption of a cached factorization is caught by the
+    entry digest at reuse time; the entry is dropped, the operator
+    re-factored, and the solution still matches the cold path."""
+    ab, b1 = _system(97)
+    b2 = random_rhs(N, 1, seed=2097)
+    with SolverService(verify=True) as svc:
+        x1 = svc.solve(KL, KU, ab, b1)
+        (key,) = svc.cache.keys()
+        entry = svc.cache._entries[key]
+        corrupted = entry.factors
+        corrupted.setflags(write=True)
+        corrupted.flat[KL + KU] += 1.0
+        corrupted.setflags(write=False)
+        assert not entry.verify_integrity()
+        x2 = svc.solve(KL, KU, ab, b2)
+        rep = svc.report()
+    assert x1.tobytes() == _direct(ab, b1).tobytes()
+    assert x2.tobytes() == _direct(ab, b2).tobytes()
+    assert rep.cache_digest_failures == 1
+    assert rep.cache_invalidations >= 1
+    assert rep.factorizations == 2              # dropped entry refactored
+
+
+def test_unverified_service_skips_digest_checks():
+    ab, b1 = _system(98)
+    b2 = random_rhs(N, 1, seed=2098)
+    with SolverService() as svc:
+        svc.solve(KL, KU, ab, b1)
+        (key,) = svc.cache.keys()
+        entry = svc.cache._entries[key]
+        corrupted = entry.factors
+        corrupted.setflags(write=True)
+        corrupted.flat[KL + KU] += 1.0
+        corrupted.setflags(write=False)
+        svc.solve(KL, KU, ab, b2)
+        rep = svc.report()
+    assert rep.cache_digest_failures == 0
+    assert rep.cache_hits == 1                  # served the poisoned entry
+
+
+def test_verified_service_survives_sdc_storm():
+    from repro.gpusim.faults import FaultPlan, fault_injection
+    ab, b = _system(99)
+    plan = FaultPlan(seed=7, sdc_lanes=(0,), sdc_after="gbtrs",
+                     sdc_operand=1)
+    with fault_injection(H100_PCIE, plan):
+        with SolverService(verify=True) as svc:
+            x = svc.solve(KL, KU, ab, b)
+            rep = svc.report()
+    assert x.tobytes() == _direct(ab, b).tobytes()
+    assert rep.sdc_detected == 1 and rep.sdc_recovered == 1
+    assert rep.recomputes >= 1
+
+
+def test_service_report_round_trips_verify_fields():
+    rep = ServiceReport()
+    rep.verified_lanes = 9
+    rep.sdc_detected = 2
+    rep.sdc_recovered = 2
+    rep.recomputes = 3
+    rep.residual_max = 1.5e-13
+    rep.cache_digest_failures = 1
+    back = ServiceReport.from_dict(rep.to_dict())
+    assert back.to_dict() == rep.to_dict()
+    assert "verify lanes=9" in back.summary()
+    assert "cache_digest_failures=1" in back.summary()
